@@ -1,0 +1,32 @@
+"""Ablation bench: contribution of each ViReC mechanism (DESIGN.md index).
+
+Asserted expectations:
+* removing the LRC policy (PLRU) hurts the most among policy rows;
+* the blocking BSI and disabled pinning cost performance on average;
+* no ablation *improves* the geomean by more than noise (the full design
+  is locally optimal), except possibly the future-work extensions.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_ablation(benchmark, scale):
+    result = run_once(benchmark, ablation.run, scale)
+    print()
+    result.print()
+    mean = next(r for r in result.rows if r["workload"] == "GEOMEAN")
+
+    # removing core mechanisms costs performance (geomean slowdown >= ~1)
+    for knob in ("no_pinning", "no_dummy_fill", "blocking_bsi",
+                 "no_sysreg_buffer", "plru_policy"):
+        assert mean[knob] > 0.97, f"{knob} should not speed things up"
+
+    # the policy ablations: plru worse than mrt-plru worse-or-equal than full
+    assert mean["plru_policy"] >= mean["mrt_plru_policy"] - 0.02
+    assert mean["plru_policy"] > 1.01
+
+    # future-work extensions stay within a few percent of the full design
+    assert 0.9 < mean["group_evict_3"] < 1.15
+    assert 0.9 < mean["context_prefetch"] < 1.15

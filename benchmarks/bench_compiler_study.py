@@ -1,0 +1,21 @@
+"""Compiler-pass bench: list scheduling on the in-order CGMT core.
+
+Expectations: scheduling never slows a kernel down materially, moves a
+visible fraction of static instructions, and buys the most on the kernel
+with the largest basic blocks (spmv).
+"""
+
+from conftest import run_once
+
+from repro.experiments import compiler_study
+
+
+def test_compiler_scheduling(benchmark, scale):
+    result = run_once(benchmark, compiler_study.run, scale)
+    print()
+    result.print()
+    mean = next(r for r in result.rows if r["workload"] == "GEOMEAN")
+    assert mean["speedup"] > 0.99          # never a net loss
+    assert mean["static_moved_%"] > 5      # the pass actually does work
+    per = {r["workload"]: r for r in result.rows if r["workload"] != "GEOMEAN"}
+    assert all(r["speedup"] > 0.97 for r in per.values())

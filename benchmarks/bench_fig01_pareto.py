@@ -1,0 +1,41 @@
+"""Figure 1: performance-area Pareto for gather.
+
+Paper shape claims asserted:
+* the OoO beats the single InO substantially but at ~19x the area (worst
+  performance-per-area on the chart);
+* banked CGMT beats replicated single-thread InO cores on area efficiency;
+* ViReC at 100% context is within a few percent of banked at ~40% less
+  area, making it the Pareto frontier;
+* ViReC degrades gracefully as context storage shrinks to 40%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig01
+
+
+def test_fig01_pareto(benchmark, scale):
+    result = run_once(benchmark, fig01.run, scale)
+    print()
+    result.print()
+    rows = {r["config"]: r for r in result.rows}
+
+    # OoO: big speedup, terrible perf/area
+    assert rows["ooo"]["speedup"] > 2.0
+    assert rows["ooo"]["perf_per_area"] < rows["inorder-1"]["perf_per_area"]
+
+    # banked multithreading is more area-efficient than replicating cores
+    assert rows["banked-4t"]["perf_per_area"] > rows["inorder-x4"]["perf_per_area"]
+
+    # ViReC at full context ~ banked performance (within 15%), much less area
+    for t in (4, 8):
+        v, b = rows[f"virec-{t}t-100%"], rows[f"banked-{t}t"]
+        assert v["speedup"] > 0.85 * b["speedup"]
+        assert v["area_mm2"] < 0.75 * b["area_mm2"]
+        assert v["perf_per_area"] > b["perf_per_area"]
+
+    # graceful degradation with shrinking context
+    for t in (4, 8):
+        sp = [rows[f"virec-{t}t-{p}%"]["speedup"] for p in (40, 60, 80, 100)]
+        assert sp == sorted(sp) or max(sp) - min(sp) < 0.8 * max(sp)
+        assert sp[0] > 0.5 * sp[-1]

@@ -1,0 +1,21 @@
+"""Figure 2: register utilization of the workload suite.
+
+Shape claim: many (at least half) of the kernels touch <30% of the
+64-register context inside their innermost loop.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig02
+
+
+def test_fig02_register_utilization(benchmark, scale):
+    result = run_once(benchmark, fig02.run, scale)
+    print()
+    result.print()
+    fracs = result.series("inner_context_%")
+    assert len(fracs) >= 10
+    assert sum(f < 30.0 for f in fracs) >= len(fracs) // 2
+    # the active contexts are small in absolute terms (5-16 registers)
+    inner = result.series("inner_regs")
+    assert all(2 <= v <= 16 for v in inner)

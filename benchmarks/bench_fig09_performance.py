@@ -1,0 +1,39 @@
+"""Figure 9: ViReC vs banked vs NSF vs RF prefetching across the suite.
+
+Shape claims asserted (geomean rows):
+* ViReC degrades gracefully: virec80 > virec60 > virec40 relative speedup;
+* ViReC at 80% context is within ~20% of banked;
+* ViReC beats the NSF [41] at matching context sizes (paper: 2.3x/2.25x);
+* full-context prefetching is the worst strategy;
+* oracle exact prefetching lands between full prefetching and ViReC@80.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig09
+
+
+def test_fig09_performance(benchmark, scale):
+    result = run_once(benchmark, fig09.run, scale)
+    print()
+    result.print()
+    means = {r["threads"]: r for r in result.rows if r["workload"] == "GEOMEAN"}
+    assert set(means) == {4, 6, 8}
+
+    for t, m in means.items():
+        # graceful degradation with register-cache contention
+        assert m["virec80"] >= m["virec60"] >= m["virec40"] > 0.4
+        # near-banked at low contention
+        assert m["virec80"] > 0.78
+        # ViReC >> NSF at the same context size
+        assert m["virec80"] > 1.2 * m["nsf80"]
+        assert m["virec40"] > 1.2 * m["nsf40"]
+        # full-context prefetch is almost always worst
+        assert m["pf_full"] < m["virec40"]
+        assert m["pf_full"] < m["pf_exact"]
+        # oracle prefetch cannot beat low-contention ViReC
+        assert m["pf_exact"] < m["virec80"]
+
+    # the mean performance drop grows with thread count at fixed context
+    drop = {t: 1 - means[t]["virec80"] for t in (4, 6, 8)}
+    assert drop[8] >= drop[4] - 0.05

@@ -1,0 +1,38 @@
+"""Figure 10: performance-per-register tradeoff for gather.
+
+Shape claims asserted:
+* at every thread count ViReC's performance-per-register beats banked
+  (a bank holds 64 registers, most unused);
+* with few threads (latency not hidden) ViReC at reduced context is close
+  to its full-context performance (misses overlap memory latency);
+* ViReC runs 10 threads — beyond the banked core's 8-bank cap.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_perf_per_register(benchmark, scale):
+    result = run_once(benchmark, fig10.run, scale)
+    print()
+    result.print()
+    rows = result.rows
+
+    by = {}
+    for r in rows:
+        by[(r["threads"], r["config"])] = r
+
+    for t in (2, 4, 8):
+        banked = by[(t, "banked")]
+        for frac in (40, 60, 80, 100):
+            v = by[(t, f"virec{frac}")]
+            assert v["perf_per_reg"] > banked["perf_per_reg"], \
+                f"{t} threads, {frac}%: ViReC must win perf/register"
+
+    # few threads: 40% context costs little (<25% slowdown vs 100%)
+    assert by[(2, "virec40")]["cycles"] < 1.4 * by[(2, "virec100")]["cycles"]
+
+    # thread counts beyond the banked cap exist for ViReC only
+    assert (10, "virec80") in by
+    assert (10, "banked") not in by

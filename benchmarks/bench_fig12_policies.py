@@ -1,0 +1,39 @@
+"""Figure 12: register-cache replacement policy comparison.
+
+Shape claims asserted on the suite means:
+* scheduling-aware policies (MRT-PLRU, MRT-LRU, LRC) beat the
+  scheduling-oblivious ones (PLRU, LRU) on hit rate;
+* LRC is within a whisker of the perfect MRT-LRU (paper: 0.3%);
+* LRC's speedup over PLRU is large at low contention and positive at high
+  contention (paper: +20.7% / +7.1%);
+* hit rates are higher at 80% context than at 40%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_policies(benchmark, scale):
+    result = run_once(benchmark, fig12.run, scale)
+    print()
+    result.print()
+    means = {r["context_%"]: r for r in result.rows if r["workload"] == "MEAN"}
+    assert set(means) == {80, 40}
+
+    for ctx, m in means.items():
+        # thread-aware beats thread-oblivious
+        assert m["hit_mrt-plru"] > m["hit_plru"]
+        assert m["hit_mrt-lru"] > m["hit_lru"]
+        assert m["hit_lrc"] > m["hit_plru"]
+        # LRC close to the perfect MRT-LRU (within 3 points)
+        assert abs(m["hit_lrc"] - m["hit_mrt-lru"]) < 0.03
+        # LRC >= MRT-PLRU (the commit bit helps)
+        assert m["hit_lrc"] >= m["hit_mrt-plru"] - 0.005
+        # speedup over PLRU positive
+        assert m["lrc_speedup_vs_plru"] > 1.0
+
+    # more contention, lower hit rate
+    assert means[80]["hit_lrc"] > means[40]["hit_lrc"]
+    # low-contention advantage is at least as large (paper: 20.7% vs 7.1%)
+    assert means[80]["lrc_speedup_vs_plru"] >= 0.95 * means[40]["lrc_speedup_vs_plru"]

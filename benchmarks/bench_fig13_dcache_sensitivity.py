@@ -1,0 +1,40 @@
+"""Figure 13: dcache latency and capacity sensitivity.
+
+Shape claims asserted:
+* both designs lose IPC as dcache latency grows;
+* ViReC degrades *faster* with latency than banked (register fills ride
+  the dcache);
+* ViReC loses more than banked when capacity shrinks (pinned register
+  lines steal capacity), and the gap narrows at large capacities.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13_dcache_sensitivity(benchmark, scale):
+    result = run_once(benchmark, fig13.run, scale)
+    print()
+    result.print()
+    lat = {r["value"]: r for r in result.rows if r["sweep"] == "latency"}
+    cap = {r["value"]: r for r in result.rows if r["sweep"] == "capacity_kb"}
+
+    # monotone loss with latency for both
+    lats = sorted(lat)
+    for kind in ("virec_ipc", "banked_ipc"):
+        assert lat[lats[0]][kind] > lat[lats[-1]][kind]
+
+    # ViReC more latency-sensitive: larger relative drop from min to max
+    v_drop = 1 - lat[lats[-1]]["virec_ipc"] / lat[lats[0]]["virec_ipc"]
+    b_drop = 1 - lat[lats[-1]]["banked_ipc"] / lat[lats[0]]["banked_ipc"]
+    assert v_drop > b_drop
+
+    # capacity: ViReC suffers more at the smallest dcache
+    caps = sorted(cap)
+    small, large = cap[caps[0]], cap[caps[-1]]
+    v_loss = 1 - small["virec_ipc"] / large["virec_ipc"]
+    b_loss = 1 - small["banked_ipc"] / large["banked_ipc"]
+    assert v_loss >= b_loss - 0.02
+    # at the largest capacity ViReC is close to banked
+    assert large["virec_ipc"] > 0.75 * large["banked_ipc"]

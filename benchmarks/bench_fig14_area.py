@@ -1,0 +1,35 @@
+"""Figure 14 + Section 6.2: area vs thread count and RF delay.
+
+Exact claims asserted (the area model is calibrated, so these are tight):
+* banked core: 2.8 / 3.9 mm^2 at 8 / 16 threads;
+* ViReC with 8 entries/thread at 8 threads: ~1.7 mm^2, ~40% savings,
+  ~20% overhead over the baseline core;
+* ViReC area grows superlinearly and overtakes banked for complete
+  contexts;
+* RF delay: ViReC ~0.24 ns at 80 entries = banked, +~10% over baseline.
+"""
+
+from conftest import run_once
+
+from repro.area import banked_core_area, inorder_core_area, virec_core_area
+from repro.experiments import fig14
+
+
+def test_fig14_area_and_delay(benchmark, scale):
+    result = run_once(benchmark, fig14.run, scale)
+    print()
+    result.print()
+
+    assert abs(banked_core_area(8) - 2.8) < 0.1
+    assert abs(banked_core_area(16) - 3.9) < 0.1
+    assert abs(virec_core_area(64) - 1.7) < 0.1
+    assert 0.12 < virec_core_area(64) / inorder_core_area() - 1 < 0.28
+    assert 1 - virec_core_area(64) / banked_core_area(8) > 0.35
+    # fully-associative complete contexts cost more than banks
+    assert virec_core_area(8 * 64) > banked_core_area(8)
+
+    # delay rows present and crossing at ~80 entries
+    delays = [r for r in result.rows if str(r.get("threads", "")).startswith("delay@")]
+    assert delays
+    d80 = next(r for r in delays if r["threads"] == "delay@80")
+    assert abs(d80["virec_delay_ns"] - d80["banked_delay_ns"]) < 0.01

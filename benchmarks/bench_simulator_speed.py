@@ -1,0 +1,50 @@
+"""Simulator throughput benchmarks (host instructions-per-second).
+
+Not a paper figure — this measures the *reproduction tool itself* so
+regressions in simulation speed are caught.  pytest-benchmark runs these
+with real repetitions (unlike the single-shot figure benches).
+"""
+
+import pytest
+
+from repro.system import RunConfig, run_config
+
+
+def run_once(core_type, n_per_thread=48, threads=8, **kw):
+    cfg = RunConfig(workload="gather", core_type=core_type,
+                    n_threads=threads, n_per_thread=n_per_thread, **kw)
+    return run_config(cfg)
+
+
+@pytest.mark.parametrize("core_type", ["banked", "virec", "fgmt"])
+def test_simulation_speed(benchmark, core_type):
+    result = benchmark.pedantic(run_once, args=(core_type,),
+                                rounds=3, iterations=1)
+    instr = result.instructions
+    seconds = benchmark.stats.stats.mean
+    rate = instr / seconds
+    print(f"\n{core_type}: {instr} instructions in {seconds * 1e3:.0f} ms "
+          f"= {rate / 1e3:.0f}k instr/s")
+    # regression guard: the timeline engine should stay above 3k instr/s
+    # even on slow CI hosts
+    assert rate > 3_000
+
+
+def test_functional_sim_speed(benchmark):
+    from repro import workloads
+    from repro.isa.func_sim import FunctionalSimulator
+
+    inst = workloads.get("gather").build(n_threads=1, n_per_thread=512)
+
+    def run():
+        sim = FunctionalSimulator(inst.program, inst.memory)
+        sim.state.pc = inst.program.entry
+        for reg, val in inst.init_regs[0].items():
+            sim.state.write(reg, val)
+        sim.run()
+        return sim.instructions_executed
+
+    count = benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = count / benchmark.stats.stats.mean
+    print(f"\ngolden model: {rate / 1e3:.0f}k instr/s")
+    assert rate > 20_000

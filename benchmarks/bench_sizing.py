@@ -1,0 +1,29 @@
+"""Provisioning-normalization bench (synthetic-workload extension).
+
+Expectation: at equal provisioned *fraction* of the active context, the
+register-cache hit rate is nearly independent of the absolute per-thread
+working-set size (spread < 10 points), and hit rate rises monotonically
+with the fraction — validating the paper's percent-of-context axis.
+"""
+
+from conftest import run_once
+
+from repro.experiments import sizing
+
+
+def test_sizing_normalization(benchmark, scale):
+    result = run_once(benchmark, sizing.run, scale)
+    print()
+    result.print()
+    spread = next(r for r in result.rows if r["working_set"] == "SPREAD")
+    for key, value in spread.items():
+        if not key.startswith("hit@"):
+            continue
+        # heaviest contention (40%) sees quantization effects at small
+        # absolute capacities; the collapse is tight from 60% up
+        limit = 0.20 if key == "hit@40%" else 0.10
+        assert value < limit, f"{key}: spread {value:.3f} too wide"
+    per_ws = [r for r in result.rows if r["working_set"] != "SPREAD"]
+    for row in per_ws:
+        hits = [row[f"hit@{p}%"] for p in (40, 60, 80, 100)]
+        assert hits == sorted(hits), f"hit rate not monotone: {hits}"

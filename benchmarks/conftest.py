@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Each ``bench_figNN`` file regenerates one table/figure of the paper:
+it runs the corresponding experiment driver once under pytest-benchmark,
+prints the same rows/series the paper plots, and asserts the qualitative
+shape claims (who wins, roughly by how much, where crossovers fall).
+
+Scale control:  set ``REPRO_BENCH_SCALE`` to ``tiny`` (default; minutes),
+``quick``, or ``full`` to trade fidelity for runtime.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture
+def scale() -> str:
+    return bench_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

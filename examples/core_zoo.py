@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Run one kernel across every core model in the repository.
+
+A side-by-side tour of the design space the paper navigates: the
+single-thread in-order baseline, the OoO host, both classic multithreading
+styles (banked CGMT and an idealized barrel/FGMT core), software context
+switching, the NSF register cache, both RF-prefetching strategies, and
+ViReC itself — all bit-identical in results, differing only in cycles and
+silicon.
+
+Run:  python examples/core_zoo.py [workload]
+"""
+
+import sys
+
+from repro.area import (
+    banked_core_area,
+    inorder_core_area,
+    ooo_core_area,
+    prefetch_core_area,
+    swctx_core_area,
+    virec_core_area,
+)
+from repro.system import RunConfig, run_config
+
+THREADS = 8
+PER_THREAD = 32
+
+
+def area_of(core_type: str, rf_entries: int) -> float:
+    return {
+        "inorder": inorder_core_area(),
+        "ooo": ooo_core_area(),
+        "banked": banked_core_area(THREADS),
+        "fgmt": banked_core_area(THREADS),
+        "swctx": swctx_core_area(),
+        "nsf": virec_core_area(rf_entries),
+        "virec": virec_core_area(rf_entries),
+        "prefetch-full": prefetch_core_area(),
+        "prefetch-exact": prefetch_core_area(),
+    }[core_type]
+
+
+def main(workload: str = "gather") -> None:
+    total = THREADS * PER_THREAD
+    print(f"workload = {workload}, total work = {total} elements\n")
+    print(f"{'core':<16} {'threads':>7} {'cycles':>9} {'IPC':>7} "
+          f"{'area mm^2':>10} {'perf/area':>10}")
+
+    rows = []
+    for core_type in ("inorder", "ooo", "swctx", "banked", "fgmt",
+                      "prefetch-full", "prefetch-exact", "nsf", "virec"):
+        threads = 1 if core_type in ("inorder", "ooo") else THREADS
+        cfg = RunConfig(workload=workload, core_type=core_type,
+                        n_threads=threads, n_per_thread=total // threads,
+                        context_fraction=0.8)
+        r = run_config(cfg)
+        rf = cfg.resolve_rf_size(8)
+        rows.append((core_type, threads, r.cycles, r.ipc,
+                     area_of(core_type, rf)))
+
+    base_cycles = rows[0][2]
+    for name, threads, cycles, ipc, area in rows:
+        speedup = base_cycles / cycles
+        print(f"{name:<16} {threads:>7} {cycles:>9} {ipc:>7.3f} "
+              f"{area:>10.2f} {speedup / area:>10.3f}")
+
+    print("\nAll rows computed identical outputs (run_config verifies each")
+    print("against the workload's numpy oracle).  ViReC's column is the")
+    print("paper's point: near-banked cycles at a fraction of the area.")
+    print("(fgmt is an idealized barrel-processor bound — see its docstring.)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "gather")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Write your own near-memory kernel and run it on every core model.
+
+Shows the full user-facing flow with no workload-registry sugar:
+assemble a kernel, place data, create threads, pick a memory system, and
+run it on banked / ViReC / NSF cores.  The kernel is a simple AXPY-like
+update with an indirect index — the kind of operation near-memory systems
+are built for.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.core.cgmt import BankedCore, ContextLayout, make_threads
+from repro.isa import X, assemble
+from repro.memory import Cache, CacheConfig, Crossbar, DRAM, MainMemory
+from repro.stats.counters import Stats
+from repro.system.offload import offload_contexts
+from repro.virec import ViReCConfig, ViReCCore, make_nsf_core
+
+KERNEL = """
+start:
+    mov  x2, #chunk
+    mul  x3, x0, x2          ; i = tid * chunk
+    add  x4, x3, x2
+    adr  x5, idx
+    adr  x6, vec
+    adr  x7, out
+    mov  x8, #3              ; scale factor
+loop:
+    ldr  x9, [x5, x3, lsl #3]    ; j = idx[i]
+    ldr  x10, [x6, x9, lsl #3]   ; v = vec[j]
+    madd x10, x10, x8, x3        ; v = v*3 + i
+    str  x10, [x7, x3, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+
+USED_REGS = tuple(range(11))  # x0..x10 (flat indices)
+
+
+def build_system():
+    """One NDP memory stack: L1s in front of a crossbar + DDR5-like DRAM."""
+    stats = Stats("sys")
+    dram = DRAM(stats=stats.child("dram"))
+    xbar = Crossbar(dram, latency=6, stats=stats.child("xbar"))
+    icache = Cache(CacheConfig(name="ic", size_bytes=32 * 1024, assoc=4,
+                               latency=2), xbar, stats.child("ic"))
+    dcache = Cache(CacheConfig(name="dc", size_bytes=8 * 1024, assoc=4,
+                               latency=2, mshrs=24), xbar, stats.child("dc"))
+    return icache, dcache, stats
+
+
+def main() -> None:
+    n_threads, chunk = 8, 32
+    n = n_threads * chunk
+    rng = np.random.default_rng(42)
+    idx = rng.integers(0, 2048, size=n)
+    vec = rng.integers(0, 1000, size=2048)
+    symbols = {"idx": 0x100000, "vec": 0x200000, "out": 0x300000,
+               "chunk": chunk}
+    program = assemble(KERNEL, symbols=symbols)
+    expected = [int(vec[j]) * 3 + i for i, j in enumerate(idx)]
+
+    layout = ContextLayout(used_regs=USED_REGS)
+    print(f"{'core':<10} {'cycles':>8} {'IPC':>7} {'switches':>9} {'RF hit':>8}")
+    for name, factory in [
+        ("banked", lambda p, ic, dc, m, th: BankedCore(p, ic, dc, m, th,
+                                                       layout=layout)),
+        ("virec", lambda p, ic, dc, m, th: ViReCCore(
+            p, ic, dc, m, th, virec=ViReCConfig(rf_size=40), layout=layout)),
+        ("nsf", lambda p, ic, dc, m, th: make_nsf_core(
+            p, ic, dc, m, th, rf_size=40, layout=layout)),
+    ]:
+        mem = MainMemory()
+        mem.write_array(symbols["idx"], idx)
+        mem.write_array(symbols["vec"], vec)
+        icache, dcache, _ = build_system()
+        threads = make_threads(n_threads,
+                               init_regs=[{X(0): t} for t in range(n_threads)])
+        offload_contexts(mem, layout, threads)
+        core = factory(program, icache, dcache, mem, threads)
+        stats = core.run()
+        got = mem.read_array(symbols["out"], n)
+        assert got == expected, f"{name}: wrong results!"
+        hit = f"{stats['rf_hit_rate']:.1%}" if "rf_hit_rate" in stats else "--"
+        print(f"{name:<10} {int(stats['cycles']):>8} {stats['ipc']:>7.3f} "
+              f"{int(stats['context_switches']):>9} {hit:>8}")
+    print("\nAll three cores produced bit-identical results; they differ "
+          "only in time and area.")
+
+
+if __name__ == "__main__":
+    main()

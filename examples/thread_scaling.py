@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Thread scaling with a fixed register budget (the Section 2 argument).
+
+A ViReC processor with a fixed 32-entry register cache can run 4 threads at
+100% context *or* squeeze in 8 threads at ~55% context — and on a
+miss-dominated kernel the extra threads win, something a banked design with
+4 fixed banks simply cannot do.
+
+Run:  python examples/thread_scaling.py [workload]
+"""
+
+import sys
+
+from repro import workloads
+from repro.system import RunConfig, run_config
+
+
+def main(workload: str = "gather") -> None:
+    rf_budget = 32
+    total_work = 512
+    print(f"workload={workload}, fixed register budget = {rf_budget} entries,"
+          f" total work = {total_work} elements\n")
+    print(f"{'threads':>8}  {'context/thread':>15}  {'cycles':>9}  "
+          f"{'RF hit rate':>12}  {'speedup':>8}")
+
+    active = len(workloads.get(workload).build(n_threads=2, n_per_thread=4)
+                 .active_regs)
+    base_cycles = None
+    for threads in (2, 4, 6, 8, 10):
+        cfg = RunConfig(workload=workload, core_type="virec",
+                        n_threads=threads, n_per_thread=total_work // threads,
+                        rf_size=rf_budget)
+        r = run_config(cfg)
+        pct = 100.0 * rf_budget / (threads * active)
+        if base_cycles is None:
+            base_cycles = r.cycles
+        print(f"{threads:>8}  {pct:>14.0f}%  {r.cycles:>9}  "
+              f"{r.rf_hit_rate:>11.1%}  {base_cycles / r.cycles:>8.2f}x")
+
+    print("\nWith the same silicon, scheduling more threads with smaller")
+    print("per-thread contexts hides more memory latency — until the")
+    print("register cache (and the dcache behind it) starts thrashing.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "gather")

@@ -1,0 +1,33 @@
+"""Collect quick-scale results for EXPERIMENTS.md."""
+import json, time
+from repro.experiments import ALL_EXPERIMENTS
+
+out = {}
+for name, runner in ALL_EXPERIMENTS.items():
+    t0 = time.time()
+    try:
+        res = runner("quick")
+        out[name] = {"title": res.title, "rows": res.rows, "notes": res.notes,
+                     "wall_s": round(time.time() - t0, 1)}
+        print(f"{name}: done in {out[name]['wall_s']}s", flush=True)
+    except Exception as e:
+        out[name] = {"error": str(e)}
+        print(f"{name}: FAILED {e}", flush=True)
+with open("results/quick_scale.json", "w") as f:
+    json.dump(out, f, indent=1, default=str)
+
+# render key figures as ASCII for eyeballing against the paper
+try:
+    from repro.experiments import fig01, fig14
+    from repro.experiments.plotting import pareto_plot, sweep_plot
+    with open("results/figures.txt", "w") as f:
+        f.write(pareto_plot(fig01.run("quick")) + "\n\n")
+        f.write(sweep_plot(fig14.run(), "threads",
+                           ["banked_mm2", "virec_8_regs_mm2",
+                            "virec_32_regs_mm2"],
+                           row_filter=lambda r: isinstance(r.get("threads"),
+                                                           int)) + "\n")
+    print("figures.txt written", flush=True)
+except Exception as exc:  # pragma: no cover
+    print(f"figure rendering failed: {exc}", flush=True)
+print("ALL DONE", flush=True)

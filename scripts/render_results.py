@@ -1,0 +1,43 @@
+"""Render results/quick_scale.json into a human-readable RESULTS.md."""
+import json
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+data = json.loads((ROOT / "results/quick_scale.json").read_text())
+
+lines = ["# Quick-scale results appendix", "",
+         "Generated from `results/quick_scale.json` by "
+         "`scripts/render_results.py` (see EXPERIMENTS.md for the "
+         "paper-vs-measured analysis).", ""]
+
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+for name in sorted(data):
+    entry = data[name]
+    if "error" in entry:
+        lines.append(f"## {name}\n\nFAILED: {entry['error']}\n")
+        continue
+    lines.append(f"## {name} — {entry['title']}")
+    lines.append("")
+    rows = entry["rows"]
+    cols = []
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    lines.append("| " + " | ".join(cols) + " |")
+    lines.append("|" + "---|" * len(cols))
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row.get(c, "")) for c in cols) + " |")
+    if entry.get("notes"):
+        lines.append("")
+        lines.append(f"*{entry['notes']}*")
+    lines.append("")
+
+(ROOT / "results/RESULTS.md").write_text("\n".join(lines))
+print(f"wrote results/RESULTS.md ({len(lines)} lines)")

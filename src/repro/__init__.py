@@ -1,0 +1,29 @@
+"""repro — reproduction of *ViReC: The Virtual Register Context Architecture
+for Efficient Near-Memory Multithreading* (ICPP 2025).
+
+Subpackages
+-----------
+``repro.isa``
+    Mini AArch64-flavoured ISA, assembler, and functional golden model.
+``repro.memory``
+    Cycle-level memory hierarchy: caches with MSHRs and register-line
+    pinning, a DDR5-like DRAM timing model, stride prefetcher, crossbar.
+``repro.core``
+    In-order pipeline and the multithreading baselines (banked CGMT,
+    software context switching, RF prefetching, simplified OoO).
+``repro.virec``
+    The paper's contribution: the VRMU register cache, LRC replacement
+    policy, backing-store interface, and the ViReC core.
+``repro.area``
+    Analytical 45nm area/delay model (CACTI-like) for all core variants.
+``repro.workloads``
+    The near-memory kernels used in the evaluation (gather, scatter,
+    stride, stream, meabo, pointer-chase, reduction, spmv, ...).
+``repro.system``
+    Table-1 configuration presets, multi-processor near-memory nodes,
+    task-level offload, and top-level simulation drivers.
+``repro.experiments``
+    One driver per paper figure/table, shared by ``benchmarks/``.
+"""
+
+__version__ = "1.0.0"

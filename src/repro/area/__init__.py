@@ -1,0 +1,27 @@
+"""Analytical 45nm area/delay model for all core variants (Section 6.2)."""
+
+from .cores import (
+    area_table,
+    banked_core_area,
+    inorder_core_area,
+    multi_core_area,
+    ooo_core_area,
+    prefetch_core_area,
+    swctx_core_area,
+    virec_core_area,
+)
+from .model import (
+    CONSTANTS,
+    AreaConstants,
+    banked_rf_area,
+    rf_delay_ns,
+    virec_breakdown,
+    virec_rf_area,
+)
+
+__all__ = [
+    "CONSTANTS", "AreaConstants", "area_table", "banked_core_area",
+    "banked_rf_area", "inorder_core_area", "multi_core_area", "ooo_core_area",
+    "prefetch_core_area", "rf_delay_ns", "swctx_core_area", "virec_breakdown",
+    "virec_core_area", "virec_rf_area",
+]

@@ -1,0 +1,71 @@
+"""Core-level area accounting for every processor in the evaluation."""
+
+from __future__ import annotations
+
+from .model import CONSTANTS, AreaConstants, banked_rf_area, virec_rf_area
+
+
+def inorder_core_area(c: AreaConstants = CONSTANTS) -> float:
+    """Single-threaded in-order baseline (its 32-entry RF is included)."""
+    return c.base_core_mm2
+
+
+def ooo_core_area(c: AreaConstants = CONSTANTS) -> float:
+    """N1-class out-of-order host core."""
+    return c.base_core_mm2 * c.ooo_ratio
+
+
+def banked_core_area(n_threads: int, regs_per_bank: int = 64,
+                     c: AreaConstants = CONSTANTS) -> float:
+    """CGMT core with one full register bank per thread.
+
+    The baseline core already contains one context's registers; additional
+    threads add banks (Figure 14 sweeps threads at 64 regs/bank).
+    """
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    return c.base_core_mm2 + banked_rf_area(n_threads * regs_per_bank)
+
+
+def virec_core_area(rf_entries: int, c: AreaConstants = CONSTANTS) -> float:
+    """ViReC core: baseline pipeline + register cache + VRMU.
+
+    The baseline's own RF is replaced by the cache, but its area is part of
+    the calibrated ``base_core_mm2``; the paper reports ViReC's addition as
+    a ~20% overhead at 64 entries, which this reproduces.
+    """
+    return c.base_core_mm2 + virec_rf_area(rf_entries)
+
+
+def swctx_core_area(c: AreaConstants = CONSTANTS) -> float:
+    """Software context switching: just the baseline core."""
+    return c.base_core_mm2
+
+
+def prefetch_core_area(regs_per_bank: int = 64, c: AreaConstants = CONSTANTS) -> float:
+    """Double-buffer prefetching: two banks plus transfer engine (~5%)."""
+    return c.base_core_mm2 + banked_rf_area(2 * regs_per_bank) * 1.05
+
+
+def multi_core_area(core_area_mm2: float, n_cores: int) -> float:
+    """N replicated near-memory processors (crossbar area excluded, as in
+    the paper's per-processor comparison)."""
+    return core_area_mm2 * n_cores
+
+
+def area_table(max_threads: int = 16, regs_per_thread_options=(5, 8, 16, 32, 64),
+               c: AreaConstants = CONSTANTS):
+    """The Figure 14 dataset: area vs thread count for banked and ViReC.
+
+    Returns a list of dict rows (one per thread count) with the banked area
+    and one ViReC column per per-thread register-cache provision.
+    """
+    rows = []
+    t = 1
+    while t <= max_threads:
+        row = {"threads": t, "banked_mm2": banked_core_area(t)}
+        for rpt in regs_per_thread_options:
+            row[f"virec_{rpt}_regs_mm2"] = virec_core_area(t * rpt)
+        rows.append(row)
+        t *= 2
+    return rows

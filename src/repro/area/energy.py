@@ -1,0 +1,119 @@
+"""Per-access energy model for the register storage alternatives.
+
+The paper optimizes performance-area; the closest prior work it builds on
+(Gebhart et al. [25], LTRF [45]) optimizes register-file *energy*.  This
+module adds that dimension so the tradeoff can be examined end to end:
+
+* banked RF read/write energy grows with the total registers behind the
+  decoder (bigger word lines / longer bit lines);
+* ViReC pays a CAM tag search on every access plus a small data array, and
+  additionally pays dcache accesses for fills/spills;
+* a run's total register-system energy combines per-access costs with the
+  access counts from a simulated core's stats.
+
+Coefficients are order-of-magnitude 45 nm estimates in picojoules,
+anchored so a 64-register bank read costs ~1 pJ (CACTI-class numbers);
+as with the area model, only *relative* comparisons are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """45 nm per-access energy coefficients (pJ)."""
+
+    sram_read_base_pj: float = 0.55      # fixed sense/decode cost
+    sram_read_per_reg_pj: float = 0.007  # bit/word-line growth per register
+    sram_write_factor: float = 1.15      # writes slightly above reads
+    cam_search_per_entry_pj: float = 0.016  # parallel tag match per entry
+    fa_data_read_pj: float = 0.45        # small FA data array access
+    dcache_access_pj: float = 12.0       # 8kB dcache read/write (per word)
+    leakage_per_reg_pw_cycle: float = 0.004e-3  # static, per register-cycle
+
+
+CONSTANTS = EnergyConstants()
+
+
+def banked_access_energy(total_regs: int, is_write: bool = False,
+                         c: EnergyConstants = CONSTANTS) -> float:
+    """Energy (pJ) of one access to a banked RF with ``total_regs`` behind
+    the bank decoder (bank-selected, so per-bank size dominates; the
+    decoder/wiring term grows with bank count)."""
+    if total_regs < 1:
+        raise ValueError("need at least one register")
+    e = c.sram_read_base_pj + c.sram_read_per_reg_pj * total_regs
+    return e * (c.sram_write_factor if is_write else 1.0)
+
+
+def virec_access_energy(rf_entries: int, is_write: bool = False,
+                        c: EnergyConstants = CONSTANTS) -> float:
+    """Energy (pJ) of one ViReC register access: CAM search + data array."""
+    if rf_entries < 1:
+        raise ValueError("need at least one entry")
+    e = c.cam_search_per_entry_pj * rf_entries + c.fa_data_read_pj
+    return e * (c.sram_write_factor if is_write else 1.0)
+
+
+def fill_spill_energy(c: EnergyConstants = CONSTANTS) -> float:
+    """Energy (pJ) of moving one register between RF and dcache."""
+    return c.dcache_access_pj
+
+
+@dataclass
+class EnergyReport:
+    """Register-system energy of one simulated run."""
+
+    design: str
+    access_pj: float
+    traffic_pj: float
+    leakage_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.access_pj + self.traffic_pj + self.leakage_pj
+
+
+def banked_run_energy(accesses: int, cycles: int, n_threads: int,
+                      regs_per_bank: int = 64,
+                      c: EnergyConstants = CONSTANTS) -> EnergyReport:
+    """Energy of a banked-RF run (no fill/spill traffic by construction)."""
+    total_regs = n_threads * regs_per_bank
+    access = accesses * banked_access_energy(total_regs, c=c)
+    leak = cycles * total_regs * c.leakage_per_reg_pw_cycle * 1e3  # pW->pJ-ish
+    return EnergyReport("banked", access, 0.0, leak)
+
+
+def virec_run_energy(accesses: int, fills: int, spills: int, cycles: int,
+                     rf_entries: int,
+                     c: EnergyConstants = CONSTANTS) -> EnergyReport:
+    """Energy of a ViReC run including backing-store register traffic."""
+    access = accesses * virec_access_energy(rf_entries, c=c)
+    traffic = (fills + spills) * fill_spill_energy(c)
+    leak = cycles * rf_entries * c.leakage_per_reg_pw_cycle * 1e3
+    return EnergyReport("virec", access, traffic, leak)
+
+
+def energy_from_stats(core_stats, design: str, n_threads: int,
+                      rf_entries: int = 0,
+                      c: EnergyConstants = CONSTANTS) -> EnergyReport:
+    """Build a report from a simulated core's stats namespace."""
+    if design not in ("banked", "virec"):
+        raise ValueError(f"unknown design {design!r}")
+    cycles = int(core_stats["cycles"])
+    if design == "banked":
+        # banked cores do not count register accesses; estimate ~2.2 per
+        # committed instruction (operand reads + writeback), the same rate
+        # the VRMU observes
+        accesses = int(core_stats["instructions"] * 2.2)
+        return banked_run_energy(accesses, cycles, n_threads, c=c)
+    if design == "virec":
+        vrmu = core_stats.children().get("vrmu")
+        bsi = core_stats.children().get("bsi")
+        accesses = int(vrmu["accesses"]) if vrmu else 0
+        fills = int(bsi["fills"]) if bsi else 0
+        spills = int(bsi["spills"]) if bsi else 0
+        return virec_run_energy(accesses, fills, spills, cycles, rf_entries, c=c)
+    raise AssertionError("unreachable")  # pragma: no cover

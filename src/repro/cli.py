@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``experiments [names...] [--scale S]``
+    Run experiment drivers (default: all) and print their tables.
+``run --workload W --core C [--threads N] [--context F] ...``
+    Simulate one configuration and print its stats.
+``workloads``
+    List the registered workloads with metadata.
+``disasm --workload W``
+    Print a workload kernel's assembly listing.
+``area``
+    Print the Figure 14 area table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import workloads
+from .experiments import ALL_EXPERIMENTS
+from .system import CORE_TYPES, RunConfig, run_config
+
+
+def _cmd_experiments(args) -> int:
+    names = args.names or sorted(ALL_EXPERIMENTS)
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; available: "
+                  f"{sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+    for name in names:
+        result = ALL_EXPERIMENTS[name](args.scale)
+        result.print()
+        print()
+    return 0
+
+
+def _cmd_run(args) -> int:
+    cfg = RunConfig(workload=args.workload, core_type=args.core,
+                    n_threads=args.threads, n_cores=args.cores,
+                    n_per_thread=args.per_thread,
+                    context_fraction=args.context, policy=args.policy,
+                    dcache_kb=args.dcache_kb, seed=args.seed)
+    r = run_config(cfg)
+    print(f"workload={cfg.workload} core={cfg.core_type} threads={cfg.n_threads} "
+          f"cores={cfg.n_cores}")
+    print(f"  cycles       = {r.cycles}")
+    print(f"  instructions = {r.instructions}")
+    print(f"  IPC          = {r.ipc:.4f}")
+    if r.rf_hit_rate is not None:
+        print(f"  RF hit rate  = {r.rf_hit_rate:.2%}")
+    if args.verbose:
+        for key, value in r.stats.flat():
+            if value:
+                print(f"  {key} = {value:g}")
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    print(f"{'name':<16} {'suite':<9} {'pattern':<10} {'loads/iter':>10}  description")
+    for spec in workloads.all_workloads():
+        print(f"{spec.name:<16} {spec.suite:<9} {spec.pattern:<10} "
+              f"{spec.loads_per_iter:>10}  {spec.description}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    inst = workloads.get(args.workload).build(n_threads=2, n_per_thread=8)
+    print(inst.program.disassemble())
+    print(f"\nused registers:   {inst.used_regs}")
+    print(f"active registers: {inst.active_regs}")
+    return 0
+
+
+def _cmd_area(args) -> int:
+    from .experiments import fig14
+    fig14.run().print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (one subcommand per verb)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ViReC reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiments", help="run experiment drivers")
+    p.add_argument("names", nargs="*", help="figure ids (default: all)")
+    p.add_argument("--scale", default="quick",
+                   help="tiny | quick | full | <int elements per thread>")
+    p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser("run", help="simulate one configuration")
+    p.add_argument("--workload", default="gather", choices=workloads.names())
+    p.add_argument("--core", default="virec", choices=list(CORE_TYPES))
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--cores", type=int, default=1)
+    p.add_argument("--per-thread", type=int, default=64)
+    p.add_argument("--context", type=float, default=0.8)
+    p.add_argument("--policy", default="lrc")
+    p.add_argument("--dcache-kb", type=int, default=8)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("workloads", help="list registered workloads")
+    p.set_defaults(fn=_cmd_workloads)
+
+    p = sub.add_parser("disasm", help="disassemble a workload kernel")
+    p.add_argument("--workload", default="gather", choices=workloads.names())
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("area", help="print the area/delay tables")
+    p.set_defaults(fn=_cmd_area)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        scale = args.scale
+        if isinstance(scale, str) and scale.isdigit():
+            args.scale = int(scale)
+    except AttributeError:
+        pass
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

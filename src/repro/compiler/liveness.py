@@ -1,0 +1,109 @@
+"""Static loop and register-usage analysis for assembled programs.
+
+Implements the characterization behind Figure 2: how many of a kernel's
+registers are touched inside its *innermost* loops (where memory-intensive
+workloads spend almost all of their runtime), versus the registers that only
+appear in outer-loop / prologue code.  The register-reduction pass
+(:mod:`repro.compiler.regreduce`) uses the same analysis to pick spill
+candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.program import Program
+from ..isa.registers import NUM_INT_REGS
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A static loop: the span [head, tail] of a backward branch."""
+
+    head: int   # branch target (first pc of the loop body)
+    tail: int   # pc of the backward branch
+
+    def contains(self, other: "Loop") -> bool:
+        return self.head <= other.head and other.tail <= self.tail and self != other
+
+    @property
+    def body(self) -> range:
+        return range(self.head, self.tail + 1)
+
+
+def find_loops(program: Program) -> List[Loop]:
+    """All static loops (backward branches), outermost and inner."""
+    loops = set()
+    for pc, inst in enumerate(program.instructions):
+        if inst.is_branch and inst.target is not None and inst.target <= pc:
+            loops.add(Loop(head=inst.target, tail=pc))
+    return sorted(loops, key=lambda l: (l.head, l.tail))
+
+
+def innermost_loops(program: Program) -> List[Loop]:
+    """Loops whose body contains no other loop."""
+    loops = find_loops(program)
+    return [l for l in loops if not any(l.contains(o) for o in loops)]
+
+
+def regs_in_range(program: Program, pcs) -> Set[int]:
+    """Flat indices of registers referenced by instructions at ``pcs``."""
+    out: Set[int] = set()
+    for pc in pcs:
+        out.update(r.flat for r in program[pc].regs)
+    return out
+
+
+def used_regs(program: Program) -> Set[int]:
+    """Flat indices of every register the program references."""
+    return regs_in_range(program, range(len(program)))
+
+
+def inner_loop_regs(program: Program) -> Set[int]:
+    """Registers referenced inside any innermost loop."""
+    out: Set[int] = set()
+    for loop in innermost_loops(program):
+        out |= regs_in_range(program, loop.body)
+    return out
+
+
+def outer_only_regs(program: Program) -> Set[int]:
+    """Registers used exclusively outside the innermost loops — the
+    compiler register-reduction candidates of Section 4.2."""
+    return used_regs(program) - inner_loop_regs(program)
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Figure-2 style register utilization numbers for one kernel."""
+
+    name: str
+    total_context: int          # architectural registers available
+    used: int                   # registers the kernel touches at all
+    inner: int                  # registers touched in innermost loops
+
+    @property
+    def used_fraction(self) -> float:
+        return self.used / self.total_context
+
+    @property
+    def inner_fraction(self) -> float:
+        """The Figure 2 metric: inner-loop context / full context."""
+        return self.inner / self.total_context
+
+    @property
+    def inner_of_used(self) -> float:
+        return self.inner / self.used if self.used else 0.0
+
+
+def utilization(program: Program, name: str = "",
+                total_context: int = NUM_INT_REGS * 2) -> UtilizationReport:
+    """Compute the register-utilization report for ``program``."""
+    return UtilizationReport(
+        name=name or program.name,
+        total_context=total_context,
+        used=len(used_regs(program)),
+        inner=len(inner_loop_regs(program)),
+    )

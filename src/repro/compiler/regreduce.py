@@ -1,0 +1,147 @@
+"""Compiler register-reduction pass (Section 4.2).
+
+"A compiler can artificially reduce the registers available for register
+allocation to only those required in the innermost loops.  This register
+reduction will generate code that will spill outer loop values to memory
+using regular load/store instructions.  As the outer loops run infrequently,
+the additional instructions constitute a negligible overhead (less than
+0.1% in our experiments)."
+
+This pass reproduces that transformation on assembled programs: registers
+used *only outside* innermost loops are demoted to memory spill slots; every
+outer-loop use is rewritten to a reload into a reserved temporary and every
+outer-loop definition to a store from it.  Branch targets are remapped after
+insertion.  Inner-loop code is untouched by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.instructions import AddrMode, Instruction, Opcode
+from ..isa.program import Program
+from ..isa.registers import Reg, X, from_flat
+from .liveness import inner_loop_regs, innermost_loops, outer_only_regs
+
+#: temporaries reserved for spill reloads (never allocated by our kernels)
+TEMP_REGS = (X(25), X(26), X(27))
+#: register holding the spill-area base address
+SPILL_BASE_REG = X(28)
+
+
+class RegReduceError(ValueError):
+    """The program cannot be reduced (e.g. temporaries are in use)."""
+
+
+@dataclass
+class ReduceResult:
+    program: Program
+    spilled: Tuple[int, ...]           # flat indices demoted to memory
+    spill_slots: Dict[int, int]        # flat index -> byte offset
+    inserted_instructions: int
+
+
+def _clone(inst: Instruction, **overrides) -> Instruction:
+    fields = dict(opcode=inst.opcode, rd=inst.rd, rn=inst.rn, rm=inst.rm,
+                  ra=inst.ra, imm=inst.imm, shift=inst.shift, cond=inst.cond,
+                  mode=inst.mode, target=inst.target, label=inst.label,
+                  text=inst.text)
+    fields.update(overrides)
+    return Instruction(**fields)
+
+
+def _remap_operands(inst: Instruction, mapping: Dict[Reg, Reg]) -> Instruction:
+    if not mapping:
+        return inst
+    def m(r):
+        return mapping.get(r, r) if r is not None else None
+    return _clone(inst, rd=m(inst.rd), rn=m(inst.rn), rm=m(inst.rm), ra=m(inst.ra),
+                  text=inst.text + "  ; regreduce-rewritten")
+
+
+def reduce_registers(program: Program, spill_base: int,
+                     extra_spills: Optional[Set[int]] = None,
+                     preserve: Optional[Set[int]] = None) -> ReduceResult:
+    """Demote outer-loop-only registers of ``program`` to memory.
+
+    ``spill_base`` is the byte address of the per-kernel spill area (the
+    caller reserves ``8 * len(spilled)`` bytes; with multithreading the
+    kernel's area is indexed by thread via ``SPILL_BASE_REG``, which this
+    pass initializes in the prologue).  ``extra_spills`` can force
+    additional registers out (used by tests and ablations); ``preserve``
+    (default: the ABI argument registers x0/x1) and registers used inside
+    innermost loops are never spilled.
+    """
+    if preserve is None:
+        preserve = {0, 1}
+    inner = inner_loop_regs(program)
+    candidates = set(outer_only_regs(program))
+    if extra_spills:
+        candidates |= (set(extra_spills) - inner)
+    reserved = {r.flat for r in TEMP_REGS} | {SPILL_BASE_REG.flat}
+    used = set()
+    for inst in program.instructions:
+        used.update(r.flat for r in inst.regs)
+    if used & reserved:
+        raise RegReduceError(
+            f"program already uses reserved registers {sorted(used & reserved)}")
+    spilled = tuple(sorted(candidates - reserved - set(preserve)))
+    if not spilled:
+        return ReduceResult(program, (), {}, 0)
+    slots = {flat: i * 8 for i, flat in enumerate(spilled)}
+    spilled_set = set(spilled)
+
+    # rewrite instruction-by-instruction, tracking pc remapping
+    new_insts: List[Instruction] = []
+    pc_map: Dict[int, int] = {}
+    prologue = [Instruction(Opcode.ADR, rd=SPILL_BASE_REG, imm=spill_base,
+                            text=f"adr {SPILL_BASE_REG.name}, spill_area")]
+    inserted = len(prologue)
+    new_insts.extend(prologue)
+
+    for pc, inst in enumerate(program.instructions):
+        pc_map[pc] = len(new_insts)
+        touched = [r for r in inst.regs if r.flat in spilled_set]
+        if not touched:
+            new_insts.append(inst)
+            continue
+        if len(touched) > len(TEMP_REGS):
+            raise RegReduceError(
+                f"instruction {inst} touches {len(touched)} spilled registers")
+        mapping = {reg: TEMP_REGS[i] for i, reg in enumerate(touched)}
+        # reload sources
+        for reg in touched:
+            if reg in inst.srcs:
+                new_insts.append(Instruction(
+                    Opcode.LDR, rd=mapping[reg], rn=SPILL_BASE_REG,
+                    imm=slots[reg.flat], mode=AddrMode.OFF_IMM,
+                    text=f"ldr {mapping[reg].name}, [spill+{slots[reg.flat]}] ; reload {reg.name}"))
+                inserted += 1
+        new_insts.append(_remap_operands(inst, mapping))
+        # write back definitions
+        for reg in touched:
+            if reg in inst.dests:
+                new_insts.append(Instruction(
+                    Opcode.STR, rd=mapping[reg], rn=SPILL_BASE_REG,
+                    imm=slots[reg.flat], mode=AddrMode.OFF_IMM,
+                    text=f"str {mapping[reg].name}, [spill+{slots[reg.flat]}] ; spill {reg.name}"))
+                inserted += 1
+    pc_map[len(program.instructions)] = len(new_insts)
+
+    # remap branch targets
+    final: List[Instruction] = []
+    for inst in new_insts:
+        if inst.is_branch and inst.target is not None:
+            final.append(_clone(inst, target=pc_map[inst.target]))
+        else:
+            final.append(inst)
+
+    labels = {name: pc_map[pc] for name, pc in program.labels.items()}
+    # the prologue (spill-base setup) must run first: keep entry at 0
+    if program.labels.get("start", 0) == 0:
+        labels["start"] = 0
+    new_prog = Program(instructions=final, labels=labels,
+                       symbols=dict(program.symbols),
+                       name=program.name + "+regreduce")
+    return ReduceResult(new_prog, spilled, slots, inserted)

@@ -1,0 +1,184 @@
+"""Basic-block instruction scheduling (list scheduling).
+
+In-order single-issue cores stall on load-use dependences: a consumer
+immediately after its load waits the full dcache latency.  This pass
+reorders instructions *within basic blocks* to hoist independent work into
+load shadows — the standard compiler help for the paper's core class
+(CVA6-like, Table 1).  Semantics are preserved exactly: instructions only
+move within their block and never across their data/memory/control
+dependences.
+
+Dependence edges considered:
+
+* register RAW/WAR/WAW (flags count as a register);
+* memory: stores order against all other memory ops; loads order against
+  stores (no alias analysis — conservative);
+* control: branches/halt terminate blocks and never move.
+
+The heuristic is classic list scheduling with latency-weighted critical
+path priority, using the core's execute/load latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.instructions import Instruction, Opcode
+from ..isa.program import Program
+
+#: scheduling latency assumed for a load (dcache hit + use)
+LOAD_LATENCY = 3
+
+
+@dataclass
+class ScheduleResult:
+    program: Program
+    blocks: int
+    moved_instructions: int
+
+
+def _block_boundaries(program: Program) -> List[Tuple[int, int]]:
+    """Half-open [start, end) basic blocks (leaders: entry, branch targets,
+    fall-throughs after branches)."""
+    n = len(program)
+    leaders = {0}
+    for pc, inst in enumerate(program.instructions):
+        if inst.is_branch and inst.target is not None:
+            leaders.add(inst.target)
+            leaders.add(pc + 1)
+        if inst.is_halt:
+            leaders.add(pc + 1)
+    starts = sorted(l for l in leaders if l < n)
+    return [(s, starts[i + 1] if i + 1 < len(starts) else n)
+            for i, s in enumerate(starts)]
+
+
+def _deps_within_block(insts: List[Instruction]) -> List[Set[int]]:
+    """preds[i] = indices within the block instruction i depends on."""
+    preds: List[Set[int]] = [set() for _ in insts]
+    last_def: Dict[object, int] = {}
+    last_uses: Dict[object, List[int]] = {}
+    last_store: Optional[int] = None
+    last_mems: List[int] = []
+    FLAGS = "<flags>"
+
+    for i, inst in enumerate(insts):
+        reads = list(inst.srcs) + ([FLAGS] if inst.reads_flags else [])
+        writes = list(inst.dests) + ([FLAGS] if inst.sets_flags else [])
+        for r in reads:  # RAW
+            if r in last_def:
+                preds[i].add(last_def[r])
+        for w in writes:  # WAR + WAW
+            for u in last_uses.get(w, ()):
+                preds[i].add(u)
+            if w in last_def:
+                preds[i].add(last_def[w])
+        if inst.is_mem:
+            if inst.is_store:
+                for j in last_mems:  # stores order against all memory ops
+                    preds[i].add(j)
+            elif last_store is not None:  # loads order against stores
+                preds[i].add(last_store)
+        # bookkeeping
+        for r in reads:
+            last_uses.setdefault(r, []).append(i)
+        for w in writes:
+            last_def[w] = i
+            last_uses[w] = []
+        if inst.is_mem:
+            last_mems.append(i)
+            if inst.is_store:
+                last_store = i
+        if inst.is_branch or inst.is_halt:
+            # block terminators depend on everything before them
+            for j in range(i):
+                preds[i].add(j)
+        preds[i].discard(i)
+    return preds
+
+
+def _latency(inst: Instruction) -> int:
+    if inst.is_load:
+        return LOAD_LATENCY
+    return inst.ex_latency
+
+
+def _schedule_block(insts: List[Instruction]) -> Tuple[List[Instruction], int]:
+    n = len(insts)
+    if n <= 2:
+        return insts, 0
+    preds = _deps_within_block(insts)
+    succs: List[Set[int]] = [set() for _ in insts]
+    for i, ps in enumerate(preds):
+        for p in ps:
+            succs[p].add(i)
+
+    # critical-path priority (longest latency chain to block end)
+    height = [0] * n
+    for i in range(n - 1, -1, -1):
+        height[i] = _latency(insts[i]) + max(
+            (height[s] for s in succs[i]), default=0)
+
+    indeg = [len(ps) for ps in preds]
+    ready_at = [0] * n
+    order: List[int] = []
+    available = {i for i in range(n) if indeg[i] == 0}
+    clock = 0
+    while available:
+        # among dependency-ready instructions prefer those whose operands
+        # are timed-ready, then highest critical path, then program order
+        best = min(available,
+                   key=lambda i: (max(0, ready_at[i] - clock), -height[i], i))
+        available.remove(best)
+        clock = max(clock + 1, ready_at[best] + 1)
+        order.append(best)
+        for s in succs[best]:
+            indeg[s] -= 1
+            ready_at[s] = max(ready_at[s], clock - 1 + _latency(insts[best]))
+            if indeg[s] == 0:
+                available.add(s)
+    assert len(order) == n, "scheduler dropped instructions"
+    moved = sum(1 for pos, idx in enumerate(order) if pos != idx)
+    return [insts[i] for i in order], moved
+
+
+def schedule_program(program: Program) -> ScheduleResult:
+    """List-schedule every basic block; returns the rewritten program."""
+    blocks = _block_boundaries(program)
+    new_insts: List[Instruction] = []
+    pc_map: Dict[int, int] = {}
+    moved_total = 0
+    for start, end in blocks:
+        block = program.instructions[start:end]
+        scheduled, moved = _schedule_block(block)
+        moved_total += moved
+        # blocks keep their span, so positions (and thus branch targets,
+        # which always aim at block leaders) are stable; map by identity
+        # because identical instructions can repeat within a block
+        ids = {id(inst): start + k for k, inst in enumerate(block)}
+        for new_off, inst in enumerate(scheduled):
+            pc_map[ids[id(inst)]] = start + new_off
+        new_insts.extend(scheduled)
+    pc_map[len(program)] = len(new_insts)
+
+    # branch targets are block leaders, which never move; but remap anyway
+    final: List[Instruction] = []
+    for inst in new_insts:
+        if inst.is_branch and inst.target is not None:
+            # targets are leaders => unchanged, but honour the map if present
+            target = inst.target
+            final.append(Instruction(
+                inst.opcode, rd=inst.rd, rn=inst.rn, rm=inst.rm, ra=inst.ra,
+                imm=inst.imm, shift=inst.shift, cond=inst.cond,
+                mode=inst.mode, target=target, label=inst.label,
+                text=inst.text))
+        else:
+            final.append(inst)
+
+    labels = dict(program.labels)  # leaders don't move
+    return ScheduleResult(
+        Program(instructions=final, labels=labels,
+                symbols=dict(program.symbols),
+                name=program.name + "+sched"),
+        blocks=len(blocks), moved_instructions=moved_total)

@@ -1,0 +1,219 @@
+"""Innermost-loop unrolling for counted loops.
+
+Single-issue in-order cores lose a fetch-redirect bubble on every taken
+branch (2 cycles in the Table 1 configuration) and expose little
+instruction-level parallelism inside 5-6 instruction loop bodies.
+Unrolling counted innermost loops by a factor ``k`` amortizes the branch
+and gives the list scheduler (:mod:`repro.compiler.scheduler`) longer
+blocks to fill load shadows with.
+
+Only *provably safe* loops are transformed — the conservative pattern the
+workload kernels all share:
+
+* innermost loop (no nested back edge);
+* body ends with ``add i, i, #step`` / ``cmp i, bound`` / ``b.lt head``
+  (the canonical counted-loop idiom, any order of the add relative to the
+  body as long as it is the induction update);
+* the induction register is only *read* elsewhere in the body and the
+  bound register is not written in the body;
+* trip count need not divide ``k``: the unrolled loop runs while
+  ``i + (k-1)*step < bound`` and the original loop remains as the
+  remainder epilogue.
+
+Correctness is guaranteed by construction: iteration bodies are copied
+verbatim with the induction advanced by explicit ``add``s between copies,
+so any in-body use of ``i`` sees exactly the value it would have seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Cond, Instruction, Opcode
+from ..isa.program import Program
+from .liveness import innermost_loops
+
+
+@dataclass
+class UnrollResult:
+    program: Program
+    unrolled_loops: int
+    factor: int
+
+
+@dataclass
+class _CountedLoop:
+    head: int            # first pc of the body
+    tail: int            # pc of the backward b.lt
+    add_pc: int          # pc of the induction update
+    cmp_pc: int          # pc of the cmp
+    ind: object          # induction register
+    step: int
+    bound_reg: object    # register holding the bound (None for immediate)
+    bound_imm: object    # immediate bound (None for register)
+
+
+def _match_counted(program: Program, head: int, tail: int) -> Optional[_CountedLoop]:
+    """Match the canonical ``...; add i,i,#s; cmp i,b; b.lt head`` idiom."""
+    insts = program.instructions
+    branch = insts[tail]
+    if branch.opcode != Opcode.BCOND or branch.cond != Cond.LT \
+            or branch.target != head:
+        return None
+    if tail - head < 2:
+        return None
+    cmp_i = insts[tail - 1]
+    if cmp_i.opcode != Opcode.CMP or cmp_i.rn is None:
+        return None
+    if cmp_i.rm is None and cmp_i.imm is None:
+        return None
+    ind = cmp_i.rn
+    bound = cmp_i.rm  # may be None for an immediate bound
+    add_i = insts[tail - 2]
+    if (add_i.opcode != Opcode.ADD or add_i.rd != ind or add_i.rn != ind
+            or add_i.imm is None or int(add_i.imm) <= 0):
+        return None
+    body = insts[head:tail - 2]
+    for inst in body:
+        if ind in inst.dests or (bound is not None and bound in inst.dests):
+            return None          # induction/bound mutated in the body
+        if inst.is_branch or inst.is_halt:
+            return None          # control flow inside the body
+        if inst.sets_flags:
+            return None          # would clobber the loop compare
+    return _CountedLoop(head=head, tail=tail, add_pc=tail - 2,
+                        cmp_pc=tail - 1, ind=ind, step=int(add_i.imm),
+                        bound_reg=bound,
+                        bound_imm=(int(cmp_i.imm) if cmp_i.imm is not None
+                                   else None))
+
+
+def _clone(inst: Instruction, **overrides) -> Instruction:
+    fields = dict(opcode=inst.opcode, rd=inst.rd, rn=inst.rn, rm=inst.rm,
+                  ra=inst.ra, imm=inst.imm, shift=inst.shift, cond=inst.cond,
+                  mode=inst.mode, target=inst.target, label=inst.label,
+                  text=inst.text)
+    fields.update(overrides)
+    return Instruction(**fields)
+
+
+def unroll_program(program: Program, factor: int = 4,
+                   scratch_reg=None) -> UnrollResult:
+    """Unroll every matching counted innermost loop by ``factor``.
+
+    The transformed layout per loop (guard uses ``scratch_reg``, default
+    ``x27``)::
+
+        uhead:  add  t, i, #(k-1)*step     ; t = furthest iteration's i
+                cmp  t, bound
+                b.ge head                  ; fewer than k left -> epilogue
+                <body(i)> ; add i,i,#step  (k copies)
+                b    uhead
+        head:   <original loop>            ; remainder epilogue
+
+    Returns the original program unchanged when no loop matches.
+    """
+    from ..isa.registers import X
+    if factor < 2:
+        raise ValueError("unroll factor must be >= 2")
+    scratch = scratch_reg if scratch_reg is not None else X(27)
+
+    loops = []
+    for loop in innermost_loops(program):
+        match = _match_counted(program, loop.head, loop.tail)
+        if match is not None:
+            # scratch register must not be used by the program
+            used = {r.flat for i in program.instructions for r in i.regs}
+            if scratch.flat not in used:
+                loops.append(match)
+    if not loops:
+        return UnrollResult(program, 0, factor)
+
+    insts = program.instructions
+    new_insts: List[Instruction] = []
+    pc_map: Dict[int, int] = {}
+    loop_at: Dict[int, _CountedLoop] = {l.head: l for l in loops}
+    pc = 0
+    while pc < len(insts):
+        loop = loop_at.get(pc)
+        if loop is None:
+            pc_map[pc] = len(new_insts)
+            new_insts.append(insts[pc])
+            pc += 1
+            continue
+        k, step = factor, loop.step
+        body = insts[loop.head:loop.add_pc]
+        add_i = insts[loop.add_pc]
+        cmp_i = insts[loop.cmp_pc]
+
+        def emit_iteration():
+            for inst in body:
+                new_insts.append(_clone(inst))
+            new_insts.append(_clone(add_i))
+
+        # exact do-while transform:
+        #   entry:  body; i+=s                 (unconditional, as original)
+        #   check:  cmp i, bound; b.ge after   (the original exit test)
+        #           cmp i+(k-1)s, bound; b.ge one
+        #           (body; i+=s) x k; b check
+        #   one:    body; i+=s; b check
+        #   after:
+        entry = len(new_insts)
+        for off, old_pc in enumerate(range(loop.head, loop.add_pc + 1)):
+            pc_map[old_pc] = entry + off
+        emit_iteration()
+        check = len(new_insts)
+        pc_map[loop.cmp_pc] = check
+        pc_map[loop.tail] = check + 1
+        new_insts.append(_clone(cmp_i))
+        exit_branch_idx = len(new_insts)
+        new_insts.append(None)  # b.ge after (patched below)
+        new_insts.append(Instruction(
+            Opcode.ADD, rd=scratch, rn=loop.ind, imm=(k - 1) * step,
+            text=f"add {scratch}, {loop.ind}, #{(k - 1) * step} ; unroll guard"))
+        if loop.bound_reg is not None:
+            new_insts.append(Instruction(
+                Opcode.CMP, rn=scratch, rm=loop.bound_reg,
+                text=f"cmp {scratch}, {loop.bound_reg} ; unroll guard"))
+        else:
+            new_insts.append(Instruction(
+                Opcode.CMP, rn=scratch, imm=loop.bound_imm,
+                text=f"cmp {scratch}, #{loop.bound_imm} ; unroll guard"))
+        guard_branch_idx = len(new_insts)
+        new_insts.append(None)  # b.ge one (patched below)
+        for _ in range(k):
+            emit_iteration()
+        new_insts.append(Instruction(Opcode.B, target=check,
+                                     text="b unroll-check"))
+        one = len(new_insts)
+        new_insts[guard_branch_idx] = Instruction(
+            Opcode.BCOND, cond=Cond.GE, target=one,
+            text="b.ge unroll-single")
+        emit_iteration()
+        new_insts.append(Instruction(Opcode.B, target=check,
+                                     text="b unroll-check"))
+        after = len(new_insts)
+        new_insts[exit_branch_idx] = Instruction(
+            Opcode.BCOND, cond=Cond.GE, target=after,
+            text="b.ge unroll-exit")
+        pc = loop.tail + 1
+    pc_map[len(insts)] = len(new_insts)
+
+    # remap branch targets of untouched instructions (epilogue back-branches
+    # already map correctly via pc_map)
+    final: List[Instruction] = []
+    for inst in new_insts:
+        if inst.is_branch and inst.target is not None \
+                and "unroll" not in (inst.text or ""):
+            final.append(_clone(inst, target=pc_map.get(inst.target,
+                                                        inst.target)))
+        else:
+            final.append(inst)
+
+    labels = {name: pc_map.get(p, p) for name, p in program.labels.items()}
+    return UnrollResult(
+        Program(instructions=final, labels=labels,
+                symbols=dict(program.symbols),
+                name=program.name + f"+unroll{factor}"),
+        unrolled_loops=len(loops), factor=factor)

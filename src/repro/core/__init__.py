@@ -1,0 +1,13 @@
+"""Core models: timeline pipeline engine and multithreading baselines."""
+
+from .base import CoreConfig, DeadlockError, ThreadContext, ThreadState, TimelineCore
+from .cgmt import BankedCore, ContextLayout, SoftwareSwitchCore, make_threads
+from .fgmt import FGMTCore
+from .inorder import InOrderCore
+from .trace import PipelineTracer, TraceRecord
+
+__all__ = [
+    "BankedCore", "ContextLayout", "CoreConfig", "DeadlockError", "FGMTCore",
+    "InOrderCore", "SoftwareSwitchCore", "ThreadContext", "ThreadState",
+    "PipelineTracer", "TimelineCore", "TraceRecord", "make_threads",
+]

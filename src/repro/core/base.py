@@ -1,0 +1,426 @@
+"""Timeline-based single-issue in-order pipeline engine.
+
+Every core model in the reproduction (single-thread InO, banked CGMT,
+software context switching, RF-prefetch, ViReC) is built on
+:class:`TimelineCore`.  The engine processes one instruction at a time in
+program/commit order, carrying explicit cycle timestamps for each shared
+pipeline resource (fetch, decode, execute unit, dcache port, store queue,
+outstanding-load slots, in-order commit).  For a single-issue in-order
+machine this timeline formulation is cycle-equivalent to a per-cycle stage
+simulation — every stall has a unique dominating resource whose timestamp we
+track — while being an order of magnitude faster in Python.
+
+Functional execution happens at *commit*: instructions flushed by a context
+switch never update architectural state and are replayed when their thread
+resumes, exactly like the pipeline flush in Figure 4 of the paper.
+
+Subclass hooks (all optional):
+
+``decode_regs_ready(thread, inst, t_decode)``
+    Cycle at which the instruction's architectural registers are readable.
+    The ViReC core implements the VRMU here (fills/evictions); banked cores
+    return ``t_decode``.
+``on_commit(thread, inst, t_commit)``
+    Commit detection logic (rollback-queue pop, C-bit confirm).
+``on_flush(thread, insts, t)``
+    Pipeline flush on a context switch; receives the flushed instructions
+    (the missing load plus the younger instructions already in decode).
+``switch_in(thread, t)``
+    Returns the cycle the new thread's first instruction can enter decode
+    (context restore cost lives here).
+``switch_extra_wait(t)``
+    CSL mask input: extra cycles to hold a pending switch (e.g. BSI busy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Flags, Instruction, Opcode, evaluate
+from ..isa.program import Program
+from ..isa.registers import NUM_FP_REGS, NUM_INT_REGS, Reg, RegClass
+from ..memory.cache import Cache
+from ..memory.main_memory import MainMemory
+from ..stats.counters import Stats
+
+
+class ThreadState(Enum):
+    """Lifecycle of a hardware thread (offload -> run -> block -> done)."""
+
+    READY = auto()
+    RUNNING = auto()
+    BLOCKED = auto()
+    DONE = auto()
+
+
+@dataclass
+class ThreadContext:
+    """Architectural state of one hardware thread."""
+
+    tid: int
+    pc: int = 0
+    xregs: List[int] = field(default_factory=lambda: [0] * NUM_INT_REGS)
+    dregs: List[float] = field(default_factory=lambda: [0.0] * NUM_FP_REGS)
+    flags: Flags = field(default_factory=Flags)
+    state: ThreadState = ThreadState.READY
+    ready_at: int = 0          # cycle a BLOCKED thread becomes READY
+    started: bool = False      # has run at least once (context fetched)
+    instructions: int = 0
+    fruitless: int = 0         # consecutive runs with zero commits
+
+    def read(self, reg: Reg):
+        if reg.rclass == RegClass.X:
+            return self.xregs[reg.index]
+        return self.dregs[reg.index]
+
+    def write(self, reg: Reg, value) -> None:
+        if reg.rclass == RegClass.X:
+            self.xregs[reg.index] = int(value) & ((1 << 64) - 1)
+        else:
+            self.dregs[reg.index] = float(value)
+
+
+@dataclass
+class CoreConfig:
+    """Microarchitectural parameters shared by the in-order cores (Table 1)."""
+
+    name: str = "core"
+    sq_entries: int = 5
+    max_outstanding_loads: int = 1
+    redirect_penalty: int = 2      # taken-branch fetch redirect bubble
+    switch_on_miss: bool = False   # CGMT behaviour
+    #: pipeline refill after a context switch before the first decode
+    switch_refill: int = 2
+    max_cycles: int = 50_000_000
+
+
+class DeadlockError(RuntimeError):
+    """The core made no progress (bug guard for the timeline engine)."""
+
+
+class TimelineCore:
+    """Single-issue in-order core over a Program + memory hierarchy."""
+
+    def __init__(self, program: Program, icache: Cache, dcache: Cache,
+                 memory: MainMemory, threads: List[ThreadContext],
+                 config: Optional[CoreConfig] = None,
+                 stats: Optional[Stats] = None, core_id: int = 0,
+                 layout=None) -> None:
+        #: optional :class:`~repro.core.cgmt.ContextLayout` describing the
+        #: thread-context save area (unused by cores with on-chip contexts)
+        self.layout = layout
+        self.program = program
+        self.icache = icache
+        self.dcache = dcache
+        self.memory = memory
+        self.threads = threads
+        self.config = config or CoreConfig()
+        self.stats = stats if stats is not None else Stats(self.config.name)
+        self.core_id = core_id
+
+        # shared pipeline resources (cycle timestamps)
+        self.now = 0
+        self.fetch_avail = 0       # cycle next instruction reaches decode
+        self.decode_free = 0
+        self.ex_free = 0
+        self.commit_tail = 0
+        self.dcache_port_free = 0  # shared LSQ/BSI port, 1 request/cycle
+        self.load_slots: List[int] = []   # completion cycles of in-flight loads
+        self.store_queue: List[int] = []  # drain-completion cycles
+        self._last_fetch_line = -1
+
+        self.current: Optional[ThreadContext] = None
+        #: optional :class:`~repro.core.trace.PipelineTracer` (debug aid)
+        self.tracer = None
+        self.commits_since_switch = 0
+        self.scoreboard: Dict[Reg, int] = {}
+        self.flags_ready = 0
+        self._rr_next = 0
+
+    # ------------------------------------------------------------------ hooks
+    def decode_regs_ready(self, thread: ThreadContext, inst: Instruction,
+                          t_decode: int) -> int:
+        return t_decode
+
+    def on_commit(self, thread: ThreadContext, inst: Instruction, t_commit: int) -> None:
+        pass
+
+    def on_flush(self, thread: ThreadContext, insts: List[Instruction], t: int) -> None:
+        pass
+
+    def switch_in(self, thread: ThreadContext, t: int) -> int:
+        """Cycle the new thread's first instruction can enter decode."""
+        return t + self.config.switch_refill
+
+    def switch_extra_wait(self, t: int) -> int:
+        return t
+
+    def thread_start_cost(self, thread: ThreadContext, t: int) -> int:
+        """One-time context-establishment cost when a thread first runs."""
+        return t
+
+    # ----------------------------------------------------------- dcache port
+    def dcache_request(self, t: int, addr: int, is_write: bool = False, *,
+                       is_load_data: bool = False, is_register: bool = False,
+                       pin_delta: int = 0):
+        """Issue one request through the shared dcache port (LSQ/BSI arbiter).
+
+        Retries transparently on MSHR-full.  Returns ``(t_issue, result)``.
+        """
+        while True:
+            t_issue = max(t, self.dcache_port_free)
+            result = self.dcache.access(
+                t_issue, addr, is_write, requestor=self.core_id,
+                is_load_data=is_load_data, is_register=is_register,
+                pin_delta=pin_delta)
+            self.dcache_port_free = t_issue + 1
+            if result.accepted:
+                return t_issue, result
+            t = max(result.retry_at, t_issue + 1)
+            self.stats.inc("dcache_retries")
+
+    # ---------------------------------------------------------------- fetch
+    def _fetch(self, thread: ThreadContext) -> int:
+        """Cycle the instruction at ``thread.pc`` enters decode."""
+        t_d = max(self.fetch_avail, self.decode_free)
+        line = (thread.pc * 4) // self.icache.config.line_bytes
+        if line != self._last_fetch_line:
+            self._last_fetch_line = line
+            r = self.icache.access(max(0, t_d - self.icache.config.latency),
+                                   thread.pc * 4, requestor=self.core_id)
+            if not r.hit:
+                self.stats.inc("icache_miss_stalls")
+            t_d = max(t_d, r.complete_at)
+        return t_d
+
+    # ----------------------------------------------------------- store queue
+    def _sq_insert(self, t: int, addr: int) -> int:
+        """Insert a store at cycle ``t``; returns cycle the SQ accepted it."""
+        self.store_queue = [c for c in self.store_queue if c > t]
+        while len(self.store_queue) >= self.config.sq_entries:
+            t = min(self.store_queue)
+            self.store_queue = [c for c in self.store_queue if c > t]
+            self.stats.inc("sq_full_stalls")
+        t_issue, result = self.dcache_request(t, addr, is_write=True)
+        self.store_queue.append(result.complete_at)
+        return t
+
+    # ------------------------------------------------------------ load slots
+    def _load_slot_wait(self, t: int) -> int:
+        self.load_slots = [c for c in self.load_slots if c > t]
+        while len(self.load_slots) >= self.config.max_outstanding_loads:
+            t = min(self.load_slots)
+            self.load_slots = [c for c in self.load_slots if c > t]
+            self.stats.inc("load_slot_stalls")
+        return t
+
+    # ------------------------------------------------------------- scheduler
+    def _ready_threads(self, t: int) -> List[ThreadContext]:
+        return [th for th in self.threads
+                if th.state in (ThreadState.READY, ThreadState.BLOCKED)
+                and (th.state == ThreadState.READY or th.ready_at <= t)]
+
+    def _pick_next_thread(self, t: int) -> Tuple[Optional[ThreadContext], int]:
+        """Round-robin over runnable threads; returns (thread, cycle)."""
+        live = [th for th in self.threads if th.state != ThreadState.DONE]
+        if not live:
+            return None, t
+        candidates = self._ready_threads(t)
+        if not candidates:
+            t = min(th.ready_at for th in live)
+            candidates = self._ready_threads(t)
+        n = len(self.threads)
+        for i in range(n):
+            th = self.threads[(self._rr_next + i) % n]
+            if th in candidates:
+                self._rr_next = (th.tid + 1) % n
+                return th, t
+        return None, t  # pragma: no cover - candidates guarantees a hit
+
+    def _schedule(self, t: int) -> bool:
+        """Switch in the next runnable thread at cycle >= t."""
+        thread, t = self._pick_next_thread(t)
+        if thread is None:
+            return False
+        thread.state = ThreadState.RUNNING
+        self.current = thread
+        self.scoreboard = {}
+        self.flags_ready = t
+        if not thread.started:
+            thread.started = True
+            t = self.thread_start_cost(thread, t)
+        self.fetch_avail = self.switch_in(thread, t)
+        self.decode_free = t
+        self.ex_free = t
+        self.commit_tail = max(self.commit_tail, t)
+        self._last_fetch_line = -1
+        return True
+
+    # ---------------------------------------------------------------- running
+    @property
+    def done(self) -> bool:
+        return all(th.state == ThreadState.DONE for th in self.threads)
+
+    def step(self) -> bool:
+        """Process one instruction (scheduling a thread first if needed).
+
+        Returns False once every thread has completed.  The multi-processor
+        driver (Figure 11) interleaves cores by repeatedly stepping the core
+        with the smallest local clock.
+        """
+        if self.current is None:
+            if self.done:
+                return False
+            if not self._schedule(self.commit_tail):  # pragma: no cover
+                raise DeadlockError("no runnable thread")
+        self._process_instruction(self.current)
+        return True
+
+    def run(self) -> Stats:
+        """Run all threads to completion; returns the stats namespace."""
+        guard = 0
+        while self.step():
+            guard += 1
+            if guard > self.config.max_cycles:
+                raise DeadlockError("instruction budget exceeded")
+        self.finalize_stats()
+        return self.stats
+
+    def finalize_stats(self) -> None:
+        self.stats.set("cycles", self.commit_tail)
+        total = sum(th.instructions for th in self.threads)
+        self.stats.set("instructions", total)
+        self.stats.set("ipc", total / self.commit_tail if self.commit_tail else 0.0)
+
+    # ---------------------------------------------------- per-instruction step
+    def _process_instruction(self, thread: ThreadContext) -> None:
+        inst = self.program[thread.pc]
+        t_d = self._fetch(thread)
+
+        # decode: operand scoreboard + register-residency hook (VRMU)
+        t_ops = t_d
+        for reg in inst.srcs:
+            t_ops = max(t_ops, self.scoreboard.get(reg, 0))
+        if inst.reads_flags:
+            t_ops = max(t_ops, self.flags_ready)
+        t_regs = self.decode_regs_ready(thread, inst, t_d)
+        t_issue = max(t_d + 1, t_ops, t_regs)
+        self.decode_free = t_issue
+        self.fetch_avail = max(self.fetch_avail + 1, t_d + 1)
+
+        # execute
+        t_ex_start = max(t_issue, self.ex_free)
+        t_ex_done = t_ex_start + inst.ex_latency
+        self.ex_free = t_ex_done
+
+        srcvals = {r: thread.read(r) for r in inst.srcs}
+        result = evaluate(inst, srcvals, thread.flags, thread.pc)
+
+        data_at = t_ex_done
+        if inst.is_load:
+            t_m = self._load_slot_wait(t_ex_done)
+            t_issue_mem, r = self.dcache_request(
+                t_m, result.addr, is_load_data=True)
+            data_at = r.complete_at
+            if (self.config.switch_on_miss and r.switch_signal
+                    and len(self.threads) > 1):
+                if self._handle_miss_switch(thread, inst, t_issue_mem, r):
+                    return  # thread suspended; load replays on resume
+                # switch suppressed (no commits since last switch): stall here
+                self.stats.inc("switches_suppressed")
+            self.load_slots.append(data_at)
+            if not r.hit:
+                self.stats.inc("load_miss_stalls")
+        elif inst.is_store:
+            data_at = self._sq_insert(t_ex_done, result.addr)
+            self.memory.store(result.addr, result.store_value)
+
+        # commit (in-order, one per cycle)
+        t_c = max(self.commit_tail + 1, data_at)
+        self.commit_tail = t_c
+        self.commits_since_switch += 1
+        thread.fruitless = 0
+        if not result.halt:
+            thread.instructions += 1
+        self.now = t_c
+
+        # architectural update at commit
+        for reg, value in result.writes.items():
+            thread.write(reg, value)
+            self.scoreboard[reg] = t_ex_done
+        if inst.is_load:
+            thread.write(inst.rd, self.memory.load(result.addr))
+            self.scoreboard[inst.rd] = data_at
+        if result.new_flags is not None:
+            thread.flags = result.new_flags
+            self.flags_ready = t_ex_done
+        self.on_commit(thread, inst, t_c)
+        if self.tracer is not None and not result.halt:
+            self.tracer.record(thread.tid, thread.pc, inst.text or
+                               inst.opcode.name.lower(), t_d, t_issue,
+                               t_ex_done, data_at, t_c)
+
+        if result.halt:
+            thread.state = ThreadState.DONE
+            self.current = None
+            self.stats.inc("threads_completed")
+            return
+        thread.pc = result.target if result.taken else thread.pc + 1
+        if result.taken:
+            self.fetch_avail = t_ex_done + 1 + self.config.redirect_penalty
+            self.stats.inc("taken_branches")
+
+    # -------------------------------------------------------- context switch
+    def _flushed_window(self, thread: ThreadContext) -> List[Instruction]:
+        """The missing load plus younger instructions already in the frontend."""
+        insts = [self.program[thread.pc]]
+        pc = thread.pc + 1
+        for _ in range(2):  # frontend depth between MEM and decode
+            if pc < len(self.program):
+                nxt = self.program[pc]
+                insts.append(nxt)
+                if nxt.is_branch or nxt.is_halt:
+                    break
+                pc += 1
+        return insts
+
+    def _handle_miss_switch(self, thread: ThreadContext, inst: Instruction,
+                            t_mem_issue: int, access_result) -> bool:
+        """CSL decision on a demand-load dcache miss.
+
+        Returns True when a context switch was performed (caller must stop
+        processing this thread), False when the switch is masked and the
+        thread stalls in place waiting for the miss.
+        """
+        t_detect = t_mem_issue + self.dcache.config.latency
+        # Forward-progress mask (Section 5.2): a thread whose run made no
+        # commits (its replayed load missed again) may switch away once —
+        # overlapping the refetch with other ready threads — but a second
+        # consecutive fruitless run stalls in place until the miss returns,
+        # so the core never cycles threads without covering latency.
+        if self.commits_since_switch == 0:
+            thread.fruitless += 1
+            others_ready = any(th is not thread for th in
+                               self._ready_threads(t_detect))
+            if not others_ready or thread.fruitless > 1:
+                return False
+        # mask: let older long-latency instructions drain (rollback-queue
+        # oldest-is-not-memory signal); older commits are bounded by
+        # commit_tail, so waiting for it implements the mask exactly.
+        t_sw = max(t_detect, self.commit_tail)
+        t_sw = self.switch_extra_wait(t_sw)
+
+        flushed = self._flushed_window(thread)
+        self.on_flush(thread, flushed, t_sw)
+        self.stats.inc("context_switches")
+        self.stats.inc("flushed_instructions", len(flushed))
+
+        thread.state = ThreadState.BLOCKED
+        thread.ready_at = access_result.complete_at
+        # replay from the missing load when rescheduled (pc unchanged)
+        self.current = None
+        self.commits_since_switch = 0
+        self._schedule(t_sw)
+        return True

@@ -1,0 +1,162 @@
+"""Fine-grain multithreaded (barrel) core — the Tera-style alternative [6].
+
+Where CGMT switches threads only on dcache misses (flushing the pipeline),
+a barrel core rotates among ready threads potentially every cycle with zero
+switch cost, paying instead with a full register bank per thread (like the
+banked CGMT design) and lower single-thread performance.  The paper's
+related work cites this class of multithreading ([4, 6, 52]); implementing
+it lets the evaluation compare ViReC against *both* classic MT styles.
+
+Timeline formulation: each step processes one instruction from the thread
+that can issue earliest (its operand-ready peek), so dependent instructions
+of one thread interleave naturally with other threads' work and a load
+miss never stalls the core while any other thread can issue.  Shared
+resources (decode slot, EX pipe, dcache port, in-order-per-thread commit)
+are the same timestamps the CGMT cores use.
+
+**Fidelity caveat**: this model is *idealized* — it charges no
+thread-select or per-thread fetch-buffer conflicts, so it upper-bounds what
+barrel multithreading could achieve.  Its register storage is the full
+banked file (one bank per thread), so on the Figure 1 axes it sits at the
+banked design's area with better latency hiding; ViReC's area argument is
+unaffected, which is presumably why the paper contrasts against CGMT
+banking rather than FGMT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa.instructions import Instruction, evaluate
+from ..isa.registers import Reg
+from .base import CoreConfig, DeadlockError, ThreadContext, ThreadState, TimelineCore
+from .cgmt import ContextLayout
+
+
+class FGMTCore(TimelineCore):
+    """Barrel processor: per-thread state, zero-cost rotation."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("config", CoreConfig(
+            name="fgmt", switch_on_miss=False, max_outstanding_loads=8))
+        super().__init__(*args, **kwargs)
+        self.layout = self.layout or ContextLayout()
+        if len(self.threads) > 8:
+            raise ValueError("barrel core supports at most 8 register banks")
+        self._boards: Dict[int, Dict[Reg, int]] = {
+            th.tid: {} for th in self.threads}
+        self._flags_ready: Dict[int, int] = {th.tid: 0 for th in self.threads}
+        #: earliest cycle each thread could issue its next instruction
+        self._issue_ready: Dict[int, int] = {th.tid: 0 for th in self.threads}
+
+    # barrel rotation: no pipeline flush, no refill cost
+    def _pick_barrel_thread(self) -> Optional[ThreadContext]:
+        best, best_t = None, None
+        for th in self.threads:
+            if th.state == ThreadState.DONE:
+                continue
+            t = max(self._issue_ready[th.tid], th.ready_at)
+            if best_t is None or t < best_t or (t == best_t and th.tid < best.tid):
+                best, best_t = th, t
+        return best
+
+    def _operand_ready(self, thread: ThreadContext, inst: Instruction) -> int:
+        board = self._boards[thread.tid]
+        t = 0
+        for reg in inst.srcs:
+            t = max(t, board.get(reg, 0))
+        if inst.reads_flags:
+            t = max(t, self._flags_ready[thread.tid])
+        return t
+
+    def step(self) -> bool:
+        thread = self._pick_barrel_thread()
+        if thread is None:
+            return False
+        if not thread.started:
+            thread.started = True
+            self._issue_ready[thread.tid] = self.thread_start_cost(
+                thread, self._issue_ready[thread.tid])
+        self._process_barrel_instruction(thread)
+        return True
+
+    def run(self):
+        guard = 0
+        while self.step():
+            guard += 1
+            if guard > self.config.max_cycles:
+                raise DeadlockError("instruction budget exceeded")
+        self.finalize_stats()
+        return self.stats
+
+    def thread_start_cost(self, thread: ThreadContext, t: int) -> int:
+        """Fetch the offloaded context into the thread's bank (as banked)."""
+        done = t
+        base = self.layout.base + thread.tid * self.layout.bytes_per_thread
+        lines = list(self.layout.touched_gp_lines) + [self.layout.GP_LINES]
+        for i, line in enumerate(lines):
+            _, r = self.dcache_request(t + i, base + line * 64)
+            done = max(done, r.complete_at)
+        self.stats.inc("context_fetches")
+        return done
+
+    # ------------------------------------------------------------------
+    def _process_barrel_instruction(self, thread: ThreadContext) -> None:
+        inst = self.program[thread.pc]
+        board = self._boards[thread.tid]
+
+        # issue slot: one instruction per cycle shared by all threads
+        t_ops = self._operand_ready(thread, inst)
+        t_issue = max(t_ops, self.decode_free + 1,
+                      self._issue_ready[thread.tid])
+        self.decode_free = t_issue
+
+        t_ex_start = max(t_issue, self.ex_free)
+        t_ex_done = t_ex_start + inst.ex_latency
+        self.ex_free = t_ex_done
+
+        srcvals = {r: thread.read(r) for r in inst.srcs}
+        result = evaluate(inst, srcvals, thread.flags, thread.pc)
+
+        data_at = t_ex_done
+        if inst.is_load:
+            t_m = self._load_slot_wait(t_ex_done)
+            _, r = self.dcache_request(t_m, result.addr, is_load_data=True)
+            data_at = r.complete_at
+            if not r.hit:
+                self.stats.inc("load_miss_stalls")
+        elif inst.is_store:
+            data_at = self._sq_insert(t_ex_done, result.addr)
+            self.memory.store(result.addr, result.store_value)
+
+        t_c = max(self.commit_tail + 1, data_at)
+        self.commit_tail = t_c
+        if not result.halt:
+            thread.instructions += 1
+        self.now = min(self._issue_ready.values())
+
+        for reg, value in result.writes.items():
+            thread.write(reg, value)
+            board[reg] = t_ex_done
+        if inst.is_load:
+            thread.write(inst.rd, self.memory.load(result.addr))
+            board[inst.rd] = data_at
+        if result.new_flags is not None:
+            thread.flags = result.new_flags
+            self._flags_ready[thread.tid] = t_ex_done
+
+        if result.halt:
+            thread.state = ThreadState.DONE
+            self.stats.inc("threads_completed")
+            return
+        thread.pc = result.target if result.taken else thread.pc + 1
+        # peek the next instruction's operand readiness so the scheduler
+        # lets other threads run while this one waits on a load
+        nxt = self.program[thread.pc]
+        self._issue_ready[thread.tid] = max(
+            t_issue + 1, self._operand_ready(thread, nxt))
+        if result.taken:
+            # barrel cores still pay the fetch redirect for taken branches
+            self._issue_ready[thread.tid] = max(
+                self._issue_ready[thread.tid],
+                t_ex_done + self.config.redirect_penalty)

@@ -1,0 +1,26 @@
+"""Single-threaded in-order core (the CVA6-like baseline of Figure 1).
+
+Table 1: 1 GHz single-issue, 32/32 int/FP registers, 5-entry store queue,
+2 outstanding loads, no context switching.  The limited ability to hide
+memory latency behind independent instructions (stall-on-use with two
+non-blocking loads) is exactly what makes the single InO point in Figure 1
+slow on memory-intensive kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import CoreConfig, ThreadContext, TimelineCore
+
+
+class InOrderCore(TimelineCore):
+    """Baseline single-thread in-order processor."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("config", CoreConfig(
+            name="inorder", switch_on_miss=False, max_outstanding_loads=2))
+        super().__init__(*args, **kwargs)
+        if len(self.threads) != 1:
+            raise ValueError("InOrderCore runs exactly one thread; "
+                             "threads are serialized by the caller")

@@ -1,0 +1,89 @@
+"""Per-instruction pipeline tracing (debug/teaching aid).
+
+Attach a :class:`PipelineTracer` to any timeline core and every committed
+instruction produces a record with its stage timestamps and a stall
+attribution — which resource dominated the instruction's latency.  The
+formatted trace reads like a classic pipeline diagram dump:
+
+    [t0] 12: ldr x9, [x6, x8, lsl #3]   D@105 I@106 X@107 M@109 C@155  mem+46
+
+Tracing costs simulation speed; attach it only for short diagnostic runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class TraceRecord:
+    tid: int
+    pc: int
+    text: str
+    t_decode: int
+    t_issue: int
+    t_ex_done: int
+    t_data: int
+    t_commit: int
+
+    @property
+    def decode_stall(self) -> int:
+        """Cycles spent waiting for operands / register residency."""
+        return max(0, self.t_issue - (self.t_decode + 1))
+
+    @property
+    def mem_stall(self) -> int:
+        """Cycles the memory system added past execute."""
+        return max(0, self.t_data - self.t_ex_done)
+
+    @property
+    def dominant_stall(self) -> str:
+        if self.mem_stall >= max(4, self.decode_stall):
+            return f"mem+{self.mem_stall}"
+        if self.decode_stall >= 2:
+            return f"regs+{self.decode_stall}"
+        return ""
+
+    def format(self) -> str:
+        return (f"[t{self.tid}] {self.pc:4d}: {self.text:<34} "
+                f"D@{self.t_decode} I@{self.t_issue} X@{self.t_ex_done} "
+                f"M@{self.t_data} C@{self.t_commit}  {self.dominant_stall}")
+
+
+@dataclass
+class PipelineTracer:
+    """Bounded ring of trace records; attach via ``core.tracer = tracer``."""
+
+    limit: int = 10_000
+    records: List[TraceRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, tid: int, pc: int, text: str, t_decode: int,
+               t_issue: int, t_ex_done: int, t_data: int,
+               t_commit: int) -> None:
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(tid, pc, text, t_decode, t_issue,
+                                        t_ex_done, t_data, t_commit))
+
+    def format(self, last: Optional[int] = None) -> str:
+        rows = self.records[-last:] if last else self.records
+        out = [r.format() for r in rows]
+        if self.dropped:
+            out.append(f"... {self.dropped} records dropped (limit {self.limit})")
+        return "\n".join(out)
+
+    def stall_summary(self) -> dict:
+        """Aggregate stall attribution over the trace."""
+        total = len(self.records) or 1
+        mem = sum(r.mem_stall for r in self.records)
+        regs = sum(r.decode_stall for r in self.records)
+        return {
+            "instructions": len(self.records),
+            "mem_stall_cycles": mem,
+            "reg_stall_cycles": regs,
+            "mem_stall_per_inst": mem / total,
+            "reg_stall_per_inst": regs / total,
+        }

@@ -1,0 +1,23 @@
+"""Per-figure experiment drivers (shared by benchmarks/ and examples/)."""
+
+from . import ablation, compiler_study, fig01, sizing, fig02, fig09, fig10, fig11, fig12, fig13, fig14, throughput
+from .common import SUITE, ExperimentResult, geomean, scale_to_n
+
+ALL_EXPERIMENTS = {
+    "ablation": ablation.run,
+    "compiler_study": compiler_study.run,
+    "fig01": fig01.run,
+    "fig02": fig02.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "sizing": sizing.run,
+    "throughput": throughput.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "SUITE", "ablation",
+           "geomean", "scale_to_n", "fig01", "fig02", "fig09", "fig10",
+           "fig11", "fig12", "fig13", "fig14", "throughput"]

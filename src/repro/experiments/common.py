@@ -1,0 +1,92 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Each ``figNN`` module exposes ``run(scale=...) -> ExperimentResult`` where
+``scale`` trades simulated work for runtime ("tiny" for unit tests, "quick"
+for the default benchmark run, "full" for the most faithful sweep).  The
+result carries printable rows matching the series the paper's figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import math
+
+SCALES = {
+    # elements per thread for performance experiments
+    "tiny": 12,
+    "quick": 48,
+    "full": 160,
+}
+
+#: the workload set used for suite-wide averages (Figures 9, 12, 13)
+SUITE = ("gather", "scatter", "stride", "meabo", "pointer_chase",
+         "reduction", "vecadd", "triad", "spmv", "histogram")
+
+#: SUITE plus the extra kernels implemented beyond the paper's core set
+EXTENDED_SUITE = SUITE + ("gather_scatter", "bfs_step", "stencil",
+                          "hash_probe", "transpose")
+
+
+def scale_to_n(scale) -> int:
+    """Resolve a scale name (or explicit int) to elements-per-thread."""
+    if isinstance(scale, int):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; use {sorted(SCALES)} or an int")
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + formatting for one figure/table reproduction."""
+
+    experiment: str
+    title: str
+    rows: List[Dict] = field(default_factory=list)
+    notes: str = ""
+
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def format(self) -> str:
+        cols = self.columns()
+        if not cols:
+            return f"== {self.experiment}: {self.title} ==\n(no rows)"
+        widths = {c: max(len(c), *(len(_fmt(r.get(c, ""))) for r in self.rows))
+                  for c in cols}
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(c.ljust(widths[c]) for c in cols))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(row.get(c, "")).ljust(widths[c])
+                                   for c in cols))
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.format())
+
+    def series(self, key: str) -> List:
+        return [row[key] for row in self.rows if key in row]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of the positive entries (0.0 if none)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

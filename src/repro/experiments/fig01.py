@@ -1,0 +1,93 @@
+"""Figure 1: performance-area tradeoff on the gather kernel.
+
+Points reproduced (normalized to the single in-order core):
+
+* single InO processor;
+* OoO host core (N1-class, 2 GHz, 19.1x area);
+* 2/4/8 replicated InO processors (multi-core TLP, no multithreading);
+* banked CGMT at 4 and 8 threads (256/512 registers);
+* ViReC at 4 and 8 threads storing 40-100% of the active contexts.
+
+Performance is total-work throughput (the same total element count is used
+for every point) and area comes from :mod:`repro.area`.
+"""
+
+from __future__ import annotations
+
+from ..area import (
+    banked_core_area,
+    inorder_core_area,
+    multi_core_area,
+    ooo_core_area,
+    virec_core_area,
+)
+from ..system import RunConfig, run_config
+from .common import ExperimentResult, scale_to_n
+
+#: total elements processed by every configuration (threads x per-thread)
+TOTAL_FACTOR = 8
+
+
+def run(scale="quick", workload: str = "gather") -> ExperimentResult:
+    """Reproduce Figure 1 (performance-area Pareto) at the given scale."""
+    n_total = scale_to_n(scale) * TOTAL_FACTOR
+    rows = []
+
+    def add(label, cycles, area, extra=None):
+        rows.append({"config": label, "cycles": cycles, "area_mm2": area,
+                     **(extra or {})})
+
+    # single InO
+    base = run_config(RunConfig(workload=workload, core_type="inorder",
+                                n_threads=1, n_per_thread=n_total))
+    add("inorder-1", base.cycles, inorder_core_area())
+
+    # OoO host
+    ooo = run_config(RunConfig(workload=workload, core_type="ooo",
+                               n_threads=1, n_per_thread=n_total))
+    add("ooo", ooo.cycles, ooo_core_area())
+
+    # replicated InO processors: per-core independent batches; the slowest
+    # core bounds completion, approximated by an even work split
+    for cores in (2, 4, 8):
+        r = run_config(RunConfig(workload=workload, core_type="banked",
+                                 n_threads=1, n_cores=cores,
+                                 n_per_thread=n_total // cores))
+        add(f"inorder-x{cores}", r.cycles,
+            multi_core_area(inorder_core_area(), cores))
+
+    # banked CGMT
+    for threads in (4, 8):
+        r = run_config(RunConfig(workload=workload, core_type="banked",
+                                 n_threads=threads,
+                                 n_per_thread=n_total // threads))
+        add(f"banked-{threads}t", r.cycles, banked_core_area(threads))
+
+    # ViReC sweeps
+    for threads in (4, 8):
+        for frac in (0.4, 0.6, 0.8, 1.0):
+            cfg = RunConfig(workload=workload, core_type="virec",
+                            n_threads=threads, n_per_thread=n_total // threads,
+                            context_fraction=frac)
+            r = run_config(cfg)
+            rf = cfg.resolve_rf_size(_active_context(workload, threads))
+            add(f"virec-{threads}t-{int(frac * 100)}%", r.cycles,
+                virec_core_area(rf), {"rf_entries": rf,
+                                      "rf_hit_rate": r.rf_hit_rate})
+
+    # normalize speedups to the single InO
+    base_cycles = rows[0]["cycles"]
+    for row in rows:
+        row["speedup"] = base_cycles / row["cycles"]
+        row["perf_per_area"] = row["speedup"] / row["area_mm2"]
+
+    return ExperimentResult(
+        experiment="fig01", title=f"performance-area tradeoff ({workload})",
+        rows=rows,
+        notes="speedup normalized to a single in-order processor; same total work everywhere")
+
+
+def _active_context(workload: str, n_threads: int) -> int:
+    from .. import workloads as wl
+    inst = wl.get(workload).build(n_threads=n_threads, n_per_thread=4)
+    return len(inst.active_regs)

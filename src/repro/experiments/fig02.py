@@ -1,0 +1,37 @@
+"""Figure 2: register utilization of memory-intensive workloads.
+
+For every kernel in the suite, reports the fraction of the architectural
+register context touched at all and the fraction touched inside the
+innermost loops (where these workloads spend most of their runtime).  The
+paper's observation: many kernels use less than 30% of their context in the
+innermost loop.
+"""
+
+from __future__ import annotations
+
+from .. import workloads as wl
+from ..compiler import utilization
+from ..isa.registers import NUM_ARCH_REGS
+from .common import ExperimentResult
+
+
+def run(scale="quick") -> ExperimentResult:
+    """Reproduce Figure 2 (register utilization); scale is unused."""
+    rows = []
+    for spec in wl.all_workloads():
+        inst = spec.build(n_threads=2, n_per_thread=8)
+        rep = utilization(inst.program, spec.name, total_context=NUM_ARCH_REGS)
+        rows.append({
+            "workload": spec.name,
+            "suite": spec.suite,
+            "used_regs": rep.used,
+            "inner_regs": rep.inner,
+            "inner_context_%": 100.0 * rep.inner_fraction,
+            "inner_of_used_%": 100.0 * rep.inner_of_used,
+        })
+    below_30 = sum(1 for r in rows if r["inner_context_%"] < 30.0)
+    return ExperimentResult(
+        experiment="fig02", title="register utilization (inner loop vs context)",
+        rows=rows,
+        notes=f"{below_30}/{len(rows)} workloads use <30% of the 64-register "
+              f"context in their innermost loop (paper: 'many ... less than 30%')")

@@ -1,0 +1,67 @@
+"""Figure 9: performance of ViReC vs banked, NSF, and RF prefetching.
+
+For each workload and thread count (4/6/8), runs: the banked baseline,
+ViReC at 40/60/80% context, the NSF register cache [41], and the two
+prefetching strategies.  Reports per-run speedup relative to the banked
+core plus the suite means the paper quotes (e.g. mean drops of ~4.4%/7.1%/
+10% at 80% context for 4/6/8 threads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..system import RunConfig, run_config
+from .common import SUITE, ExperimentResult, geomean, scale_to_n
+
+CONTEXTS = (0.8, 0.6, 0.4)
+THREADS = (4, 6, 8)
+
+
+def run(scale="quick", workloads: Sequence[str] = SUITE,
+        threads: Sequence[int] = THREADS,
+        include_nsf: bool = True,
+        include_prefetch: bool = True) -> ExperimentResult:
+    """Reproduce Figure 9 (ViReC vs banked/NSF/prefetch speedups)."""
+    n = scale_to_n(scale)
+    rows: List[Dict] = []
+    for workload in workloads:
+        for t in threads:
+            base = RunConfig(workload=workload, n_threads=t, n_per_thread=n)
+            banked = run_config(base.with_(core_type="banked"))
+            row = {"workload": workload, "threads": t,
+                   "banked_cycles": banked.cycles}
+            for frac in CONTEXTS:
+                r = run_config(base.with_(core_type="virec",
+                                          context_fraction=frac))
+                row[f"virec{int(frac * 100)}"] = banked.cycles / r.cycles
+            if include_nsf:
+                for frac in (0.8, 0.4):
+                    r = run_config(base.with_(core_type="nsf",
+                                              context_fraction=frac))
+                    row[f"nsf{int(frac * 100)}"] = banked.cycles / r.cycles
+            if include_prefetch:
+                r = run_config(base.with_(core_type="prefetch-full"))
+                row["pf_full"] = banked.cycles / r.cycles
+                r = run_config(base.with_(core_type="prefetch-exact"))
+                row["pf_exact"] = banked.cycles / r.cycles
+            rows.append(row)
+
+    # suite means per thread count (the numbers quoted in Section 6.1)
+    summary = []
+    for t in threads:
+        sub = [r for r in rows if r["threads"] == t]
+        entry = {"workload": "GEOMEAN", "threads": t, "banked_cycles": 0}
+        for key in sub[0]:
+            if key in ("workload", "threads", "banked_cycles"):
+                continue
+            entry[key] = geomean([r[key] for r in sub])
+        summary.append(entry)
+    rows.extend(summary)
+
+    return ExperimentResult(
+        experiment="fig09",
+        title="speedup vs banked (>1 = faster than banked)",
+        rows=rows,
+        notes="virecNN = ViReC storing NN% of active contexts; "
+              "nsfNN = NSF [41] baseline; pf_* = double-buffer RF prefetching")

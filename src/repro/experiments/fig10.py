@@ -1,0 +1,50 @@
+"""Figure 10: performance-per-register tradeoff for gather.
+
+Sweeps the number of scheduled threads; for each thread count, plots the
+banked design plus ViReC at 40/60/80/100% context storage — performance
+(inverse runtime for a fixed total amount of work) divided by the number of
+physical registers provisioned.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import workloads as wl
+from ..system import RunConfig, run_config
+from .common import ExperimentResult, scale_to_n
+
+FRACTIONS = (0.4, 0.6, 0.8, 1.0)
+
+
+def run(scale="quick", workload: str = "gather",
+        threads: Sequence[int] = (2, 4, 6, 8, 10)) -> ExperimentResult:
+    """Reproduce Figure 10 (performance per register vs threads)."""
+    n = scale_to_n(scale)
+    total = n * max(threads)
+    active = len(wl.get(workload).build(n_threads=2, n_per_thread=4).active_regs)
+    rows = []
+    for t in threads:
+        per_thread = max(4, total // t)
+        base = RunConfig(workload=workload, n_threads=t, n_per_thread=per_thread)
+        if t <= 8:
+            banked = run_config(base.with_(core_type="banked"))
+            regs = t * 64
+            rows.append({"threads": t, "config": "banked", "registers": regs,
+                         "cycles": banked.cycles,
+                         "perf": 1e6 / banked.cycles,
+                         "perf_per_reg": 1e6 / banked.cycles / regs})
+        for frac in FRACTIONS:
+            cfg = base.with_(core_type="virec", context_fraction=frac)
+            r = run_config(cfg)
+            regs = cfg.resolve_rf_size(active)
+            rows.append({"threads": t, "config": f"virec{int(frac * 100)}",
+                         "registers": regs, "cycles": r.cycles,
+                         "perf": 1e6 / r.cycles,
+                         "perf_per_reg": 1e6 / r.cycles / regs,
+                         "rf_hit_rate": r.rf_hit_rate})
+    return ExperimentResult(
+        experiment="fig10",
+        title=f"performance per register, {workload} (fixed total work)",
+        rows=rows,
+        notes="perf = 1e6/cycles for the same total element count at every point")

@@ -1,0 +1,64 @@
+"""Figure 11: performance scaling with increased system load.
+
+Instantiates 1/2/4/8 near-memory processors sharing the crossbar and DRAM,
+each running gather with a sweep of thread counts.  As system activity
+raises the observed memory latency, more threads are needed to hide it, so
+the *best* thread count grows with the number of active processors — the
+thread-scalability argument ViReC enables (a statically banked core is
+capped at its banks).
+
+Reproduction note (see EXPERIMENTS.md): the paper's crossover is 8 -> 10
+threads; in our scaled-down memory system the same crossover appears at
+lower absolute counts (4 -> 6), and at the highest load our DRAM model
+saturates on bandwidth, where additional threads stop paying — a regime the
+paper's configuration does not enter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..system import RunConfig, run_config
+from .common import ExperimentResult, scale_to_n
+
+
+def run(scale="quick", workload: str = "gather",
+        core_counts: Sequence[int] = (1, 2, 4, 8),
+        thread_counts: Sequence[int] = (2, 4, 6, 8, 10)) -> ExperimentResult:
+    """Reproduce Figure 11 (system-load scaling, best thread count)."""
+    n = scale_to_n(scale)
+    total_per_core = n * max(thread_counts)
+    rows = []
+    best_rows = []
+    for cores in core_counts:
+        best = None
+        for threads in thread_counts:
+            cfg = RunConfig(workload=workload, core_type="virec",
+                            n_threads=threads, n_cores=cores,
+                            n_per_thread=total_per_core // threads,
+                            context_fraction=0.8)
+            r = run_config(cfg)
+            dram = r.stats.child("mem").child("dram")
+            reqs = dram["reads"] + dram["writes"]
+            busy = dram["busy_cycles"]
+            row = {
+                "cores": cores, "threads": threads, "cycles": r.cycles,
+                "throughput": 1e6 * cores * total_per_core / r.cycles,
+                "observed_latency": busy / reqs if reqs else 0.0,
+            }
+            rows.append(row)
+            if best is None or row["cycles"] < best["cycles"]:
+                best = row
+        best_rows.append({"cores": cores, "threads": f"best={best['threads']}",
+                          "cycles": best["cycles"],
+                          "throughput": best["throughput"],
+                          "observed_latency": best["observed_latency"]})
+    rows.extend(best_rows)
+    return ExperimentResult(
+        experiment="fig11",
+        title=f"system-load scaling ({workload}, ViReC 80% context)",
+        rows=rows,
+        notes="same per-core total work at every point; throughput = "
+              "elements/Mcycle across the node; the best thread count per "
+              "core count grows with observed latency until DRAM bandwidth "
+              "saturates")

@@ -1,0 +1,47 @@
+"""Figure 14 + Section 6.2 delay analysis: area versus thread count.
+
+Pure area-model experiment (no simulation): banked cores with 64 registers
+per bank versus ViReC cores provisioned with 5-64 register-cache entries per
+thread, across 1-16 threads, plus the RF access-delay comparison.
+"""
+
+from __future__ import annotations
+
+from ..area import (
+    area_table,
+    banked_core_area,
+    inorder_core_area,
+    rf_delay_ns,
+    virec_breakdown,
+    virec_core_area,
+)
+from .common import ExperimentResult
+
+
+def run(scale="quick") -> ExperimentResult:
+    """Reproduce Figure 14 and the Section 6.2 delay table (area model)."""
+    rows = [dict(r) for r in area_table(max_threads=16,
+                                        regs_per_thread_options=(5, 8, 16, 32, 64))]
+
+    # headline derived quantities
+    saving_8t = 1 - virec_core_area(64) / banked_core_area(8)
+    overhead = virec_core_area(64) / inorder_core_area() - 1
+    rows.append({"threads": "--", "banked_mm2": "",
+                 "virec_8_regs_mm2": "",
+                 "headline": f"ViReC(64) saves {saving_8t * 100:.1f}% vs banked-8T; "
+                             f"+{overhead * 100:.1f}% over baseline core"})
+
+    # delay rows (Section 6.2)
+    for regs in (24, 48, 80, 120, 200):
+        rows.append({"threads": f"delay@{regs}",
+                     "virec_delay_ns": rf_delay_ns("virec", regs),
+                     "banked_delay_ns": rf_delay_ns("banked"),
+                     "baseline_delay_ns": rf_delay_ns("baseline")})
+
+    b = virec_breakdown(64)
+    notes = ("virec_N_regs = N register-cache entries per thread; breakdown @64: "
+             f"data={b['data_array_mm2']:.3f} tag={b['tag_store_mm2']:.3f} "
+             f"rollback+logic={b['rollback_and_logic_mm2']:.3f} mm2")
+    return ExperimentResult(experiment="fig14",
+                            title="area vs threads; RF delay", rows=rows,
+                            notes=notes)

@@ -1,0 +1,96 @@
+"""Terminal plots for experiment results (no plotting dependency by design).
+
+Renders the two chart shapes the paper's figures use — scatter
+(performance vs area, Figure 1/10) and multi-series lines over a swept
+parameter (Figures 9/11/12/13) — as ASCII, so ``python -m repro
+experiments`` output can be eyeballed directly against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    return min(cells - 1, max(0, int((value - lo) / (hi - lo) * (cells - 1))))
+
+
+def scatter(points: Dict[str, Tuple[float, float]], width: int = 64,
+            height: int = 20, xlabel: str = "x", ylabel: str = "y",
+            title: str = "") -> str:
+    """Labelled scatter plot: ``points`` maps label -> (x, y).
+
+    Each point gets a glyph; a legend maps glyphs back to labels.
+    """
+    if not points:
+        return "(no points)"
+    xs = [p[0] for p in points.values()]
+    ys = [p[1] for p in points.values()]
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for i, (label, (x, y)) in enumerate(points.items()):
+        glyph = chr(ord("a") + i) if i < 26 else _GLYPHS[i % len(_GLYPHS)]
+        col = _scale(x, xlo, xhi, width)
+        row = height - 1 - _scale(y, ylo, yhi, height)
+        grid[row][col] = glyph
+        legend.append(f"  {glyph} = {label} ({x:.3g}, {y:.3g})")
+    lines = [title] if title else []
+    lines.append(f"{ylabel} ^  [{ylo:.3g} .. {yhi:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width + f"> {xlabel}  [{xlo:.3g} .. {xhi:.3g}]")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def lines(series: Dict[str, Sequence[float]], x: Sequence,
+          width: int = 64, height: int = 16, xlabel: str = "x",
+          ylabel: str = "y", title: str = "") -> str:
+    """Multi-series line chart over shared x values."""
+    if not series or not x:
+        return "(no data)"
+    all_vals = [v for vals in series.values() for v in vals]
+    ylo, yhi = min(all_vals), max(all_vals)
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for i, (label, vals) in enumerate(series.items()):
+        glyph = chr(ord("a") + i) if i < 26 else "#"
+        legend.append(f"  {glyph} = {label}")
+        for j, v in enumerate(vals):
+            col = _scale(j, 0, max(1, len(vals) - 1), width)
+            row = height - 1 - _scale(v, ylo, yhi, height)
+            grid[row][col] = glyph
+    out = [title] if title else []
+    out.append(f"{ylabel} ^  [{ylo:.3g} .. {yhi:.3g}]")
+    for row in grid:
+        out.append("|" + "".join(row))
+    xticks = "  ".join(str(v) for v in x)
+    out.append("+" + "-" * width + f"> {xlabel}: {xticks}")
+    out.extend(legend)
+    return "\n".join(out)
+
+
+def pareto_plot(result, perf_key: str = "speedup",
+                area_key: str = "area_mm2") -> str:
+    """ASCII rendition of the Figure 1 scatter from a fig01 result."""
+    points = {row["config"]: (row[area_key], row[perf_key])
+              for row in result.rows
+              if area_key in row and perf_key in row}
+    return scatter(points, xlabel="area [mm^2]", ylabel="speedup",
+                   title=result.title)
+
+
+def sweep_plot(result, x_key: str, series_keys: Sequence[str],
+               row_filter=None) -> str:
+    """Line chart of chosen columns over a swept column."""
+    rows = [r for r in result.rows if (row_filter is None or row_filter(r))
+            and all(k in r for k in series_keys) and x_key in r]
+    xs = [r[x_key] for r in rows]
+    series = {k: [r[k] for r in rows] for k in series_keys}
+    return lines(series, xs, xlabel=x_key, ylabel="value", title=result.title)

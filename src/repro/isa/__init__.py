@@ -1,0 +1,30 @@
+"""Mini AArch64-flavoured ISA: registers, instructions, assembler, golden model."""
+
+from .assembler import AssemblerError, assemble
+from .encoding import (
+    EncodingError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from .func_sim import ArchState, FunctionalSimulator, run_functional
+from .instructions import (
+    AddrMode,
+    Cond,
+    ExecResult,
+    Flags,
+    Instruction,
+    Opcode,
+    evaluate,
+)
+from .program import Program
+from .registers import D, Reg, RegClass, SP, X, from_flat, parse_reg
+
+__all__ = [
+    "AddrMode", "ArchState", "AssemblerError", "Cond", "D", "EncodingError",
+    "ExecResult", "Flags", "FunctionalSimulator", "Instruction", "Opcode",
+    "Program", "Reg", "RegClass", "SP", "X", "assemble",
+    "decode_instruction", "decode_program", "encode_instruction",
+    "encode_program", "evaluate", "from_flat", "parse_reg", "run_functional",
+]

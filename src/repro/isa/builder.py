@@ -1,0 +1,198 @@
+"""Programmatic kernel builder: construct Programs without assembly text.
+
+A fluent alternative front end to :func:`repro.isa.assembler.assemble` for
+generated code (tests, sweeps over unrolling factors, the software
+save/restore sequences).  Labels are forward-referenced by name and
+resolved at :meth:`KernelBuilder.build`.
+
+Example::
+
+    b = KernelBuilder()
+    b.mov(X(3), 0)
+    b.label("loop")
+    b.ldr(X(8), base=X(5), index=X(3), shift=3)
+    b.add(X(3), X(3), 1)
+    b.cmp(X(3), X(4))
+    b.blt("loop")
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .instructions import AddrMode, Cond, Instruction, Opcode
+from .program import Program
+from .registers import Reg
+
+Operand = Union[Reg, int]
+
+
+class BuilderError(ValueError):
+    """Malformed builder usage (unknown label, bad operand mix)."""
+
+
+class KernelBuilder:
+    """Accumulates instructions; resolves labels at build time."""
+
+    def __init__(self, name: str = "built") -> None:
+        self.name = name
+        self._insts: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[int] = []  # pcs whose target is a label name
+
+    # -- structure ------------------------------------------------------------
+    def label(self, name: str) -> "KernelBuilder":
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise BuilderError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insts)
+        return self
+
+    def emit(self, inst: Instruction) -> "KernelBuilder":
+        """Append a pre-constructed instruction."""
+        self._insts.append(inst)
+        if inst.label is not None and inst.target is None:
+            self._fixups.append(len(self._insts) - 1)
+        return self
+
+    # -- ALU -----------------------------------------------------------------
+    def _alu3(self, op: Opcode, rd: Reg, rn: Reg, rhs: Operand) -> "KernelBuilder":
+        if isinstance(rhs, Reg):
+            return self.emit(Instruction(op, rd=rd, rn=rn, rm=rhs,
+                                         text=f"{op.name.lower()} {rd}, {rn}, {rhs}"))
+        return self.emit(Instruction(op, rd=rd, rn=rn, imm=int(rhs),
+                                     text=f"{op.name.lower()} {rd}, {rn}, #{rhs}"))
+
+    def add(self, rd, rn, rhs):
+        """``rd = rn + rhs`` (register or immediate)."""
+        return self._alu3(Opcode.ADD, rd, rn, rhs)
+
+    def sub(self, rd, rn, rhs):
+        """``rd = rn - rhs``."""
+        return self._alu3(Opcode.SUB, rd, rn, rhs)
+
+    def and_(self, rd, rn, rhs):
+        """``rd = rn & rhs``."""
+        return self._alu3(Opcode.AND, rd, rn, rhs)
+
+    def lsl(self, rd, rn, rhs):
+        """``rd = rn << rhs``."""
+        return self._alu3(Opcode.LSL, rd, rn, rhs)
+
+    def mul(self, rd, rn, rhs):
+        """``rd = rn * rhs`` (register only)."""
+        if not isinstance(rhs, Reg):
+            raise BuilderError("mul needs a register rhs")
+        return self._alu3(Opcode.MUL, rd, rn, rhs)
+
+    def madd(self, rd, rn, rm, ra):
+        """``rd = rn*rm + ra``."""
+        return self.emit(Instruction(Opcode.MADD, rd=rd, rn=rn, rm=rm, ra=ra,
+                                     text=f"madd {rd}, {rn}, {rm}, {ra}"))
+
+    def mov(self, rd, value: Operand):
+        """``rd = value`` (register or immediate)."""
+        if isinstance(value, Reg):
+            return self.emit(Instruction(Opcode.MOV, rd=rd, rn=value,
+                                         text=f"mov {rd}, {value}"))
+        return self.emit(Instruction(Opcode.MOV, rd=rd, imm=int(value),
+                                     text=f"mov {rd}, #{value}"))
+
+    def adr(self, rd, address: int):
+        """``rd = address`` (absolute)."""
+        return self.emit(Instruction(Opcode.ADR, rd=rd, imm=int(address),
+                                     text=f"adr {rd}, {address:#x}"))
+
+    def cmp(self, rn, rhs: Operand):
+        """Compare and set flags."""
+        if isinstance(rhs, Reg):
+            return self.emit(Instruction(Opcode.CMP, rn=rn, rm=rhs,
+                                         text=f"cmp {rn}, {rhs}"))
+        return self.emit(Instruction(Opcode.CMP, rn=rn, imm=int(rhs),
+                                     text=f"cmp {rn}, #{rhs}"))
+
+    # -- memory ---------------------------------------------------------------
+    def ldr(self, rt, base, offset: int = 0, index: Optional[Reg] = None,
+            shift: int = 0, post: Optional[int] = None):
+        """Load; exactly one of offset / index / post addressing."""
+        return self._mem(Opcode.LDR, rt, base, offset, index, shift, post)
+
+    def str_(self, rt, base, offset: int = 0, index: Optional[Reg] = None,
+             shift: int = 0, post: Optional[int] = None):
+        """Store (named ``str_`` to avoid shadowing the builtin)."""
+        return self._mem(Opcode.STR, rt, base, offset, index, shift, post)
+
+    def _mem(self, op, rt, base, offset, index, shift, post):
+        if post is not None:
+            if index is not None or offset:
+                raise BuilderError("post-index excludes other addressing")
+            return self.emit(Instruction(op, rd=rt, rn=base, imm=post,
+                                         mode=AddrMode.POST_IMM,
+                                         text=f"{op.name.lower()} {rt}, [{base}], #{post}"))
+        if index is not None:
+            return self.emit(Instruction(op, rd=rt, rn=base, rm=index,
+                                         shift=shift, mode=AddrMode.OFF_REG,
+                                         text=f"{op.name.lower()} {rt}, [{base}, {index}, lsl #{shift}]"))
+        return self.emit(Instruction(op, rd=rt, rn=base, imm=offset,
+                                     mode=AddrMode.OFF_IMM,
+                                     text=f"{op.name.lower()} {rt}, [{base}, #{offset}]"))
+
+    # -- control --------------------------------------------------------------
+    def b(self, target: str):
+        """Unconditional branch to a label."""
+        return self.emit(Instruction(Opcode.B, label=target, text=f"b {target}"))
+
+    def bcond(self, cond: Cond, target: str):
+        """Conditional branch to a label."""
+        return self.emit(Instruction(Opcode.BCOND, cond=cond, label=target,
+                                     text=f"b.{cond.name.lower()} {target}"))
+
+    def blt(self, target: str):
+        """``b.lt target``."""
+        return self.bcond(Cond.LT, target)
+
+    def bge(self, target: str):
+        """``b.ge target``."""
+        return self.bcond(Cond.GE, target)
+
+    def beq(self, target: str):
+        """``b.eq target``."""
+        return self.bcond(Cond.EQ, target)
+
+    def cbz(self, rn, target: str):
+        """Branch to ``target`` when ``rn == 0``."""
+        return self.emit(Instruction(Opcode.CBZ, rn=rn, label=target,
+                                     text=f"cbz {rn}, {target}"))
+
+    def cbnz(self, rn, target: str):
+        """Branch to ``target`` when ``rn != 0``."""
+        return self.emit(Instruction(Opcode.CBNZ, rn=rn, label=target,
+                                     text=f"cbnz {rn}, {target}"))
+
+    def nop(self):
+        """No-operation."""
+        return self.emit(Instruction(Opcode.NOP, text="nop"))
+
+    def halt(self):
+        """End the thread."""
+        return self.emit(Instruction(Opcode.HALT, text="halt"))
+
+    # -- finalize -------------------------------------------------------------
+    def build(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        insts: List[Instruction] = []
+        for pc, inst in enumerate(self._insts):
+            if inst.label is not None and inst.target is None:
+                if inst.label not in self._labels:
+                    raise BuilderError(f"undefined label {inst.label!r}")
+                inst = Instruction(
+                    inst.opcode, rd=inst.rd, rn=inst.rn, rm=inst.rm,
+                    ra=inst.ra, imm=inst.imm, shift=inst.shift,
+                    cond=inst.cond, mode=inst.mode,
+                    target=self._labels[inst.label], label=inst.label,
+                    text=inst.text)
+            insts.append(inst)
+        return Program(instructions=insts, labels=dict(self._labels),
+                       name=self.name)

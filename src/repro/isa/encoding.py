@@ -1,0 +1,210 @@
+"""Binary instruction encoding: 32-bit fixed-width words.
+
+The timing models fetch by ``pc * 4`` byte addresses; this module provides
+the actual encodings behind those addresses so programs can be serialized
+(e.g. to load into a different simulator or examine densities).  The format
+is AArch64-*flavoured*, not AArch64-compatible: a clean fixed-field layout
+
+    [31:26] opcode   (6 bits)
+    [25:20] rd       (6-bit flat register index, 0x3F = none)
+    [19:14] rn
+    [13:8]  rm
+    [7:2]   ra / cond / shift  (per-opcode)
+    [1:0]   mode     (addressing / immediate-flag)
+
+Immediates and branch targets that do not fit the word are placed in a
+trailing literal word (marked by mode=3), giving a simple variable-length
+(1-2 word) encoding.  :func:`encode_program` / :func:`decode_program`
+round-trip losslessly for every construct the assembler can produce, which
+the property tests verify.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from .instructions import AddrMode, Cond, Instruction, Opcode
+from .program import Program
+from .registers import Reg, from_flat
+
+_OPCODES = {op: i for i, op in enumerate(Opcode)}
+_OPCODES_REV = {i: op for op, i in _OPCODES.items()}
+_MODES = {None: 0, AddrMode.OFF_IMM: 1, AddrMode.OFF_REG: 2, AddrMode.POST_IMM: 3}
+_MODES_REV = {v: k for k, v in _MODES.items()}
+
+NO_REG = 0x3F
+LITERAL_FLAG = 1 << 1  # in the low field pair of word 0
+
+
+class EncodingError(ValueError):
+    """Instruction cannot be encoded (field overflow)."""
+
+
+def _reg_field(reg: Optional[Reg]) -> int:
+    return reg.flat if reg is not None else NO_REG
+
+
+def _field_reg(value: int) -> Optional[Reg]:
+    return None if value == NO_REG else from_flat(value)
+
+
+def _needs_literal(inst: Instruction) -> bool:
+    if inst.imm is not None:
+        if isinstance(inst.imm, float) and not float(inst.imm).is_integer():
+            return True
+        v = int(inst.imm)
+        if not (0 <= v < 64):
+            return True
+    if inst.target is not None and not (0 <= inst.target < 64):
+        return True
+    return False
+
+
+def encode_instruction(inst: Instruction) -> List[int]:
+    """Encode one instruction into one or two 32-bit words."""
+    op = _OPCODES[inst.opcode]
+    aux = 0
+    if inst.cond is not None:
+        aux = int(inst.cond)
+    elif inst.ra is not None:
+        aux = inst.ra.flat
+    elif inst.shift:
+        aux = inst.shift
+    if aux >= 64:
+        raise EncodingError(f"aux field overflow in {inst}")
+
+    literal = _needs_literal(inst)
+    mode_bits = _MODES[inst.mode]
+    word = (op << 26) | (_reg_field(inst.rd) << 20) | \
+           (_reg_field(inst.rn) << 14) | (_reg_field(inst.rm) << 8) | \
+           (aux << 2) | mode_bits
+    words = [word]
+
+    if literal:
+        if inst.imm is not None and isinstance(inst.imm, float) \
+                and not float(inst.imm).is_integer():
+            lit = struct.unpack("<I", struct.pack("<f", float(inst.imm)))[0]
+            words[0] |= 1 << 31  # FP-literal marker requires opcode < 32
+            if op >= 32:
+                raise EncodingError("fp literal with high opcode")
+        elif inst.imm is not None:
+            lit = int(inst.imm) & 0xFFFFFFFF
+        else:
+            lit = int(inst.target) & 0xFFFFFFFF
+        words.append(lit)
+    else:
+        # small immediate or target packed into a reuse of the rm field
+        small = None
+        if inst.imm is not None:
+            small = int(inst.imm)
+        elif inst.target is not None:
+            small = int(inst.target)
+        if small is not None:
+            if inst.rm is None:
+                words[0] = (words[0] & ~(0x3F << 8)) | ((small & 0x3F) << 8)
+                if inst.mode is None:
+                    # non-memory op: mark "rm field holds an immediate" so
+                    # `add x0,x0,x1` and `add x0,x0,#1` stay distinguishable
+                    words[0] |= 0x1
+            else:
+                # both rm and a small imm — force literal form instead
+                words.append(small & 0xFFFFFFFF)
+    return words
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a program to little-endian 32-bit words.
+
+    The stream starts with a word count, then per-instruction 1-bit
+    literal-follows flags are recoverable from the mode/imm structure; we
+    keep it simple by prefixing each instruction with its word count (1 or
+    2) packed one byte each.
+    """
+    chunks: List[bytes] = []
+    lengths = bytearray()
+    for inst in program.instructions:
+        words = encode_instruction(inst)
+        lengths.append(len(words))
+        for w in words:
+            chunks.append(struct.pack("<I", w & 0xFFFFFFFF))
+    header = struct.pack("<I", len(program.instructions))
+    return header + bytes(lengths) + b"".join(chunks)
+
+
+def decode_instruction(words: List[int], opcode_hint=None) -> Instruction:
+    """Decode one (1- or 2-word) instruction."""
+    w = words[0]
+    fp_literal = bool(w >> 31) and len(words) > 1
+    op = _OPCODES_REV[(w >> 26) & 0x1F if fp_literal else (w >> 26) & 0x3F]
+    rd = _field_reg((w >> 20) & 0x3F)
+    rn = _field_reg((w >> 14) & 0x3F)
+    rm_field = (w >> 8) & 0x3F
+    aux = (w >> 2) & 0x3F
+    is_mem = op in (Opcode.LDR, Opcode.STR)
+    imm_in_rm = bool(w & 0x1) and not is_mem
+    mode = _MODES_REV[w & 0x3] if is_mem else None
+
+    cond = Cond(aux) if op == Opcode.BCOND else None
+    ra = from_flat(aux) if op in (Opcode.MADD, Opcode.FMADD) else None
+    shift = aux if is_mem and mode == AddrMode.OFF_REG else 0
+
+    imm = None
+    target = None
+    rm = None
+    is_branch = op in (Opcode.B, Opcode.BCOND, Opcode.CBZ, Opcode.CBNZ)
+    if len(words) > 1:
+        lit = words[1]
+        if fp_literal:
+            imm = struct.unpack("<f", struct.pack("<I", lit))[0]
+        elif is_branch:
+            target = lit
+        else:
+            imm = lit if lit < (1 << 31) else lit - (1 << 32)
+    else:
+        if is_branch:
+            target = rm_field
+        elif is_mem:
+            if mode == AddrMode.OFF_REG:
+                rm = _field_reg(rm_field)
+            else:
+                imm = rm_field
+        elif imm_in_rm:
+            imm = rm_field
+        elif rm_field != NO_REG:
+            rm = _field_reg(rm_field)
+
+    # disambiguate reg-vs-imm ALU forms: the assembler always sets exactly
+    # one of rm/imm; a packed small immediate reuses the rm field, which is
+    # only distinguishable because registers are < 64 too.  We therefore
+    # re-encode candidates and compare (cheap, and exact).
+    candidates = []
+    base = dict(rd=rd, rn=rn, ra=ra, cond=cond, mode=mode, shift=shift,
+                target=target)
+    if rm is not None or imm is not None:
+        candidates.append(Instruction(op, rm=rm, imm=imm, **base))
+    if len(words) == 1 and rm_field != NO_REG:
+        candidates.append(Instruction(op, rm=_field_reg(rm_field), **base))
+        candidates.append(Instruction(op, imm=rm_field, **base))
+    candidates.append(Instruction(op, **base))
+    for cand in candidates:
+        try:
+            if encode_instruction(cand) == words:
+                return cand
+        except (EncodingError, KeyError, ValueError):
+            continue
+    raise EncodingError(f"undecodable words {words!r}")
+
+
+def decode_program(blob: bytes, name: str = "decoded") -> Program:
+    """Inverse of :func:`encode_program`."""
+    (count,) = struct.unpack_from("<I", blob, 0)
+    lengths = blob[4:4 + count]
+    offset = 4 + count
+    instructions = []
+    for length in lengths:
+        words = [struct.unpack_from("<I", blob, offset + 4 * i)[0]
+                 for i in range(length)]
+        offset += 4 * length
+        instructions.append(decode_instruction(words))
+    return Program(instructions=instructions, name=name)

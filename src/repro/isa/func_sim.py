@@ -1,0 +1,104 @@
+"""Functional (non-timed) golden-model simulator.
+
+Runs a :class:`~repro.isa.program.Program` to completion with exact
+architectural semantics and no timing.  Every cycle-level core model in
+:mod:`repro.core` is validated against this golden model in the integration
+tests: same program + same initial memory must produce identical final
+register and memory state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..memory.main_memory import MainMemory
+from .instructions import Flags, Instruction, Opcode, evaluate
+from .program import Program
+from .registers import NUM_FP_REGS, NUM_INT_REGS, D, Reg, RegClass, X
+
+
+@dataclass
+class ArchState:
+    """Architectural state of one thread: registers, flags, pc."""
+
+    pc: int = 0
+    xregs: list = field(default_factory=lambda: [0] * NUM_INT_REGS)
+    dregs: list = field(default_factory=lambda: [0.0] * NUM_FP_REGS)
+    flags: Flags = field(default_factory=Flags)
+    halted: bool = False
+
+    def read(self, reg: Reg):
+        if reg.rclass == RegClass.X:
+            return self.xregs[reg.index]
+        return self.dregs[reg.index]
+
+    def write(self, reg: Reg, value) -> None:
+        if reg.rclass == RegClass.X:
+            self.xregs[reg.index] = int(value) & ((1 << 64) - 1)
+        else:
+            self.dregs[reg.index] = float(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Register dump keyed by register name (for test comparisons)."""
+        out: Dict[str, object] = {}
+        for i, v in enumerate(self.xregs):
+            out[X(i).name] = v
+        for i, v in enumerate(self.dregs):
+            out[D(i).name] = v
+        return out
+
+
+class FunctionalSimulator:
+    """Executes a program instruction-at-a-time with no timing model."""
+
+    def __init__(self, program: Program, memory: Optional[MainMemory] = None,
+                 max_instructions: int = 50_000_000) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else MainMemory()
+        self.state = ArchState(pc=program.entry)
+        self.max_instructions = max_instructions
+        self.instructions_executed = 0
+
+    def step(self) -> bool:
+        """Execute one instruction; returns False once halted."""
+        st = self.state
+        if st.halted:
+            return False
+        if not 0 <= st.pc < len(self.program):
+            raise RuntimeError(f"pc {st.pc} outside program ({len(self.program)} instructions)")
+        inst: Instruction = self.program[st.pc]
+        srcvals = {r: st.read(r) for r in inst.srcs}
+        result = evaluate(inst, srcvals, st.flags, st.pc)
+
+        for reg, value in result.writes.items():
+            st.write(reg, value)
+        if result.new_flags is not None:
+            st.flags = result.new_flags
+        if inst.opcode == Opcode.LDR:
+            st.write(inst.rd, self.memory.load(result.addr))
+        elif inst.opcode == Opcode.STR:
+            self.memory.store(result.addr, result.store_value)
+        if result.halt:
+            st.halted = True
+            return False
+        st.pc = result.target if result.taken else st.pc + 1
+        self.instructions_executed += 1
+        return True
+
+    def run(self) -> ArchState:
+        """Run to HALT (or raise if the instruction budget is exceeded)."""
+        while self.step():
+            if self.instructions_executed > self.max_instructions:
+                raise RuntimeError("instruction budget exceeded (missing halt / infinite loop?)")
+        return self.state
+
+
+def run_functional(program: Program, memory: Optional[MainMemory] = None,
+                   init_regs: Optional[Dict[Reg, object]] = None) -> FunctionalSimulator:
+    """Convenience wrapper: run ``program`` and return the finished simulator."""
+    sim = FunctionalSimulator(program, memory)
+    for reg, value in (init_regs or {}).items():
+        sim.state.write(reg, value)
+    sim.run()
+    return sim

@@ -1,0 +1,46 @@
+"""Program container: assembled instructions plus label/symbol tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .instructions import Instruction
+
+
+@dataclass
+class Program:
+    """An assembled kernel.
+
+    ``pc`` values are instruction indices; the fetch stage converts them to
+    byte addresses (``pc * 4``) for icache modelling.  ``symbols`` maps data
+    symbol names to byte addresses in main memory.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    @property
+    def entry(self) -> int:
+        """Entry point (label ``start`` if present, else 0)."""
+        return self.labels.get("start", 0)
+
+    def disassemble(self) -> str:
+        """Human-readable listing with labels."""
+        by_pc: Dict[int, List[str]] = {}
+        for name, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(name)
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            for name in by_pc.get(pc, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {pc:4d}: {inst.text or inst.opcode.name.lower()}")
+        return "\n".join(lines)

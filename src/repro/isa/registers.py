@@ -1,0 +1,108 @@
+"""Register definitions for the mini AArch64-flavoured ISA.
+
+The ISA exposes two architectural register classes, matching the in-order
+core in Table 1 of the paper (32 integer / 32 floating-point registers):
+
+* ``x0``-``x30`` plus ``sp`` (encoded as index 31) — 64-bit integer registers.
+* ``d0``-``d31`` — 64-bit floating-point registers.
+
+Registers are small immutable value objects; :attr:`Reg.flat` gives a unique
+index in ``[0, 64)`` used by the VRMU tag store and the physical register
+file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from functools import lru_cache
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+
+class RegClass(IntEnum):
+    """Architectural register class."""
+
+    X = 0  # 64-bit integer
+    D = 1  # 64-bit floating point
+
+
+@dataclass(frozen=True, order=True)
+class Reg:
+    """An architectural register (class + index).
+
+    Instances are interned through :func:`X`/:func:`D`, and ``flat`` is a
+    unique small integer, so hashing by ``flat`` is both correct and fast
+    (register lookups are the hottest operation in the simulator).
+    """
+
+    rclass: RegClass
+    index: int
+
+    def __post_init__(self) -> None:
+        limit = NUM_INT_REGS if self.rclass == RegClass.X else NUM_FP_REGS
+        if not 0 <= self.index < limit:
+            raise ValueError(f"register index {self.index} out of range for {self.rclass.name}")
+        object.__setattr__(self, "_flat",
+                           self.index + (NUM_INT_REGS if self.rclass == RegClass.D else 0))
+
+    def __hash__(self) -> int:
+        return self._flat
+
+    @property
+    def flat(self) -> int:
+        """Unique flat index across both register classes (0..63)."""
+        return self._flat
+
+    @property
+    def is_fp(self) -> bool:
+        return self.rclass == RegClass.D
+
+    @property
+    def name(self) -> str:
+        if self.rclass == RegClass.X:
+            return "sp" if self.index == 31 else f"x{self.index}"
+        return f"d{self.index}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@lru_cache(maxsize=None)
+def X(i: int) -> Reg:
+    """Integer register ``x<i>`` (``X(31)`` is the stack pointer)."""
+    return Reg(RegClass.X, i)
+
+
+@lru_cache(maxsize=None)
+def D(i: int) -> Reg:
+    """Floating-point register ``d<i>``."""
+    return Reg(RegClass.D, i)
+
+
+SP = X(31)
+
+
+def parse_reg(token: str) -> Reg:
+    """Parse a register name such as ``x5``, ``sp``, or ``d12``."""
+    token = token.strip().lower()
+    if token == "sp":
+        return SP
+    if len(token) < 2 or token[0] not in "xd":
+        raise ValueError(f"bad register name {token!r}")
+    try:
+        idx = int(token[1:])
+    except ValueError as exc:
+        raise ValueError(f"bad register name {token!r}") from exc
+    return X(idx) if token[0] == "x" else D(idx)
+
+
+def from_flat(flat: int) -> Reg:
+    """Inverse of :attr:`Reg.flat`."""
+    if not 0 <= flat < NUM_ARCH_REGS:
+        raise ValueError(f"flat register index {flat} out of range")
+    if flat < NUM_INT_REGS:
+        return X(flat)
+    return D(flat - NUM_INT_REGS)

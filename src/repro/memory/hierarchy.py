@@ -1,0 +1,78 @@
+"""Memory-hierarchy wiring per Table 1.
+
+Two stack shapes are used in the paper's evaluation:
+
+* **Near-memory processors** — per-core 32 kB L1I and 8 kB L1D, connected
+  through the system crossbar directly to DRAM (no L2, Section 6).
+* **Out-of-order host** — 64 kB L1I and 32 kB L1D backed by a 1 MB L2 with a
+  degree-8 stride prefetcher, then DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..stats.counters import Stats
+from .cache import Cache, CacheConfig
+from .crossbar import Crossbar
+from .dram import DRAM, DRAMConfig
+from .prefetcher import StridePrefetcher
+
+
+@dataclass
+class CoreMemPorts:
+    """The caches one core talks to."""
+
+    icache: Cache
+    dcache: Cache
+
+
+class NDPMemorySystem:
+    """Shared DRAM + crossbar with per-core L1 caches for N near-memory cores."""
+
+    def __init__(self, n_cores: int = 1, *,
+                 dcache: Optional[CacheConfig] = None,
+                 icache: Optional[CacheConfig] = None,
+                 dram: Optional[DRAMConfig] = None,
+                 crossbar_latency: int = 6,
+                 stats: Optional[Stats] = None) -> None:
+        self.stats = stats if stats is not None else Stats("memsys")
+        self.dram = DRAM(dram or DRAMConfig(), self.stats.child("dram"))
+        self.crossbar = Crossbar(self.dram, latency=crossbar_latency,
+                                 stats=self.stats.child("crossbar"))
+        self.cores: List[CoreMemPorts] = []
+        for i in range(n_cores):
+            dc = Cache(dcache or CacheConfig(name=f"dcache{i}", size_bytes=8 * 1024,
+                                             assoc=4, latency=2, mshrs=24),
+                       self.crossbar, self.stats.child(f"dcache{i}"))
+            ic = Cache(icache or CacheConfig(name=f"icache{i}", size_bytes=32 * 1024,
+                                             assoc=4, latency=2, mshrs=4),
+                       self.crossbar, self.stats.child(f"icache{i}"))
+            self.cores.append(CoreMemPorts(icache=ic, dcache=dc))
+
+    def ports(self, core: int) -> CoreMemPorts:
+        return self.cores[core]
+
+
+class HostMemorySystem:
+    """OoO-host stack: L1I/L1D -> L2 (stride prefetcher) -> DRAM."""
+
+    def __init__(self, *, dram: Optional[DRAMConfig] = None,
+                 stats: Optional[Stats] = None) -> None:
+        self.stats = stats if stats is not None else Stats("hostmem")
+        self.dram = DRAM(dram or DRAMConfig(), self.stats.child("dram"))
+        self.l2 = Cache(
+            CacheConfig(name="l2", size_bytes=1024 * 1024, assoc=8, latency=12, mshrs=64),
+            self.dram, self.stats.child("l2"),
+            prefetcher=StridePrefetcher(degree=8, stats=self.stats.child("l2pf")),
+        )
+        self.dcache = Cache(
+            CacheConfig(name="dcache", size_bytes=32 * 1024, assoc=4, latency=4, mshrs=32),
+            self.l2, self.stats.child("dcache"))
+        self.icache = Cache(
+            CacheConfig(name="icache", size_bytes=64 * 1024, assoc=4, latency=2, mshrs=4),
+            self.l2, self.stats.child("icache"))
+
+    def ports(self, core: int = 0) -> CoreMemPorts:
+        return CoreMemPorts(icache=self.icache, dcache=self.dcache)

@@ -1,0 +1,74 @@
+"""Functional main-memory data storage.
+
+All architectural memory traffic in this model is 64-bit-word granular
+(Section 5.3 stores eight registers per 64-byte line), so the functional
+image is a sparse word store.  Values are Python objects — unsigned 64-bit
+ints for integer data, floats for FP data — which keeps the golden model
+exact without bit-pattern conversions.  Timing is handled separately by the
+cache/DRAM models; this class is purely the *contents*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Union
+
+import numpy as np
+
+Word = Union[int, float]
+
+LINE_BYTES = 64
+WORD_BYTES = 8
+WORDS_PER_LINE = LINE_BYTES // WORD_BYTES
+
+
+class AlignmentError(ValueError):
+    """Raised when an access is not 8-byte aligned."""
+
+
+class MainMemory:
+    """Sparse, word-addressable functional memory image."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, Word] = {}
+
+    @staticmethod
+    def _index(addr: int) -> int:
+        if addr % WORD_BYTES:
+            raise AlignmentError(f"unaligned 8-byte access at {addr:#x}")
+        return addr // WORD_BYTES
+
+    def load(self, addr: int) -> Word:
+        """Read the 64-bit word at byte address ``addr`` (0 if untouched)."""
+        return self._words.get(self._index(addr), 0)
+
+    def store(self, addr: int, value: Word) -> None:
+        """Write the 64-bit word at byte address ``addr``."""
+        self._words[self._index(addr)] = value
+
+    def write_array(self, addr: int, values: Iterable[Word]) -> int:
+        """Bulk-write ``values`` starting at ``addr``; returns end address."""
+        idx = self._index(addr)
+        count = 0
+        for offset, value in enumerate(values):
+            v = value
+            if isinstance(v, (np.integer,)):
+                v = int(v)
+            elif isinstance(v, (np.floating,)):
+                v = float(v)
+            self._words[idx + offset] = v
+            count = offset + 1
+        return addr + WORD_BYTES * count
+
+    def read_array(self, addr: int, count: int) -> list:
+        """Bulk-read ``count`` words starting at ``addr``."""
+        idx = self._index(addr)
+        return [self._words.get(idx + i, 0) for i in range(count)]
+
+    def footprint_words(self) -> int:
+        """Number of words ever touched (for tests/diagnostics)."""
+        return len(self._words)
+
+
+def line_address(addr: int) -> int:
+    """Byte address of the 64-byte line containing ``addr``."""
+    return addr & ~(LINE_BYTES - 1)

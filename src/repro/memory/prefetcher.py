@@ -1,0 +1,48 @@
+"""Stride prefetcher (Table 1: L2 stride prefetcher, degree 8).
+
+Watches the demand-miss stream per requestor, detects a repeating line-level
+stride after two confirmations, and issues ``degree`` prefetch fills ahead of
+the stream.  Used by the out-of-order host configuration; the near-memory
+processors have no L2 (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..stats.counters import Stats
+
+
+@dataclass
+class _StreamState:
+    last_addr: int = -1
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Per-requestor stride detection with configurable degree."""
+
+    def __init__(self, degree: int = 8, stats: Stats | None = None) -> None:
+        self.degree = degree
+        self.stats = stats if stats is not None else Stats("prefetcher")
+        self._streams: Dict[int, _StreamState] = {}
+
+    def observe_miss(self, cache, now: int, line_addr: int, requestor: int) -> None:
+        """Called by the owning cache on every demand miss."""
+        st = self._streams.setdefault(requestor, _StreamState())
+        if st.last_addr >= 0:
+            stride = line_addr - st.last_addr
+            if stride != 0 and stride == st.stride:
+                st.confidence = min(st.confidence + 1, 3)
+            else:
+                st.stride = stride
+                st.confidence = 1 if stride else 0
+        st.last_addr = line_addr
+        if st.confidence >= 2 and st.stride:
+            for i in range(1, self.degree + 1):
+                target = line_addr + i * st.stride
+                if target >= 0:
+                    cache.prefetch_fill(now, target, requestor)
+                    self.stats.inc("issued")

@@ -1,0 +1,14 @@
+"""Statistics: hierarchical counters and report/export utilities."""
+
+from .counters import Stats
+from .reporting import (
+    compare,
+    rows_to_csv,
+    stats_to_csv,
+    stats_to_dict,
+    stats_to_json,
+    text_histogram,
+)
+
+__all__ = ["Stats", "compare", "rows_to_csv", "stats_to_csv", "stats_to_dict",
+           "stats_to_json", "text_histogram"]

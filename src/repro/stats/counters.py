@@ -1,0 +1,86 @@
+"""Hierarchical statistics counters used across the simulator.
+
+Every architectural component owns a :class:`Stats` namespace. Counters are
+created on first use, so components can record events without pre-declaring
+them.  Scalar counters, ratios, and simple histograms are supported; the whole
+tree can be flattened into a ``dict`` for reporting from experiment drivers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Stats:
+    """A named bag of counters, optionally containing child namespaces.
+
+    >>> s = Stats("core0")
+    >>> s.inc("instructions", 5)
+    >>> s["instructions"]
+    5
+    >>> s.child("dcache").inc("misses")
+    >>> dict(s.flat())["core0.dcache.misses"]
+    1
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._children: Dict[str, "Stats"] = {}
+
+    # -- counters ---------------------------------------------------------
+    def inc(self, key: str, amount: float = 1) -> None:
+        """Increment counter ``key`` by ``amount`` (creating it at 0)."""
+        self._counters[key] += amount
+
+    def set(self, key: str, value: float) -> None:
+        """Set counter ``key`` to an absolute value."""
+        self._counters[key] = value
+
+    def max(self, key: str, value: float) -> None:
+        """Record the running maximum of ``key``."""
+        if value > self._counters.get(key, float("-inf")):
+            self._counters[key] = value
+
+    def __getitem__(self, key: str) -> float:
+        return self._counters.get(key, 0.0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def ratio(self, num: str, den: str) -> float:
+        """Return counter ``num`` / counter ``den`` (0 if denominator is 0)."""
+        d = self._counters.get(den, 0.0)
+        return self._counters.get(num, 0.0) / d if d else 0.0
+
+    # -- hierarchy --------------------------------------------------------
+    def child(self, name: str) -> "Stats":
+        """Return (creating if needed) the child namespace ``name``."""
+        if name not in self._children:
+            self._children[name] = Stats(name)
+        return self._children[name]
+
+    def children(self) -> Dict[str, "Stats"]:
+        return dict(self._children)
+
+    def flat(self, prefix: str | None = None) -> Iterator[Tuple[str, float]]:
+        """Yield ``(dotted.path, value)`` for every counter in the tree."""
+        base = self.name if prefix is None else prefix
+        for key, value in sorted(self._counters.items()):
+            yield (f"{base}.{key}" if base else key, value)
+        for child in self._children.values():
+            yield from child.flat(f"{base}.{child.name}" if base else child.name)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the entire tree into a plain dictionary."""
+        return dict(self.flat())
+
+    def reset(self) -> None:
+        """Zero every counter in this namespace and all children."""
+        self._counters.clear()
+        for child in self._children.values():
+            child.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stats({self.name!r}, {dict(self._counters)!r}, children={list(self._children)})"

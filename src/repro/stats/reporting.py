@@ -1,0 +1,112 @@
+"""Report generation: turn Stats trees and experiment rows into artifacts.
+
+Provides the export surface a downstream user needs to get simulator data
+out of Python: flat CSV/JSON dumps of stats trees, side-by-side comparison
+tables between runs, and simple text histograms for quick terminal
+inspection (the simulator has no plotting dependency by design).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .counters import Stats
+
+
+def stats_to_dict(stats: Stats) -> Dict[str, float]:
+    """Flatten a stats tree into a plain dict (dotted keys)."""
+    return stats.as_dict()
+
+
+def stats_to_json(stats: Stats, indent: int = 1) -> str:
+    """Flattened stats tree as a JSON object string."""
+    return json.dumps(stats_to_dict(stats), indent=indent, sort_keys=True)
+
+
+def stats_to_csv(stats: Stats) -> str:
+    """Two-column CSV: counter path, value."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["counter", "value"])
+    for key, value in sorted(stats_to_dict(stats).items()):
+        writer.writerow([key, value])
+    return buf.getvalue()
+
+
+def rows_to_csv(rows: Sequence[Dict]) -> str:
+    """Experiment rows (list of dicts) to CSV with the union of columns."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def compare(runs: Dict[str, Stats], keys: Optional[Iterable[str]] = None,
+            baseline: Optional[str] = None) -> str:
+    """Side-by-side comparison table of several runs' counters.
+
+    ``runs`` maps run labels to stats trees.  ``keys`` restricts the rows
+    (default: union of all counters).  With ``baseline`` set, every other
+    column also shows the ratio to the baseline run.
+    """
+    flats = {label: stats_to_dict(s) for label, s in runs.items()}
+    if keys is None:
+        all_keys: List[str] = []
+        for flat in flats.values():
+            for key in flat:
+                if key not in all_keys:
+                    all_keys.append(key)
+        keys = sorted(all_keys)
+    labels = list(runs)
+    header = ["counter"] + labels
+    lines = []
+    for key in keys:
+        row = [key]
+        for label in labels:
+            value = flats[label].get(key)
+            if value is None:
+                row.append("--")
+            elif baseline and label != baseline and flats[baseline].get(key):
+                row.append(f"{value:g} ({value / flats[baseline][key]:.2f}x)")
+            else:
+                row.append(f"{value:g}")
+        lines.append(row)
+    widths = [max(len(r[i]) for r in [header] + lines) for i in range(len(header))]
+    out = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for row in lines:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def text_histogram(values: Sequence[float], bins: int = 10, width: int = 40,
+                   title: str = "") -> str:
+    """ASCII histogram for terminal inspection of a metric distribution."""
+    if not values:
+        return f"{title}\n(no data)"
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        hi = lo + 1
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / (hi - lo) * bins))
+        counts[idx] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, c in enumerate(counts):
+        left = lo + (hi - lo) * i / bins
+        right = lo + (hi - lo) * (i + 1) / bins
+        bar = "#" * (c * width // peak if peak else 0)
+        lines.append(f"[{left:10.3f}, {right:10.3f})  {c:6d}  {bar}")
+    return "\n".join(lines)

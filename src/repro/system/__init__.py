@@ -1,0 +1,23 @@
+"""System-level assembly: Table 1 configs, multi-core nodes, offload, driver."""
+
+from .config import (
+    CORE_TYPES,
+    OOO_AREA_RATIO_VS_INO,
+    OOO_CLOCK_RATIO,
+    RunConfig,
+    ndp_dcache,
+    ndp_icache,
+    table1_dram,
+)
+from .node import AddressSkew, NearMemoryNode, NodeResult
+from .offload import offload_contexts
+from .manifest import RunManifest
+from .simulator import RunResult, run_config, sweep
+from .sweeps import best_by, run_grid, sweep_grid
+
+__all__ = [
+    "AddressSkew", "CORE_TYPES", "NearMemoryNode", "NodeResult",
+    "OOO_AREA_RATIO_VS_INO", "OOO_CLOCK_RATIO", "RunConfig", "RunManifest",
+    "RunResult", "best_by", "ndp_dcache", "ndp_icache", "offload_contexts",
+    "run_config", "run_grid", "sweep", "sweep_grid", "table1_dram",
+]

@@ -1,0 +1,79 @@
+"""Run manifests: everything needed to reproduce a simulation exactly.
+
+A manifest captures the configuration, seeds, package version, and a
+digest of the results; saving one next to experiment outputs lets a reader
+re-run the exact configuration later and byte-compare.  Used by the CLI's
+``--manifest`` option and directly from Python.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from .. import __version__
+from .config import RunConfig
+from .simulator import RunResult
+
+
+@dataclass
+class RunManifest:
+    """Reproducibility record of one or more runs."""
+
+    repro_version: str = __version__
+    python_version: str = field(default_factory=lambda: sys.version.split()[0])
+    platform: str = field(default_factory=platform.platform)
+    configs: List[Dict] = field(default_factory=list)
+    results_digest: str = ""
+    results_summary: List[Dict] = field(default_factory=list)
+
+    def add(self, result: RunResult) -> None:
+        self.configs.append(asdict(result.config))
+        self.results_summary.append({
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "ipc": round(result.ipc, 6),
+            "rf_hit_rate": (round(result.rf_hit_rate, 6)
+                            if result.rf_hit_rate is not None else None),
+        })
+        self.results_digest = self._digest()
+
+    def _digest(self) -> str:
+        payload = json.dumps([self.configs, self.results_summary],
+                             sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(asdict(self), indent=indent, default=str)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        with open(path) as f:
+            data = json.load(f)
+        m = cls(repro_version=data["repro_version"],
+                python_version=data["python_version"],
+                platform=data["platform"],
+                configs=data["configs"],
+                results_digest=data["results_digest"],
+                results_summary=data["results_summary"])
+        return m
+
+    def replay_config(self, index: int = 0) -> RunConfig:
+        """Reconstruct the RunConfig of entry ``index`` for re-running."""
+        return RunConfig(**self.configs[index])
+
+    def verify_against(self, results: List[RunResult]) -> bool:
+        """True iff re-run results match the recorded summary exactly."""
+        fresh = RunManifest()
+        for r in results:
+            fresh.add(r)
+        return fresh.results_digest == self.results_digest

@@ -1,0 +1,80 @@
+"""Multi-processor near-memory node (the Figure 11 system).
+
+N near-memory processors share the crossbar and DRAM.  Each processor runs
+its own instance of the workload (its own offloaded task batch); an address
+skew decorrelates per-core data regions in the shared DRAM mapping, exactly
+as distinct physical allocations would.  Cores advance in a
+smallest-local-clock-first interleaving so cross-core memory contention is
+observed in (approximate) global time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..memory.hierarchy import NDPMemorySystem
+from ..stats.counters import Stats
+
+
+class AddressSkew:
+    """Per-core address offset between the L1s and the shared crossbar."""
+
+    def __init__(self, next_level, core_id: int, skew_bytes: int = 1 << 28) -> None:
+        self.next_level = next_level
+        self.offset = core_id * skew_bytes
+
+    def access(self, now: int, line_addr: int, is_write: bool = False,
+               requestor: int = 0) -> int:
+        return self.next_level.access(now, line_addr + self.offset,
+                                      is_write=is_write, requestor=requestor)
+
+
+@dataclass
+class NodeResult:
+    stats: Stats
+    cores: list
+    cycles: int
+    instructions: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class NearMemoryNode:
+    """Builds and runs N cores over a shared NDP memory system.
+
+    ``core_factory(core_id, icache, dcache) -> core`` constructs each
+    processor (the factory owns workload instantiation so every core gets
+    its own task batch).
+    """
+
+    def __init__(self, n_cores: int, memsys: NDPMemorySystem,
+                 core_factory: Callable, stats: Optional[Stats] = None) -> None:
+        self.stats = stats if stats is not None else Stats("node")
+        self.memsys = memsys
+        self.cores = []
+        for cid in range(n_cores):
+            ports = memsys.ports(cid)
+            # interpose the skew between each L1 and the shared crossbar
+            skew = AddressSkew(memsys.crossbar, cid)
+            ports.icache.next_level = skew
+            ports.dcache.next_level = skew
+            self.cores.append(core_factory(cid, ports.icache, ports.dcache))
+
+    def run(self) -> NodeResult:
+        """Interleave cores by local clock until all complete."""
+        live = list(self.cores)
+        while live:
+            core = min(live, key=lambda c: c.now)
+            if not core.step():
+                core.finalize_stats()
+                live.remove(core)
+        cycles = max(int(c.stats["cycles"]) for c in self.cores)
+        instructions = sum(int(c.stats["instructions"]) for c in self.cores)
+        self.stats.set("cycles", cycles)
+        self.stats.set("instructions", instructions)
+        self.stats.set("ipc", instructions / cycles if cycles else 0.0)
+        return NodeResult(stats=self.stats, cores=self.cores, cycles=cycles,
+                          instructions=instructions)

@@ -1,0 +1,164 @@
+"""Top-level simulation driver: RunConfig -> stats.
+
+This is the single entry point used by the experiment drivers, the
+benchmarks, and the examples.  It instantiates the workload, memory system,
+and core(s) described by a :class:`~repro.system.config.RunConfig`, runs to
+completion, verifies functional correctness against the workload's numpy
+oracle, and returns a result record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .. import workloads
+from ..core.cgmt import BankedCore, SoftwareSwitchCore
+from ..core.fgmt import FGMTCore
+from ..core.inorder import InOrderCore
+from ..core.ooo import OoOCore
+from ..core.prefetch import ExactPrefetchCore, FullContextPrefetchCore
+from ..memory.hierarchy import HostMemorySystem, NDPMemorySystem
+from ..stats.counters import Stats
+from ..virec import ViReCConfig, ViReCCore, make_nsf_core
+from .config import OOO_CLOCK_RATIO, RunConfig, ndp_dcache, ndp_icache, table1_dram
+from .node import NearMemoryNode, NodeResult
+from .offload import offload_contexts
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated configuration."""
+
+    config: RunConfig
+    cycles: int
+    instructions: int
+    ipc: float
+    stats: Stats
+    rf_hit_rate: Optional[float] = None
+    correct: bool = True
+
+    @property
+    def speedup_base(self) -> float:
+        return self.ipc
+
+
+def _make_core(cfg: RunConfig, instance, icache, dcache, core_id=0, stats=None):
+    threads = instance.threads()
+    layout = instance.layout()
+    if cfg.core_type != "inorder":
+        from ..core.base import ThreadState
+        offload_contexts(instance.memory, layout, threads,
+                         instance.init_regs, stagger=cfg.offload_stagger)
+        if cfg.offload_stagger:
+            for th in threads:
+                th.state = ThreadState.BLOCKED
+
+    common = dict(stats=stats, core_id=core_id, layout=layout)
+    if cfg.core_type == "banked":
+        return BankedCore(instance.program, icache, dcache, instance.memory,
+                          threads, **common)
+    if cfg.core_type == "fgmt":
+        return FGMTCore(instance.program, icache, dcache, instance.memory,
+                        threads, **common)
+    if cfg.core_type == "swctx":
+        return SoftwareSwitchCore(instance.program, icache, dcache,
+                                  instance.memory, threads, **common)
+    if cfg.core_type == "virec":
+        rf = cfg.resolve_rf_size(len(instance.active_regs))
+        vc = ViReCConfig(rf_size=rf, policy=cfg.policy)
+        return ViReCCore(instance.program, icache, dcache, instance.memory,
+                         threads, virec=vc, **common)
+    if cfg.core_type == "nsf":
+        rf = cfg.resolve_rf_size(len(instance.active_regs))
+        return make_nsf_core(instance.program, icache, dcache, instance.memory,
+                             threads, rf_size=rf, layout=layout,
+                             stats=stats, core_id=core_id)
+    if cfg.core_type == "prefetch-full":
+        return FullContextPrefetchCore(instance.program, icache, dcache,
+                                       instance.memory, threads, **common)
+    if cfg.core_type == "prefetch-exact":
+        return ExactPrefetchCore(instance.program, icache, dcache,
+                                 instance.memory, threads,
+                                 active_regs=instance.active_regs, **common)
+    if cfg.core_type == "inorder":
+        if len(threads) != 1:
+            raise ValueError("inorder runs n_threads=1")
+        return InOrderCore(instance.program, icache, dcache, instance.memory,
+                           threads, **common)
+    raise ValueError(cfg.core_type)  # pragma: no cover
+
+
+def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
+    """Simulate one configuration and return its result record."""
+    spec = workloads.get(cfg.workload)
+
+    if cfg.core_type == "ooo":
+        return _run_ooo(cfg, spec, check)
+
+    stats = Stats("system")
+    if cfg.dram_preset == "hbm":
+        from ..memory.dram import hbm_like_config
+        dram = hbm_like_config()
+    else:
+        dram = table1_dram()
+        dram.channels = cfg.dram_channels
+        dram.banks_per_channel = cfg.dram_banks
+    memsys = NDPMemorySystem(
+        n_cores=cfg.n_cores,
+        dcache=ndp_dcache(cfg.dcache_kb, cfg.dcache_latency),
+        icache=ndp_icache(), dram=dram,
+        crossbar_latency=cfg.crossbar_latency, stats=stats.child("mem"))
+
+    instances = []
+
+    def factory(core_id, icache, dcache):
+        inst = spec.build(n_threads=cfg.n_threads,
+                          n_per_thread=cfg.n_per_thread,
+                          seed=cfg.seed + core_id, **cfg.workload_kwargs)
+        instances.append(inst)
+        return _make_core(cfg, inst, icache, dcache, core_id=core_id,
+                          stats=stats.child(f"core{core_id}"))
+
+    node = NearMemoryNode(cfg.n_cores, memsys, factory, stats=stats.child("node"))
+    result = node.run()
+
+    correct = all(inst.check() for inst in instances) if check else True
+    if not correct:
+        raise AssertionError(
+            f"functional check failed: {cfg.workload} on {cfg.core_type}")
+
+    hit = None
+    core0 = node.cores[0]
+    if hasattr(core0, "vrmu"):
+        hits = sum(c.vrmu.stats["hits"] for c in node.cores)
+        total = hits + sum(c.vrmu.stats["misses"] for c in node.cores)
+        hit = hits / total if total else 1.0
+    return RunResult(config=cfg, cycles=result.cycles,
+                     instructions=result.instructions, ipc=result.ipc,
+                     stats=stats, rf_hit_rate=hit, correct=correct)
+
+
+def _run_ooo(cfg: RunConfig, spec, check: bool) -> RunResult:
+    """Single OoO host core over the full (unpartitioned) problem."""
+    inst = spec.build(n_threads=1,
+                      n_per_thread=cfg.n_per_thread * cfg.n_threads,
+                      seed=cfg.seed, **cfg.workload_kwargs)
+    host = HostMemorySystem(dram=table1_dram())
+    stats = Stats("ooo-system")
+    core = OoOCore(inst.program, host.icache, host.dcache, inst.memory,
+                   stats=stats.child("core0"))
+    core_stats = core.run(inst.init_regs[0] if inst.init_regs else None)
+    if check and not inst.check():
+        raise AssertionError(f"functional check failed: {cfg.workload} on ooo")
+    # normalize to NDP cycles: the host runs at 2 GHz
+    cycles = int(core_stats["cycles"] / OOO_CLOCK_RATIO)
+    instructions = int(core_stats["instructions"])
+    return RunResult(config=cfg, cycles=cycles, instructions=instructions,
+                     ipc=instructions / cycles if cycles else 0.0,
+                     stats=stats, correct=True)
+
+
+def sweep(configs: List[RunConfig], check: bool = True) -> List[RunResult]:
+    """Run a list of configurations (the experiment drivers' workhorse)."""
+    return [run_config(c, check=check) for c in configs]

@@ -1,0 +1,79 @@
+"""Parameter-grid sweeps over RunConfigs.
+
+A small utility for the exploration workflows users actually run: build a
+cartesian grid of :class:`RunConfig` variations, simulate them all, and get
+results back as rows ready for :func:`repro.stats.reporting.rows_to_csv`
+or the ASCII plotters.
+
+Example::
+
+    grid = sweep_grid(
+        RunConfig(workload="gather", core_type="virec"),
+        context_fraction=[0.4, 0.6, 0.8],
+        n_threads=[4, 8],
+    )
+    rows = run_grid(grid)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Sequence
+
+from .config import RunConfig
+from .simulator import RunResult, run_config
+
+
+def sweep_grid(base: RunConfig, **axes: Sequence) -> List[RunConfig]:
+    """Cartesian product of ``axes`` applied over ``base``.
+
+    Each axis keyword must be a RunConfig field; values are swept in the
+    given order, last axis fastest.
+    """
+    for field in axes:
+        if not hasattr(base, field):
+            raise ValueError(f"RunConfig has no field {field!r}")
+    names = list(axes)
+    combos = itertools.product(*(axes[name] for name in names))
+    return [base.with_(**dict(zip(names, combo))) for combo in combos]
+
+
+def run_grid(configs: Iterable[RunConfig], check: bool = True,
+             progress=None) -> List[Dict]:
+    """Simulate every config; returns flat result rows (config + metrics).
+
+    ``progress`` is an optional callable invoked as ``progress(i, total,
+    result)`` after each run (hook for logging long sweeps).
+    """
+    configs = list(configs)
+    rows: List[Dict] = []
+    for i, cfg in enumerate(configs):
+        result = run_config(cfg, check=check)
+        row: Dict = {
+            "workload": cfg.workload,
+            "core_type": cfg.core_type,
+            "n_threads": cfg.n_threads,
+            "n_cores": cfg.n_cores,
+            "context_fraction": cfg.context_fraction,
+            "policy": cfg.policy,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "ipc": result.ipc,
+        }
+        if result.rf_hit_rate is not None:
+            row["rf_hit_rate"] = result.rf_hit_rate
+        rows.append(row)
+        if progress is not None:
+            progress(i + 1, len(configs), result)
+    return rows
+
+
+def best_by(rows: Sequence[Dict], metric: str = "ipc",
+            group: Sequence[str] = ("workload",)) -> List[Dict]:
+    """Best row per group key (highest ``metric``)."""
+    best: Dict[tuple, Dict] = {}
+    for row in rows:
+        key = tuple(row.get(g) for g in group)
+        if key not in best or row[metric] > best[key][metric]:
+            best[key] = row
+    return [best[k] for k in sorted(best)]

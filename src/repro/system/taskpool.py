@@ -1,0 +1,149 @@
+"""Task-pool offload: a batch of tasks larger than the hardware thread count.
+
+Section 6's offload model ships batches of thread contexts to each
+processor.  When the batch exceeds the hardware thread count, a finished
+thread immediately picks up the next queued task (the host pre-stages
+contexts in the reserved region).  This is the steady-state regime behind
+the paper's thread-scalability argument: a banked core is capped at its
+banks and must rotate tasks through them (two-level scheduling), while
+ViReC can simply raise the hardware thread count.
+
+Implementation: :class:`TaskPool` holds the pending per-task initial
+contexts; :func:`attach_pool` hooks a core so a HALTing thread is
+re-dispatched with the next task instead of retiring.  On ViReC cores the
+re-dispatch drops the dead task's registers from the tag store (their
+values are no longer meaningful and must not be spilled).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..core.base import ThreadContext, ThreadState, TimelineCore
+
+
+@dataclass
+class Task:
+    """One offloaded task: the initial register context for a kernel run."""
+
+    init_regs: Dict
+    entry_pc: int = 0
+
+
+@dataclass
+class TaskPool:
+    """FIFO of pending tasks plus dispatch bookkeeping."""
+
+    tasks: Deque[Task] = field(default_factory=deque)
+    #: cycles between a thread halting and its next task being runnable
+    #: (host notification + context staging)
+    dispatch_latency: int = 30
+    dispatched: int = 0
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def pop(self) -> Optional[Task]:
+        if self.tasks:
+            self.dispatched += 1
+            return self.tasks.popleft()
+        return None
+
+    @classmethod
+    def from_instance(cls, instance, hw_threads: int,
+                      dispatch_latency: int = 30) -> "TaskPool":
+        """Build a pool from a workload instance generated with
+        ``n_threads = total tasks``; the first ``hw_threads`` contexts seed
+        the hardware threads, the rest queue here."""
+        pending = [Task(init_regs=regs, entry_pc=instance.program.entry)
+                   for regs in instance.init_regs[hw_threads:]]
+        return cls(tasks=deque(pending), dispatch_latency=dispatch_latency)
+
+
+def attach_pool(core: TimelineCore, pool: TaskPool) -> None:
+    """Hook ``core`` so halting threads pull the next task from ``pool``."""
+    orig_process = core._process_instruction
+    drop_regs = getattr(core, "drop_thread_registers", None)  # ViReC cores
+
+    def redispatch(thread: ThreadContext, t: int) -> bool:
+        task = pool.pop()
+        if task is None:
+            return False
+        if drop_regs is not None:
+            drop_regs(thread)
+        for reg, value in task.init_regs.items():
+            thread.write(reg, value)
+        thread.pc = task.entry_pc
+        thread.state = ThreadState.BLOCKED
+        thread.ready_at = t + pool.dispatch_latency
+        thread.fruitless = 0
+        core.stats.inc("tasks_redispatched")
+        return True
+
+    def process(thread: ThreadContext) -> None:
+        orig_process(thread)
+        if thread.state == ThreadState.DONE and redispatch(thread, core.commit_tail):
+            # resurrect the thread for its next task
+            core.stats.inc("threads_completed", -1)
+
+    core._process_instruction = process
+
+def run_taskpool(workload: str = "gather", core_type: str = "virec",
+                 hw_threads: int = 8, n_tasks: int = 16,
+                 n_per_task: int = 32, context_fraction: float = 0.8,
+                 seed: int = 7, dispatch_latency: int = 30):
+    """Run ``n_tasks`` kernel tasks over ``hw_threads`` hardware threads.
+
+    Returns ``(stats, instance)``; the instance's checker verifies every
+    task's output.  ``core_type`` is ``"virec"`` or ``"banked"`` (the two
+    designs the thread-scalability argument compares).
+    """
+    from .. import workloads as wl
+    from ..core.cgmt import BankedCore, make_threads
+    from ..memory.hierarchy import NDPMemorySystem
+    from ..stats.counters import Stats
+    from ..virec import ViReCConfig, ViReCCore
+    from .config import ndp_dcache, ndp_icache, table1_dram
+    from .offload import offload_contexts
+
+    instance = wl.get(workload).build(n_threads=n_tasks,
+                                      n_per_thread=n_per_task, seed=seed)
+    stats = Stats("taskpool")
+    memsys = NDPMemorySystem(n_cores=1, dcache=ndp_dcache(),
+                             icache=ndp_icache(), dram=table1_dram(),
+                             stats=stats.child("mem"))
+    ports = memsys.ports(0)
+    layout = instance.layout()
+    threads = make_threads(hw_threads, entry_pc=instance.program.entry,
+                           init_regs=instance.init_regs[:hw_threads])
+    offload_contexts(instance.memory, layout, threads,
+                     instance.init_regs[:hw_threads])
+    for th in threads:
+        th.state = ThreadState.BLOCKED
+
+    if core_type == "virec":
+        rf = max(8, round(context_fraction * hw_threads
+                          * len(instance.active_regs)))
+        core = ViReCCore(instance.program, ports.icache, ports.dcache,
+                         instance.memory, threads,
+                         virec=ViReCConfig(rf_size=rf), layout=layout,
+                         stats=stats.child("core"))
+    elif core_type == "banked":
+        core = BankedCore(instance.program, ports.icache, ports.dcache,
+                          instance.memory, threads, layout=layout,
+                          stats=stats.child("core"))
+    else:
+        raise ValueError(f"unsupported core type {core_type!r}")
+
+    pool = TaskPool.from_instance(instance, hw_threads,
+                                  dispatch_latency=dispatch_latency)
+    attach_pool(core, pool)
+    core.run()
+    if not instance.check():
+        raise AssertionError(f"task-pool run produced wrong results "
+                             f"({workload}/{core_type})")
+    if len(pool):
+        raise AssertionError("tasks left undispatched")
+    return stats.child("core"), instance

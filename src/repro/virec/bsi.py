@@ -1,0 +1,105 @@
+"""Backing Store Interface (BSI): register fills and spills (Section 5.3).
+
+The BSI sits in the execute stage and moves registers between the physical
+register file and the dcache backing store through the shared LSQ/BSI port
+(the arbiter always prioritizes demand LSQ requests; here the core's
+``dcache_request`` serializes the port, and the VRMU issues latency-critical
+fills before posted spills).
+
+Implemented optimizations from the paper:
+
+* **register-line pinning** — fills carry ``pin_delta=+1``, spills ``-1``,
+  driving the dcache's 3-bit per-line pin counters;
+* **dummy fill** — a destination-only register needs no old value: the RF
+  gets a dummy value immediately and only a posted metadata transaction is
+  sent, removing backing-store latency from the critical path;
+* **non-blocking mode** — multiple pipelined requests in flight (one issue
+  per cycle); the blocking variant serializes on completion (the
+  area-efficient option the paper describes and we use for the NSF baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.cgmt import ContextLayout
+from ..stats.counters import Stats
+
+
+class BackingStoreInterface:
+    """Fill/spill engine between the register cache and the dcache."""
+
+    def __init__(self, request_fn: Callable, layout: ContextLayout, *,
+                 blocking: bool = False, dummy_fill_enabled: bool = True,
+                 pinning_enabled: bool = True,
+                 stats: Optional[Stats] = None) -> None:
+        self.request = request_fn
+        self.layout = layout
+        self.blocking = blocking
+        self.dummy_fill_enabled = dummy_fill_enabled
+        self.pinning_enabled = pinning_enabled
+        self.stats = stats if stats is not None else Stats("bsi")
+        #: cycle until which a fill/spill is outstanding (CSL mask input)
+        self.busy_until = 0
+        self._next_issue = 0  # blocking-mode serialization
+
+    def _issue(self, t: int, addr: int, is_write: bool, pin_delta: int):
+        if self.blocking:
+            t = max(t, self._next_issue)
+        t_issue, result = self.request(
+            t, addr, is_write=is_write, is_register=True,
+            pin_delta=pin_delta if self.pinning_enabled else 0)
+        if self.blocking:
+            self._next_issue = result.complete_at
+        return t_issue, result
+
+    # -- operations ------------------------------------------------------------
+    def fill(self, t: int, tid: int, flat_reg: int) -> int:
+        """Load a register from the backing store; returns data-ready cycle."""
+        addr = self.layout.reg_addr(tid, flat_reg)
+        _, result = self._issue(t, addr, is_write=False, pin_delta=+1)
+        self.stats.inc("fills")
+        if not result.hit:
+            self.stats.inc("fill_backing_misses")
+        self.busy_until = max(self.busy_until, result.complete_at)
+        return result.complete_at
+
+    def dummy_fill(self, t: int, tid: int, flat_reg: int) -> int:
+        """Destination-only register: dummy value now, metadata txn posted."""
+        if not self.dummy_fill_enabled:
+            return self.fill(t, tid, flat_reg)
+        addr = self.layout.reg_addr(tid, flat_reg)
+        self._issue(t, addr, is_write=False, pin_delta=+1)
+        self.stats.inc("dummy_fills")
+        # metadata transaction is off the critical path; RF writable now
+        return t
+
+    def spill(self, t: int, tid: int, flat_reg: int, dirty: bool) -> int:
+        """Write an evicted register back to the backing store (posted)."""
+        addr = self.layout.reg_addr(tid, flat_reg)
+        t_issue, result = self._issue(t, addr, is_write=True, pin_delta=-1)
+        self.stats.inc("spills")
+        if dirty:
+            self.stats.inc("dirty_spills")
+        self.busy_until = max(self.busy_until, t_issue + 1)
+        return t_issue + 1
+
+    def sysreg_read(self, t: int, tid: int) -> int:
+        """Prefetch a thread's system-register line (ping-pong buffer).
+
+        System-register lines are pinned alongside the general-purpose
+        register lines (Section 6.1: "each thread uses between 2 and 4 cache
+        lines to store their general and system registers ... these lines
+        are pinned so they cannot be evicted"); the saturating counter makes
+        the pin persistent across the read/write ping-pong."""
+        _, result = self._issue(t, self.layout.sysreg_addr(tid),
+                                is_write=False, pin_delta=+1)
+        self.stats.inc("sysreg_reads")
+        return result.complete_at
+
+    def sysreg_write(self, t: int, tid: int) -> int:
+        """Write back the previous thread's system registers (posted)."""
+        t_issue, _ = self._issue(t, self.layout.sysreg_addr(tid),
+                                 is_write=True, pin_delta=0)
+        self.stats.inc("sysreg_writes")
+        return t_issue + 1

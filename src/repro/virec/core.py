@@ -1,0 +1,153 @@
+"""The ViReC core: CGMT pipeline + VRMU register cache + BSI + pinned dcache.
+
+Assembles the full system architecture of Figure 7 on top of the timeline
+CGMT engine:
+
+* decode-stage VRMU lookups gate instruction issue (register fills stall the
+  front end, Figure 4 A->B);
+* the dcache doubles as the register backing store — the reserved register
+  region is pinned and data-load misses inside it never trigger context
+  switches (Section 5.3);
+* the CSL masks switches while the BSI has outstanding fills and prefetches
+  system registers through the ping-pong buffer (Section 5.2).
+
+:func:`make_nsf_core` builds the Named-State-Register-File baseline of
+Section 6.1: the same register-cache datapath but with the PLRU policy, a
+blocking BSI, and none of ViReC's miss-penalty optimizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.base import CoreConfig, ThreadContext, TimelineCore
+from ..core.cgmt import ContextLayout
+from ..isa.instructions import Instruction
+from ..stats.counters import Stats
+from .bsi import BackingStoreInterface
+from .csl import SysRegBuffer
+from .policies import make_policy
+from .vrmu import VRMU
+
+
+@dataclass
+class ViReCConfig:
+    """ViReC-specific parameters on top of :class:`CoreConfig`."""
+
+    rf_size: int = 32                 # physical register-cache entries
+    policy: str = "lrc"
+    blocking_bsi: bool = False
+    dummy_fill: bool = True
+    pinning: bool = True
+    sysreg_buffer: bool = True
+    rollback_depth: int = 4
+    #: spill up to this many same-thread registers per eviction (paper
+    #: future work: group evictions); 1 = the paper's evaluated design
+    group_evict: int = 1
+    #: prefetch the next thread's last-segment registers during the current
+    #: run (paper future work: prefetching combined with ViReC caching)
+    context_prefetch: bool = False
+
+
+class ViReCCore(TimelineCore):
+    """Near-memory CGMT core with a virtualized register file."""
+
+    def __init__(self, program, icache, dcache, memory, threads,
+                 virec: Optional[ViReCConfig] = None,
+                 layout: Optional[ContextLayout] = None,
+                 config: Optional[CoreConfig] = None,
+                 stats: Optional[Stats] = None, core_id: int = 0) -> None:
+        config = config or CoreConfig(name="virec", switch_on_miss=True)
+        super().__init__(program, icache, dcache, memory, threads,
+                         config=config, stats=stats, core_id=core_id,
+                         layout=layout)
+        self.vconfig = virec or ViReCConfig()
+        self.layout = self.layout or ContextLayout()
+
+        vc = self.vconfig
+        self.bsi = BackingStoreInterface(
+            self.dcache_request, self.layout,
+            blocking=vc.blocking_bsi, dummy_fill_enabled=vc.dummy_fill,
+            pinning_enabled=vc.pinning, stats=self.stats.child("bsi"))
+        self.vrmu = VRMU(vc.rf_size, make_policy(vc.policy, vc.rf_size),
+                         self.bsi, rollback_depth=vc.rollback_depth,
+                         group_evict=vc.group_evict,
+                         stats=self.stats.child("vrmu"))
+        self.sysregs = (SysRegBuffer(self.bsi, len(threads),
+                                     self.stats.child("sysreg"))
+                        if vc.sysreg_buffer else None)
+        self._prev_tid: Optional[int] = None
+
+        # reserve + pin the register region in the backing store
+        self.dcache.register_region = self.layout.region(len(threads))
+
+    # -- TimelineCore hooks ------------------------------------------------
+    def decode_regs_ready(self, thread: ThreadContext, inst: Instruction,
+                          t_decode: int) -> int:
+        return self.vrmu.access(thread.tid, inst, t_decode)
+
+    def on_commit(self, thread: ThreadContext, inst: Instruction,
+                  t_commit: int) -> None:
+        if inst.regs:
+            self.vrmu.on_commit()
+
+    def on_flush(self, thread: ThreadContext, insts: List[Instruction],
+                 t: int) -> None:
+        self.vrmu.on_flush(thread.tid, insts)
+
+    def switch_extra_wait(self, t: int) -> int:
+        # CSL mask: no switch while a register fill/spill is outstanding
+        return max(t, self.bsi.busy_until)
+
+    def switch_in(self, thread: ThreadContext, t: int) -> int:
+        if self._prev_tid is not None and self._prev_tid != thread.tid:
+            self.vrmu.on_context_switch(self._prev_tid, thread.tid)
+        self._prev_tid = thread.tid
+        if self.sysregs is not None:
+            t = self.sysregs.switch_to(thread.tid, t)
+        else:
+            t = self.bsi.sysreg_read(t, thread.tid)
+        if self.vconfig.context_prefetch and len(self.threads) > 1:
+            # warm the round-robin successor's last-segment registers while
+            # this thread executes (overlapped; fills ride the BSI)
+            nxt = self.threads[(thread.tid + 1) % len(self.threads)]
+            if nxt.state is not None and nxt is not thread:
+                self.vrmu.prefetch_context(nxt.tid, t)
+        # the incoming thread starts a fresh run segment
+        self.vrmu.segment_regs.setdefault(thread.tid, set()).clear()
+        return t + self.config.switch_refill
+
+    def drop_thread_registers(self, thread: ThreadContext) -> None:
+        """Invalidate a finished task's registers without spilling them
+        (task-pool redispatch support: the dead context's values must not
+        reach the backing store)."""
+        ts = self.vrmu.tagstore
+        for flat in list(ts.resident_regs(thread.tid)):
+            slot = ts.lookup(thread.tid, flat)
+            if slot is not None:
+                ts.evict(slot)
+        self.vrmu.segment_regs.pop(thread.tid, None)
+        self.stats.inc("task_context_drops")
+
+    # -- reporting -------------------------------------------------------------
+    def finalize_stats(self) -> None:
+        super().finalize_stats()
+        self.stats.set("rf_hit_rate", self.vrmu.hit_rate)
+        self.stats.set("rf_size", self.vconfig.rf_size)
+
+
+def make_nsf_core(program, icache, dcache, memory, threads,
+                  rf_size: int = 32, layout: Optional[ContextLayout] = None,
+                  stats: Optional[Stats] = None, core_id: int = 0) -> ViReCCore:
+    """Named State Register File baseline [41] (Section 6.1 comparison).
+
+    Same register-cache datapath as ViReC but: PLRU replacement, blocking
+    BSI, no register-line pinning, no dummy-fill optimization, and no
+    system-register prefetch buffer.
+    """
+    vcfg = ViReCConfig(rf_size=rf_size, policy="plru", blocking_bsi=True,
+                       dummy_fill=False, pinning=False, sysreg_buffer=False)
+    return ViReCCore(program, icache, dcache, memory, threads, virec=vcfg,
+                     layout=layout, config=CoreConfig(name="nsf", switch_on_miss=True),
+                     stats=stats, core_id=core_id)

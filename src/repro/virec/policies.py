@@ -1,0 +1,244 @@
+"""Register-cache replacement policies (Section 4 of the paper).
+
+All policies operate on a fully-associative register cache of ``capacity``
+entries and expose *eviction priority*: the entry with the **highest**
+priority value is evicted first, matching the hardware formulation in
+Section 5.1 ("the registers with the highest value are evicted first").
+
+Metadata fields per entry (Table in Section 5.1: T/C/A = 3/1/3 bits):
+
+``T`` (thread recency)
+    0 for the running thread; set to maximum (7) for the thread being
+    suspended at a context switch; decremented (saturating at 0) for every
+    other thread.  With round-robin scheduling, high T = runs furthest in
+    the future (Section 4.1, MRT ordering).
+``C`` (commit)
+    Speculatively initialized to 1 on access; reset to 0 by the rollback
+    queue for registers of instructions flushed by a context switch.
+    In-flight (C=0) registers are the first to be re-accessed when the
+    thread resumes, so they are retained over committed ones (Section 4.2).
+``A`` (age)
+    3-bit saturating pseudo-LRU age: 0 on access, +1 on every subsequent
+    instruction's register-file access.
+
+Implemented policies and their priority functions:
+
+=============  =======================================
+PLRU           ``A``                      (prior work [41])
+LRU            exact age (oracle recency)
+MRT-PLRU       ``(T << 3) | A``
+MRT-LRU        ``T`` then exact age       (perfect variant)
+LRC            ``(T << 4) | (C << 3) | A``  (the paper's policy)
+=============  =======================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+A_MAX = 7  # 3-bit age
+T_MAX = 7  # 3-bit thread recency
+
+
+class ReplacementPolicy:
+    """Base class holding the T/C/A metadata arrays."""
+
+    #: subclass name used by :func:`make_policy`
+    name = "base"
+    #: whether the policy consumes the commit (C) bit
+    uses_commit_bit = False
+    #: whether the policy consumes thread-recency (T) bits
+    uses_thread_bits = False
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("policy capacity must be >= 1")
+        self.capacity = capacity
+        self.T = np.zeros(capacity, dtype=np.int64)
+        self.C = np.ones(capacity, dtype=np.int64)
+        self.A = np.zeros(capacity, dtype=np.int64)
+        self.stamp = np.zeros(capacity, dtype=np.int64)  # exact recency
+        self._clock = 0
+
+    # -- event hooks --------------------------------------------------------
+    def on_instruction(self, valid: np.ndarray) -> None:
+        """One instruction accessed the register file: age everyone."""
+        self._clock += 1
+        np.minimum(self.A + 1, A_MAX, out=self.A, where=valid)
+
+    def on_access(self, idx: int) -> None:
+        """Entry ``idx`` was referenced by the current instruction."""
+        self.A[idx] = 0
+        self.C[idx] = 1  # speculative commit initialization (Section 5.1)
+        self.T[idx] = 0  # belongs to the running thread by construction
+        self.stamp[idx] = self._clock
+
+    def on_insert(self, idx: int) -> None:
+        self.on_access(idx)
+
+    def on_flush(self, idxs) -> None:
+        """Rollback queue resets the C bit of flushed in-flight registers."""
+        for idx in idxs:
+            self.C[idx] = 0
+
+    def on_context_switch(self, owner: np.ndarray, valid: np.ndarray,
+                          prev_tid: int, new_tid: int) -> None:
+        """Update T bits per Section 5.1."""
+        prev_mask = valid & (owner == prev_tid)
+        other_mask = valid & (owner != prev_tid)
+        self.T[prev_mask] = T_MAX
+        np.maximum(self.T - 1, 0, out=self.T, where=other_mask)
+        self.T[valid & (owner == new_tid)] = 0
+
+    # -- eviction ------------------------------------------------------------
+    def priority(self) -> np.ndarray:
+        """Eviction priority per entry (higher = evict first)."""
+        raise NotImplementedError
+
+    def select_victim(self, candidates: np.ndarray) -> int | None:
+        """Index of the victim among boolean mask ``candidates`` (None if empty)."""
+        if not candidates.any():
+            return None
+        prio = np.where(candidates, self.priority(), np.int64(-1 << 60))
+        return int(prio.argmax())
+
+
+class PLRU(ReplacementPolicy):
+    """Age-only pseudo-LRU, as in the NSF [41] — thrashes across threads."""
+
+    name = "plru"
+
+    def priority(self) -> np.ndarray:
+        return self.A
+
+
+class LRU(ReplacementPolicy):
+    """Exact recency (perfect LRU) — still scheduling-oblivious."""
+
+    name = "lru"
+
+    def priority(self) -> np.ndarray:
+        return self._clock - self.stamp
+
+
+class MRTPLRU(ReplacementPolicy):
+    """Most-Recent-Thread PLRU: T bits concatenated above the PLRU age."""
+
+    name = "mrt-plru"
+    uses_thread_bits = True
+
+    def priority(self) -> np.ndarray:
+        return (self.T << 3) | self.A
+
+
+class MRTLRU(ReplacementPolicy):
+    """MRT with exact ages (perfect variant of Figure 12)."""
+
+    name = "mrt-lru"
+    uses_thread_bits = True
+
+    def priority(self) -> np.ndarray:
+        return (self.T << 40) + (self._clock - self.stamp)
+
+
+class LRC(ReplacementPolicy):
+    """Least Recently Committed: T, then C, then A (the paper's policy)."""
+
+    name = "lrc"
+    uses_commit_bit = True
+    uses_thread_bits = True
+
+    def priority(self) -> np.ndarray:
+        return (self.T << 4) | (self.C << 3) | self.A
+
+
+POLICIES = {cls.name: cls for cls in (PLRU, LRU, MRTPLRU, MRTLRU, LRC)}
+
+
+def make_policy(name: str, capacity: int) -> ReplacementPolicy:
+    """Instantiate a policy by name (``plru``/``lru``/``mrt-plru``/``mrt-lru``/``lrc``)."""
+    try:
+        return POLICIES[name](capacity)
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; choose from {sorted(POLICIES)}")
+
+
+class SRRIP(ReplacementPolicy):
+    """Static Re-Reference Interval Prediction [33], adapted to registers.
+
+    The paper argues (Section 7) that RRIP-class policies "sample cache
+    sets to determine whether cache items are recency-friendly or averse
+    based on prior access, which does not work for registers as the reuse
+    distance depends on the instruction and context switch behavior."
+    Implemented here so that claim can be measured: entries insert with a
+    long predicted re-reference interval (RRPV = max-1), promote to 0 on a
+    hit, and the victim is any entry at max RRPV (aging everyone when none
+    is).  Scheduling-oblivious by construction.
+    """
+
+    name = "srrip"
+    RRPV_MAX = 7  # reuse the 3-bit A field as the RRPV
+
+    def on_access(self, idx: int) -> None:
+        super().on_access(idx)
+        self.A[idx] = 0                      # promoted on re-reference
+
+    def on_insert(self, idx: int) -> None:
+        super().on_insert(idx)
+        self.A[idx] = self.RRPV_MAX - 1      # long re-reference prediction
+
+    def on_instruction(self, valid) -> None:
+        # RRIP does not age on every access; aging happens at eviction time
+        self._clock += 1
+
+    def select_victim(self, candidates):
+        import numpy as np
+        if not candidates.any():
+            return None
+        # age until some candidate reaches RRPV max, then evict it
+        while True:
+            at_max = candidates & (self.A >= self.RRPV_MAX)
+            if at_max.any():
+                return int(np.flatnonzero(at_max)[0])
+            np.minimum(self.A + 1, self.RRPV_MAX, out=self.A,
+                       where=candidates)
+
+    def priority(self):
+        return self.A
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random replacement — the no-information floor.
+
+    Deterministic (xorshift seeded at construction) so simulations stay
+    reproducible.
+    """
+
+    name = "random"
+
+    def __init__(self, capacity: int, seed: int = 0x9E3779B9) -> None:
+        super().__init__(capacity)
+        self._state = seed or 1
+
+    def _next(self) -> int:
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._state = x
+        return x
+
+    def select_victim(self, candidates):
+        import numpy as np
+        idxs = np.flatnonzero(candidates)
+        if not idxs.size:
+            return None
+        return int(idxs[self._next() % idxs.size])
+
+    def priority(self):
+        # only used for introspection; selection is randomized
+        return self.A
+
+
+POLICIES["srrip"] = SRRIP
+POLICIES["random"] = RandomPolicy

@@ -1,0 +1,66 @@
+"""Rollback queue: tracks in-flight instructions' register slots (Section 5.1).
+
+After an instruction hits in the tag store, its physical register indices
+and a memory-operation flag are pushed.  Commit pops the oldest entry; a
+context switch compacts every queued entry into the set of slots whose
+commit (C) bits must be reset — exactly the flushed in-flight registers the
+LRC policy then retains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from ..stats.counters import Stats
+
+
+@dataclass(frozen=True)
+class RollbackEntry:
+    slots: Tuple[int, ...]
+    is_mem: bool
+
+
+class RollbackQueue:
+    """FIFO with depth equal to the maximum backend occupancy."""
+
+    def __init__(self, depth: int = 4, stats: Stats | None = None) -> None:
+        self.depth = depth
+        self.stats = stats if stats is not None else Stats("rollback")
+        self._queue: deque[RollbackEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.depth
+
+    def push(self, slots: Iterable[int], is_mem: bool) -> None:
+        """Record an instruction entering the backend."""
+        if self.full:
+            # bounded by in-order commit; drop oldest defensively and count it
+            self._queue.popleft()
+            self.stats.inc("overflow")
+        self._queue.append(RollbackEntry(tuple(slots), is_mem))
+
+    def pop_commit(self) -> RollbackEntry | None:
+        """Commit stage signal: delete the oldest entry."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    @property
+    def oldest_is_mem(self) -> bool:
+        """CSL mask input: is the oldest in-flight instruction a memory op?"""
+        return bool(self._queue) and self._queue[0].is_mem
+
+    def flush(self) -> Set[int]:
+        """Context switch: compact all queued slots into a 1-hot reset set."""
+        slots: Set[int] = set()
+        for entry in self._queue:
+            slots.update(entry.slots)
+        self._queue.clear()
+        self.stats.inc("flushes")
+        return slots

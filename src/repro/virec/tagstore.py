@@ -1,0 +1,120 @@
+"""VRMU tag store: the CAM mapping (thread, architectural reg) -> physical slot.
+
+The tag store is the content-addressable memory of Section 5.1.  Each of the
+``capacity`` physical register-file entries carries: a valid bit, the owning
+thread id, the architectural (flat) register number, a dirty bit, and a
+``fill_ready`` cycle while a backing-store fill is in flight.  Replacement
+metadata (T/C/A) lives in the attached policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..stats.counters import Stats
+from .policies import ReplacementPolicy
+
+
+class TagStore:
+    """Fully-associative mapping of live architectural registers."""
+
+    def __init__(self, capacity: int, policy: ReplacementPolicy,
+                 stats: Optional[Stats] = None) -> None:
+        if policy.capacity != capacity:
+            raise ValueError("policy capacity mismatch")
+        self.capacity = capacity
+        self.policy = policy
+        self.stats = stats if stats is not None else Stats("tagstore")
+        self.valid = np.zeros(capacity, dtype=bool)
+        self.owner = np.full(capacity, -1, dtype=np.int64)
+        self.areg = np.full(capacity, -1, dtype=np.int64)
+        self.dirty = np.zeros(capacity, dtype=bool)
+        self.fill_ready = np.zeros(capacity, dtype=np.int64)
+        self._map: Dict[Tuple[int, int], int] = {}
+
+    # -- lookup ---------------------------------------------------------------
+    def lookup(self, tid: int, flat_reg: int) -> Optional[int]:
+        """Physical slot of (thread, register), or None if not resident."""
+        return self._map.get((tid, flat_reg))
+
+    def resident_count(self, tid: Optional[int] = None) -> int:
+        if tid is None:
+            return int(self.valid.sum())
+        return int((self.valid & (self.owner == tid)).sum())
+
+    def resident_regs(self, tid: int):
+        """Flat register indices of ``tid`` currently resident."""
+        return sorted(int(r) for (t, r) in self._map if t == tid)
+
+    # -- allocation -------------------------------------------------------------
+    def free_slot(self) -> Optional[int]:
+        """Index of an invalid slot, or None when the cache is full."""
+        free = np.flatnonzero(~self.valid)
+        return int(free[0]) if free.size else None
+
+    def select_victim(self, exclude_slots, now: int) -> Optional[int]:
+        """Choose an eviction victim.
+
+        Excludes ``exclude_slots`` (registers of the instruction currently in
+        decode — they must not evict each other) and slots whose fill is
+        still in flight.  Returns None when nothing is evictable.
+        """
+        candidates = self.valid & (self.fill_ready <= now)
+        for slot in exclude_slots:
+            candidates[slot] = False
+        return self.policy.select_victim(candidates)
+
+    def evict(self, slot: int) -> Tuple[int, int, bool]:
+        """Remove the mapping at ``slot``; returns (tid, flat_reg, dirty)."""
+        if not self.valid[slot]:
+            raise ValueError(f"evicting invalid slot {slot}")
+        tid, reg = int(self.owner[slot]), int(self.areg[slot])
+        dirty = bool(self.dirty[slot])
+        del self._map[(tid, reg)]
+        self.valid[slot] = False
+        self.owner[slot] = -1
+        self.areg[slot] = -1
+        self.dirty[slot] = False
+        self.stats.inc("evictions")
+        return tid, reg, dirty
+
+    def insert(self, slot: int, tid: int, flat_reg: int, now: int,
+               fill_ready: int = 0, dirty: bool = False) -> None:
+        """Install (tid, flat_reg) at ``slot`` (must be invalid)."""
+        if self.valid[slot]:
+            raise ValueError(f"inserting into occupied slot {slot}")
+        if (tid, flat_reg) in self._map:
+            raise ValueError(f"duplicate mapping for thread {tid} reg {flat_reg}")
+        self.valid[slot] = True
+        self.owner[slot] = tid
+        self.areg[slot] = flat_reg
+        self.dirty[slot] = dirty
+        self.fill_ready[slot] = fill_ready
+        self._map[(tid, flat_reg)] = slot
+        self.policy.on_insert(slot)
+
+    # -- state updates ----------------------------------------------------------
+    def touch(self, slot: int, is_write: bool) -> None:
+        """Record a decode-stage access to a resident register."""
+        if is_write:
+            self.dirty[slot] = True
+        self.policy.on_access(slot)
+
+    def on_instruction(self) -> None:
+        self.policy.on_instruction(self.valid)
+
+    def on_context_switch(self, prev_tid: int, new_tid: int) -> None:
+        self.policy.on_context_switch(self.owner, self.valid, prev_tid, new_tid)
+
+    # -- invariants (used by property tests) ------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal state is inconsistent."""
+        assert len(self._map) == int(self.valid.sum()), "map/valid mismatch"
+        for (tid, reg), slot in self._map.items():
+            assert self.valid[slot], f"mapped slot {slot} invalid"
+            assert self.owner[slot] == tid and self.areg[slot] == reg, \
+                f"slot {slot} tag mismatch"
+        pairs = list(self._map.values())
+        assert len(pairs) == len(set(pairs)), "two mappings share a slot"

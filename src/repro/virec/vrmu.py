@@ -1,0 +1,201 @@
+"""Virtual Register Management Unit (Section 5.1).
+
+The VRMU sits in the decode stage.  For each instruction it looks up every
+architectural register in the tag store; misses trigger victim selection
+(via the replacement policy), a posted spill of the victim, and either a
+latency-critical fill (source operands) or a dummy fill (destination-only
+operands).  The instruction may enter the backend only when all its source
+registers are resident — the front-end stall of Figure 4 (A)->(B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.instructions import Instruction
+from ..stats.counters import Stats
+from .bsi import BackingStoreInterface
+from .policies import ReplacementPolicy
+from .rollback import RollbackQueue
+from .tagstore import TagStore
+
+
+class CapacityError(ValueError):
+    """Register file too small to hold one instruction's operands."""
+
+
+class VRMU:
+    """Decode-stage register virtualization engine."""
+
+    #: most registers one instruction can name (madd: 4) plus slack for
+    #: in-flight fills of the neighbouring instructions
+    MIN_CAPACITY = 6
+
+    def __init__(self, capacity: int, policy: ReplacementPolicy,
+                 bsi: BackingStoreInterface,
+                 rollback_depth: int = 4,
+                 group_evict: int = 1,
+                 stats: Optional[Stats] = None) -> None:
+        if capacity < self.MIN_CAPACITY:
+            raise CapacityError(
+                f"register cache needs >= {self.MIN_CAPACITY} entries, got {capacity}")
+        if group_evict < 1:
+            raise ValueError("group_evict must be >= 1")
+        self.stats = stats if stats is not None else Stats("vrmu")
+        self.tagstore = TagStore(capacity, policy, self.stats.child("tagstore"))
+        self.rollback = RollbackQueue(rollback_depth, self.stats.child("rollback"))
+        self.bsi = bsi
+        #: >1 enables group evictions (the paper's future-work item): when a
+        #: victim is needed, up to this many same-owner registers are spilled
+        #: together, pre-freeing slots for the following misses.
+        self.group_evict = group_evict
+        #: registers each thread referenced during its latest run segment
+        #: (drives the optional next-context prefetch, see ViReCConfig)
+        self.segment_regs: dict = {}
+
+    # -- decode-stage access ------------------------------------------------
+    def access(self, tid: int, inst: Instruction, t: int) -> int:
+        """Process one instruction's register lookups at decode time ``t``.
+
+        Returns the cycle at which all operands are resident and readable.
+        """
+        regs = inst.regs
+        if not regs:
+            return t
+        ts = self.tagstore
+        ts.on_instruction()
+        dests = set(inst.dests)
+        srcs = set(inst.srcs)
+
+        ready = t
+        inst_slots: List[int] = []
+        missing = []
+        segment = self.segment_regs.setdefault(tid, set())
+        for reg in regs:
+            segment.add(reg.flat)
+            slot = ts.lookup(tid, reg.flat)
+            if slot is not None:
+                self.stats.inc("hits")
+                ts.touch(slot, is_write=reg in dests)
+                ready = max(ready, int(ts.fill_ready[slot]))
+                inst_slots.append(slot)
+            else:
+                self.stats.inc("misses")
+                missing.append(reg)
+        self.stats.inc("accesses", len(regs))
+
+        t_fill = t
+        for reg in missing:
+            victim_info = None
+            slot = ts.free_slot()
+            if slot is None:
+                victim = ts.select_victim(inst_slots, t_fill)
+                if victim is not None and self.group_evict > 1:
+                    self._group_evict(victim, inst_slots, t_fill)
+                while victim is None:
+                    # every candidate is an in-flight fill: wait for the
+                    # earliest one to settle, then retry
+                    pending = ts.fill_ready[ts.valid]
+                    future = pending[pending > t_fill]
+                    t_fill = int(future.min()) if future.size else t_fill + 1
+                    self.stats.inc("victim_wait_cycles")
+                    victim = ts.select_victim(inst_slots, t_fill)
+                victim_info = ts.evict(victim)
+                slot = victim
+                self.stats.inc("spill_evictions")
+            if reg in srcs:
+                done = self.bsi.fill(t_fill, tid, reg.flat)
+                ready = max(ready, done)
+                ts.insert(slot, tid, reg.flat, t_fill, fill_ready=done,
+                          dirty=reg in dests)
+            else:
+                done = self.bsi.dummy_fill(t_fill, tid, reg.flat)
+                ts.insert(slot, tid, reg.flat, t_fill, fill_ready=done, dirty=True)
+            inst_slots.append(slot)
+            # spill after the fill was issued: fills have port priority
+            if victim_info is not None:
+                vtid, vreg, vdirty = victim_info
+                self.bsi.spill(t_fill, vtid, vreg, vdirty)
+
+        self.rollback.push(inst_slots, inst.is_mem)
+        return ready
+
+    def _group_evict(self, victim: int, inst_slots, t: int) -> None:
+        """Spill up to ``group_evict - 1`` additional registers of the
+        victim's owning thread, pre-freeing slots for the following misses
+        (paper future work: 'improved replacement policies for group
+        evictions')."""
+        ts = self.tagstore
+        victim_owner = int(ts.owner[victim])
+        extra = 0
+        while extra < self.group_evict - 1:
+            candidates = (ts.valid & (ts.owner == victim_owner)
+                          & (ts.fill_ready <= t))
+            for slot in inst_slots:
+                candidates[slot] = False
+            candidates[victim] = False
+            nxt = ts.policy.select_victim(candidates)
+            if nxt is None:
+                break
+            vtid, vreg, vdirty = ts.evict(nxt)
+            self.bsi.spill(t, vtid, vreg, vdirty)
+            self.stats.inc("group_evictions")
+            extra += 1
+
+    def prefetch_context(self, tid: int, t: int) -> int:
+        """Prefetch the registers ``tid`` used in its last run segment into
+        the register cache (paper future work: 'combinations of prefetching
+        with ViReC caching').  Returns the last fill completion cycle."""
+        ts = self.tagstore
+        done = t
+        for flat in sorted(self.segment_regs.get(tid, ())):
+            if ts.lookup(tid, flat) is not None:
+                continue
+            slot = ts.free_slot()
+            if slot is None:
+                victim = ts.select_victim([], t)
+                if victim is None or int(ts.owner[victim]) == tid:
+                    break  # nothing worth displacing
+                vtid, vreg, vdirty = ts.evict(victim)
+                self.bsi.spill(t, vtid, vreg, vdirty)
+                slot = victim
+            fill_done = self.bsi.fill(t, tid, flat)
+            ts.insert(slot, tid, flat, t, fill_ready=fill_done)
+            done = max(done, fill_done)
+            self.stats.inc("context_prefetches")
+        return done
+
+    # -- backend signals --------------------------------------------------------
+    def on_commit(self) -> None:
+        """Commit detection logic: pop the oldest rollback entry."""
+        self.rollback.pop_commit()
+
+    def on_flush(self, tid: int, flushed_insts: List[Instruction]) -> None:
+        """Context switch flush: reset C bits of in-flight registers.
+
+        ``flushed_insts`` is the missing load plus the younger instructions
+        already in the frontend; the youngsters' resident registers were
+        accessed by decode just before the switch, so they are marked
+        recently-used and in-flight (C=0) — the retention effect of
+        Section 4.2.  (Fills for non-resident youngster registers are
+        squashed with the flush and not modelled.)
+        """
+        ts = self.tagstore
+        slots = set(self.rollback.flush())
+        for inst in flushed_insts:
+            for reg in inst.regs:
+                slot = ts.lookup(tid, reg.flat)
+                if slot is not None:
+                    ts.policy.A[slot] = 0
+                    slots.add(slot)
+        ts.policy.on_flush(slots)
+        self.stats.inc("flush_resets", len(slots))
+
+    def on_context_switch(self, prev_tid: int, new_tid: int) -> None:
+        self.tagstore.on_context_switch(prev_tid, new_tid)
+
+    # -- reporting -----------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 1.0

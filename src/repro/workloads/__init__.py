@@ -1,0 +1,12 @@
+"""Near-memory workload suite (Spatter, meabo, CORAL-2, PrIM kernels)."""
+
+from . import dbms, graph, meabo, pointer_chase, sparse, spatter, stencil, stream, synthetic  # noqa: F401 (registration)
+from .registry import (
+    WorkloadInstance,
+    WorkloadSpec,
+    all_workloads,
+    get,
+    names,
+)
+
+__all__ = ["WorkloadInstance", "WorkloadSpec", "all_workloads", "get", "names"]

@@ -1,0 +1,159 @@
+"""Database-style kernels: hash-join probe and columnar transpose.
+
+The near-data-processing-for-databases motivation the paper cites ([54],
+"Beyond the wall") centres on probe-heavy joins and layout transforms:
+
+* :func:`build_hash_probe` — probe a bucketed hash table with a stream of
+  keys (open addressing, linear probing).  Dependent loads inside a
+  data-dependent while-loop: low arithmetic intensity, unpredictable reuse.
+* :func:`build_transpose` — tiled matrix transpose: perfectly strided reads
+  against unit-stride writes (the classic data-rearrangement offload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import X
+from ..memory.main_memory import MainMemory
+from .registry import (
+    WorkloadInstance,
+    WorkloadSpec,
+    array_base,
+    make_instance,
+    partition_header,
+    register,
+)
+
+
+def build_hash_probe(n_threads: int = 8, n_per_thread: int = 32,
+                     table_size: int = 4096, fill: float = 0.5,
+                     seed: int = 61) -> WorkloadInstance:
+    """``out[i] = value of keys[i] in an open-addressed table (0 if absent)``.
+
+    ``table_size`` must be a power of two.  Layout: two parallel arrays
+    ``tkeys``/``tvals``; empty slots hold key 0.
+    """
+    if table_size & (table_size - 1):
+        raise ValueError("table_size must be a power of two")
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    n_entries = int(table_size * fill)
+    stored_keys = rng.permutation(np.arange(1, table_size * 4))[:n_entries]
+    tkeys = np.zeros(table_size, dtype=np.int64)
+    tvals = np.zeros(table_size, dtype=np.int64)
+    mask = table_size - 1
+    for k in stored_keys:
+        slot = int(k) & mask
+        while tkeys[slot] != 0:
+            slot = (slot + 1) & mask
+        tkeys[slot] = int(k)
+        tvals[slot] = int(k) * 7 + 1
+
+    # probe stream: ~75% present keys, rest absent
+    present = rng.choice(stored_keys, size=n)
+    absent = rng.permutation(np.arange(table_size * 4, table_size * 5))[:n]
+    use_present = rng.random(n) < 0.75
+    keys = np.where(use_present, present, absent)
+
+    mem = MainMemory()
+    sym = {"keys": array_base(0), "tkeys": array_base(1),
+           "tvals": array_base(2), "out": array_base(3),
+           "chunk": n_per_thread, "mask": mask}
+    mem.write_array(sym["keys"], keys)
+    mem.write_array(sym["tkeys"], tkeys)
+    mem.write_array(sym["tvals"], tvals)
+    src = partition_header() + """
+    adr  x5, keys
+    adr  x6, tkeys
+    adr  x7, tvals
+    adr  x8, out
+    mov  x9, #mask
+loop:
+    ldr  x10, [x5, x3, lsl #3]      ; k = keys[i]
+    and  x11, x10, x9               ; slot = k & mask
+probe:
+    ldr  x12, [x6, x11, lsl #3]     ; tk = tkeys[slot]
+    cbz  x12, miss                  ; empty slot -> absent
+    cmp  x12, x10
+    b.eq hit
+    add  x11, x11, #1               ; linear probe
+    and  x11, x11, x9
+    b    probe
+hit:
+    ldr  x12, [x7, x11, lsl #3]     ; value
+    str  x12, [x8, x3, lsl #3]
+    b    next
+miss:
+    mov  x12, #0
+    str  x12, [x8, x3, lsl #3]
+next:
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    lookup = {int(k): int(k) * 7 + 1 for k in stored_keys}
+    expected = [lookup.get(int(k), 0) for k in keys]
+
+    def check(m: MainMemory) -> bool:
+        return m.read_array(sym["out"], n) == expected
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12))
+    active = tuple(X(i).flat for i in (3, 4, 5, 6, 7, 8, 9, 10, 11, 12))
+    return make_instance("hash_probe", src, sym, mem, n_threads, used, active,
+                         check)
+
+
+def build_transpose(n_threads: int = 8, n_per_thread: int = 16,
+                    width: int = 32, seed: int = 67) -> WorkloadInstance:
+    """Transpose rows of an ``n_rows x width`` matrix: ``out[c, r] = a[r, c]``.
+
+    Each thread transposes ``n_per_thread`` source rows; writes stride by
+    ``n_rows`` words — one destination line touched per element, the
+    data-rearrangement pattern PLANAR-style near-memory engines target.
+    """
+    n_rows = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, 1 << 30, size=(n_rows, width))
+    mem = MainMemory()
+    sym = {"a": array_base(0), "out": array_base(1),
+           "chunk": n_per_thread, "width": width, "nrows": n_rows}
+    mem.write_array(sym["a"], a.ravel())
+    src = partition_header() + """
+    adr  x5, a
+    adr  x6, out
+    mov  x7, #width
+    mov  x10, #nrows
+    mul  x8, x3, x7        ; src index = r * width
+row_loop:
+    mov  x9, #0            ; c = 0
+col_loop:
+    ldr  x11, [x5, x8, lsl #3]     ; a[r, c]
+    madd x12, x9, x10, x3          ; dst = c * nrows + r
+    str  x11, [x6, x12, lsl #3]
+    add  x8, x8, #1
+    add  x9, x9, #1
+    cmp  x9, x7
+    b.lt col_loop
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt row_loop
+    halt
+"""
+    expected = a.T
+
+    def check(m: MainMemory) -> bool:
+        got = m.read_array(sym["out"], n_rows * width)
+        return got == [int(v) for v in expected.ravel()]
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12))
+    active = tuple(X(i).flat for i in (3, 5, 6, 7, 8, 9, 10, 11, 12))
+    return make_instance("transpose", src, sym, mem, n_threads, used, active,
+                         check)
+
+
+register(WorkloadSpec("hash_probe", "dbms", "open-addressing hash-join probe",
+                      build_hash_probe, loads_per_iter=2, pattern="dependent"))
+register(WorkloadSpec("transpose", "spatter", "tiled matrix transpose",
+                      build_transpose, loads_per_iter=1, pattern="strided"))

@@ -1,0 +1,121 @@
+"""Graph traversal kernel: frontier-based BFS step (PrIM-style).
+
+Each thread expands its slice of the current frontier: for every frontier
+vertex it walks the CSR adjacency list and records first-visit parents.
+Irregular on three levels — frontier indirection, row-pointer lookups, and
+scattered neighbour accesses — with a data-dependent inner loop, making it
+the most branch- and indirection-heavy kernel in the suite.
+
+Threads own disjoint frontier slices and (by construction of the generated
+graph) disjoint neighbour sets, so results are deterministic under any
+thread interleaving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import X
+from ..memory.main_memory import MainMemory
+from .registry import (
+    WorkloadInstance,
+    WorkloadSpec,
+    array_base,
+    make_instance,
+    register,
+)
+
+
+def build_bfs_step(n_threads: int = 8, n_per_thread: int = 16,
+                   degree: int = 4, seed: int = 53) -> WorkloadInstance:
+    """One BFS frontier expansion over a generated disjoint-partition graph."""
+    frontier_n = n_threads * n_per_thread
+    n_vertices = frontier_n * (degree + 1) + 1
+    rng = np.random.default_rng(seed)
+
+    # partition the non-frontier vertices among frontier vertices so each
+    # neighbour appears exactly once (deterministic parents)
+    frontier = rng.permutation(n_vertices - 1)[:frontier_n] + 1
+    others = np.setdiff1d(np.arange(1, n_vertices), frontier)
+    rng.shuffle(others)
+    rowptr = np.zeros(n_vertices + 1, dtype=np.int64)
+    cols = np.zeros(frontier_n * degree, dtype=np.int64)
+    nnz = 0
+    take = 0
+    deg_of = {}
+    for v in frontier:
+        d = int(rng.integers(1, degree + 1))
+        d = min(d, len(others) - take)
+        deg_of[int(v)] = d
+        cols[nnz:nnz + d] = others[take:take + d]
+        nnz += d
+        take += d
+    # build CSR rowptr for all vertices (non-frontier rows are empty)
+    counts = np.zeros(n_vertices, dtype=np.int64)
+    pos = 0
+    cols_csr = np.zeros(nnz, dtype=np.int64)
+    for v in frontier:
+        counts[int(v)] = deg_of[int(v)]
+    rowptr[1:] = np.cumsum(counts)
+    cursor = rowptr[:-1].copy()
+    pos = 0
+    for v in frontier:
+        d = deg_of[int(v)]
+        cols_csr[cursor[int(v)]:cursor[int(v)] + d] = cols[pos:pos + d]
+        pos += d
+
+    mem = MainMemory()
+    sym = {"frontier": array_base(0), "rowptr": array_base(1),
+           "cols": array_base(2), "parent": array_base(3),
+           "chunk": n_per_thread}
+    mem.write_array(sym["frontier"], frontier)
+    mem.write_array(sym["rowptr"], rowptr)
+    if nnz:
+        mem.write_array(sym["cols"], cols_csr[:nnz])
+
+    src = """
+start:
+    mov  x2, #chunk
+    mul  x3, x0, x2         ; i = tid * chunk
+    add  x4, x3, x2
+    adr  x5, frontier
+    adr  x6, rowptr
+    adr  x7, cols
+    adr  x8, parent
+vloop:
+    ldr  x9, [x5, x3, lsl #3]       ; v = frontier[i]
+    ldr  x10, [x6, x9, lsl #3]      ; j = rowptr[v]
+    add  x12, x9, #1
+    ldr  x11, [x6, x12, lsl #3]     ; j_end = rowptr[v+1]
+    cmp  x10, x11
+    b.ge next_v
+nloop:
+    ldr  x12, [x7, x10, lsl #3]     ; u = cols[j]
+    str  x9, [x8, x12, lsl #3]      ; parent[u] = v
+    add  x10, x10, #1
+    cmp  x10, x11
+    b.lt nloop
+next_v:
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt vloop
+    halt
+"""
+    expected = {}
+    for v in frontier:
+        v = int(v)
+        for j in range(rowptr[v], rowptr[v + 1]):
+            expected[int(cols_csr[j])] = v
+
+    def check(m: MainMemory) -> bool:
+        return all(m.load(sym["parent"] + u * 8) == v
+                   for u, v in expected.items())
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12))
+    active = tuple(X(i).flat for i in (7, 8, 9, 10, 11, 12))
+    return make_instance("bfs_step", src, sym, mem, n_threads, used, active,
+                         check)
+
+
+register(WorkloadSpec("bfs_step", "prim", "BFS frontier expansion over CSR",
+                      build_bfs_step, loads_per_iter=2, pattern="dependent"))

@@ -1,0 +1,94 @@
+"""meabo-style mixed-phase kernel (Arm meabo [7]; "maebo" in the paper text).
+
+Alternates two inner phases that touch *different register subsets* — an
+FP multiply-accumulate phase and an integer indirect phase — reproducing the
+paper's observation that for meabo "subsets of each context are accessed
+each time the thread is run", the workload where scheduling-aware policies
+must preserve partial contexts across runs (Section 6.1, Figure 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import D, X
+from ..memory.main_memory import MainMemory
+from .registry import (
+    DATA_BASE,
+    array_base,
+    WorkloadInstance,
+    WorkloadSpec,
+    make_instance,
+    partition_header,
+    register,
+)
+
+
+def build_meabo(n_threads: int = 8, n_per_thread: int = 64,
+                footprint_words: int = 4096, seed: int = 37) -> WorkloadInstance:
+    """Even iterations: ``fa[i] = fb[i] * q + fa[i]``;
+    odd iterations: ``out[i] = data[idx[i]] + i``."""
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    fb = rng.random(n)
+    fa0 = rng.random(n)
+    idx = rng.integers(0, footprint_words, size=n)
+    data = rng.integers(1, 1 << 28, size=footprint_words)
+    mem = MainMemory()
+    sym = {"fa": array_base(0), "fb": array_base(1),
+           "idx": array_base(2), "data": array_base(3),
+           "out": array_base(4), "chunk": n_per_thread}
+    mem.write_array(sym["fa"], fa0)
+    mem.write_array(sym["fb"], fb)
+    mem.write_array(sym["idx"], idx)
+    mem.write_array(sym["data"], data)
+    src = partition_header() + """
+    adr  x5, fa
+    adr  x6, fb
+    adr  x7, idx
+    adr  x8, data
+    adr  x9, out
+    fmov d0, #1.5
+    mov  x10, #1
+loop:
+    and  x11, x3, x10      ; phase = i & 1
+    cbnz x11, int_phase
+    ; -- FP phase: fa[i] = fb[i]*q + fa[i]
+    ldr  d1, [x6, x3, lsl #3]
+    ldr  d2, [x5, x3, lsl #3]
+    fmadd d3, d1, d0, d2
+    str  d3, [x5, x3, lsl #3]
+    b    next
+int_phase:
+    ; -- integer indirect phase: out[i] = data[idx[i]] + i
+    ldr  x12, [x7, x3, lsl #3]
+    ldr  x13, [x8, x12, lsl #3]
+    add  x13, x13, x3
+    str  x13, [x9, x3, lsl #3]
+next:
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    exp_fa = np.where(np.arange(n) % 2 == 0, fb * 1.5 + fa0, fa0)
+    odd = np.arange(n) % 2 == 1
+    exp_out = data[idx] + np.arange(n)
+
+    def check(m: MainMemory) -> bool:
+        fa_got = m.read_array(sym["fa"], n)
+        if any(abs(g - e) > 1e-12 for g, e in zip(fa_got, exp_fa)):
+            return False
+        return all(m.load(sym["out"] + i * 8) == int(exp_out[i])
+                   for i in range(n) if odd[i])
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13)) \
+        + tuple(D(i).flat for i in (0, 1, 2, 3))
+    active = tuple(X(i).flat for i in (3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13)) \
+        + tuple(D(i).flat for i in (0, 1, 2, 3))
+    return make_instance("meabo", src, sym, mem, n_threads, used, active, check)
+
+
+register(WorkloadSpec("meabo", "meabo",
+                      "alternating FP-compute / integer-indirect phases",
+                      build_meabo, loads_per_iter=2, pattern="mixed"))

@@ -1,0 +1,79 @@
+"""Pointer-chasing kernel (PrIM-style linked-list traversal).
+
+Fully serialized loads: each element's address depends on the previous load,
+so a single thread exposes zero memory-level parallelism — the workload that
+*most* needs thread-level parallelism and context switching to keep the core
+busy.  Each thread walks its own private chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import X
+from ..memory.main_memory import MainMemory
+from .registry import (
+    DATA_BASE,
+    array_base,
+    WorkloadInstance,
+    WorkloadSpec,
+    make_instance,
+    register,
+)
+
+
+def build_pointer_chase(n_threads: int = 8, n_per_thread: int = 64,
+                        footprint_words: int = 4096,
+                        seed: int = 41) -> WorkloadInstance:
+    """Walk a scattered linked list; store the hop count's final node value."""
+    rng = np.random.default_rng(seed)
+    mem = MainMemory()
+    node_base = DATA_BASE
+    heads = []
+    finals = []
+    # build one private chain per thread over a scattered node pool
+    pool = rng.permutation(footprint_words)
+    per = footprint_words // n_threads
+    for tid in range(n_threads):
+        nodes = pool[tid * per:(tid + 1) * per][:n_per_thread + 1]
+        for a, b in zip(nodes[:-1], nodes[1:]):
+            mem.store(node_base + int(a) * 8, node_base + int(b) * 8)
+        mem.store(node_base + int(nodes[-1]) * 8, 0)
+        heads.append(node_base + int(nodes[0]) * 8)
+        finals.append(node_base + int(nodes[-1]) * 8)
+    mem.write_array(array_base(4), heads)
+
+    sym = {"heads": array_base(4), "out": array_base(5),
+           "hops": n_per_thread}
+    src = """
+start:
+    adr  x5, heads
+    ldr  x3, [x5, x0, lsl #3]   ; p = heads[tid]
+    mov  x4, #hops
+    adr  x6, out
+loop:
+    ldr  x3, [x3, #0]           ; p = *p
+    sub  x4, x4, #1
+    cbnz x4, loop
+    str  x3, [x6, x0, lsl #3]
+    halt
+"""
+    # oracle: walk each chain in python for the same hop count
+    expected = []
+    for head in heads:
+        p = head
+        for _ in range(n_per_thread):
+            p = mem.load(p)
+        expected.append(p)
+
+    def check(m: MainMemory) -> bool:
+        return m.read_array(sym["out"], n_threads) == expected
+
+    used = tuple(X(i).flat for i in (0, 3, 4, 5, 6))
+    active = tuple(X(i).flat for i in (3, 4))
+    return make_instance("pointer_chase", src, sym, mem, n_threads, used,
+                         active, check)
+
+
+register(WorkloadSpec("pointer_chase", "prim", "serialized linked-list walk",
+                      build_pointer_chase, loads_per_iter=1, pattern="dependent"))

@@ -1,0 +1,149 @@
+"""Sparse/irregular kernels: CSR SpMV and histogram.
+
+SpMV has a nested loop (rows / nonzeros), giving it the largest register
+context of the suite — the workload class whose outer-loop registers the
+compiler register-reduction pass (Section 4.2) spills to memory.  Histogram
+performs dependent read-modify-write updates through an index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import D, X
+from ..memory.main_memory import MainMemory
+from .registry import (
+    DATA_BASE,
+    array_base,
+    WorkloadInstance,
+    WorkloadSpec,
+    make_instance,
+    register,
+)
+
+
+def build_spmv(n_threads: int = 8, n_per_thread: int = 16,
+               nnz_per_row: int = 8, n_cols: int = 2048,
+               seed: int = 43) -> WorkloadInstance:
+    """CSR ``y = A @ x``; threads partition rows (``n_per_thread`` rows each)."""
+    n_rows = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    cols = rng.integers(0, n_cols, size=n_rows * nnz_per_row)
+    vals = rng.random(n_rows * nnz_per_row)
+    x = rng.random(n_cols)
+    rowptr = np.arange(n_rows + 1) * nnz_per_row
+    mem = MainMemory()
+    sym = {"rowptr": array_base(0), "cols": array_base(1),
+           "vals": array_base(2), "x": array_base(3),
+           "y": array_base(4), "chunk": n_per_thread}
+    mem.write_array(sym["rowptr"], rowptr)
+    mem.write_array(sym["cols"], cols)
+    mem.write_array(sym["vals"], vals)
+    mem.write_array(sym["x"], x)
+    src = """
+start:
+    mov  x2, #chunk
+    mul  x3, x0, x2        ; row = tid * chunk
+    add  x4, x3, x2        ; row_end
+    adr  x5, rowptr
+    adr  x6, cols
+    adr  x7, vals
+    adr  x8, x
+    adr  x9, y
+row_loop:
+    ldr  x10, [x5, x3, lsl #3]      ; j = rowptr[row]
+    add  x12, x3, #1
+    ldr  x11, [x5, x12, lsl #3]     ; j_end = rowptr[row+1]
+    fmov d0, #0.0                   ; acc
+inner:
+    ldr  x12, [x6, x10, lsl #3]     ; col
+    ldr  d1, [x7, x10, lsl #3]      ; val
+    ldr  d2, [x8, x12, lsl #3]      ; x[col]
+    fmadd d0, d1, d2, d0
+    add  x10, x10, #1
+    cmp  x10, x11
+    b.lt inner
+    str  d0, [x9, x3, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt row_loop
+    halt
+"""
+    expected = np.zeros(n_rows)
+    for r in range(n_rows):
+        sl = slice(rowptr[r], rowptr[r + 1])
+        expected[r] = (vals[sl] * x[cols[sl]]).sum()
+
+    def check(m: MainMemory) -> bool:
+        got = m.read_array(sym["y"], n_rows)
+        return all(abs(g - e) < 1e-9 for g, e in zip(got, expected))
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)) \
+        + tuple(D(i).flat for i in (0, 1, 2))
+    active = tuple(X(i).flat for i in (6, 7, 8, 10, 11, 12)) \
+        + tuple(D(i).flat for i in (0, 1, 2))
+    return make_instance("spmv", src, sym, mem, n_threads, used, active, check)
+
+
+def build_histogram(n_threads: int = 8, n_per_thread: int = 64,
+                    buckets: int = 64, seed: int = 47) -> WorkloadInstance:
+    """Per-thread private histograms: ``hist[tid][key[i] % buckets] += 1``.
+
+    ``buckets`` must be a power of two (the kernel masks with AND).
+    """
+    if buckets & (buckets - 1):
+        raise ValueError("buckets must be a power of two")
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << 20, size=n)
+    mem = MainMemory()
+    sym = {"keys": array_base(0), "hist": array_base(1),
+           "chunk": n_per_thread, "mask": buckets - 1, "buckets": buckets}
+    mem.write_array(sym["keys"], keys)
+    src = """
+start:
+    mov  x2, #chunk
+    mul  x3, x0, x2
+    add  x4, x3, x2
+    adr  x5, keys
+    adr  x6, hist
+    mov  x7, #buckets
+    lsl  x7, x7, #3        ; buckets * 8 bytes
+    madd x6, x0, x7, x6    ; hist_base = hist + tid*buckets*8
+    mov  x7, #mask
+loop:
+    ldr  x8, [x5, x3, lsl #3]
+    and  x8, x8, x7        ; bucket
+    ldr  x9, [x6, x8, lsl #3]
+    add  x9, x9, #1
+    str  x9, [x6, x8, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    chunk = n_per_thread
+    expected = {}
+    for tid in range(n_threads):
+        h = np.zeros(buckets, dtype=int)
+        for k in keys[tid * chunk:(tid + 1) * chunk]:
+            h[int(k) & (buckets - 1)] += 1
+        expected[tid] = h
+
+    def check(m: MainMemory) -> bool:
+        for tid, h in expected.items():
+            base = sym["hist"] + tid * buckets * 8
+            got = m.read_array(base, buckets)
+            if got != [int(v) for v in h]:
+                return False
+        return True
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8, 9))
+    active = tuple(X(i).flat for i in (3, 4, 5, 6, 7, 8, 9))
+    return make_instance("histogram", src, sym, mem, n_threads, used, active, check)
+
+
+register(WorkloadSpec("spmv", "coral-2", "CSR sparse matrix-vector product",
+                      build_spmv, loads_per_iter=3, pattern="indirect"))
+register(WorkloadSpec("histogram", "prim", "indexed read-modify-write counting",
+                      build_histogram, loads_per_iter=2, pattern="indirect"))

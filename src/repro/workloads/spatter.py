@@ -1,0 +1,206 @@
+"""Spatter-style kernels [36]: gather, scatter, gather-scatter, stride.
+
+These are the canonical low-arithmetic-intensity, indirect-access kernels of
+the paper's motivation (Figures 1 and 10 use *gather*).  The ``locality``
+knob interpolates between fully-uniform random indices (worst case) and a
+sliding clustered window (Spatter's patterned traces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import X
+from ..memory.main_memory import MainMemory
+from .registry import (
+    DATA_BASE,
+    array_base,
+    WorkloadInstance,
+    WorkloadSpec,
+    make_instance,
+    partition_header,
+    register,
+)
+
+
+def _indices(rng: np.random.Generator, n: int, footprint: int,
+             locality: float) -> np.ndarray:
+    """Random indices with a tunable clustered-locality fraction."""
+    idx = rng.integers(0, footprint, size=n)
+    if locality > 0:
+        window = max(8, footprint // 64)
+        local = (np.arange(n) * 3) % max(1, footprint - window)
+        mask = rng.random(n) < locality
+        idx[mask] = local[mask] + rng.integers(0, window, size=n)[mask]
+    return idx
+
+
+def build_gather(n_threads: int = 8, n_per_thread: int = 64,
+                 footprint_words: int = 4096, seed: int = 7,
+                 locality: float = 0.5) -> WorkloadInstance:
+    """``out[i] = data[idx[i]]`` — streaming indirect loads."""
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    idx = _indices(rng, n, footprint_words, locality)
+    data = rng.integers(1, 1 << 30, size=footprint_words)
+    mem = MainMemory()
+    sym = {"idx": array_base(0), "data": array_base(1),
+           "out": array_base(2), "chunk": n_per_thread}
+    mem.write_array(sym["idx"], idx)
+    mem.write_array(sym["data"], data)
+    src = partition_header() + """
+    adr  x5, idx
+    adr  x6, data
+    adr  x7, out
+loop:
+    ldr  x8, [x5, x3, lsl #3]
+    ldr  x9, [x6, x8, lsl #3]
+    str  x9, [x7, x3, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    expected = data[idx]
+
+    def check(m: MainMemory) -> bool:
+        return m.read_array(sym["out"], n) == [int(v) for v in expected]
+
+    used = (X(0).flat, X(2).flat, X(3).flat, X(4).flat, X(5).flat,
+            X(6).flat, X(7).flat, X(8).flat, X(9).flat)
+    active = (X(3).flat, X(4).flat, X(5).flat, X(6).flat, X(7).flat,
+              X(8).flat, X(9).flat)
+    return make_instance("gather", src, sym, mem, n_threads, used, active, check)
+
+
+def build_scatter(n_threads: int = 8, n_per_thread: int = 64,
+                  footprint_words: int = 4096, seed: int = 11,
+                  locality: float = 0.5) -> WorkloadInstance:
+    """``out[idx[i]] = data[i]`` — streaming indirect stores."""
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    # unique indices so the result is deterministic under any thread order
+    idx = rng.permutation(footprint_words)[:n]
+    data = rng.integers(1, 1 << 30, size=n)
+    mem = MainMemory()
+    sym = {"idx": array_base(0), "data": array_base(1),
+           "out": array_base(2), "chunk": n_per_thread}
+    mem.write_array(sym["idx"], idx)
+    mem.write_array(sym["data"], data)
+    src = partition_header() + """
+    adr  x5, idx
+    adr  x6, data
+    adr  x7, out
+loop:
+    ldr  x8, [x5, x3, lsl #3]
+    ldr  x9, [x6, x3, lsl #3]
+    str  x9, [x7, x8, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    def check(m: MainMemory) -> bool:
+        return all(m.load(sym["out"] + int(i) * 8) == int(v)
+                   for i, v in zip(idx, data))
+
+    used = (X(0).flat, X(2).flat, X(3).flat, X(4).flat, X(5).flat,
+            X(6).flat, X(7).flat, X(8).flat, X(9).flat)
+    active = (X(3).flat, X(4).flat, X(5).flat, X(6).flat, X(7).flat,
+              X(8).flat, X(9).flat)
+    return make_instance("scatter", src, sym, mem, n_threads, used, active, check)
+
+
+def build_gather_scatter(n_threads: int = 8, n_per_thread: int = 64,
+                         footprint_words: int = 4096, seed: int = 13,
+                         locality: float = 0.5) -> WorkloadInstance:
+    """``out[oidx[i]] = data[iidx[i]]`` — indirection on both sides."""
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    iidx = _indices(rng, n, footprint_words, locality)
+    oidx = rng.permutation(footprint_words)[:n]
+    data = rng.integers(1, 1 << 30, size=footprint_words)
+    mem = MainMemory()
+    sym = {"iidx": array_base(0), "oidx": array_base(1),
+           "data": array_base(2), "out": array_base(3),
+           "chunk": n_per_thread}
+    mem.write_array(sym["iidx"], iidx)
+    mem.write_array(sym["oidx"], oidx)
+    mem.write_array(sym["data"], data)
+    src = partition_header() + """
+    adr  x5, iidx
+    adr  x6, oidx
+    adr  x7, data
+    adr  x8, out
+loop:
+    ldr  x9, [x5, x3, lsl #3]
+    ldr  x10, [x6, x3, lsl #3]
+    ldr  x11, [x7, x9, lsl #3]
+    str  x11, [x8, x10, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    def check(m: MainMemory) -> bool:
+        return all(m.load(sym["out"] + int(o) * 8) == int(data[i])
+                   for i, o in zip(iidx, oidx))
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11))
+    active = tuple(X(i).flat for i in (3, 4, 5, 6, 7, 8, 9, 10, 11))
+    return make_instance("gather_scatter", src, sym, mem, n_threads, used,
+                         active, check)
+
+
+def build_stride(n_threads: int = 8, n_per_thread: int = 64,
+                 stride: int = 8, pad_lines: int = 1,
+                 seed: int = 17) -> WorkloadInstance:
+    """``out[i] = data[i * stride + tid * pad]`` — one fresh cache line per
+    element.  ``pad_lines`` staggers each thread's partition by whole cache
+    lines so perfectly aligned chunks do not alias onto the same dcache set
+    (the standard padding idiom for partitioned streaming kernels)."""
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    pad_words = pad_lines * 8
+    data = rng.integers(1, 1 << 30, size=n * stride + n_threads * pad_words + 1)
+    mem = MainMemory()
+    sym = {"data": array_base(0), "out": array_base(4),
+           "chunk": n_per_thread, "stride": stride,
+           "padbytes": pad_words * 8}
+    mem.write_array(sym["data"], data)
+    src = partition_header() + """
+    adr  x5, data
+    mov  x9, #padbytes
+    madd x5, x0, x9, x5    ; per-thread line padding
+    adr  x6, out
+    mov  x7, #stride
+    mul  x8, x3, x7        ; j = i * stride
+loop:
+    ldr  x9, [x5, x8, lsl #3]
+    str  x9, [x6, x3, lsl #3]
+    add  x3, x3, #1
+    add  x8, x8, x7
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    tid = np.arange(n) // n_per_thread
+    expected = data[np.arange(n) * stride + tid * pad_words]
+
+    def check(m: MainMemory) -> bool:
+        return m.read_array(sym["out"], n) == [int(v) for v in expected]
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8, 9))
+    active = tuple(X(i).flat for i in (3, 4, 5, 6, 7, 8, 9))
+    return make_instance("stride", src, sym, mem, n_threads, used, active, check)
+
+
+register(WorkloadSpec("gather", "spatter", "streaming indirect gather",
+                      build_gather, loads_per_iter=2, pattern="indirect"))
+register(WorkloadSpec("scatter", "spatter", "streaming indirect scatter",
+                      build_scatter, loads_per_iter=2, pattern="indirect"))
+register(WorkloadSpec("gather_scatter", "spatter",
+                      "indirect on both source and destination",
+                      build_gather_scatter, loads_per_iter=3, pattern="indirect"))
+register(WorkloadSpec("stride", "spatter", "strided line-per-element stream",
+                      build_stride, loads_per_iter=1, pattern="strided"))

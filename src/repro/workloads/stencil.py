@@ -1,0 +1,70 @@
+"""1-D 3-point stencil (CORAL-2-style structured-grid kernel).
+
+``out[i] = 0.25*a[i-1] + 0.5*a[i] + 0.25*a[i+1]`` — the highest spatial
+locality in the suite (every loaded line is used by ~8 consecutive
+iterations and shared with the neighbours), so it is the kernel where a
+single thread already keeps the pipeline fairly busy and multithreading
+gains the least.  Useful as the low-memory-intensity anchor of the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import D, X
+from ..memory.main_memory import MainMemory
+from .registry import (
+    WorkloadInstance,
+    WorkloadSpec,
+    array_base,
+    make_instance,
+    partition_header,
+    register,
+)
+
+
+def build_stencil(n_threads: int = 8, n_per_thread: int = 64,
+                  seed: int = 59) -> WorkloadInstance:
+    """``out[i] = 0.25*a[i-1] + 0.5*a[i] + 0.25*a[i+1]`` over a padded grid."""
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    a = rng.random(n + 2)
+    mem = MainMemory()
+    sym = {"a": array_base(0), "out": array_base(1), "chunk": n_per_thread}
+    mem.write_array(sym["a"], a)
+    src = partition_header() + """
+    adr  x5, a
+    adr  x6, out
+    fmov d0, #0.25
+    fmov d1, #0.5
+loop:
+    ldr  d2, [x5, x3, lsl #3]       ; a[i-1] (grid is offset by one)
+    add  x7, x3, #1
+    ldr  d3, [x5, x7, lsl #3]       ; a[i]
+    add  x7, x7, #1
+    ldr  d4, [x5, x7, lsl #3]       ; a[i+1]
+    fmul d5, d2, d0
+    fmadd d5, d3, d1, d5
+    fmadd d5, d4, d0, d5
+    str  d5, [x6, x3, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    expected = 0.25 * a[:-2] + 0.5 * a[1:-1] + 0.25 * a[2:]
+
+    def check(m: MainMemory) -> bool:
+        got = m.read_array(sym["out"], n)
+        return all(abs(g - e) < 1e-12 for g, e in zip(got, expected))
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7)) + \
+        tuple(D(i).flat for i in (0, 1, 2, 3, 4, 5))
+    active = tuple(X(i).flat for i in (3, 4, 5, 6, 7)) + \
+        tuple(D(i).flat for i in (0, 1, 2, 3, 4, 5))
+    return make_instance("stencil", src, sym, mem, n_threads, used, active,
+                         check)
+
+
+register(WorkloadSpec("stencil", "coral-2", "1-D 3-point FP stencil",
+                      build_stencil, loads_per_iter=3, pattern="streaming"))

@@ -1,0 +1,141 @@
+"""CORAL-2/PrIM-style streaming kernels: triad (FP), vecadd, reduction.
+
+Higher spatial locality than the Spatter kernels — eight useful elements per
+cache line — so memory latency is hidden with fewer threads (the workloads
+for which the paper notes ViReC can store full contexts and just save area).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import D, X
+from ..memory.main_memory import MainMemory
+from .registry import (
+    DATA_BASE,
+    array_base,
+    WorkloadInstance,
+    WorkloadSpec,
+    make_instance,
+    partition_header,
+    register,
+)
+
+
+def build_triad(n_threads: int = 8, n_per_thread: int = 64,
+                seed: int = 23) -> WorkloadInstance:
+    """STREAM triad: ``a[i] = b[i] + q * c[i]`` in floating point."""
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    b = rng.random(n)
+    c = rng.random(n)
+    q = 3.0
+    mem = MainMemory()
+    sym = {"a": array_base(0), "b": array_base(1),
+           "c": array_base(2), "chunk": n_per_thread}
+    mem.write_array(sym["b"], b)
+    mem.write_array(sym["c"], c)
+    src = partition_header() + """
+    adr  x5, a
+    adr  x6, b
+    adr  x7, c
+    fmov d0, #3.0
+loop:
+    ldr  d1, [x6, x3, lsl #3]
+    ldr  d2, [x7, x3, lsl #3]
+    fmadd d3, d2, d0, d1
+    str  d3, [x5, x3, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    expected = b + q * c
+
+    def check(m: MainMemory) -> bool:
+        got = m.read_array(sym["a"], n)
+        return all(abs(g - e) < 1e-12 for g, e in zip(got, expected))
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7)) + \
+        tuple(D(i).flat for i in (0, 1, 2, 3))
+    active = tuple(X(i).flat for i in (3, 4, 5, 6, 7)) + \
+        tuple(D(i).flat for i in (0, 1, 2, 3))
+    return make_instance("triad", src, sym, mem, n_threads, used, active, check)
+
+
+def build_vecadd(n_threads: int = 8, n_per_thread: int = 64,
+                 seed: int = 29) -> WorkloadInstance:
+    """PrIM vecadd: ``c[i] = a[i] + b[i]`` (integer)."""
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << 30, size=n)
+    b = rng.integers(0, 1 << 30, size=n)
+    mem = MainMemory()
+    sym = {"a": array_base(0), "b": array_base(1),
+           "c": array_base(2), "chunk": n_per_thread}
+    mem.write_array(sym["a"], a)
+    mem.write_array(sym["b"], b)
+    src = partition_header() + """
+    adr  x5, a
+    adr  x6, b
+    adr  x7, c
+loop:
+    ldr  x8, [x5, x3, lsl #3]
+    ldr  x9, [x6, x3, lsl #3]
+    add  x8, x8, x9
+    str  x8, [x7, x3, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    halt
+"""
+    expected = a + b
+
+    def check(m: MainMemory) -> bool:
+        return m.read_array(sym["c"], n) == [int(v) for v in expected]
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8, 9))
+    active = tuple(X(i).flat for i in (3, 4, 5, 6, 7, 8, 9))
+    return make_instance("vecadd", src, sym, mem, n_threads, used, active, check)
+
+
+def build_reduction(n_threads: int = 8, n_per_thread: int = 64,
+                    seed: int = 31) -> WorkloadInstance:
+    """PrIM reduction: per-thread partial sums written to ``out[tid]``."""
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << 20, size=n)
+    mem = MainMemory()
+    sym = {"a": array_base(0), "out": array_base(1),
+           "chunk": n_per_thread}
+    mem.write_array(sym["a"], a)
+    src = partition_header() + """
+    adr  x5, a
+    adr  x6, out
+    mov  x7, #0            ; acc
+loop:
+    ldr  x8, [x5, x3, lsl #3]
+    add  x7, x7, x8
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    str  x7, [x6, x0, lsl #3]
+    halt
+"""
+    chunk = n_per_thread
+    expected = [int(a[t * chunk:(t + 1) * chunk].sum()) for t in range(n_threads)]
+
+    def check(m: MainMemory) -> bool:
+        return m.read_array(sym["out"], n_threads) == expected
+
+    used = tuple(X(i).flat for i in (0, 2, 3, 4, 5, 6, 7, 8))
+    active = tuple(X(i).flat for i in (3, 4, 5, 7, 8))
+    return make_instance("reduction", src, sym, mem, n_threads, used, active, check)
+
+
+register(WorkloadSpec("triad", "coral-2", "STREAM triad a = b + q*c (FP)",
+                      build_triad, loads_per_iter=2, pattern="streaming"))
+register(WorkloadSpec("vecadd", "prim", "elementwise integer vector add",
+                      build_vecadd, loads_per_iter=2, pattern="streaming"))
+register(WorkloadSpec("reduction", "prim", "per-thread sum reduction",
+                      build_reduction, loads_per_iter=1, pattern="streaming"))

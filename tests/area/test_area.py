@@ -1,0 +1,90 @@
+"""Tests for the area/delay model against the paper's Section 6.2 numbers."""
+
+import pytest
+
+from repro.area import (
+    area_table,
+    banked_core_area,
+    banked_rf_area,
+    inorder_core_area,
+    ooo_core_area,
+    rf_delay_ns,
+    virec_breakdown,
+    virec_core_area,
+    virec_rf_area,
+)
+
+
+def test_banked_endpoints_match_paper():
+    """Banked core: 2.8-3.9 mm² at 8-16 threads (Section 6.2)."""
+    assert banked_core_area(8) == pytest.approx(2.8, abs=0.1)
+    assert banked_core_area(16) == pytest.approx(3.9, abs=0.1)
+
+
+def test_virec_20pct_overhead_at_64_entries():
+    """ViReC with 8 regs/thread x 8 threads ~ 1.7 mm², +20% over baseline."""
+    area = virec_core_area(64)
+    base = inorder_core_area()
+    assert area == pytest.approx(1.7, abs=0.1)
+    assert (area - base) / base == pytest.approx(0.20, abs=0.08)
+
+
+def test_virec_saves_40pct_vs_banked():
+    """Headline: up to 40% area savings over a banked design."""
+    saving = 1 - virec_core_area(64) / banked_core_area(8)
+    assert saving == pytest.approx(0.40, abs=0.05)
+
+
+def test_ooo_ratio():
+    assert ooo_core_area() / inorder_core_area() == pytest.approx(19.1)
+
+
+def test_virec_grows_faster_and_crosses_banked():
+    """Figure 14: fully-associative storage of complete contexts costs more
+    than banking them."""
+    assert virec_core_area(64) < banked_core_area(8)
+    assert virec_core_area(512) > banked_core_area(8)
+    # monotone superlinear growth
+    deltas = [virec_rf_area(n * 2) - virec_rf_area(n) for n in (32, 64, 128, 256)]
+    assert all(b > a for a, b in zip(deltas, deltas[1:]))
+
+
+def test_banked_linear_in_banks():
+    d1 = banked_rf_area(128) - banked_rf_area(64)
+    d2 = banked_rf_area(1024) - banked_rf_area(960)
+    assert d1 == pytest.approx(d2)
+
+
+def test_delay_matches_section_62():
+    assert rf_delay_ns("baseline") == pytest.approx(0.22)
+    assert rf_delay_ns("virec", 80) == pytest.approx(0.24, abs=0.005)
+    # ~10% overhead at 80 entries, equal to a banked core
+    assert rf_delay_ns("virec", 80) == pytest.approx(rf_delay_ns("banked"), abs=0.005)
+    # starts lower, grows faster
+    assert rf_delay_ns("virec", 24) < rf_delay_ns("banked")
+    assert rf_delay_ns("virec", 200) > rf_delay_ns("banked")
+
+
+def test_breakdown_sums_and_rollback_small():
+    b = virec_breakdown(64)
+    assert b["total_mm2"] == pytest.approx(virec_rf_area(64))
+    # "rollback queue and other VRMU logic constitute less than 10% of the RF"
+    assert b["rollback_and_logic_mm2"] <= 0.11 * (b["data_array_mm2"] + b["tag_store_mm2"])
+
+
+def test_area_table_shape():
+    rows = area_table(max_threads=16)
+    assert [r["threads"] for r in rows] == [1, 2, 4, 8, 16]
+    for row in rows:
+        assert row["virec_8_regs_mm2"] < row["banked_mm2"]
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        banked_rf_area(-1)
+    with pytest.raises(ValueError):
+        virec_rf_area(-5)
+    with pytest.raises(ValueError):
+        banked_core_area(0)
+    with pytest.raises(ValueError):
+        rf_delay_ns("gpu")

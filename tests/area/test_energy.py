@@ -1,0 +1,76 @@
+"""Tests for the register-system energy model."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import build_gather_core  # noqa: E402
+
+from repro.area.energy import (  # noqa: E402
+    banked_access_energy,
+    banked_run_energy,
+    energy_from_stats,
+    fill_spill_energy,
+    virec_access_energy,
+    virec_run_energy,
+)
+from repro.core.cgmt import BankedCore  # noqa: E402
+from repro.virec import ViReCConfig, ViReCCore  # noqa: E402
+
+
+def test_banked_access_energy_grows_with_registers():
+    assert banked_access_energy(512) > banked_access_energy(64)
+    assert banked_access_energy(64, is_write=True) > banked_access_energy(64)
+
+
+def test_virec_access_energy_grows_with_entries():
+    assert virec_access_energy(128) > virec_access_energy(16)
+
+
+def test_small_virec_cheaper_per_access_than_big_banked():
+    """The energy argument for caching: a 32-entry CAM+FA access costs less
+    than a 512-register banked access."""
+    assert virec_access_energy(32) < banked_access_energy(512)
+
+
+def test_fill_spill_dominates_access():
+    assert fill_spill_energy() > 5 * virec_access_energy(64)
+
+
+def test_run_energy_reports_sum():
+    r = virec_run_energy(accesses=1000, fills=50, spills=40, cycles=5000,
+                         rf_entries=32)
+    assert r.total_pj == pytest.approx(r.access_pj + r.traffic_pj + r.leakage_pj)
+    assert r.traffic_pj == pytest.approx(90 * fill_spill_energy())
+
+
+def test_banked_run_has_no_traffic_energy():
+    r = banked_run_energy(accesses=1000, cycles=5000, n_threads=8)
+    assert r.traffic_pj == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        banked_access_energy(0)
+    with pytest.raises(ValueError):
+        virec_access_energy(0)
+    with pytest.raises(ValueError):
+        energy_from_stats(None, "gpu", 8)
+
+
+def test_energy_from_real_runs_virec_wins_at_low_contention():
+    """At 100% context (few fills), ViReC's small structure beats the big
+    banked RF on register-system energy; leakage of 512 idle registers is
+    the banked design's problem."""
+    banked, *_ = build_gather_core(BankedCore, n_threads=8, n=128)
+    bs = banked.run()
+    virec, *_ = build_gather_core(ViReCCore, n_threads=8, n=128,
+                                  virec=ViReCConfig(rf_size=56))
+    vs = virec.run()
+    be = energy_from_stats(banked.stats, "banked", n_threads=8)
+    ve = energy_from_stats(virec.stats, "virec", n_threads=8, rf_entries=56)
+    assert ve.total_pj < be.total_pj
+    # but ViReC pays traffic energy the banked design does not
+    assert ve.traffic_pj > 0 and be.traffic_pj == 0

@@ -1,0 +1,84 @@
+"""Tests for loop detection and register-utilization analysis."""
+
+from repro.compiler import (
+    find_loops,
+    inner_loop_regs,
+    innermost_loops,
+    outer_only_regs,
+    used_regs,
+    utilization,
+)
+from repro.isa import X, assemble
+
+NESTED = """
+start:
+    mov x10, #0            ; outer counter
+outer:
+    mov x3, #0             ; inner counter
+    mov x11, #5            ; outer-only constant
+inner:
+    add x4, x4, x3
+    add x3, x3, #1
+    cmp x3, #8
+    b.lt inner
+    add x10, x10, x11
+    cmp x10, #20
+    b.lt outer
+    halt
+"""
+
+
+def test_find_loops_nested():
+    p = assemble(NESTED)
+    loops = find_loops(p)
+    assert len(loops) == 2
+    inner = innermost_loops(p)
+    assert len(inner) == 1
+    assert inner[0].head == p.labels["inner"]
+
+
+def test_inner_loop_regs():
+    p = assemble(NESTED)
+    inner = inner_loop_regs(p)
+    assert X(3).flat in inner and X(4).flat in inner
+    assert X(10).flat not in inner and X(11).flat not in inner
+
+
+def test_outer_only_regs():
+    p = assemble(NESTED)
+    outer = outer_only_regs(p)
+    assert outer == {X(10).flat, X(11).flat}
+
+
+def test_utilization_report():
+    p = assemble(NESTED)
+    r = utilization(p, "nested", total_context=64)
+    assert r.used == 4 and r.inner == 2
+    assert abs(r.inner_fraction - 2 / 64) < 1e-9
+    assert abs(r.inner_of_used - 0.5) < 1e-9
+
+
+def test_single_loop_program():
+    p = assemble("start:\nmov x0, #0\nloop:\nadd x0, x0, #1\ncmp x0, #3\nb.lt loop\nhalt")
+    assert len(innermost_loops(p)) == 1
+    assert not outer_only_regs(p) - {X(0).flat}  # x0 is in the loop
+    assert X(0).flat in inner_loop_regs(p)
+
+
+def test_no_loops():
+    p = assemble("mov x0, #1\nhalt")
+    assert find_loops(p) == []
+    assert inner_loop_regs(p) == set()
+    assert used_regs(p) == {X(0).flat}
+
+
+def test_workload_suite_utilization_matches_figure2():
+    """Figure 2: many kernels use <30% of their context in the inner loop."""
+    import repro.workloads as wl
+    fractions = []
+    for spec in wl.all_workloads():
+        inst = spec.build(n_threads=2, n_per_thread=8)
+        r = utilization(inst.program, spec.name)
+        fractions.append(r.inner_fraction)
+        assert 0 < r.inner_fraction < 0.5
+    assert sum(f < 0.30 for f in fractions) >= len(fractions) // 2

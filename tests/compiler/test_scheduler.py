@@ -1,0 +1,143 @@
+"""Tests for the basic-block list scheduler."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import FixedLatencyBackend  # noqa: E402
+
+from repro.compiler.scheduler import schedule_program  # noqa: E402
+from repro.core.cgmt import ContextLayout, make_threads  # noqa: E402
+from repro.core.inorder import InOrderCore  # noqa: E402
+from repro.isa import X, assemble, run_functional  # noqa: E402
+from repro.memory import Cache, CacheConfig, MainMemory  # noqa: E402
+from repro.stats.counters import Stats  # noqa: E402
+
+
+def run_timed(prog, mem=None, mem_latency=40):
+    mem = mem or MainMemory()
+    be = FixedLatencyBackend(mem_latency)
+    ic = Cache(CacheConfig(name="ic", size_bytes=32 * 1024, assoc=4,
+                           latency=2), be, Stats("ic"))
+    dc = Cache(CacheConfig(name="dc", size_bytes=8 * 1024, assoc=4, latency=2,
+                           mshrs=24), be, Stats("dc"))
+    core = InOrderCore(prog, ic, dc, mem, make_threads(1))
+    return core, core.run()
+
+
+LOAD_USE = """
+start:
+    adr x1, a
+    adr x2, b
+    mov x9, #0
+loop:
+    ldr x3, [x1, x9, lsl #3]
+    add x4, x3, #1          ; immediate consumer of the load
+    mov x5, #10             ; independent work that could fill the shadow
+    mov x6, #11
+    mov x7, #12
+    str x4, [x2, x9, lsl #3]
+    add x9, x9, #1
+    cmp x9, #32
+    b.lt loop
+    halt
+"""
+
+
+def build_load_use():
+    mem = MainMemory()
+    mem.write_array(0x10000, list(range(100, 132)))
+    return assemble(LOAD_USE, symbols={"a": 0x10000, "b": 0x20000}), mem
+
+
+def test_semantics_preserved():
+    prog, mem = build_load_use()
+    sched = schedule_program(prog).program
+    m1, m2 = MainMemory(), MainMemory()
+    m1.write_array(0x10000, list(range(100, 132)))
+    m2.write_array(0x10000, list(range(100, 132)))
+    from repro.isa.func_sim import FunctionalSimulator
+    FunctionalSimulator(prog, m1).run()
+    FunctionalSimulator(sched, m2).run()
+    assert m1.read_array(0x20000, 32) == m2.read_array(0x20000, 32)
+
+
+def test_scheduler_moves_independent_work_into_load_shadow():
+    prog, mem = build_load_use()
+    result = schedule_program(prog)
+    assert result.moved_instructions > 0
+    # the immediate consumer is no longer adjacent to its load
+    body = result.program.instructions
+    for pc, inst in enumerate(body[:-1]):
+        if inst.is_load and inst.rd == X(3):
+            assert body[pc + 1].rd != X(4), "consumer still in the load shadow"
+
+
+def test_scheduling_improves_inorder_cycles():
+    prog, mem1 = build_load_use()
+    _, base = run_timed(prog, mem1)
+    sched = schedule_program(prog).program
+    _, mem2 = build_load_use()[0], None
+    prog2, mem2 = build_load_use()
+    sched2 = schedule_program(prog2).program
+    _, opt = run_timed(sched2, mem2)
+    assert opt["cycles"] <= base["cycles"]
+    assert opt["instructions"] == base["instructions"]
+
+
+def test_branches_stay_at_block_ends():
+    prog, _ = build_load_use()
+    sched = schedule_program(prog).program
+    for pc, inst in enumerate(sched.instructions):
+        if inst.is_branch and inst.target is not None:
+            # the target is still a block leader (a label position)
+            assert inst.target in set(sched.labels.values()) | {0}
+
+
+def test_store_load_order_preserved():
+    src = """
+        adr x1, buf
+        mov x2, #1
+        str x2, [x1, #0]
+        ldr x3, [x1, #0]     ; must still read 1
+        mov x4, #99
+        halt
+    """
+    prog = assemble(src, symbols={"buf": 0x30000})
+    sched = schedule_program(prog).program
+    sim = run_functional(sched)
+    assert sim.state.xregs[3] == 1
+
+
+def test_flags_dependences_respected():
+    src = """
+        mov x0, #5
+        cmp x0, #3
+        mov x1, #7          ; independent
+        b.gt big
+        mov x2, #111
+        halt
+    big:
+        mov x2, #222
+        halt
+    """
+    prog = assemble(src)
+    sched = schedule_program(prog).program
+    assert run_functional(sched).state.xregs[2] == 222
+
+
+def test_workload_kernels_survive_scheduling():
+    import repro.workloads as wl
+    from repro.isa.func_sim import FunctionalSimulator
+    for name in ("gather", "spmv", "histogram", "meabo"):
+        inst = wl.get(name).build(n_threads=2, n_per_thread=8)
+        sched = schedule_program(inst.program).program
+        for tid in range(2):
+            sim = FunctionalSimulator(sched, inst.memory)
+            sim.state.pc = sched.entry
+            for reg, val in inst.init_regs[tid].items():
+                sim.state.write(reg, val)
+            sim.run()
+        assert inst.check(), f"{name} broken by scheduling"

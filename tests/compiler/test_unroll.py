@@ -1,0 +1,148 @@
+"""Tests for the counted-loop unroller."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import FixedLatencyBackend  # noqa: E402
+
+from repro.compiler.unroll import unroll_program  # noqa: E402
+from repro.core.cgmt import make_threads  # noqa: E402
+from repro.core.inorder import InOrderCore  # noqa: E402
+from repro.isa import X, assemble  # noqa: E402
+from repro.isa.func_sim import FunctionalSimulator  # noqa: E402
+from repro.memory import Cache, CacheConfig, MainMemory  # noqa: E402
+from repro.stats.counters import Stats  # noqa: E402
+
+SUM_LOOP = """
+start:
+    mov x0, #0
+    mov x1, #0
+loop:
+    add x0, x0, x1
+    add x1, x1, #1
+    cmp x1, #{n}
+    b.lt loop
+    halt
+"""
+
+
+def run_prog(prog, mem=None):
+    sim = FunctionalSimulator(prog, mem or MainMemory())
+    sim.run()
+    return sim
+
+
+@pytest.mark.parametrize("n", [0, 1, 3, 4, 7, 8, 16, 17])
+def test_unrolled_sum_exact_for_any_trip_count(n):
+    prog = assemble(SUM_LOOP.format(n=n))
+    res = unroll_program(prog, factor=4)
+    assert res.unrolled_loops == 1
+    base = run_prog(prog)
+    opt = run_prog(res.program)
+    assert opt.state.xregs[0] == base.state.xregs[0] == sum(range(n))
+
+
+@pytest.mark.parametrize("factor", [2, 3, 4, 8])
+def test_factors(factor):
+    prog = assemble(SUM_LOOP.format(n=13))
+    res = unroll_program(prog, factor=factor)
+    assert run_prog(res.program).state.xregs[0] == sum(range(13))
+
+
+def test_factor_validation():
+    prog = assemble(SUM_LOOP.format(n=4))
+    with pytest.raises(ValueError):
+        unroll_program(prog, factor=1)
+
+
+def test_no_match_returns_original():
+    # loop with a non-constant step is left alone
+    src = """
+    start:
+        mov x0, #0
+        mov x1, #0
+        mov x2, #1
+    loop:
+        add x0, x0, x1
+        add x1, x1, x2
+        cmp x1, #8
+        b.lt loop
+        halt
+    """
+    prog = assemble(src)
+    res = unroll_program(prog)
+    assert res.unrolled_loops == 0
+    assert res.program is prog
+
+
+def test_scratch_conflict_prevents_unroll():
+    src = "start:\nmov x27, #1\nmov x1, #0\nloop:\nadd x1, x1, #1\ncmp x1, #8\nb.lt loop\nhalt"
+    prog = assemble(src)
+    res = unroll_program(prog)
+    assert res.unrolled_loops == 0
+
+
+def test_memory_loop_unrolls_correctly():
+    mem = MainMemory()
+    mem.write_array(0x1000, list(range(10, 30)))
+    src = """
+    start:
+        adr x1, a
+        adr x2, b
+        mov x3, #0
+    loop:
+        ldr x4, [x1, x3, lsl #3]
+        add x4, x4, #100
+        str x4, [x2, x3, lsl #3]
+        add x3, x3, #1
+        cmp x3, #17
+        b.lt loop
+        halt
+    """
+    prog = assemble(src, symbols={"a": 0x1000, "b": 0x2000})
+    res = unroll_program(prog, factor=4)
+    assert res.unrolled_loops == 1
+    run_prog(res.program, mem)
+    assert mem.read_array(0x2000, 17) == list(range(110, 127))
+
+
+def test_unrolling_reduces_dynamic_branches():
+    prog = assemble(SUM_LOOP.format(n=64))
+    res = unroll_program(prog, factor=4)
+    base = run_prog(prog).instructions_executed
+    opt = run_prog(res.program).instructions_executed
+    # fewer cmp/branch executions despite guard overhead
+    assert opt < base
+
+
+def test_unrolling_improves_timed_inorder_ipc():
+    prog = assemble(SUM_LOOP.format(n=256))
+    res = unroll_program(prog, factor=4)
+
+    def timed(p):
+        be = FixedLatencyBackend(40)
+        ic = Cache(CacheConfig(name="ic", size_bytes=32 * 1024, assoc=4,
+                               latency=2), be, Stats("ic"))
+        dc = Cache(CacheConfig(name="dc", size_bytes=8 * 1024, assoc=4,
+                               latency=2), be, Stats("dc"))
+        core = InOrderCore(p, ic, dc, MainMemory(), make_threads(1))
+        return core.run()["cycles"]
+
+    assert timed(res.program) < timed(prog)
+
+
+def test_workload_gather_unrolls_and_stays_correct():
+    import repro.workloads as wl
+    inst = wl.get("gather").build(n_threads=2, n_per_thread=11)
+    res = unroll_program(inst.program, factor=4)
+    assert res.unrolled_loops == 1
+    for tid in range(2):
+        sim = FunctionalSimulator(res.program, inst.memory)
+        sim.state.pc = res.program.entry
+        for reg, val in inst.init_regs[tid].items():
+            sim.state.write(reg, val)
+        sim.run()
+    assert inst.check()

@@ -1,0 +1,67 @@
+"""Tests for the fine-grain (barrel) multithreaded core."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import build_gather_core  # noqa: E402
+
+from repro.core.cgmt import BankedCore  # noqa: E402
+from repro.core.fgmt import FGMTCore  # noqa: E402
+
+
+def test_fgmt_correctness():
+    core, mem, sym, expected = build_gather_core(FGMTCore, n_threads=4, n=64)
+    core.run()
+    assert mem.read_array(sym["out"], len(expected)) == expected
+
+
+def test_fgmt_single_thread_correct():
+    core, mem, sym, expected = build_gather_core(FGMTCore, n_threads=1, n=32)
+    core.run()
+    assert mem.read_array(sym["out"], len(expected)) == expected
+
+
+def test_fgmt_hides_latency_with_threads():
+    one, *_ = build_gather_core(FGMTCore, n_threads=1, n=64, mem_latency=150)
+    eight, *_ = build_gather_core(FGMTCore, n_threads=8, n=64, mem_latency=150)
+    c1 = one.run()["cycles"]
+    c8 = eight.run()["cycles"]
+    assert c8 < 0.6 * c1
+
+
+def test_fgmt_no_context_switch_cost():
+    """Barrel rotation records no context switches at all."""
+    core, *_ = build_gather_core(FGMTCore, n_threads=4, n=64)
+    stats = core.run()
+    assert stats["context_switches"] == 0
+    assert stats["instructions"] > 0
+
+
+def test_fgmt_competitive_with_banked_cgmt_on_miss_heavy():
+    """On a miss-dominated kernel the two classic MT styles should land in
+    the same performance ballpark (neither 2x the other)."""
+    fgmt, *_ = build_gather_core(FGMTCore, n_threads=8, n=128)
+    banked, *_ = build_gather_core(BankedCore, n_threads=8, n=128)
+    cf = fgmt.run()["cycles"]
+    cb = banked.run()["cycles"]
+    assert 0.4 < cf / cb < 2.5
+
+
+def test_fgmt_bank_cap():
+    with pytest.raises(ValueError):
+        build_gather_core(FGMTCore, n_threads=9, n=72)
+
+
+def test_fgmt_instruction_counts_match_banked():
+    fgmt, *_ = build_gather_core(FGMTCore, n_threads=4, n=32)
+    banked, *_ = build_gather_core(BankedCore, n_threads=4, n=32)
+    assert fgmt.run()["instructions"] == banked.run()["instructions"]
+
+
+def test_fgmt_ipc_bounded():
+    core, *_ = build_gather_core(FGMTCore, n_threads=8, n=64)
+    stats = core.run()
+    assert 0 < stats["ipc"] <= 1.0

@@ -1,0 +1,190 @@
+"""Edge-case tests for the timeline pipeline: replay semantics, flags across
+switches, post-index writeback, halt ordering, store-load ordering."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import FixedLatencyBackend  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+from repro.core.cgmt import BankedCore, ContextLayout, make_threads  # noqa: E402
+from repro.isa import X, assemble  # noqa: E402
+from repro.memory import Cache, CacheConfig, MainMemory  # noqa: E402
+from repro.stats.counters import Stats  # noqa: E402
+from repro.virec import ViReCConfig, ViReCCore  # noqa: E402
+
+
+def build(src, symbols, core_cls, n_threads, mem, init=None, **kw):
+    prog = assemble(src, symbols=symbols)
+    be = FixedLatencyBackend(80)
+    ic = Cache(CacheConfig(name="ic", size_bytes=32 * 1024, assoc=4, latency=2),
+               be, Stats("ic"))
+    dc = Cache(CacheConfig(name="dc", size_bytes=8 * 1024, assoc=4, latency=2,
+                           mshrs=24), be, Stats("dc"))
+    threads = make_threads(n_threads, init_regs=init)
+    return core_cls(prog, ic, dc, mem, threads, **kw)
+
+
+def test_post_index_writeback_not_double_applied_on_replay():
+    """A post-index load that misses and replays must advance its base
+    register exactly once (commit-time execution)."""
+    mem = MainMemory()
+    mem.write_array(0x10000, list(range(100, 100 + 16)))
+    src = """
+    start:
+        adr  x1, arr
+        mov  x2, #walkn
+        mul  x3, x0, x2
+        lsl  x3, x3, #3
+        add  x1, x1, x3        ; per-thread start
+        mov  x4, #0
+    loop:
+        ldr  x5, [x1], #8      ; post-index walk (misses cold)
+        add  x4, x4, x5
+        sub  x2, x2, #1
+        cbnz x2, loop
+        adr  x6, out
+        str  x4, [x6, x0, lsl #3]
+        halt
+    """
+    sym = {"arr": 0x10000, "out": 0x20000, "walkn": 8}
+    core = build(src, sym, BankedCore, 2, mem,
+                 init=[{X(0): t} for t in range(2)],
+                 layout=ContextLayout(used_regs=tuple(range(7))))
+    stats = core.run()
+    assert stats["context_switches"] > 0  # replay actually happened
+    assert mem.load(0x20000) == sum(range(100, 108))
+    assert mem.load(0x20008) == sum(range(108, 116))
+
+
+def test_flags_preserved_across_context_switches():
+    """Each thread's NZCV flags are private context: a switch between a cmp
+    and its dependent branch must not corrupt the outcome."""
+    mem = MainMemory()
+    mem.write_array(0x10000, [5, 50])  # per-thread thresholds
+    src = """
+    start:
+        adr  x1, thr
+        ldr  x2, [x1, x0, lsl #3]   ; thread-specific threshold (cold miss!)
+        cmp  x2, #10
+        b.lt small
+        mov  x3, #2222
+        b    done
+    small:
+        mov  x3, #1111
+    done:
+        adr  x4, out
+        str  x3, [x4, x0, lsl #3]
+        halt
+    """
+    sym = {"thr": 0x10000, "out": 0x20000}
+    core = build(src, sym, BankedCore, 2, mem,
+                 init=[{X(0): t} for t in range(2)],
+                 layout=ContextLayout(used_regs=tuple(range(5))))
+    core.run()
+    assert mem.load(0x20000) == 1111   # threshold 5 -> small
+    assert mem.load(0x20008) == 2222   # threshold 50 -> big
+
+
+def test_store_then_load_same_address_sees_value():
+    mem = MainMemory()
+    src = """
+        adr x1, buf
+        mov x2, #77
+        str x2, [x1, #0]
+        ldr x3, [x1, #0]
+        add x3, x3, #1
+        halt
+    """
+    core = build(src, {"buf": 0x30000}, BankedCore, 1, mem,
+                 layout=ContextLayout(used_regs=tuple(range(4))))
+    core.run()
+    assert core.threads[0].xregs[3] == 78
+
+
+def test_virec_replay_preserves_vrmu_consistency():
+    """After many flush/replay rounds the tag store still satisfies its
+    structural invariants and all outputs are exact."""
+    mem = MainMemory()
+    rng = np.random.default_rng(3)
+    idx = rng.integers(0, 2048, size=64)
+    data = rng.integers(0, 1 << 20, size=2048)
+    mem.write_array(0x100000, idx)
+    mem.write_array(0x200000, data)
+    src = """
+    start:
+        mov  x2, #chunk
+        mul  x3, x0, x2
+        add  x4, x3, x2
+        adr  x5, idx
+        adr  x6, data
+        adr  x7, out
+    loop:
+        ldr  x8, [x5, x3, lsl #3]
+        ldr  x9, [x6, x8, lsl #3]
+        str  x9, [x7, x3, lsl #3]
+        add  x3, x3, #1
+        cmp  x3, x4
+        b.lt loop
+        halt
+    """
+    sym = {"idx": 0x100000, "data": 0x200000, "out": 0x300000, "chunk": 16}
+    core = build(src, sym, ViReCCore, 4, mem,
+                 init=[{X(0): t} for t in range(4)],
+                 layout=ContextLayout(used_regs=tuple(range(10))),
+                 virec=ViReCConfig(rf_size=14))
+    stats = core.run()
+    core.vrmu.tagstore.check_invariants()
+    assert stats["context_switches"] > 10
+    got = mem.read_array(sym["out"], 64)
+    assert got == [int(data[i]) for i in idx]
+
+
+def test_halt_waits_for_older_stores():
+    """A store right before halt still lands in memory."""
+    mem = MainMemory()
+    src = """
+        adr x1, buf
+        mov x2, #5
+        str x2, [x1, #0]
+        halt
+    """
+    core = build(src, {"buf": 0x40000}, BankedCore, 1, mem,
+                 layout=ContextLayout(used_regs=(1, 2)))
+    core.run()
+    assert mem.load(0x40000) == 5
+
+
+def test_thread_instructions_exclude_flushed_replays():
+    """Committed-instruction counts equal the functional execution count,
+    however many flush/replay rounds occurred."""
+    from repro.isa.func_sim import FunctionalSimulator
+
+    mem = MainMemory()
+    mem.write_array(0x10000, list(range(1, 33)))
+    src = """
+    start:
+        adr x1, arr
+        mov x3, #0
+        mov x4, #0
+    loop:
+        ldr x5, [x1, x3, lsl #3]
+        add x4, x4, x5
+        add x3, x3, #8         ; one element per line -> miss per iter
+        cmp x3, #32
+        b.lt loop
+        halt
+    """
+    prog_mem = mem
+    core = build(src, {"arr": 0x10000}, BankedCore, 2, prog_mem,
+                 init=[{X(0): t} for t in range(2)],
+                 layout=ContextLayout(used_regs=tuple(range(6))))
+    core.run()
+
+    golden = FunctionalSimulator(assemble(src, symbols={"arr": 0x10000}),
+                                 MainMemory())
+    golden.memory.write_array(0x10000, list(range(1, 33)))
+    golden.run()
+    assert core.threads[0].instructions == golden.instructions_executed

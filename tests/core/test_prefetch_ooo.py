@@ -1,0 +1,133 @@
+"""Tests for the RF-prefetching cores and the simplified OoO model."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import GATHER_REGS, GATHER_SRC, build_gather_core  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+from repro.core.cgmt import BankedCore, ContextLayout  # noqa: E402
+from repro.core.ooo import OoOConfig, OoOCore  # noqa: E402
+from repro.core.prefetch import ExactPrefetchCore, FullContextPrefetchCore  # noqa: E402
+from repro.isa import X, assemble  # noqa: E402
+from repro.memory import Cache, CacheConfig, HostMemorySystem, MainMemory  # noqa: E402
+from repro.stats.counters import Stats  # noqa: E402
+
+
+ACTIVE = (3, 4, 5, 6, 7, 8, 9)  # gather inner-loop registers
+
+
+def test_full_prefetch_correct():
+    core, mem, sym, expected = build_gather_core(FullContextPrefetchCore,
+                                                 n_threads=4)
+    core.run()
+    assert mem.read_array(sym["out"], len(expected)) == expected
+
+
+def test_exact_prefetch_correct():
+    core, mem, sym, expected = build_gather_core(
+        ExactPrefetchCore, n_threads=4, active_regs=ACTIVE)
+    core.run()
+    assert mem.read_array(sym["out"], len(expected)) == expected
+
+
+def test_exact_beats_full_prefetch():
+    """Figure 9: moving the full context every switch is the worst option."""
+    full, *_ = build_gather_core(FullContextPrefetchCore, n_threads=4, n=128)
+    exact, *_ = build_gather_core(ExactPrefetchCore, n_threads=4, n=128,
+                                  active_regs=ACTIVE)
+    cf = full.run()["cycles"]
+    ce = exact.run()["cycles"]
+    assert ce < cf
+
+
+def test_full_prefetch_worse_than_banked():
+    full, *_ = build_gather_core(FullContextPrefetchCore, n_threads=4, n=128)
+    banked, *_ = build_gather_core(BankedCore, n_threads=4, n=128)
+    assert banked.run()["cycles"] < full.run()["cycles"]
+
+
+def test_prefetch_statistics_populated():
+    core, *_ = build_gather_core(ExactPrefetchCore, n_threads=4,
+                                 active_regs=ACTIVE)
+    stats = core.run()
+    assert stats["prefetches"] > 0
+    assert stats["prefetched_switches"] > 0
+
+
+def test_single_thread_prefetch_core_runs():
+    core, mem, sym, expected = build_gather_core(
+        ExactPrefetchCore, n_threads=1, active_regs=ACTIVE)
+    core.run()
+    assert mem.read_array(sym["out"], len(expected)) == expected
+
+
+# -- OoO ---------------------------------------------------------------------
+
+def build_ooo(n=256, seed=3):
+    rng = np.random.default_rng(seed)
+    data_n = 4096
+    idx = rng.integers(0, data_n, size=n)
+    data = rng.integers(0, 1 << 30, size=data_n)
+    mem = MainMemory()
+    sym = {"idx": 0x100000, "data": 0x200000, "out": 0x300000, "chunk": n}
+    mem.write_array(sym["idx"], idx)
+    mem.write_array(sym["data"], data)
+    prog = assemble(GATHER_SRC, symbols=sym)
+    host = HostMemorySystem()
+    core = OoOCore(prog, host.icache, host.dcache, mem)
+    expected = [int(data[i]) for i in idx]
+    return core, mem, sym, expected
+
+
+def test_ooo_correct():
+    core, mem, sym, expected = build_ooo()
+    core.run()
+    assert mem.read_array(sym["out"], len(expected)) == expected
+
+
+def test_ooo_faster_than_inorder_on_gather():
+    """Figure 1: the OoO hides latency with ILP/MLP that the InO cannot."""
+    from repro.core.inorder import InOrderCore
+    ooo, *_ = build_ooo(n=256)
+    ooo_cycles = ooo.run()["cycles"]
+    ino, *_ = build_gather_core(InOrderCore, n_threads=1, n=256)
+    ino_cycles = ino.run()["cycles"]
+    assert ooo_cycles < ino_cycles / 2
+
+
+def test_ooo_width_matters_on_independent_work():
+    src = "mov x1, #1\n" + "\n".join(
+        f"add x{2 + (i % 6)}, x1, #{i}" for i in range(240)) + "\nhalt"
+    prog = assemble(src)
+
+    def run(width):
+        host = HostMemorySystem()
+        core = OoOCore(prog, host.icache, host.dcache, MainMemory(),
+                       OoOConfig(width=width))
+        return core.run()["cycles"]
+
+    assert run(8) < run(1)
+
+
+def test_ooo_dependent_chain_limits_ilp():
+    dep = "mov x1, #0\n" + "add x1, x1, #1\n" * 200 + "halt"
+    indep = "mov x1, #0\n" + "\n".join(
+        f"add x{2 + (i % 8)}, x1, #1" for i in range(200)) + "\nhalt"
+    host1, host2 = HostMemorySystem(), HostMemorySystem()
+    c_dep = OoOCore(assemble(dep), host1.icache, host1.dcache, MainMemory()).run()["cycles"]
+    c_ind = OoOCore(assemble(indep), host2.icache, host2.dcache, MainMemory()).run()["cycles"]
+    assert c_dep > c_ind * 2
+
+
+def test_ooo_rob_bounds_runahead():
+    """A tiny ROB throttles MLP on a miss-heavy stream."""
+    src = GATHER_SRC
+    big, *_ = build_ooo(n=256)
+    big_c = big.run()["cycles"]
+    small, mem, sym, _ = build_ooo(n=256)
+    small.config = OoOConfig(rob_entries=4)
+    small_c = small.run()["cycles"]
+    assert small_c >= big_c

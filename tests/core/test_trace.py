@@ -1,0 +1,72 @@
+"""Tests for the pipeline tracer."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import build_gather_core  # noqa: E402
+
+from repro.core import BankedCore, PipelineTracer  # noqa: E402
+from repro.core.trace import TraceRecord  # noqa: E402
+from repro.virec import ViReCConfig, ViReCCore  # noqa: E402
+
+
+def test_tracer_records_every_commit():
+    core, *_ = build_gather_core(BankedCore, n_threads=2, n=16)
+    tracer = PipelineTracer()
+    core.tracer = tracer
+    stats = core.run()
+    assert len(tracer.records) == stats["instructions"]
+
+
+def test_trace_timestamps_monotone_per_record():
+    core, *_ = build_gather_core(BankedCore, n_threads=2, n=16)
+    core.tracer = PipelineTracer()
+    core.run()
+    for r in core.tracer.records:
+        assert r.t_decode <= r.t_issue <= r.t_ex_done <= r.t_data <= r.t_commit
+
+
+def test_commit_order_is_globally_monotone():
+    core, *_ = build_gather_core(BankedCore, n_threads=4, n=32)
+    core.tracer = PipelineTracer()
+    core.run()
+    commits = [r.t_commit for r in core.tracer.records]
+    assert commits == sorted(commits)
+
+
+def test_mem_stalls_attributed_on_misses():
+    core, *_ = build_gather_core(BankedCore, n_threads=1, n=16,
+                                 mem_latency=200)
+    core.tracer = PipelineTracer()
+    core.run()
+    summary = core.tracer.stall_summary()
+    assert summary["mem_stall_cycles"] > 100
+    assert any("mem+" in r.dominant_stall for r in core.tracer.records)
+
+
+def test_virec_register_stalls_attributed():
+    core, *_ = build_gather_core(ViReCCore, n_threads=4, n=32,
+                                 virec=ViReCConfig(rf_size=12))
+    core.tracer = PipelineTracer()
+    core.run()
+    assert core.tracer.stall_summary()["reg_stall_cycles"] > 0
+
+
+def test_trace_formatting_and_limit():
+    core, *_ = build_gather_core(BankedCore, n_threads=2, n=32)
+    core.tracer = PipelineTracer(limit=10)
+    core.run()
+    assert len(core.tracer.records) == 10
+    assert core.tracer.dropped > 0
+    text = core.tracer.format()
+    assert "dropped" in text and "C@" in text
+    assert len(core.tracer.format(last=3).splitlines()) == 4  # 3 + dropped note
+
+
+def test_trace_record_fields():
+    r = TraceRecord(tid=1, pc=5, text="add x0, x0, #1", t_decode=10,
+                    t_issue=11, t_ex_done=12, t_data=12, t_commit=13)
+    assert r.decode_stall == 0 and r.mem_stall == 0
+    assert r.dominant_stall == ""
+    assert "add x0" in r.format()

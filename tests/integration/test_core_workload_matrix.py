@@ -1,0 +1,72 @@
+"""The full correctness matrix: every workload x every core type.
+
+``run_config`` already asserts each workload's numpy-oracle check; these
+tests additionally verify cross-core architectural equivalence (identical
+committed instruction counts across core types, since timing never changes
+functional behaviour) and basic performance sanity orderings.
+"""
+
+import pytest
+
+import repro.workloads as wl
+from repro.system import RunConfig, run_config
+
+CORES = ("banked", "swctx", "virec", "nsf", "prefetch-full", "prefetch-exact")
+WORKLOADS = wl.names()
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_all_cores_agree_on_instruction_count(workload):
+    counts = {}
+    for core in CORES:
+        r = run_config(RunConfig(workload=workload, core_type=core,
+                                 n_threads=4, n_per_thread=8))
+        counts[core] = r.instructions
+    assert len(set(counts.values())) == 1, f"disagreement: {counts}"
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_every_core_handles_fp_and_nested_loops(core):
+    # spmv: nested loops + FP; the most structurally complex kernel
+    r = run_config(RunConfig(workload="spmv", core_type=core,
+                             n_threads=4, n_per_thread=4))
+    assert r.correct and r.cycles > 0
+
+
+def test_single_thread_matches_across_mt_cores():
+    """With one thread there are no switches; all CGMT cores should be
+    within a small constant of each other."""
+    cycles = {}
+    for core in ("banked", "virec"):
+        r = run_config(RunConfig(workload="vecadd", core_type=core,
+                                 n_threads=1, n_per_thread=32,
+                                 context_fraction=2.0))
+        cycles[core] = r.cycles
+    assert abs(cycles["banked"] - cycles["virec"]) < 0.25 * cycles["banked"]
+
+
+def test_virec_never_slower_than_swctx():
+    """Hardware-managed partial contexts must beat software save/restore."""
+    for workload in ("gather", "stride", "spmv"):
+        sw = run_config(RunConfig(workload=workload, core_type="swctx",
+                                  n_threads=4, n_per_thread=16))
+        v = run_config(RunConfig(workload=workload, core_type="virec",
+                                 n_threads=4, n_per_thread=16,
+                                 context_fraction=0.8))
+        assert v.cycles < sw.cycles, workload
+
+
+def test_more_work_more_cycles():
+    small = run_config(RunConfig(workload="gather", core_type="virec",
+                                 n_threads=4, n_per_thread=8))
+    large = run_config(RunConfig(workload="gather", core_type="virec",
+                                 n_threads=4, n_per_thread=32))
+    assert large.cycles > small.cycles
+    assert large.instructions > 3 * small.instructions
+
+
+def test_ipc_bounded_by_issue_width():
+    for core in CORES:
+        r = run_config(RunConfig(workload="vecadd", core_type=core,
+                                 n_threads=4, n_per_thread=16))
+        assert 0 < r.ipc <= 1.0, f"{core}: single-issue IPC must be <= 1"

@@ -1,0 +1,48 @@
+"""Tests for the ASCII plotting helpers."""
+
+from repro.experiments import fig14
+from repro.experiments.plotting import lines, pareto_plot, scatter, sweep_plot
+
+
+def test_scatter_renders_all_points():
+    out = scatter({"a": (1.0, 2.0), "b": (3.0, 4.0), "c": (2.0, 1.0)},
+                  width=20, height=8, title="demo")
+    assert "demo" in out
+    for glyph in ("a", "b", "c"):
+        assert f"{glyph} = " in out
+    assert "(no points)" == scatter({})
+
+
+def test_scatter_extremes_on_borders():
+    out = scatter({"lo": (0.0, 0.0), "hi": (10.0, 10.0)}, width=10, height=5)
+    rows = [ln for ln in out.splitlines() if ln.startswith("|")]
+    assert rows[0].rstrip()[-1] == "b"   # hi at top-right
+    assert rows[-1][1] == "a"            # lo at bottom-left
+
+
+def test_lines_chart():
+    out = lines({"up": [1, 2, 3], "down": [3, 2, 1]}, x=[10, 20, 30],
+                width=12, height=6, title="t")
+    assert "a = up" in out and "b = down" in out
+    assert "10  20  30" in out
+    assert lines({}, []) == "(no data)"
+
+
+def test_pareto_plot_from_fig01_shape():
+    # synthesize a fig01-like result without running simulations
+    from repro.experiments.common import ExperimentResult
+    r = ExperimentResult("fig01", "pareto", rows=[
+        {"config": "inorder", "area_mm2": 1.4, "speedup": 1.0},
+        {"config": "virec", "area_mm2": 1.7, "speedup": 2.2},
+        {"config": "banked", "area_mm2": 2.8, "speedup": 2.3},
+    ])
+    out = pareto_plot(r)
+    assert "virec" in out and "area [mm^2]" in out
+
+
+def test_sweep_plot_from_fig14():
+    result = fig14.run()
+    out = sweep_plot(result, "threads",
+                     ["banked_mm2", "virec_8_regs_mm2"],
+                     row_filter=lambda r: isinstance(r.get("threads"), int))
+    assert "banked_mm2" in out

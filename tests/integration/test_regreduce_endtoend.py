@@ -1,0 +1,148 @@
+"""End-to-end §4.2 study: compiler register reduction helps ViReC.
+
+A register-rich gather variant keeps six outer-loop constants live across
+the inner loop.  Unreduced, those registers inflate every thread's context
+and churn the register cache; after `reduce_registers` demotes them to
+memory, the inner-loop working set shrinks and the same ViReC configuration
+gets a higher hit rate — the reason the paper applies compiler register
+reduction to outer-loop registers.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import FixedLatencyBackend  # noqa: E402
+
+from repro.compiler import reduce_registers  # noqa: E402
+from repro.core.cgmt import ContextLayout, make_threads  # noqa: E402
+from repro.isa import X, assemble  # noqa: E402
+from repro.isa.func_sim import FunctionalSimulator  # noqa: E402
+from repro.memory import Cache, CacheConfig, MainMemory  # noqa: E402
+from repro.stats.counters import Stats  # noqa: E402
+from repro.virec import ViReCConfig, ViReCCore  # noqa: E402
+
+# gather with 6 outer-loop-only registers (x16-x21) summed into the result
+# once per OUTER iteration; the inner loop is the usual gather stream.
+RICH_SRC = """
+start:
+    mov  x2, #chunk
+    mul  x3, x0, x2
+    add  x4, x3, x2
+    adr  x5, idx
+    adr  x6, data
+    adr  x7, out
+    mov  x16, #11          ; outer-loop-only constants
+    mov  x17, #13
+    mov  x18, #17
+    mov  x19, #19
+    mov  x20, #23
+    mov  x21, #29
+    mov  x10, #0           ; outer counter
+outer:
+    mov  x11, x3           ; i = start (redo the slice each outer iter)
+inner:
+    ldr  x8, [x5, x11, lsl #3]
+    ldr  x9, [x6, x8, lsl #3]
+    str  x9, [x7, x11, lsl #3]
+    add  x11, x11, #1
+    cmp  x11, x4
+    b.lt inner
+    add  x9, x16, x17      ; outer-loop epilogue using the constants
+    add  x9, x9, x18
+    add  x9, x9, x19
+    add  x9, x9, x20
+    add  x9, x9, x21
+    adr  x12, sums
+    str  x9, [x12, x0, lsl #3]
+    add  x10, x10, #1
+    cmp  x10, #2
+    b.lt outer
+    halt
+"""
+
+SPILL_AREA = 0x0090_0000
+
+
+def build(n_threads=4, n_per_thread=16, seed=21):
+    n = n_threads * n_per_thread
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, 2048, size=n)
+    data = rng.integers(0, 1 << 20, size=2048)
+    sym = {"idx": 0x100000, "data": 0x200000, "out": 0x300000,
+           "sums": 0x400000, "chunk": n_per_thread}
+    prog = assemble(RICH_SRC, symbols=sym)
+    mem = MainMemory()
+    mem.write_array(sym["idx"], idx)
+    mem.write_array(sym["data"], data)
+    expected = [int(data[i]) for i in idx]
+    return prog, mem, sym, expected
+
+
+def run_virec(prog, mem, used_regs, rf_size, n_threads=4):
+    be = FixedLatencyBackend(80)
+    ic = Cache(CacheConfig(name="ic", size_bytes=32 * 1024, assoc=4,
+                           latency=2), be, Stats("ic"))
+    dc = Cache(CacheConfig(name="dc", size_bytes=8 * 1024, assoc=4, latency=2,
+                           mshrs=24), be, Stats("dc"))
+    threads = make_threads(n_threads, entry_pc=prog.entry,
+                           init_regs=[{X(0): t} for t in range(n_threads)])
+    core = ViReCCore(prog, ic, dc, mem, threads,
+                     virec=ViReCConfig(rf_size=rf_size),
+                     layout=ContextLayout(used_regs=tuple(used_regs)))
+    return core, core.run()
+
+
+def used_regs_of(prog):
+    from repro.compiler import used_regs
+    return sorted(used_regs(prog))
+
+
+def test_reduction_shrinks_used_context():
+    prog, mem, sym, _ = build()
+    red = reduce_registers(prog, SPILL_AREA)
+    assert set(red.spilled) >= {X(16).flat, X(17).flat, X(18).flat,
+                                X(19).flat, X(20).flat, X(21).flat}
+    before = {r for r in used_regs_of(prog) if r < 25}
+    after = {r for r in used_regs_of(red.program) if r < 25}
+    assert len(after) < len(before)
+
+
+def test_reduced_kernel_still_correct_on_virec():
+    prog, mem, sym, expected = build()
+    red = reduce_registers(prog, SPILL_AREA)
+    core, stats = run_virec(red.program, mem, used_regs_of(red.program),
+                            rf_size=32)
+    assert mem.read_array(sym["out"], len(expected)) == expected
+    # outer-loop epilogue also correct through the spill slots
+    assert mem.load(sym["sums"]) == 11 + 13 + 17 + 19 + 23 + 29
+
+
+def test_reduction_improves_virec_hit_rate_at_fixed_rf():
+    """Same physical register cache: the reduced kernel fits more of each
+    thread's *hot* context, raising the hit rate (the §4.2 payoff)."""
+    rf = 32  # tight for 4 threads x rich context
+    prog1, mem1, sym1, expected = build()
+    core1, s1 = run_virec(prog1, mem1, used_regs_of(prog1), rf)
+    assert mem1.read_array(sym1["out"], len(expected)) == expected
+
+    prog2, mem2, sym2, _ = build()
+    red = reduce_registers(prog2, SPILL_AREA)
+    core2, s2 = run_virec(red.program, mem2, used_regs_of(red.program), rf)
+
+    assert s2["rf_hit_rate"] > s1["rf_hit_rate"]
+    # and the cycle count does not regress materially
+    assert s2["cycles"] < s1["cycles"] * 1.1
+
+
+def test_golden_model_agreement_after_reduction():
+    prog, mem, sym, expected = build(n_threads=2, n_per_thread=8)
+    red = reduce_registers(prog, SPILL_AREA)
+    for tid in range(2):
+        sim = FunctionalSimulator(red.program, mem)
+        sim.state.pc = red.program.entry
+        sim.state.write(X(0), tid)
+        sim.run()
+    assert mem.read_array(sym["out"], len(expected)) == expected

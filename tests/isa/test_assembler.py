@@ -1,0 +1,151 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AddrMode, AssemblerError, Cond, D, Opcode, X, assemble
+
+
+def test_simple_program_labels_and_targets():
+    p = assemble(
+        """
+        start:
+            mov x0, #0
+        loop:
+            add x0, x0, #1
+            cmp x0, #10
+            b.lt loop
+            halt
+        """
+    )
+    assert p.labels == {"start": 0, "loop": 1}
+    assert p.entry == 0
+    assert len(p) == 5
+    assert p[3].opcode == Opcode.BCOND and p[3].cond == Cond.LT and p[3].target == 1
+    assert p[4].opcode == Opcode.HALT
+
+
+def test_comments_and_blank_lines():
+    p = assemble(
+        """
+        ; full-line comment
+        mov x0, #1   // trailing
+        nop          ; trailing ;
+        halt
+        """
+    )
+    assert [i.opcode for i in p.instructions] == [Opcode.MOV, Opcode.NOP, Opcode.HALT]
+
+
+def test_memory_operand_forms():
+    p = assemble(
+        """
+        ldr x0, [x1, #16]
+        ldr x0, [x1, x2, lsl #3]
+        ldr x0, [x1, x2]
+        ldr x0, [x1], #8
+        str x0, [x1]
+        halt
+        """
+    )
+    assert p[0].mode == AddrMode.OFF_IMM and p[0].imm == 16
+    assert p[1].mode == AddrMode.OFF_REG and p[1].shift == 3 and p[1].rm == X(2)
+    assert p[2].mode == AddrMode.OFF_REG and p[2].shift == 0
+    assert p[3].mode == AddrMode.POST_IMM and p[3].imm == 8
+    assert p[4].mode == AddrMode.OFF_IMM and p[4].imm == 0
+    assert p[4].opcode == Opcode.STR
+
+
+def test_ldrsw_alias():
+    p = assemble("ldrsw x6, [x2, x5, lsl #3]\nhalt")
+    assert p[0].opcode == Opcode.LDR
+
+
+def test_symbol_resolution_adr():
+    p = assemble("adr x1, arr\nhalt", symbols={"arr": 0x10000})
+    assert p[0].opcode == Opcode.ADR and p[0].imm == 0x10000
+
+
+def test_symbolic_immediate():
+    p = assemble("mov x1, #n\nhalt", symbols={"n": 42})
+    assert p[0].imm == 42
+
+
+def test_fp_instructions():
+    p = assemble(
+        """
+        fmov d0, #1.5
+        fadd d0, d0, d1
+        fmadd d2, d0, d1, d2
+        ldr d3, [x1, #0]
+        halt
+        """
+    )
+    assert p[0].opcode == Opcode.FMOV and p[0].imm == 1.5
+    assert p[1].opcode == Opcode.FADD
+    assert p[2].opcode == Opcode.FMADD and p[2].ra == D(2)
+    assert p[3].rd == D(3)
+
+
+def test_cbz_cbnz():
+    p = assemble("top:\ncbz x0, top\ncbnz x1, top\nhalt")
+    assert p[0].opcode == Opcode.CBZ and p[0].target == 0
+    assert p[1].opcode == Opcode.CBNZ and p[1].target == 0
+
+
+def test_madd():
+    p = assemble("madd x0, x1, x2, x3\nhalt")
+    assert p[0].opcode == Opcode.MADD
+    assert set(p[0].srcs) == {X(1), X(2), X(3)}
+
+
+def test_label_on_same_line_as_instruction():
+    p = assemble("loop: add x0, x0, #1\nb loop")
+    assert p.labels["loop"] == 0
+    assert p[1].target == 0
+
+
+def test_undefined_label_raises():
+    with pytest.raises(AssemblerError, match="undefined label"):
+        assemble("b nowhere")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("a:\nnop\na:\nnop")
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("frobnicate x0, x1")
+
+
+def test_bad_operand_count_raises():
+    with pytest.raises(AssemblerError, match="expects"):
+        assemble("add x0, x1")
+
+
+def test_unknown_symbol_raises():
+    with pytest.raises(AssemblerError, match="unknown symbol"):
+        assemble("adr x0, missing")
+
+
+def test_bad_memory_operand_raises():
+    with pytest.raises(AssemblerError, match="bad memory operand"):
+        assemble("ldr x0, [x1, x2, lsl]")
+
+
+def test_disassemble_roundtrip_contains_labels():
+    p = assemble("start:\nmov x0, #1\nloop:\nb loop")
+    listing = p.disassemble()
+    assert "start:" in listing and "loop:" in listing and "mov x0, #1" in listing
+
+
+def test_negative_immediates():
+    p = assemble("add x0, x0, #-8\nldr x1, [x2, #-16]\nhalt")
+    assert p[0].imm == -8
+    assert p[1].imm == -16
+
+
+def test_hex_immediates():
+    p = assemble("mov x0, #0xff\nhalt")
+    assert p[0].imm == 255

@@ -1,0 +1,96 @@
+"""Property-based tests: random programs assemble, run, and round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble, run_functional
+from repro.isa.func_sim import FunctionalSimulator
+from repro.memory.main_memory import MainMemory
+
+regs = st.integers(min_value=0, max_value=15).map(lambda i: f"x{i}")
+imms = st.integers(min_value=-1024, max_value=1024)
+
+alu_line = st.one_of(
+    st.tuples(st.sampled_from(["add", "sub", "and", "orr", "eor", "mul"]),
+              regs, regs, regs).map(lambda t: f"{t[0]} {t[1]}, {t[2]}, {t[3]}"),
+    st.tuples(st.sampled_from(["add", "sub", "lsl", "lsr"]),
+              regs, regs, st.integers(0, 63)).map(
+                  lambda t: f"{t[0]} {t[1]}, {t[2]}, #{t[3]}"),
+    st.tuples(regs, imms).map(lambda t: f"mov {t[0]}, #{t[1]}"),
+    st.tuples(regs, regs).map(lambda t: f"mov {t[0]}, {t[1]}"),
+    st.tuples(regs, regs, regs, regs).map(
+        lambda t: f"madd {t[0]}, {t[1]}, {t[2]}, {t[3]}"),
+)
+
+
+@given(st.lists(alu_line, min_size=1, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_random_alu_programs_assemble_and_terminate(lines):
+    src = "\n".join(lines) + "\nhalt"
+    program = assemble(src)
+    assert len(program) == len(lines) + 1
+    sim = run_functional(program)
+    assert sim.instructions_executed == len(lines)
+    # all register values are canonical unsigned 64-bit
+    assert all(0 <= v < (1 << 64) for v in sim.state.xregs)
+
+
+@given(st.lists(alu_line, min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_disassembly_reassembles_identically(lines):
+    """text -> Program -> text listing contains every original mnemonic."""
+    src = "\n".join(lines) + "\nhalt"
+    program = assemble(src)
+    listing = program.disassemble()
+    for line in lines:
+        mnemonic = line.split()[0]
+        assert mnemonic in listing
+
+
+@given(st.lists(alu_line, min_size=1, max_size=25), st.integers(0, 1 << 30))
+@settings(max_examples=40, deadline=None)
+def test_functional_sim_deterministic(lines, seed_val):
+    src = "\n".join(lines) + "\nhalt"
+    a = run_functional(assemble(src))
+    b = run_functional(assemble(src))
+    assert a.state.xregs == b.state.xregs
+
+
+@given(st.integers(1, 50), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_counted_loop_trip_counts(n, step):
+    src = f"""
+        mov x0, #0
+        mov x1, #0
+        loop:
+        add x1, x1, #1
+        add x0, x0, #{step}
+        cmp x0, #{n * step}
+        b.lt loop
+        halt
+    """
+    sim = run_functional(assemble(src))
+    assert sim.state.xregs[1] == n
+
+
+@given(st.lists(st.integers(0, 1 << 40), min_size=1, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_memory_copy_roundtrip(values):
+    mem = MainMemory()
+    mem.write_array(0x1000, values)
+    src = f"""
+        adr x1, src
+        adr x2, dst
+        mov x3, #0
+        loop:
+        ldr x4, [x1, x3, lsl #3]
+        str x4, [x2, x3, lsl #3]
+        add x3, x3, #1
+        cmp x3, #{len(values)}
+        b.lt loop
+        halt
+    """
+    sim = FunctionalSimulator(assemble(src, symbols={"src": 0x1000,
+                                                     "dst": 0x8000}), mem)
+    sim.run()
+    assert mem.read_array(0x8000, len(values)) == list(values)

@@ -1,0 +1,123 @@
+"""Tests for the programmatic kernel builder."""
+
+import pytest
+
+from repro.isa import Cond, X, run_functional
+from repro.isa.builder import BuilderError, KernelBuilder
+from repro.memory.main_memory import MainMemory
+
+
+def test_sum_loop_matches_assembly_version():
+    b = KernelBuilder()
+    b.mov(X(0), 0).mov(X(1), 0)
+    b.label("loop")
+    b.add(X(0), X(0), X(1))
+    b.add(X(1), X(1), 1)
+    b.cmp(X(1), 10)
+    b.blt("loop")
+    b.halt()
+    sim = run_functional(b.build())
+    assert sim.state.xregs[0] == sum(range(10))
+
+
+def test_memory_ops_and_post_index():
+    mem = MainMemory()
+    mem.write_array(0x1000, [7, 8, 9])
+    b = KernelBuilder()
+    b.adr(X(1), 0x1000)
+    b.ldr(X(2), base=X(1), post=8)
+    b.ldr(X(3), base=X(1), post=8)
+    b.adr(X(4), 0x2000)
+    b.mov(X(5), 0)
+    b.str_(X(2), base=X(4), index=X(5), shift=3)
+    b.halt()
+    from repro.isa.func_sim import FunctionalSimulator
+    sim = FunctionalSimulator(b.build(), mem)
+    sim.run()
+    assert sim.state.xregs[2] == 7 and sim.state.xregs[3] == 8
+    assert mem.load(0x2000) == 7
+
+
+def test_forward_references_resolve():
+    b = KernelBuilder()
+    b.mov(X(0), 1)
+    b.cbz(X(0), "skip")      # forward label
+    b.mov(X(1), 42)
+    b.label("skip")
+    b.halt()
+    sim = run_functional(b.build())
+    assert sim.state.xregs[1] == 42
+
+
+def test_undefined_label_rejected():
+    b = KernelBuilder()
+    b.b("nowhere")
+    b.halt()
+    with pytest.raises(BuilderError, match="undefined label"):
+        b.build()
+
+
+def test_duplicate_label_rejected():
+    b = KernelBuilder()
+    b.label("x")
+    with pytest.raises(BuilderError, match="duplicate"):
+        b.label("x")
+
+
+def test_operand_validation():
+    b = KernelBuilder()
+    with pytest.raises(BuilderError):
+        b.mul(X(0), X(1), 5)
+    with pytest.raises(BuilderError):
+        b.ldr(X(0), base=X(1), offset=8, post=8)
+
+
+def test_built_program_runs_on_timed_core():
+    import sys
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from helpers import FixedLatencyBackend
+    from repro.core.cgmt import make_threads
+    from repro.core.inorder import InOrderCore
+    from repro.memory import Cache, CacheConfig
+    from repro.stats.counters import Stats
+
+    b = KernelBuilder()
+    b.adr(X(1), 0x1000)
+    b.mov(X(2), 0)
+    b.mov(X(3), 0)
+    b.label("loop")
+    b.ldr(X(4), base=X(1), index=X(2), shift=3)
+    b.add(X(3), X(3), X(4))
+    b.add(X(2), X(2), 1)
+    b.cmp(X(2), 8)
+    b.blt("loop")
+    b.halt()
+    prog = b.build()
+
+    mem = MainMemory()
+    mem.write_array(0x1000, list(range(1, 9)))
+    be = FixedLatencyBackend(40)
+    ic = Cache(CacheConfig(name="ic", size_bytes=32 * 1024, assoc=4,
+                           latency=2), be, Stats("ic"))
+    dc = Cache(CacheConfig(name="dc", size_bytes=8 * 1024, assoc=4,
+                           latency=2), be, Stats("dc"))
+    core = InOrderCore(prog, ic, dc, mem, make_threads(1))
+    core.run()
+    assert core.threads[0].xregs[3] == 36
+
+
+def test_builder_interops_with_scheduler_and_encoding():
+    from repro.compiler import schedule_program
+    from repro.isa import decode_program, encode_program
+
+    b = KernelBuilder()
+    b.adr(X(1), 0x1000)
+    b.ldr(X(2), base=X(1))
+    b.add(X(3), X(2), 1)
+    b.mov(X(4), 5)
+    b.halt()
+    prog = b.build()
+    sched = schedule_program(prog).program
+    decoded = decode_program(encode_program(sched))
+    assert len(decoded) == len(prog)

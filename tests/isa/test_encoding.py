@@ -1,0 +1,106 @@
+"""Round-trip tests for the binary instruction encoding."""
+
+import pytest
+
+import repro.workloads as wl
+from repro.isa import assemble
+from repro.isa.encoding import (
+    EncodingError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+
+
+def roundtrip(program):
+    blob = encode_program(program)
+    back = decode_program(blob)
+    assert len(back) == len(program)
+    for a, b in zip(program.instructions, back.instructions):
+        assert encode_instruction(a) == encode_instruction(b), (a.text, b)
+    return back
+
+
+def test_roundtrip_simple_program():
+    p = assemble(
+        """
+        start:
+            mov x0, #0
+        loop:
+            add x0, x0, #1
+            ldr x2, [x1, x0, lsl #3]
+            ldr x3, [x1, #16]
+            ldr x4, [x1], #8
+            str x2, [x1, #0]
+            cmp x0, #10
+            b.lt loop
+            cbz x2, loop
+            madd x5, x0, x2, x3
+            fmov d0, #2.5
+            fmadd d1, d0, d0, d1
+            nop
+            halt
+        """
+    )
+    roundtrip(p)
+
+
+@pytest.mark.parametrize("name", wl.names())
+def test_roundtrip_every_workload_kernel(name):
+    inst = wl.get(name).build(n_threads=2, n_per_thread=4)
+    roundtrip(inst.program)
+
+
+def test_large_immediates_use_literal_word():
+    p = assemble("mov x0, #100000\nadr x1, sym\nhalt",
+                 symbols={"sym": 0x123456})
+    blob = encode_program(p)
+    back = decode_program(blob)
+    assert back[0].imm == 100000
+    assert back[1].imm == 0x123456
+
+
+def test_negative_immediates():
+    p = assemble("add x0, x0, #-8\nldr x1, [x2, #-64]\nhalt")
+    back = roundtrip(p)
+    assert back[0].imm == -8
+    assert back[1].imm == -64
+
+
+def test_fp_immediate_literal():
+    p = assemble("fmov d0, #3.25\nhalt")
+    back = roundtrip(p)
+    assert back[0].imm == pytest.approx(3.25)
+
+
+def test_branch_targets_roundtrip():
+    src = "\n".join(["nop"] * 70) + "\nloop:\nnop\nb loop\nhalt"
+    p = assemble(src)
+    back = roundtrip(p)
+    assert back[71].target == 70  # far target forced a literal
+
+
+def test_decoded_program_executes_identically():
+    from repro.isa import run_functional
+    src = """
+        mov x0, #0
+        mov x1, #0
+        loop:
+        madd x1, x0, x0, x1
+        add x0, x0, #1
+        cmp x0, #15
+        b.lt loop
+        halt
+    """
+    p = assemble(src)
+    q = decode_program(encode_program(p))
+    assert run_functional(p).state.xregs[:2] == run_functional(q).state.xregs[:2]
+
+
+def test_stream_size_reasonable():
+    inst = wl.get("gather").build(n_threads=2, n_per_thread=4)
+    blob = encode_program(inst.program)
+    n = len(inst.program)
+    # header + length bytes + 4-8 bytes per instruction
+    assert 4 + n + 4 * n <= len(blob) <= 4 + n + 8 * n

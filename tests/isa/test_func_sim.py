@@ -1,0 +1,125 @@
+"""Tests for the functional golden-model simulator."""
+
+import pytest
+
+from repro.isa import X, D, assemble, run_functional
+from repro.memory.main_memory import MainMemory
+
+
+def test_sum_loop():
+    p = assemble(
+        """
+        mov x0, #0
+        mov x1, #0
+        loop:
+        add x0, x0, x1
+        add x1, x1, #1
+        cmp x1, #10
+        b.lt loop
+        halt
+        """
+    )
+    sim = run_functional(p)
+    assert sim.state.xregs[0] == sum(range(10))
+
+
+def test_memory_gather():
+    mem = MainMemory()
+    idx_base, data_base, out_base = 0x1000, 0x2000, 0x3000
+    indices = [3, 1, 4, 1, 5]
+    data = [10, 11, 12, 13, 14, 15]
+    mem.write_array(idx_base, indices)
+    mem.write_array(data_base, data)
+    p = assemble(
+        """
+        adr x1, idx
+        adr x2, data
+        adr x3, out
+        mov x5, #0
+        loop:
+        ldr x6, [x1, x5, lsl #3]
+        ldr x7, [x2, x6, lsl #3]
+        str x7, [x3, x5, lsl #3]
+        add x5, x5, #1
+        cmp x5, #5
+        b.lt loop
+        halt
+        """,
+        symbols={"idx": idx_base, "data": data_base, "out": out_base},
+    )
+    sim = run_functional(p, mem)
+    assert mem.read_array(out_base, 5) == [data[i] for i in indices]
+
+
+def test_post_index_walk():
+    mem = MainMemory()
+    mem.write_array(0x4000, [5, 6, 7])
+    p = assemble(
+        """
+        adr x1, arr
+        ldr x2, [x1], #8
+        ldr x3, [x1], #8
+        ldr x4, [x1], #8
+        halt
+        """,
+        symbols={"arr": 0x4000},
+    )
+    sim = run_functional(p, mem)
+    assert (sim.state.xregs[2], sim.state.xregs[3], sim.state.xregs[4]) == (5, 6, 7)
+    assert sim.state.xregs[1] == 0x4000 + 24
+
+
+def test_fp_triad():
+    mem = MainMemory()
+    a, b, c = 0x1000, 0x2000, 0x3000
+    mem.write_array(b, [1.0, 2.0, 3.0])
+    mem.write_array(c, [10.0, 20.0, 30.0])
+    p = assemble(
+        """
+        adr x1, a
+        adr x2, b
+        adr x3, c
+        fmov d0, #2.0
+        mov x5, #0
+        loop:
+        ldr d1, [x2, x5, lsl #3]
+        ldr d2, [x3, x5, lsl #3]
+        fmadd d3, d1, d0, d2
+        str d3, [x1, x5, lsl #3]
+        add x5, x5, #1
+        cmp x5, #3
+        b.lt loop
+        halt
+        """,
+        symbols={"a": a, "b": b, "c": c},
+    )
+    run_functional(p, mem)
+    assert mem.read_array(a, 3) == [12.0, 24.0, 36.0]
+
+
+def test_halt_required():
+    p = assemble("loop:\nb loop")
+    sim_cls = run_functional
+    with pytest.raises(RuntimeError):
+        from repro.isa.func_sim import FunctionalSimulator
+        s = FunctionalSimulator(p, max_instructions=1000)
+        s.run()
+
+
+def test_init_regs():
+    p = assemble("add x0, x1, x2\nhalt")
+    sim = run_functional(p, init_regs={X(1): 30, X(2): 12})
+    assert sim.state.xregs[0] == 42
+
+
+def test_snapshot_keys():
+    p = assemble("mov x0, #7\nfmov d1, #1.5\nhalt")
+    sim = run_functional(p)
+    snap = sim.state.snapshot()
+    assert snap["x0"] == 7 and snap["d1"] == 1.5 and len(snap) == 64
+
+
+def test_instruction_count():
+    p = assemble("nop\nnop\nnop\nhalt")
+    sim = run_functional(p)
+    assert sim.instructions_executed == 3  # halt not counted

@@ -1,0 +1,179 @@
+"""Unit tests for instruction semantics (evaluate) and operand extraction."""
+
+import pytest
+
+from repro.isa import AddrMode, Cond, D, Flags, Instruction, Opcode, X, evaluate
+from repro.isa.instructions import MASK64, to_signed, to_unsigned
+
+
+def ev(inst, srcvals=None, flags=None, pc=0):
+    return evaluate(inst, srcvals or {}, flags or Flags(), pc)
+
+
+# -- helpers -------------------------------------------------------------
+
+def test_signed_unsigned_roundtrip():
+    assert to_signed(MASK64) == -1
+    assert to_unsigned(-1) == MASK64
+    assert to_signed(to_unsigned(-12345)) == -12345
+
+
+# -- ALU -----------------------------------------------------------------
+
+def test_add_reg_and_imm():
+    i = Instruction(Opcode.ADD, rd=X(0), rn=X(1), rm=X(2))
+    assert ev(i, {X(1): 5, X(2): 7}).writes[X(0)] == 12
+    j = Instruction(Opcode.ADD, rd=X(0), rn=X(1), imm=100)
+    assert ev(j, {X(1): 1}).writes[X(0)] == 101
+
+
+def test_add_wraps_64bit():
+    i = Instruction(Opcode.ADD, rd=X(0), rn=X(1), rm=X(2))
+    assert ev(i, {X(1): MASK64, X(2): 1}).writes[X(0)] == 0
+
+
+def test_sub_underflow_wraps():
+    i = Instruction(Opcode.SUB, rd=X(0), rn=X(1), imm=1)
+    assert ev(i, {X(1): 0}).writes[X(0)] == MASK64
+
+
+def test_logical_ops():
+    for op, f in [(Opcode.AND, lambda a, b: a & b), (Opcode.ORR, lambda a, b: a | b),
+                  (Opcode.EOR, lambda a, b: a ^ b)]:
+        i = Instruction(op, rd=X(0), rn=X(1), rm=X(2))
+        assert ev(i, {X(1): 0b1100, X(2): 0b1010}).writes[X(0)] == f(0b1100, 0b1010)
+
+
+def test_shifts():
+    assert ev(Instruction(Opcode.LSL, rd=X(0), rn=X(1), imm=3), {X(1): 5}).writes[X(0)] == 40
+    assert ev(Instruction(Opcode.LSR, rd=X(0), rn=X(1), imm=3), {X(1): 40}).writes[X(0)] == 5
+    # arithmetic shift preserves sign
+    neg8 = to_unsigned(-8)
+    assert to_signed(ev(Instruction(Opcode.ASR, rd=X(0), rn=X(1), imm=1),
+                        {X(1): neg8}).writes[X(0)]) == -4
+
+
+def test_mul_madd():
+    assert ev(Instruction(Opcode.MUL, rd=X(0), rn=X(1), rm=X(2)),
+              {X(1): 6, X(2): 7}).writes[X(0)] == 42
+    i = Instruction(Opcode.MADD, rd=X(0), rn=X(1), rm=X(2), ra=X(3))
+    assert ev(i, {X(1): 6, X(2): 7, X(3): 8}).writes[X(0)] == 50
+
+
+def test_mov_variants():
+    assert ev(Instruction(Opcode.MOV, rd=X(0), imm=99)).writes[X(0)] == 99
+    assert ev(Instruction(Opcode.MOV, rd=X(0), rn=X(1)), {X(1): 4}).writes[X(0)] == 4
+    assert ev(Instruction(Opcode.ADR, rd=X(0), imm=0x1000)).writes[X(0)] == 0x1000
+
+
+# -- flags / compare / branches -------------------------------------------
+
+def cmp_flags(a, b):
+    i = Instruction(Opcode.CMP, rn=X(0), rm=X(1))
+    return ev(i, {X(0): to_unsigned(a), X(1): to_unsigned(b)}).new_flags
+
+
+@pytest.mark.parametrize("a,b", [(1, 1), (0, 5), (5, 0), (-3, 2), (2, -3), (-5, -5)])
+def test_cmp_condition_truth_table(a, b):
+    f = cmp_flags(a, b)
+    assert f.evaluate(Cond.EQ) == (a == b)
+    assert f.evaluate(Cond.NE) == (a != b)
+    assert f.evaluate(Cond.LT) == (a < b)
+    assert f.evaluate(Cond.LE) == (a <= b)
+    assert f.evaluate(Cond.GT) == (a > b)
+    assert f.evaluate(Cond.GE) == (a >= b)
+
+
+def test_cmp_imm():
+    i = Instruction(Opcode.CMP, rn=X(0), imm=10)
+    assert ev(i, {X(0): 10}).new_flags.evaluate(Cond.EQ)
+
+
+def test_unconditional_branch():
+    r = ev(Instruction(Opcode.B, target=7))
+    assert r.taken and r.target == 7
+
+
+def test_bcond_taken_and_not():
+    i = Instruction(Opcode.BCOND, cond=Cond.LT, target=3)
+    assert ev(i, flags=cmp_flags(1, 2)).taken
+    assert not ev(i, flags=cmp_flags(2, 1)).taken
+
+
+def test_cbz_cbnz():
+    cbz = Instruction(Opcode.CBZ, rn=X(0), target=9)
+    assert ev(cbz, {X(0): 0}).taken
+    assert not ev(cbz, {X(0): 1}).taken
+    cbnz = Instruction(Opcode.CBNZ, rn=X(0), target=9)
+    assert ev(cbnz, {X(0): 1}).taken
+    assert not ev(cbnz, {X(0): 0}).taken
+
+
+# -- memory ----------------------------------------------------------------
+
+def test_ldr_address_imm():
+    i = Instruction(Opcode.LDR, rd=X(0), rn=X(1), imm=16, mode=AddrMode.OFF_IMM)
+    r = ev(i, {X(1): 0x1000})
+    assert r.addr == 0x1010
+    assert X(0) not in r.writes  # memory supplies the value later
+
+
+def test_ldr_address_reg_shift():
+    i = Instruction(Opcode.LDR, rd=X(0), rn=X(1), rm=X(2), shift=3, mode=AddrMode.OFF_REG)
+    assert ev(i, {X(1): 0x1000, X(2): 5}).addr == 0x1000 + 40
+
+
+def test_ldr_post_index_writeback():
+    i = Instruction(Opcode.LDR, rd=X(0), rn=X(1), imm=8, mode=AddrMode.POST_IMM)
+    r = ev(i, {X(1): 0x2000})
+    assert r.addr == 0x2000
+    assert r.writes[X(1)] == 0x2008
+    assert set(i.dests) == {X(0), X(1)}
+
+
+def test_str_value_and_srcs():
+    i = Instruction(Opcode.STR, rd=X(5), rn=X(1), imm=0, mode=AddrMode.OFF_IMM)
+    r = ev(i, {X(5): 77, X(1): 0x3000})
+    assert r.addr == 0x3000 and r.store_value == 77
+    assert X(5) in i.srcs and not i.dests
+
+
+# -- FP ----------------------------------------------------------------------
+
+def test_fp_ops():
+    assert ev(Instruction(Opcode.FADD, rd=D(0), rn=D(1), rm=D(2)),
+              {D(1): 1.5, D(2): 2.5}).writes[D(0)] == 4.0
+    assert ev(Instruction(Opcode.FMUL, rd=D(0), rn=D(1), rm=D(2)),
+              {D(1): 3.0, D(2): 2.0}).writes[D(0)] == 6.0
+    i = Instruction(Opcode.FMADD, rd=D(0), rn=D(1), rm=D(2), ra=D(3))
+    assert ev(i, {D(1): 2.0, D(2): 3.0, D(3): 1.0}).writes[D(0)] == 7.0
+
+
+# -- operand extraction / classification --------------------------------------
+
+def test_srcs_dedup():
+    i = Instruction(Opcode.ADD, rd=X(0), rn=X(1), rm=X(1))
+    assert i.srcs == (X(1),)
+
+
+def test_halt_and_nop():
+    assert ev(Instruction(Opcode.HALT)).halt
+    r = ev(Instruction(Opcode.NOP))
+    assert not r.writes and not r.taken and not r.halt
+
+
+def test_ex_latency_classes():
+    assert Instruction(Opcode.ADD, rd=X(0), rn=X(1), imm=1).ex_latency == 1
+    assert Instruction(Opcode.MUL, rd=X(0), rn=X(1), rm=X(2)).ex_latency == 3
+    assert Instruction(Opcode.FMADD, rd=D(0), rn=D(1), rm=D(2), ra=D(3)).ex_latency == 5
+
+
+def test_classification_flags():
+    ldr = Instruction(Opcode.LDR, rd=X(0), rn=X(1), imm=0, mode=AddrMode.OFF_IMM)
+    assert ldr.is_load and ldr.is_mem and not ldr.is_store
+    b = Instruction(Opcode.B, target=0)
+    assert b.is_branch
+    cmp = Instruction(Opcode.CMP, rn=X(0), imm=0)
+    assert cmp.sets_flags
+    bc = Instruction(Opcode.BCOND, cond=Cond.EQ, target=0)
+    assert bc.reads_flags

@@ -1,0 +1,60 @@
+"""Unit tests for register definitions."""
+
+import pytest
+
+from repro.isa import D, Reg, RegClass, SP, X, from_flat, parse_reg
+
+
+def test_int_register_names():
+    assert X(0).name == "x0"
+    assert X(30).name == "x30"
+    assert X(31).name == "sp"
+    assert SP == X(31)
+
+
+def test_fp_register_names():
+    assert D(0).name == "d0"
+    assert D(31).name == "d31"
+
+
+def test_flat_indices_unique():
+    flats = [X(i).flat for i in range(32)] + [D(i).flat for i in range(32)]
+    assert sorted(flats) == list(range(64))
+
+
+def test_from_flat_roundtrip():
+    for i in range(32):
+        assert from_flat(X(i).flat) == X(i)
+        assert from_flat(D(i).flat) == D(i)
+
+
+def test_from_flat_out_of_range():
+    with pytest.raises(ValueError):
+        from_flat(64)
+    with pytest.raises(ValueError):
+        from_flat(-1)
+
+
+def test_parse_reg():
+    assert parse_reg("x5") == X(5)
+    assert parse_reg("X5") == X(5)
+    assert parse_reg("sp") == SP
+    assert parse_reg("d12") == D(12)
+
+
+@pytest.mark.parametrize("bad", ["y3", "x", "x32", "d-1", "q0", ""])
+def test_parse_reg_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_reg(bad)
+
+
+def test_reg_out_of_range_construction():
+    with pytest.raises(ValueError):
+        Reg(RegClass.X, 32)
+    with pytest.raises(ValueError):
+        Reg(RegClass.D, -1)
+
+
+def test_is_fp():
+    assert D(3).is_fp
+    assert not X(3).is_fp

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the cache model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Cache, CacheConfig
+from repro.stats.counters import Stats
+
+
+class FixedLatencyBackend:
+    def __init__(self, latency=50):
+        self.latency = latency
+        self.accesses = 0
+
+    def access(self, now, line_addr, is_write=False, requestor=0):
+        self.accesses += 1
+        return now + self.latency
+
+
+def make_cache(size=2048, assoc=4, mshrs=8):
+    be = FixedLatencyBackend()
+    return Cache(CacheConfig(name="c", size_bytes=size, assoc=assoc, latency=2,
+                             mshrs=mshrs), be, Stats("c")), be
+
+
+addr_strategy = st.integers(min_value=0, max_value=255).map(lambda x: x * 64)
+trace_strategy = st.lists(st.tuples(addr_strategy, st.booleans()),
+                          min_size=1, max_size=300)
+
+
+@given(trace_strategy)
+@settings(max_examples=50, deadline=None)
+def test_capacity_never_exceeded(trace):
+    cache, _ = make_cache()
+    now = 0
+    max_lines = cache.num_sets * cache.config.assoc
+    for addr, is_write in trace:
+        now += 3
+        r = cache.access(now, addr, is_write)
+        assert cache.resident_lines() <= max_lines
+
+
+@given(trace_strategy)
+@settings(max_examples=50, deadline=None)
+def test_completion_never_before_request(trace):
+    cache, _ = make_cache()
+    now = 0
+    for addr, is_write in trace:
+        now += 3
+        r = cache.access(now, addr, is_write)
+        if r.accepted:
+            assert r.complete_at >= now
+        else:
+            assert r.retry_at is not None
+
+
+@given(trace_strategy)
+@settings(max_examples=50, deadline=None)
+def test_second_access_to_same_line_is_hit(trace):
+    """After any accepted access settles, an immediate re-access hits."""
+    cache, _ = make_cache()
+    now = 0
+    for addr, is_write in trace:
+        now += 3
+        r = cache.access(now, addr, is_write)
+        if r.accepted:
+            r2 = cache.access(max(now + 1, r.complete_at), addr)
+            assert r2.hit
+
+
+@given(trace_strategy)
+@settings(max_examples=30, deadline=None)
+def test_hits_plus_misses_equals_accepted_accesses(trace):
+    cache, _ = make_cache()
+    now = 0
+    accepted = 0
+    for addr, is_write in trace:
+        now += 3
+        if cache.access(now, addr, is_write).accepted:
+            accepted += 1
+    s = cache.stats
+    assert s["hits"] + s["under_fill_hits"] + s["misses"] == accepted
+
+
+@given(trace_strategy, st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_bigger_cache_never_misses_more(trace, sets_pow):
+    """Miss count is monotone non-increasing in capacity for LRU (inclusion
+    property on a per-set basis holds because sets partition lines)."""
+    small, _ = make_cache(size=1024, assoc=2)
+    big, _ = make_cache(size=1024 * 8, assoc=16)
+    now = 0
+    for addr, is_write in trace:
+        now += 3
+        small.access(now, addr, is_write)
+        big.access(now, addr, is_write)
+    # allowance: requests the small cache *rejected* (MSHRs exhausted or all
+    # ways in flight) never became misses there but do in the big cache
+    rejected = small.stats["mshr_full"] + small.stats["set_busy"]
+    assert big.stats["misses"] <= small.stats["misses"] + rejected
+
+
+@given(st.lists(addr_strategy, min_size=1, max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_pinned_lines_survive_any_traffic(addrs):
+    cache, _ = make_cache(size=1024, assoc=2)
+    pinned_addr = 0x10000
+    cache.warm(pinned_addr, is_reg=True, pin=1)
+    now = 0
+    for addr in addrs:
+        now += 3
+        # avoid the pinned line's own set being 100% pinned-traffic
+        cache.access(now, addr)
+    # the pinned line survives unless a forced eviction was required
+    if cache.stats["forced_pinned_evictions"] == 0:
+        assert cache.contains(pinned_addr)

@@ -1,0 +1,75 @@
+"""Tests for the DDR5-like DRAM timing model."""
+
+from repro.memory import DRAM, DRAMConfig
+from repro.stats.counters import Stats
+
+
+def make_dram(**kw):
+    return DRAM(DRAMConfig(**kw), Stats("dram"))
+
+
+def test_first_access_is_row_empty():
+    d = make_dram()
+    cfg = d.config
+    done = d.access(0, 0)
+    assert done == cfg.t_controller + cfg.t_rcd + cfg.t_cl + cfg.t_burst
+    assert d.stats["row_empty"] == 1
+
+
+def test_row_hit_is_faster_than_row_miss():
+    d = make_dram()
+    cfg = d.config
+    base = d.access(0, 0)
+    # same channel/bank/row: next line in same row = addr + channels*banks*64
+    same_row_addr = cfg.channels * cfg.banks_per_channel * 64
+    t_hit = d.access(1000, same_row_addr) - 1000
+    assert d.stats["row_hits"] == 1
+    # force a row conflict: different row, same bank
+    rows_per_bank_stride = cfg.channels * cfg.banks_per_channel * cfg.row_bytes
+    t_miss = d.access(2000, rows_per_bank_stride) - 2000
+    assert d.stats["row_misses"] == 1
+    assert t_miss > t_hit
+
+
+def test_channel_interleave_of_consecutive_lines():
+    d = make_dram()
+    c0, _, _ = d.map_address(0)
+    c1, _, _ = d.map_address(64)
+    assert c0 != c1
+
+
+def test_bank_serialization():
+    d = make_dram()
+    a = d.access(0, 0)
+    b = d.access(0, 0)  # same bank, same cycle: must serialize
+    assert b > a
+
+
+def test_independent_banks_overlap():
+    d = make_dram(channels=1, banks_per_channel=8)
+    a = d.access(0, 0)
+    b = d.access(0, 64 * 1)  # different bank (channels=1)
+    # bank prep overlaps; only the burst serializes on the bus
+    assert b - a <= d.config.t_burst + 1
+
+
+def test_contention_raises_latency():
+    d = make_dram(channels=1, banks_per_channel=1)
+    lat_first = d.access(0, 0)
+    lat_queued = d.access(0, 0) - 0
+    assert lat_queued > lat_first
+
+
+def test_min_latency_matches_row_hit():
+    d = make_dram()
+    d.access(0, 0)
+    cfg = d.config
+    same_row = cfg.channels * cfg.banks_per_channel * 64
+    t = d.access(10_000, same_row) - 10_000
+    assert t == d.min_latency()
+
+
+def test_writes_counted():
+    d = make_dram()
+    d.access(0, 0, is_write=True)
+    assert d.stats["writes"] == 1 and d.stats["reads"] == 0

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "gather" in out and "spmv" in out
+
+
+def test_run_command(capsys):
+    rc = main(["run", "--workload", "vecadd", "--core", "virec",
+               "--threads", "4", "--per-thread", "12"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out and "RF hit rate" in out
+
+
+def test_run_verbose(capsys):
+    rc = main(["run", "--workload", "vecadd", "--core", "banked",
+               "--threads", "2", "--per-thread", "8", "--verbose"])
+    assert rc == 0
+    assert "core0" in capsys.readouterr().out
+
+
+def test_disasm_command(capsys):
+    assert main(["disasm", "--workload", "gather"]) == 0
+    out = capsys.readouterr().out
+    assert "ldr" in out and "active registers" in out
+
+
+def test_area_command(capsys):
+    assert main(["area"]) == 0
+    assert "banked_mm2" in capsys.readouterr().out
+
+
+def test_experiments_command(capsys):
+    assert main(["experiments", "fig14", "--scale", "tiny"]) == 0
+    assert "area vs threads" in capsys.readouterr().out
+
+
+def test_experiments_unknown_name(capsys):
+    assert main(["experiments", "fig99"]) == 2
+
+
+def test_experiments_integer_scale(capsys):
+    assert main(["experiments", "fig02", "--scale", "8"]) == 0
+
+
+def test_bad_core_type_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--core", "tpu"])
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--workload", "gather"])
+    assert args.workload == "gather"

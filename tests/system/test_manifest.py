@@ -1,0 +1,60 @@
+"""Tests for run manifests (exact reproducibility records)."""
+
+import json
+
+import pytest
+
+from repro.system import RunConfig, run_config
+from repro.system.manifest import RunManifest
+
+
+def small(**kw):
+    base = dict(workload="vecadd", core_type="virec", n_threads=4,
+                n_per_thread=10)
+    base.update(kw)
+    return RunConfig(**base)
+
+
+def test_manifest_roundtrip(tmp_path):
+    r = run_config(small())
+    m = RunManifest()
+    m.add(r)
+    path = tmp_path / "manifest.json"
+    m.save(str(path))
+    loaded = RunManifest.load(str(path))
+    assert loaded.results_digest == m.results_digest
+    assert loaded.configs[0]["workload"] == "vecadd"
+
+
+def test_replay_reproduces_exactly(tmp_path):
+    r1 = run_config(small(seed=123))
+    m = RunManifest()
+    m.add(r1)
+    cfg = m.replay_config(0)
+    r2 = run_config(cfg)
+    assert m.verify_against([r2])
+
+
+def test_digest_sensitive_to_results():
+    a, b = RunManifest(), RunManifest()
+    r = run_config(small())
+    a.add(r)
+    b.add(r)
+    assert a.results_digest == b.results_digest
+    r2 = run_config(small(n_per_thread=12))
+    b.add(r2)
+    assert a.results_digest != b.results_digest
+
+
+def test_verify_against_detects_divergence():
+    r1 = run_config(small(seed=1))
+    r2 = run_config(small(seed=2))
+    m = RunManifest()
+    m.add(r1)
+    assert not m.verify_against([r2])
+
+
+def test_manifest_json_contains_environment():
+    m = RunManifest()
+    data = json.loads(m.to_json())
+    assert "repro_version" in data and "python_version" in data

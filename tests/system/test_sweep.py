@@ -1,0 +1,52 @@
+"""Tests for the parameter-grid sweep utility."""
+
+import pytest
+
+from repro.system import RunConfig
+from repro.system.sweeps import best_by, run_grid, sweep_grid
+
+
+def base():
+    return RunConfig(workload="vecadd", core_type="virec", n_threads=4,
+                     n_per_thread=8)
+
+
+def test_grid_cartesian_product():
+    grid = sweep_grid(base(), context_fraction=[0.4, 0.8], n_threads=[2, 4, 6])
+    assert len(grid) == 6
+    # last axis fastest
+    assert [c.n_threads for c in grid[:3]] == [2, 4, 6]
+    assert grid[0].context_fraction == 0.4 and grid[3].context_fraction == 0.8
+
+
+def test_grid_rejects_unknown_field():
+    with pytest.raises(ValueError, match="no field"):
+        sweep_grid(base(), frequency=[1, 2])
+
+
+def test_run_grid_rows_and_progress():
+    seen = []
+    rows = run_grid(sweep_grid(base(), context_fraction=[0.5, 1.0]),
+                    progress=lambda i, n, r: seen.append((i, n)))
+    assert len(rows) == 2
+    assert seen == [(1, 2), (2, 2)]
+    assert all(0 < r["ipc"] <= 1 for r in rows)
+    assert rows[0]["rf_hit_rate"] <= rows[1]["rf_hit_rate"] + 0.05
+
+
+def test_best_by():
+    rows = [
+        {"workload": "a", "ipc": 0.2}, {"workload": "a", "ipc": 0.5},
+        {"workload": "b", "ipc": 0.3},
+    ]
+    best = best_by(rows)
+    assert len(best) == 2
+    assert best[0]["ipc"] == 0.5
+
+
+def test_rows_export_to_csv():
+    from repro.stats.reporting import rows_to_csv
+    rows = run_grid(sweep_grid(base(), n_threads=[2]))
+    csv_text = rows_to_csv(rows)
+    assert "workload" in csv_text.splitlines()[0]
+    assert "vecadd" in csv_text

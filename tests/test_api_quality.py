@@ -1,0 +1,60 @@
+"""API quality gates: every public item documented; exports importable."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.isa", "repro.memory", "repro.core", "repro.virec",
+    "repro.compiler", "repro.workloads", "repro.area", "repro.system",
+    "repro.stats", "repro.experiments",
+]
+
+
+def iter_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                if info.name == "__main__":  # importing it runs the CLI
+                    continue
+                yield importlib.import_module(f"{pkg_name}.{info.name}")
+
+
+@pytest.mark.parametrize("module", list(iter_modules()),
+                         ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), \
+        f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", list(iter_modules()),
+                         ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports documented at their home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, \
+        f"{module.__name__}: undocumented public items {undocumented}"
+
+
+def test_all_exports_resolve():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for name in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, name), f"{pkg_name}.__all__ lists missing {name}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

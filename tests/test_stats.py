@@ -1,0 +1,60 @@
+"""Unit tests for the statistics infrastructure."""
+
+from repro.stats.counters import Stats
+
+
+def test_inc_and_get():
+    s = Stats("x")
+    s.inc("a")
+    s.inc("a", 2)
+    assert s["a"] == 3
+    assert s["missing"] == 0
+    assert "a" in s and "missing" not in s
+
+
+def test_set_and_max():
+    s = Stats()
+    s.set("v", 10)
+    s.max("m", 3)
+    s.max("m", 7)
+    s.max("m", 5)
+    assert s["v"] == 10 and s["m"] == 7
+
+
+def test_ratio():
+    s = Stats()
+    s.inc("hits", 9)
+    s.inc("total", 10)
+    assert s.ratio("hits", "total") == 0.9
+    assert s.ratio("hits", "nothing") == 0.0
+
+
+def test_children_and_flat():
+    root = Stats("core")
+    root.inc("cycles", 100)
+    root.child("dcache").inc("misses", 4)
+    root.child("dcache").child("mshr").inc("full", 1)
+    flat = root.as_dict()
+    assert flat["core.cycles"] == 100
+    assert flat["core.dcache.misses"] == 4
+    assert flat["core.dcache.mshr.full"] == 1
+
+
+def test_child_identity():
+    s = Stats("a")
+    assert s.child("b") is s.child("b")
+    assert "b" in s.children()
+
+
+def test_reset_recursive():
+    s = Stats("a")
+    s.inc("x", 5)
+    s.child("b").inc("y", 6)
+    s.reset()
+    assert s["x"] == 0 and s.child("b")["y"] == 0
+
+
+def test_flat_unnamed_root():
+    s = Stats()
+    s.inc("k", 1)
+    assert dict(s.flat()) == {"k": 1}

@@ -1,0 +1,133 @@
+"""Behavioural tests specific to the extended kernels (bfs, stencil,
+hash_probe, transpose) beyond the generic correctness matrix."""
+
+import numpy as np
+import pytest
+
+import repro.workloads as wl
+from repro.isa.func_sim import FunctionalSimulator
+
+
+def run_functional(inst):
+    for tid in range(inst.n_threads):
+        sim = FunctionalSimulator(inst.program, inst.memory)
+        sim.state.pc = inst.program.entry
+        for reg, val in inst.init_regs[tid].items():
+            sim.state.write(reg, val)
+        sim.run()
+    return inst
+
+
+# -- bfs_step ---------------------------------------------------------------
+
+def test_bfs_every_frontier_vertex_expanded():
+    inst = run_functional(wl.get("bfs_step").build(n_threads=4, n_per_thread=8))
+    assert inst.check()
+
+
+def test_bfs_parents_point_to_frontier():
+    inst = wl.get("bfs_step").build(n_threads=2, n_per_thread=6, seed=99)
+    frontier = set(inst.memory.read_array(inst.symbols["frontier"], 12))
+    run_functional(inst)
+    # every written parent is a frontier vertex
+    base = inst.symbols["parent"]
+    parents = {inst.memory.load(base + u * 8)
+               for u in range(2000) if inst.memory.load(base + u * 8)}
+    assert parents <= frontier
+
+
+def test_bfs_degree_variation():
+    for degree in (1, 2, 6):
+        inst = run_functional(wl.get("bfs_step").build(
+            n_threads=2, n_per_thread=4, degree=degree))
+        assert inst.check()
+
+
+# -- stencil -----------------------------------------------------------------
+
+def test_stencil_values_match_numpy():
+    inst = run_functional(wl.get("stencil").build(n_threads=2, n_per_thread=16))
+    assert inst.check()
+
+
+def test_stencil_boundary_reads_only_within_padded_array():
+    inst = wl.get("stencil").build(n_threads=2, n_per_thread=8)
+    n = 16
+    a = np.array(inst.memory.read_array(inst.symbols["a"], n + 2))
+    run_functional(inst)
+    out = np.array(inst.memory.read_array(inst.symbols["out"], n))
+    assert np.allclose(out, 0.25 * a[:-2] + 0.5 * a[1:-1] + 0.25 * a[2:])
+
+
+# -- hash_probe -----------------------------------------------------------------
+
+def test_hash_probe_hits_and_misses_mixed():
+    inst = run_functional(wl.get("hash_probe").build(n_threads=2,
+                                                     n_per_thread=32))
+    assert inst.check()
+    out = inst.memory.read_array(inst.symbols["out"], 64)
+    assert any(v == 0 for v in out), "expected some absent keys"
+    assert any(v != 0 for v in out), "expected some present keys"
+
+
+def test_hash_probe_value_function():
+    inst = run_functional(wl.get("hash_probe").build(n_threads=1,
+                                                     n_per_thread=16))
+    keys = inst.memory.read_array(inst.symbols["keys"], 16)
+    out = inst.memory.read_array(inst.symbols["out"], 16)
+    for k, v in zip(keys, out):
+        if v:
+            assert v == k * 7 + 1
+
+
+def test_hash_probe_table_size_validation():
+    with pytest.raises(ValueError):
+        wl.get("hash_probe").build(table_size=1000)
+
+
+def test_hash_probe_high_fill_still_terminates():
+    inst = run_functional(wl.get("hash_probe").build(
+        n_threads=2, n_per_thread=8, table_size=256, fill=0.9))
+    assert inst.check()
+
+
+# -- transpose --------------------------------------------------------------------
+
+def test_transpose_matches_numpy():
+    inst = run_functional(wl.get("transpose").build(n_threads=2,
+                                                    n_per_thread=4, width=8))
+    assert inst.check()
+
+
+def test_transpose_shape_parameterization():
+    for width in (4, 16, 32):
+        inst = run_functional(wl.get("transpose").build(
+            n_threads=2, n_per_thread=2, width=width))
+        assert inst.check()
+
+
+# -- timing sanity on the new kernels -------------------------------------------
+
+def test_pointer_heavy_kernels_have_low_ipc():
+    """hash_probe/bfs (dependent loads) should exhibit lower single-thread
+    IPC than the streaming stencil."""
+    from repro.system import RunConfig, run_config
+
+    def ipc(workload):
+        return run_config(RunConfig(workload=workload, core_type="banked",
+                                    n_threads=1, n_per_thread=16)).ipc
+
+    assert ipc("stencil") > ipc("hash_probe")
+    assert ipc("stencil") > ipc("bfs_step")
+
+
+def test_multithreading_helps_new_kernels():
+    from repro.system import RunConfig, run_config
+    for workload in ("bfs_step", "hash_probe", "transpose"):
+        one = run_config(RunConfig(workload=workload, core_type="virec",
+                                   n_threads=1, n_per_thread=32,
+                                   context_fraction=1.5))
+        eight = run_config(RunConfig(workload=workload, core_type="virec",
+                                     n_threads=8, n_per_thread=4,
+                                     context_fraction=0.8))
+        assert eight.cycles < one.cycles, workload

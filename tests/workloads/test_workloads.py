@@ -1,0 +1,125 @@
+"""Workload suite tests: every kernel is functionally correct on the golden
+model and on every core type (the cross-cutting integration matrix)."""
+
+import pytest
+
+import repro.workloads as wl
+from repro.isa.func_sim import FunctionalSimulator
+from repro.memory import Cache, CacheConfig
+from repro.stats.counters import Stats
+
+ALL = wl.names()
+
+
+class FixedLatencyBackend:
+    def __init__(self, latency=60):
+        self.latency = latency
+
+    def access(self, now, line_addr, is_write=False, requestor=0):
+        return now + self.latency
+
+
+def make_caches():
+    be = FixedLatencyBackend()
+    ic = Cache(CacheConfig(name="ic", size_bytes=32 * 1024, assoc=4, latency=2),
+               be, Stats("ic"))
+    dc = Cache(CacheConfig(name="dc", size_bytes=8 * 1024, assoc=4, latency=2,
+                           mshrs=24), be, Stats("dc"))
+    return ic, dc
+
+
+def run_functional_instance(inst):
+    """Run every thread of a workload instance on the golden model."""
+    for tid in range(inst.n_threads):
+        sim = FunctionalSimulator(inst.program, inst.memory)
+        sim.state.pc = inst.program.entry
+        for reg, val in inst.init_regs[tid].items():
+            sim.state.write(reg, val)
+        sim.run()
+    return inst
+
+
+def test_registry_contents():
+    assert set(ALL) >= {"gather", "scatter", "gather_scatter", "stride",
+                        "triad", "vecadd", "reduction", "meabo",
+                        "pointer_chase", "spmv", "histogram"}
+    spec = wl.get("gather")
+    assert spec.suite == "spatter"
+    with pytest.raises(KeyError):
+        wl.get("nope")
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_functional_correctness(name):
+    inst = wl.get(name).build(n_threads=4, n_per_thread=16)
+    run_functional_instance(inst)
+    assert inst.check(), f"{name} outputs wrong on golden model"
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_metadata_sane(name):
+    inst = wl.get(name).build(n_threads=4, n_per_thread=8)
+    assert set(inst.active_regs) <= set(inst.used_regs)
+    assert 2 <= len(inst.active_regs) <= 16
+    assert len(inst.used_regs) <= 24
+    # every register the program actually names is declared in used_regs
+    named = set()
+    for i in inst.program.instructions:
+        named.update(r.flat for r in i.regs)
+    assert named <= set(inst.used_regs) | {0, 1}, f"{name} under-declares regs"
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_banked_core_runs_all(name):
+    from repro.core.cgmt import BankedCore
+    inst = wl.get(name).build(n_threads=4, n_per_thread=12)
+    ic, dc = make_caches()
+    core = BankedCore(inst.program, ic, dc, inst.memory, inst.threads(),
+                      layout=inst.layout())
+    core.run()
+    assert inst.check(), f"{name} wrong on banked core"
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_virec_core_runs_all(name):
+    from repro.virec import ViReCConfig, ViReCCore
+    inst = wl.get(name).build(n_threads=4, n_per_thread=12)
+    ic, dc = make_caches()
+    rf = max(8, int(0.6 * 4 * len(inst.active_regs)))
+    core = ViReCCore(inst.program, ic, dc, inst.memory, inst.threads(),
+                     virec=ViReCConfig(rf_size=rf), layout=inst.layout())
+    stats = core.run()
+    assert inst.check(), f"{name} wrong on ViReC core"
+    assert stats["rf_hit_rate"] > 0.3
+
+
+@pytest.mark.parametrize("name", ["gather", "triad", "spmv"])
+def test_prefetch_cores_run(name):
+    from repro.core.prefetch import ExactPrefetchCore, FullContextPrefetchCore
+    for cls in (ExactPrefetchCore, FullContextPrefetchCore):
+        inst = wl.get(name).build(n_threads=4, n_per_thread=12)
+        ic, dc = make_caches()
+        kw = {"active_regs": inst.active_regs} if cls is ExactPrefetchCore else {}
+        core = cls(inst.program, ic, dc, inst.memory, inst.threads(),
+                   layout=inst.layout(), **kw)
+        core.run()
+        assert inst.check(), f"{name} wrong on {cls.__name__}"
+
+
+def test_determinism_same_seed():
+    a = wl.get("gather").build(n_threads=2, n_per_thread=8, seed=5)
+    b = wl.get("gather").build(n_threads=2, n_per_thread=8, seed=5)
+    assert a.memory.read_array(a.symbols["idx"], 16) == \
+        b.memory.read_array(b.symbols["idx"], 16)
+
+
+def test_different_seeds_differ():
+    a = wl.get("gather").build(n_threads=2, n_per_thread=8, seed=5)
+    b = wl.get("gather").build(n_threads=2, n_per_thread=8, seed=6)
+    assert a.memory.read_array(a.symbols["idx"], 16) != \
+        b.memory.read_array(b.symbols["idx"], 16)
+
+
+def test_histogram_bucket_validation():
+    with pytest.raises(ValueError):
+        wl.get("histogram").build(n_threads=2, n_per_thread=8, buckets=63)
