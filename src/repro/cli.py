@@ -6,6 +6,9 @@ Commands
     Run experiment drivers (default: all) and print their tables.
 ``run --workload W --core C [--threads N] [--context F] ...``
     Simulate one configuration and print its stats.
+``sweep --axis FIELD=V1,V2,... [--checkpoint P] [--resume] ...``
+    Run a parameter grid with per-config error isolation, watchdogs,
+    retries, and a crash-safe checkpoint journal.
 ``workloads``
     List the registered workloads with metadata.
 ``disasm --workload W``
@@ -60,6 +63,77 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _parse_axis_value(text: str):
+    """Best-effort scalar parse: int, then float, then bare string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_sweep(args) -> int:
+    from .system import run_grid, sweep_grid
+    from .stats.reporting import rows_to_csv
+
+    base = RunConfig(workload=args.workload, core_type=args.core,
+                     n_threads=args.threads, n_cores=args.cores,
+                     n_per_thread=args.per_thread,
+                     context_fraction=args.context, policy=args.policy,
+                     dcache_kb=args.dcache_kb, seed=args.seed)
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    axes = {}
+    for spec in args.axis or []:
+        name, eq, values = spec.partition("=")
+        if not eq or not name or not values:
+            print(f"bad --axis {spec!r}: expected FIELD=V1,V2,...",
+                  file=sys.stderr)
+            return 2
+        axes[name] = [_parse_axis_value(v) for v in values.split(",")]
+    try:
+        grid = sweep_grid(base, **axes)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(i, total, result):
+        # run_grid reports a RunFailure for failed configs and None for
+        # rows replayed from the checkpoint journal
+        if hasattr(result, "error_type"):
+            status = f"FAIL ({result.error_type})"
+        elif result is None:
+            status = "ok (resumed)"
+        else:
+            status = "ok"
+        print(f"  [{i}/{total}] {status}", file=sys.stderr)
+
+    rows = run_grid(grid, progress=progress if args.verbose else None,
+                    retries=args.retries, timeout_s=args.timeout_s,
+                    max_cycles=args.max_cycles,
+                    checkpoint=args.checkpoint, resume=args.resume)
+    if args.csv:
+        with open(args.csv, "w") as f:
+            f.write(rows_to_csv(rows))
+        print(f"wrote {len(rows)} rows to {args.csv}")
+    else:
+        for row in rows:
+            print(row)
+    print(f"{len(rows)} ok ({rows.resumed} resumed from checkpoint), "
+          f"{len(rows.failures)} failed")
+    for failure in rows.failures:
+        print(f"  FAILED [{failure.index}] {failure.error_type}: "
+              f"{failure.message} (attempts={failure.attempts})")
+    if rows.failures:
+        if args.checkpoint:
+            print(f"re-run with --checkpoint {args.checkpoint} --resume "
+                  f"to retry only the failed configs")
+        return 3
+    return 0
+
+
 def _cmd_workloads(args) -> int:
     print(f"{'name':<16} {'suite':<9} {'pattern':<10} {'loads/iter':>10}  description")
     for spec in workloads.all_workloads():
@@ -106,6 +180,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("sweep", help="run a resilient parameter grid")
+    p.add_argument("--workload", default="gather", choices=workloads.names())
+    p.add_argument("--core", default="virec", choices=list(CORE_TYPES))
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--cores", type=int, default=1)
+    p.add_argument("--per-thread", type=int, default=64)
+    p.add_argument("--context", type=float, default=0.8)
+    p.add_argument("--policy", default="lrc")
+    p.add_argument("--dcache-kb", type=int, default=8)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--axis", action="append", metavar="FIELD=V1,V2,...",
+                   help="sweep axis over a RunConfig field (repeatable)")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="append finished rows to a crash-safe JSONL journal")
+    p.add_argument("--resume", action="store_true",
+                   help="replay completed rows from --checkpoint; re-run "
+                        "only failed or missing configs")
+    p.add_argument("--retries", type=int, default=0,
+                   help="reseeded retries for transient failures")
+    p.add_argument("--timeout-s", type=float, default=None,
+                   help="per-config wall-clock watchdog (seconds)")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="per-config simulated-cycle budget")
+    p.add_argument("--csv", metavar="PATH", help="write result rows as CSV")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("workloads", help="list registered workloads")
     p.set_defaults(fn=_cmd_workloads)

@@ -38,12 +38,16 @@ from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import DeadlockError
 from ..isa.instructions import Flags, Instruction, Opcode, evaluate
 from ..isa.program import Program
 from ..isa.registers import NUM_FP_REGS, NUM_INT_REGS, Reg, RegClass
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
 from ..stats.counters import Stats
+
+__all__ = ["CoreConfig", "DeadlockError", "ThreadContext", "ThreadState",
+           "TimelineCore"]
 
 
 class ThreadState(Enum):
@@ -96,10 +100,6 @@ class CoreConfig:
     max_cycles: int = 50_000_000
 
 
-class DeadlockError(RuntimeError):
-    """The core made no progress (bug guard for the timeline engine)."""
-
-
 class TimelineCore:
     """Single-issue in-order core over a Program + memory hierarchy."""
 
@@ -134,6 +134,10 @@ class TimelineCore:
         self.current: Optional[ThreadContext] = None
         #: optional :class:`~repro.core.trace.PipelineTracer` (debug aid)
         self.tracer = None
+        #: optional :class:`~repro.faults.FaultInjector`; strictly opt-in —
+        #: when None (the default) the pipeline behaves bit-identically to a
+        #: build without the fault subsystem
+        self.fault_hook = None
         self.commits_since_switch = 0
         self.scoreboard: Dict[Reg, int] = {}
         self.flags_ready = 0
@@ -273,7 +277,7 @@ class TimelineCore:
         if self.current is None:
             if self.done:
                 return False
-            if not self._schedule(self.commit_tail):  # pragma: no cover
+            if not self._schedule(self.commit_tail):
                 raise DeadlockError("no runnable thread")
         self._process_instruction(self.current)
         return True
@@ -298,6 +302,8 @@ class TimelineCore:
     def _process_instruction(self, thread: ThreadContext) -> None:
         inst = self.program[thread.pc]
         t_d = self._fetch(thread)
+        if self.fault_hook is not None:
+            t_d = self.fault_hook.on_instruction(thread, inst, t_d)
 
         # decode: operand scoreboard + register-residency hook (VRMU)
         t_ops = t_d

@@ -104,6 +104,9 @@ class FGMTCore(TimelineCore):
     def _process_barrel_instruction(self, thread: ThreadContext) -> None:
         inst = self.program[thread.pc]
         board = self._boards[thread.tid]
+        if self.fault_hook is not None:
+            self._issue_ready[thread.tid] = self.fault_hook.on_instruction(
+                thread, inst, self._issue_ready[thread.tid])
 
         # issue slot: one instruction per cycle shared by all threads
         t_ops = self._operand_ready(thread, inst)

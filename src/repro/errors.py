@@ -1,0 +1,102 @@
+"""Unified exception taxonomy for the simulator.
+
+Every way a simulated run can fail is rooted at :class:`SimulationError`, so
+drivers (``run_grid``, ``sweep``, the fault study) can isolate per-config
+failures with one ``except`` clause instead of guessing which layer raised.
+Two classes double-inherit from the builtin type they historically were —
+:class:`DeadlockError` from ``RuntimeError`` and
+:class:`FunctionalCheckError` from ``AssertionError`` — so existing callers
+keep working unchanged.
+
+The :class:`RunFailure` record (not an exception) is the structured form a
+resilient sweep stores per failed configuration; it lives here rather than
+in :mod:`repro.system.sweeps` so both the simulator and the sweep layer can
+reference it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+
+class SimulationError(Exception):
+    """Root of the simulator's failure taxonomy."""
+
+
+class DeadlockError(SimulationError, RuntimeError):
+    """The core made no progress (bug guard for the timeline engine)."""
+
+
+class FunctionalCheckError(SimulationError, AssertionError):
+    """A workload's numpy-oracle check rejected the simulated output."""
+
+
+class FaultEscapeError(SimulationError):
+    """Corrupted register/backing state reached architectural commit.
+
+    Raised by detect-only protection (parity): the fault was observed but
+    cannot be repaired, so the run must abort rather than silently commit
+    wrong state.  ``site`` names where the flip lived ("rf", "tag",
+    "backing").
+    """
+
+    def __init__(self, message: str, site: str = "rf") -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class WatchdogTimeout(SimulationError):
+    """A per-config wall-clock watchdog expired mid-simulation."""
+
+
+class TaskPoolError(SimulationError):
+    """Task-pool bookkeeping ended inconsistent (tasks lost or undispatched).
+
+    Carries the pool's structured ``snapshot`` (pending/dispatched/completed
+    counts) so sweep-level tooling can report queue state instead of a bare
+    assertion message.
+    """
+
+    def __init__(self, message: str, snapshot: Optional[Dict] = None) -> None:
+        super().__init__(message)
+        self.snapshot = dict(snapshot or {})
+
+
+#: failure classes worth retrying under a different seed: a reseeded run
+#: changes workload data, fault victims, and scheduling, so these can clear
+#: on retry; a functional-check failure with no faults injected cannot.
+TRANSIENT_ERRORS = (DeadlockError, WatchdogTimeout, FaultEscapeError)
+
+
+@dataclass
+class RunFailure:
+    """Structured record of one failed configuration inside a sweep."""
+
+    index: int                      # position in the grid
+    config: Dict                    # asdict() of the RunConfig that failed
+    error_type: str                 # exception class name
+    message: str
+    attempts: int = 1               # total tries, including retries
+    elapsed_s: float = 0.0
+    transient: bool = False
+    key: str = ""                   # checkpoint-journal config key
+    extra: Dict = field(default_factory=dict)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, index: int, config: Dict,
+                       attempts: int = 1, elapsed_s: float = 0.0,
+                       key: str = "") -> "RunFailure":
+        extra = {}
+        if isinstance(exc, FaultEscapeError):
+            extra["site"] = exc.site
+        if isinstance(exc, TaskPoolError):
+            extra["snapshot"] = exc.snapshot
+        return cls(index=index, config=config,
+                   error_type=type(exc).__name__, message=str(exc),
+                   attempts=attempts, elapsed_s=round(elapsed_s, 3),
+                   transient=isinstance(exc, TRANSIENT_ERRORS),
+                   key=key, extra=extra)
+
+    def as_dict(self) -> Dict:
+        return asdict(self)

@@ -1,11 +1,13 @@
 """Per-figure experiment drivers (shared by benchmarks/ and examples/)."""
 
-from . import ablation, compiler_study, fig01, sizing, fig02, fig09, fig10, fig11, fig12, fig13, fig14, throughput
+from . import (ablation, compiler_study, fault_study, fig01, sizing, fig02,
+               fig09, fig10, fig11, fig12, fig13, fig14, throughput)
 from .common import SUITE, ExperimentResult, geomean, scale_to_n
 
 ALL_EXPERIMENTS = {
     "ablation": ablation.run,
     "compiler_study": compiler_study.run,
+    "fault_study": fault_study.run,
     "fig01": fig01.run,
     "fig02": fig02.run,
     "fig09": fig09.run,
@@ -19,5 +21,5 @@ ALL_EXPERIMENTS = {
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "SUITE", "ablation",
-           "geomean", "scale_to_n", "fig01", "fig02", "fig09", "fig10",
-           "fig11", "fig12", "fig13", "fig14", "throughput"]
+           "fault_study", "geomean", "scale_to_n", "fig01", "fig02", "fig09",
+           "fig10", "fig11", "fig12", "fig13", "fig14", "throughput"]

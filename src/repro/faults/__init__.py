@@ -1,0 +1,11 @@
+"""Simulated-hardware fault injection (soft errors in register state).
+
+See :mod:`repro.faults.injector` for the model and
+``docs/architecture.md`` ("Fault model & resilience") for the design notes.
+"""
+
+from .injector import SITES, FaultConfig, FaultInjector
+from .schemes import SCHEMES, ProtectionScheme, get_scheme
+
+__all__ = ["FaultConfig", "FaultInjector", "ProtectionScheme", "SCHEMES",
+           "SITES", "get_scheme"]

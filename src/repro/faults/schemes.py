@@ -1,0 +1,58 @@
+"""Protection-scheme models for the fault-injection subsystem.
+
+Each scheme describes how a storage site (physical register-file slot,
+tag-store entry, or backing-store line) responds when a latent bit flip is
+*used* — i.e. read by an instruction or consumed by a register fill:
+
+``none``
+    No checking.  The flip silently corrupts architectural state and is
+    counted as an escape (the workload's functional check is the only
+    thing that can still notice).
+``parity``
+    Detect-only.  The flip is observed on read, but there is no clean copy
+    to restore, so the corrupted state would commit — the run aborts with
+    :class:`~repro.errors.FaultEscapeError`.
+``ecc``
+    Correct-on-read.  A SEC-DED-style code repairs the word inline for a
+    fixed cycle penalty (``correct_cycles``).
+``refill``
+    Detect + recover through the existing spill/fill path: the clean copy
+    is re-fetched from the backing store (for backing-line faults, from the
+    level below the dcache), charging the real fill latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProtectionScheme:
+    """Static description of one protection mechanism."""
+
+    name: str
+    detects: bool
+    corrects: bool
+    #: fixed cycles charged per inline correction (ECC decode + writeback)
+    correct_cycles: int = 0
+    #: fixed cycles between the read and the recovery action starting
+    detect_cycles: int = 0
+
+
+SCHEMES = {
+    "none": ProtectionScheme("none", detects=False, corrects=False),
+    "parity": ProtectionScheme("parity", detects=True, corrects=False,
+                               detect_cycles=1),
+    "ecc": ProtectionScheme("ecc", detects=True, corrects=True,
+                            correct_cycles=3),
+    "refill": ProtectionScheme("refill", detects=True, corrects=True,
+                               detect_cycles=1),
+}
+
+
+def get_scheme(name: str) -> ProtectionScheme:
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protection scheme {name!r}; use {sorted(SCHEMES)}")

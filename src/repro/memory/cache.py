@@ -255,6 +255,31 @@ class Cache:
         self.stats.inc("prefetch_fills")
 
     # -- maintenance -------------------------------------------------------------
+    def invalidate_line(self, addr: int) -> bool:
+        """Drop the line holding ``addr`` without writeback; True if present.
+
+        Used by fault recovery (refill-from-backing-store): a line whose
+        stored copy is corrupted must be re-fetched clean from the level
+        below, so its contents are discarded rather than written back.
+        """
+        _, set_idx, tag = self._locate(addr)
+        line = self._sets[set_idx].pop(tag, None)
+        if line is None:
+            return False
+        self._mshr.pop(addr & ~(self.config.line_bytes - 1), None)
+        self.stats.inc("line_invalidations")
+        return True
+
+    def register_region_lines(self) -> range:
+        """Byte addresses of every line in the reserved register region
+        (the fault injector's backing-store site list); empty when no
+        region is reserved."""
+        if self.register_region is None:
+            return range(0)
+        lo, hi = self.register_region
+        lb = self.config.line_bytes
+        return range(lo & ~(lb - 1), hi, lb)
+
     def warm(self, addr: int, dirty: bool = False, is_reg: bool = False,
              pin: int = 0) -> None:
         """Pre-install the line holding ``addr`` (test/setup helper)."""

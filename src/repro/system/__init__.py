@@ -9,15 +9,17 @@ from .config import (
     ndp_icache,
     table1_dram,
 )
+from ..errors import RunFailure
 from .node import AddressSkew, NearMemoryNode, NodeResult
 from .offload import offload_contexts
-from .manifest import RunManifest
-from .simulator import RunResult, run_config, sweep
-from .sweeps import best_by, run_grid, sweep_grid
+from .manifest import RunManifest, config_key
+from .simulator import ResultList, RunResult, run_config, sweep
+from .sweeps import GridRows, best_by, run_grid, sweep_grid
 
 __all__ = [
-    "AddressSkew", "CORE_TYPES", "NearMemoryNode", "NodeResult",
-    "OOO_AREA_RATIO_VS_INO", "OOO_CLOCK_RATIO", "RunConfig", "RunManifest",
-    "RunResult", "best_by", "ndp_dcache", "ndp_icache", "offload_contexts",
-    "run_config", "run_grid", "sweep", "sweep_grid", "table1_dram",
+    "AddressSkew", "CORE_TYPES", "GridRows", "NearMemoryNode", "NodeResult",
+    "OOO_AREA_RATIO_VS_INO", "OOO_CLOCK_RATIO", "ResultList", "RunConfig",
+    "RunFailure", "RunManifest", "RunResult", "best_by", "config_key",
+    "ndp_dcache", "ndp_icache", "offload_contexts", "run_config", "run_grid",
+    "sweep", "sweep_grid", "table1_dram",
 ]

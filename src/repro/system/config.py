@@ -71,6 +71,14 @@ class RunConfig:
     workload_kwargs: Dict = field(default_factory=dict)
     #: per-thread offload stagger in cycles (task dispatch serialization)
     offload_stagger: int = 20
+    #: optional fault-injection campaign: a mapping of
+    #: :class:`~repro.faults.FaultConfig` fields (or an instance).  None
+    #: (the default) wires nothing — runs are bit-identical to a build
+    #: without the fault subsystem.
+    faults: Optional[Dict] = None
+    #: per-run cycle-budget watchdog: abort with DeadlockError once any
+    #: core's local clock exceeds this (None = unlimited)
+    max_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.core_type not in CORE_TYPES:
@@ -79,6 +87,11 @@ class RunConfig:
             raise ValueError("context_fraction out of range")
         if self.dram_preset not in ("ddr5", "hbm"):
             raise ValueError(f"unknown dram preset {self.dram_preset!r}")
+        if self.faults is not None:
+            from ..faults import FaultConfig
+            FaultConfig.from_spec(self.faults)  # validate eagerly
+        if self.max_cycles is not None and self.max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
 
     def with_(self, **kw) -> "RunConfig":
         return replace(self, **kw)

@@ -21,6 +21,18 @@ from .config import RunConfig
 from .simulator import RunResult
 
 
+def config_key(cfg: RunConfig) -> str:
+    """Stable 16-hex-digit digest of one RunConfig.
+
+    Used as the row identity of the resilient sweep's checkpoint journal
+    (a resumed sweep matches completed rows by this key, so reordering or
+    extending the grid between invocations is safe) and available to
+    manifest consumers for the same purpose.
+    """
+    payload = json.dumps(dataclasses.asdict(cfg), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
 @dataclass
 class RunManifest:
     """Reproducibility record of one or more runs."""

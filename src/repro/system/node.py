@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..errors import DeadlockError
 from ..memory.hierarchy import NDPMemorySystem
 from ..stats.counters import Stats
 
@@ -63,11 +64,20 @@ class NearMemoryNode:
             ports.dcache.next_level = skew
             self.cores.append(core_factory(cid, ports.icache, ports.dcache))
 
-    def run(self) -> NodeResult:
-        """Interleave cores by local clock until all complete."""
+    def run(self, max_cycles: Optional[int] = None) -> NodeResult:
+        """Interleave cores by local clock until all complete.
+
+        ``max_cycles`` is a per-run watchdog: once the slowest core's local
+        clock exceeds it the run aborts with :class:`DeadlockError` (the
+        resilient sweep runner turns that into a structured RunFailure
+        instead of hanging a multi-hour grid on one bad configuration).
+        """
         live = list(self.cores)
         while live:
             core = min(live, key=lambda c: c.now)
+            if max_cycles is not None and core.now > max_cycles:
+                raise DeadlockError(
+                    f"cycle budget exceeded ({core.now} > {max_cycles})")
             if not core.step():
                 core.finalize_stats()
                 live.remove(core)

@@ -9,11 +9,12 @@ oracle, and returns a result record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
 from .. import workloads
 from ..core.cgmt import BankedCore, SoftwareSwitchCore
+from ..errors import FunctionalCheckError, RunFailure, SimulationError
 from ..core.fgmt import FGMTCore
 from ..core.inorder import InOrderCore
 from ..core.ooo import OoOCore
@@ -121,11 +122,12 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
                           stats=stats.child(f"core{core_id}"))
 
     node = NearMemoryNode(cfg.n_cores, memsys, factory, stats=stats.child("node"))
-    result = node.run()
+    _wire_fault_injection(cfg, node, instances)
+    result = node.run(max_cycles=cfg.max_cycles)
 
     correct = all(inst.check() for inst in instances) if check else True
     if not correct:
-        raise AssertionError(
+        raise FunctionalCheckError(
             f"functional check failed: {cfg.workload} on {cfg.core_type}")
 
     hit = None
@@ -139,8 +141,32 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
                      stats=stats, rf_hit_rate=hit, correct=correct)
 
 
+def _wire_fault_injection(cfg: RunConfig, node, instances) -> None:
+    """Attach a per-core FaultInjector when the config asks for one.
+
+    Strictly opt-in: with ``cfg.faults`` unset (or all rates zero and no
+    scheduled flips) nothing is wired and the run is bit-identical to one
+    on a build without the fault subsystem.
+    """
+    if cfg.faults is None:
+        return
+    from ..faults import FaultConfig, FaultInjector
+    fc = FaultConfig.from_spec(cfg.faults)
+    if not fc.enabled:
+        return
+    for cid, (core, inst) in enumerate(zip(node.cores, instances)):
+        FaultInjector.attach(
+            core, fc.reseeded(fc.seed + 1009 * cid + cfg.seed),
+            stats=core.stats.child("faults"), regs=inst.active_regs)
+
+
 def _run_ooo(cfg: RunConfig, spec, check: bool) -> RunResult:
     """Single OoO host core over the full (unpartitioned) problem."""
+    if cfg.faults is not None:
+        from ..faults import FaultConfig
+        if FaultConfig.from_spec(cfg.faults).enabled:
+            raise ValueError("fault injection is not modelled for the ooo "
+                             "host core (its RF is not a ViReC-style cache)")
     inst = spec.build(n_threads=1,
                       n_per_thread=cfg.n_per_thread * cfg.n_threads,
                       seed=cfg.seed, **cfg.workload_kwargs)
@@ -150,7 +176,8 @@ def _run_ooo(cfg: RunConfig, spec, check: bool) -> RunResult:
                    stats=stats.child("core0"))
     core_stats = core.run(inst.init_regs[0] if inst.init_regs else None)
     if check and not inst.check():
-        raise AssertionError(f"functional check failed: {cfg.workload} on ooo")
+        raise FunctionalCheckError(
+            f"functional check failed: {cfg.workload} on ooo")
     # normalize to NDP cycles: the host runs at 2 GHz
     cycles = int(core_stats["cycles"] / OOO_CLOCK_RATIO)
     instructions = int(core_stats["instructions"])
@@ -159,6 +186,40 @@ def _run_ooo(cfg: RunConfig, spec, check: bool) -> RunResult:
                      stats=stats, correct=True)
 
 
-def sweep(configs: List[RunConfig], check: bool = True) -> List[RunResult]:
-    """Run a list of configurations (the experiment drivers' workhorse)."""
-    return [run_config(c, check=check) for c in configs]
+class ResultList(List[Optional[RunResult]]):
+    """A list of per-config results that also carries structured failures.
+
+    Behaves exactly like a plain list (so existing callers are unaffected);
+    isolated-error sweeps leave ``None`` at a failed config's position —
+    keeping results aligned with the input configs — and append the
+    corresponding :class:`~repro.errors.RunFailure` to ``failures``.
+    """
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.failures: List[RunFailure] = []
+
+
+def sweep(configs: List[RunConfig], check: bool = True,
+          on_error: str = "raise") -> List[RunResult]:
+    """Run a list of configurations (the experiment drivers' workhorse).
+
+    ``on_error="raise"`` (default) keeps the historical fail-fast contract.
+    ``on_error="isolate"`` records each failing config as a RunFailure on
+    the returned :class:`ResultList` (with ``None`` as its placeholder
+    entry) and keeps going, so one bad configuration cannot abort a grid.
+    """
+    if on_error not in ("raise", "isolate"):
+        raise ValueError(f"on_error must be 'raise' or 'isolate', "
+                         f"not {on_error!r}")
+    if on_error == "raise":
+        return [run_config(c, check=check) for c in configs]
+    results = ResultList()
+    for i, cfg in enumerate(configs):
+        try:
+            results.append(run_config(cfg, check=check))
+        except SimulationError as exc:
+            results.append(None)
+            results.failures.append(RunFailure.from_exception(
+                exc, index=i, config=asdict(cfg)))
+    return results

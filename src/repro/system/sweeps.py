@@ -1,9 +1,23 @@
-"""Parameter-grid sweeps over RunConfigs.
+"""Parameter-grid sweeps over RunConfigs, with production-grade resilience.
 
 A small utility for the exploration workflows users actually run: build a
 cartesian grid of :class:`RunConfig` variations, simulate them all, and get
 results back as rows ready for :func:`repro.stats.reporting.rows_to_csv`
 or the ASCII plotters.
+
+The runner is built for multi-hour grids:
+
+* **per-config error isolation** — a config that deadlocks, fails its
+  functional check, or escapes a fault is recorded as a structured
+  :class:`~repro.errors.RunFailure` on the returned rows' ``failures``
+  attribute instead of aborting the whole grid;
+* **watchdogs** — a per-config simulated-cycle budget (``max_cycles``) and
+  wall-clock timeout (``timeout_s``, SIGALRM-based, main thread only);
+* **bounded retry** — transient failures (deadlock, timeout, fault escape)
+  are retried up to ``retries`` times under a perturbed seed;
+* **checkpoint/resume** — every finished row (success or failure) is
+  appended to a crash-safe JSONL journal; ``resume=True`` replays completed
+  rows from the journal and re-runs only failed or missing configs.
 
 Example::
 
@@ -12,15 +26,27 @@ Example::
         context_fraction=[0.4, 0.6, 0.8],
         n_threads=[4, 8],
     )
-    rows = run_grid(grid)
+    rows = run_grid(grid, checkpoint="sweep.jsonl", resume=True, retries=1)
+    if rows.failures:
+        ...  # inspect rows.failures, re-invoke with resume=True later
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Sequence
+import json
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..errors import (RunFailure, SimulationError, TRANSIENT_ERRORS,
+                      WatchdogTimeout)
 from .config import RunConfig
+from .manifest import config_key
 from .simulator import RunResult, run_config
 
 
@@ -38,41 +64,226 @@ def sweep_grid(base: RunConfig, **axes: Sequence) -> List[RunConfig]:
     return [base.with_(**dict(zip(names, combo))) for combo in combos]
 
 
+#: columns every row carries regardless of how the grid was built
+_BASE_COLUMNS = ("workload", "core_type", "n_threads", "n_cores",
+                 "context_fraction", "policy")
+_FIELD_DEFAULTS: Dict = {}
+
+
+def _config_row(cfg: RunConfig) -> Dict:
+    """Flatten a RunConfig into row columns.
+
+    The six classic columns are always present; every other field is
+    emitted only when it differs from the RunConfig default, so sweeping
+    over ``seed``, ``n_per_thread``, ``dcache_kb``, ``dcache_latency``,
+    ``workload_kwargs``, ... yields distinguishable rows without widening
+    every table with constant columns.
+    """
+    if not _FIELD_DEFAULTS:
+        _FIELD_DEFAULTS.update(asdict(RunConfig()))
+    row: Dict = {k: getattr(cfg, k) for k in _BASE_COLUMNS}
+    for key, value in asdict(cfg).items():
+        if key in row or value == _FIELD_DEFAULTS.get(key):
+            continue
+        if isinstance(value, dict):
+            value = json.dumps(value, sort_keys=True, default=str)
+        row[key] = value
+    return row
+
+
+def _result_row(cfg: RunConfig, result: RunResult) -> Dict:
+    row = _config_row(cfg)
+    row["cycles"] = result.cycles
+    row["instructions"] = result.instructions
+    row["ipc"] = result.ipc
+    if result.rf_hit_rate is not None:
+        row["rf_hit_rate"] = result.rf_hit_rate
+    return row
+
+
+class GridRows(List[Dict]):
+    """Successful sweep rows; isolated failures ride along in ``failures``.
+
+    A plain ``list`` in every other respect, so downstream CSV/plot helpers
+    need no changes.  ``resumed`` counts rows replayed from the checkpoint
+    journal rather than re-simulated.
+    """
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.failures: List[RunFailure] = []
+        self.resumed: int = 0
+
+
+# -- watchdogs ---------------------------------------------------------------
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float]):
+    """Raise WatchdogTimeout if the body runs longer than ``seconds``.
+
+    SIGALRM-based, so it only engages on the main thread of a POSIX
+    process; elsewhere it degrades to no limit (the cycle-budget watchdog
+    still applies).
+    """
+    usable = (seconds is not None and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise WatchdogTimeout(f"wall-clock limit of {seconds}s exceeded")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_isolated(index: int, cfg: RunConfig, check: bool, retries: int,
+                  timeout_s: Optional[float], max_cycles: Optional[int],
+                  key: str):
+    """Run one config with watchdogs and bounded reseeded retries.
+
+    Returns ``(result, failure, exception)`` — exactly one of result or
+    failure is set; the original exception rides along so fail-fast mode
+    can re-raise it untouched.
+    """
+    if max_cycles is not None and cfg.max_cycles is None:
+        cfg = cfg.with_(max_cycles=max_cycles)
+    started = time.monotonic()
+    attempt = 0
+    while True:
+        # a retry perturbs the seed: transient failures (deadlock windows,
+        # fault-victim choices) depend on it, deterministic ones do not
+        run_cfg = cfg if attempt == 0 else cfg.with_(seed=cfg.seed
+                                                     + 7919 * attempt)
+        try:
+            with _wall_clock_limit(timeout_s):
+                return run_config(run_cfg, check=check), None, None
+        except SimulationError as exc:
+            if isinstance(exc, TRANSIENT_ERRORS) and attempt < retries:
+                attempt += 1
+                continue
+            failure = RunFailure.from_exception(
+                exc, index=index, config=asdict(cfg), attempts=attempt + 1,
+                elapsed_s=time.monotonic() - started, key=key)
+            return None, failure, exc
+
+
+# -- checkpoint journal ------------------------------------------------------
+def _load_journal(path: str) -> Dict[str, Dict]:
+    """Latest journal record per config key (later lines win)."""
+    records: Dict[str, Dict] = {}
+    if not os.path.exists(path):
+        return records
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from a crash mid-append
+            if "key" in rec:
+                records[rec["key"]] = rec
+    return records
+
+
+class _Journal:
+    """Append-only, crash-safe JSONL writer (one fsynced line per row)."""
+
+    def __init__(self, path: str) -> None:
+        self._f = open(path, "a")
+
+    def append(self, record: Dict) -> None:
+        self._f.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._f.flush()
+        os.fsync(self._f.fileno())
+
+    def close(self) -> None:
+        self._f.close()
+
+
 def run_grid(configs: Iterable[RunConfig], check: bool = True,
-             progress=None) -> List[Dict]:
+             progress=None, *, on_error: str = "isolate", retries: int = 0,
+             timeout_s: Optional[float] = None,
+             max_cycles: Optional[int] = None,
+             checkpoint: Optional[str] = None,
+             resume: bool = False) -> GridRows:
     """Simulate every config; returns flat result rows (config + metrics).
 
     ``progress`` is an optional callable invoked as ``progress(i, total,
-    result)`` after each run (hook for logging long sweeps).
+    result)`` after each run (hook for logging long sweeps); for a failed
+    config ``result`` is the :class:`~repro.errors.RunFailure`.
+
+    Resilience (see the module docstring): ``on_error="isolate"`` (default)
+    records failures on ``rows.failures`` and keeps sweeping, while
+    ``"raise"`` restores fail-fast semantics.  ``retries`` bounds reseeded
+    retries of transient failures; ``timeout_s``/``max_cycles`` are
+    per-config watchdogs.  ``checkpoint`` appends every finished row to a
+    JSONL journal; with ``resume=True`` completed rows are replayed from it
+    and only failed or missing configs are re-simulated.
     """
+    if on_error not in ("raise", "isolate"):
+        raise ValueError(f"on_error must be 'raise' or 'isolate', "
+                         f"not {on_error!r}")
+    if resume and not checkpoint:
+        raise ValueError("resume=True requires a checkpoint path")
     configs = list(configs)
-    rows: List[Dict] = []
-    for i, cfg in enumerate(configs):
-        result = run_config(cfg, check=check)
-        row: Dict = {
-            "workload": cfg.workload,
-            "core_type": cfg.core_type,
-            "n_threads": cfg.n_threads,
-            "n_cores": cfg.n_cores,
-            "context_fraction": cfg.context_fraction,
-            "policy": cfg.policy,
-            "cycles": result.cycles,
-            "instructions": result.instructions,
-            "ipc": result.ipc,
-        }
-        if result.rf_hit_rate is not None:
-            row["rf_hit_rate"] = result.rf_hit_rate
-        rows.append(row)
-        if progress is not None:
-            progress(i + 1, len(configs), result)
+    previous = _load_journal(checkpoint) if (checkpoint and resume) else {}
+    journal = _Journal(checkpoint) if checkpoint else None
+    rows = GridRows()
+    try:
+        for i, cfg in enumerate(configs):
+            key = config_key(cfg)
+            done = previous.get(key)
+            if done is not None and done.get("status") == "ok":
+                rows.append(done["row"])
+                rows.resumed += 1
+                if progress is not None:
+                    progress(i + 1, len(configs), None)
+                continue
+            result, failure, exc = _run_isolated(i, cfg, check, retries,
+                                                 timeout_s, max_cycles, key)
+            if result is not None:
+                row = _result_row(cfg, result)
+                rows.append(row)
+                if journal is not None:
+                    journal.append({"key": key, "index": i, "status": "ok",
+                                    "row": row})
+                if progress is not None:
+                    progress(i + 1, len(configs), result)
+                continue
+            if journal is not None:
+                journal.append({"key": key, "index": i, "status": "fail",
+                                "failure": failure.as_dict()})
+            if on_error == "raise":
+                raise exc
+            rows.failures.append(failure)
+            if progress is not None:
+                progress(i + 1, len(configs), failure)
+    finally:
+        if journal is not None:
+            journal.close()
     return rows
 
 
 def best_by(rows: Sequence[Dict], metric: str = "ipc",
             group: Sequence[str] = ("workload",)) -> List[Dict]:
-    """Best row per group key (highest ``metric``)."""
+    """Best row per group key (highest ``metric``).
+
+    Rows missing ``metric`` are skipped — a mixed banked/virec grid has no
+    ``rf_hit_rate`` on the banked rows, and failed configs have no metrics
+    at all.
+    """
     best: Dict[tuple, Dict] = {}
     for row in rows:
+        if metric not in row:
+            continue
         key = tuple(row.get(g) for g in group)
         if key not in best or row[metric] > best[key][metric]:
             best[key] = row

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from ..core.base import ThreadContext, ThreadState, TimelineCore
+from ..errors import FunctionalCheckError, TaskPoolError
 
 
 @dataclass
@@ -41,6 +42,8 @@ class TaskPool:
     #: (host notification + context staging)
     dispatch_latency: int = 30
     dispatched: int = 0
+    #: tasks that ran to HALT on the attached core (initial + re-dispatched)
+    completed: int = 0
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -50,6 +53,11 @@ class TaskPool:
             self.dispatched += 1
             return self.tasks.popleft()
         return None
+
+    def snapshot(self) -> Dict:
+        """Structured queue state for error records and diagnostics."""
+        return {"pending": len(self.tasks), "dispatched": self.dispatched,
+                "completed": self.completed}
 
     @classmethod
     def from_instance(cls, instance, hw_threads: int,
@@ -68,9 +76,12 @@ def attach_pool(core: TimelineCore, pool: TaskPool) -> None:
     drop_regs = getattr(core, "drop_thread_registers", None)  # ViReC cores
 
     def redispatch(thread: ThreadContext, t: int) -> bool:
-        task = pool.pop()
-        if task is None:
+        # peek-then-commit: install the new context first and only then pop
+        # the task, so an exception mid-install (e.g. a fault escape during
+        # the register drop/spill) leaves dispatched/queue state consistent
+        if not pool.tasks:
             return False
+        task = pool.tasks[0]
         if drop_regs is not None:
             drop_regs(thread)
         for reg, value in task.init_regs.items():
@@ -79,14 +90,18 @@ def attach_pool(core: TimelineCore, pool: TaskPool) -> None:
         thread.state = ThreadState.BLOCKED
         thread.ready_at = t + pool.dispatch_latency
         thread.fruitless = 0
+        pool.tasks.popleft()
+        pool.dispatched += 1
         core.stats.inc("tasks_redispatched")
         return True
 
     def process(thread: ThreadContext) -> None:
         orig_process(thread)
-        if thread.state == ThreadState.DONE and redispatch(thread, core.commit_tail):
-            # resurrect the thread for its next task
-            core.stats.inc("threads_completed", -1)
+        if thread.state == ThreadState.DONE:
+            pool.completed += 1
+            if redispatch(thread, core.commit_tail):
+                # resurrect the thread for its next task
+                core.stats.inc("threads_completed", -1)
 
     core._process_instruction = process
 
@@ -142,8 +157,11 @@ def run_taskpool(workload: str = "gather", core_type: str = "virec",
     attach_pool(core, pool)
     core.run()
     if not instance.check():
-        raise AssertionError(f"task-pool run produced wrong results "
-                             f"({workload}/{core_type})")
-    if len(pool):
-        raise AssertionError("tasks left undispatched")
+        raise FunctionalCheckError(
+            f"task-pool run produced wrong results ({workload}/{core_type})",
+        )
+    if len(pool) or pool.completed != n_tasks:
+        raise TaskPoolError(
+            f"task pool did not drain: {pool.completed}/{n_tasks} tasks "
+            f"completed, {len(pool)} still queued", snapshot=pool.snapshot())
     return stats.child("core"), instance

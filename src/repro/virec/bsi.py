@@ -42,6 +42,9 @@ class BackingStoreInterface:
         #: cycle until which a fill/spill is outstanding (CSL mask input)
         self.busy_until = 0
         self._next_issue = 0  # blocking-mode serialization
+        #: optional :class:`~repro.faults.FaultInjector` probing backing-store
+        #: lines on every register fill (strictly opt-in)
+        self.fault_hook = None
 
     def _issue(self, t: int, addr: int, is_write: bool, pin_delta: int):
         if self.blocking:
@@ -61,8 +64,11 @@ class BackingStoreInterface:
         self.stats.inc("fills")
         if not result.hit:
             self.stats.inc("fill_backing_misses")
-        self.busy_until = max(self.busy_until, result.complete_at)
-        return result.complete_at
+        done = result.complete_at
+        if self.fault_hook is not None:
+            done = self.fault_hook.on_fill(tid, flat_reg, addr, t, done)
+        self.busy_until = max(self.busy_until, done)
+        return done
 
     def dummy_fill(self, t: int, tid: int, flat_reg: int) -> int:
         """Destination-only register: dummy value now, metadata txn posted."""

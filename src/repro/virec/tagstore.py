@@ -95,6 +95,18 @@ class TagStore:
         self._map[(tid, flat_reg)] = slot
         self.policy.on_insert(slot)
 
+    def valid_slots(self) -> np.ndarray:
+        """Indices of currently-valid physical slots (fault-injection sites)."""
+        return np.flatnonzero(self.valid)
+
+    def refresh_fill(self, slot: int, ready: int) -> None:
+        """Push ``slot``'s fill-ready cycle forward (refill-from-backing
+        recovery: the resident value is being re-fetched in place, so the
+        mapping survives but reads must wait for the clean copy)."""
+        if not self.valid[slot]:
+            raise ValueError(f"refreshing invalid slot {slot}")
+        self.fill_ready[slot] = max(int(self.fill_ready[slot]), ready)
+
     # -- state updates ----------------------------------------------------------
     def touch(self, slot: int, is_write: bool) -> None:
         """Record a decode-stage access to a resident register."""

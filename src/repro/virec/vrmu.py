@@ -52,6 +52,9 @@ class VRMU:
         #: registers each thread referenced during its latest run segment
         #: (drives the optional next-context prefetch, see ViReCConfig)
         self.segment_regs: dict = {}
+        #: optional :class:`~repro.faults.FaultInjector` probing physical
+        #: register-file slots on every decode-stage read (strictly opt-in)
+        self.fault_hook = None
 
     # -- decode-stage access ------------------------------------------------
     def access(self, tid: int, inst: Instruction, t: int) -> int:
@@ -77,6 +80,9 @@ class VRMU:
             if slot is not None:
                 self.stats.inc("hits")
                 ts.touch(slot, is_write=reg in dests)
+                if self.fault_hook is not None:
+                    ready = max(ready, self.fault_hook.on_slot_read(
+                        tid, reg, slot, t, is_read=reg in srcs))
                 ready = max(ready, int(ts.fill_ready[slot]))
                 inst_slots.append(slot)
             else:

@@ -1,0 +1,70 @@
+"""DeadlockError guard paths in the timeline cores.
+
+These raises are bug guards, not modelled behavior, so they are reached by
+driving the cores into deliberately inconsistent or under-budgeted states.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import build_gather_core  # noqa: E402
+
+from repro.core.base import CoreConfig, ThreadState  # noqa: E402
+from repro.core.cgmt import BankedCore  # noqa: E402
+from repro.core.fgmt import FGMTCore  # noqa: E402
+from repro.errors import DeadlockError  # noqa: E402
+
+
+class TestNoRunnableThread:
+    def test_step_raises_when_scheduler_finds_nothing(self):
+        core, *_ = build_gather_core(BankedCore, n_threads=2, n=8)
+        # a live-but-RUNNING thread with no core.current is an inconsistent
+        # state the round-robin scheduler cannot resolve: it is neither
+        # schedulable (not READY/BLOCKED) nor DONE
+        core.threads[0].state = ThreadState.RUNNING
+        core.threads[1].state = ThreadState.DONE
+        core.current = None
+        with pytest.raises(DeadlockError, match="no runnable thread"):
+            core.step()
+
+    def test_deadlock_error_still_catches_as_runtime_error(self):
+        core, *_ = build_gather_core(BankedCore, n_threads=2, n=8)
+        core.threads[0].state = ThreadState.RUNNING
+        core.threads[1].state = ThreadState.DONE
+        core.current = None
+        with pytest.raises(RuntimeError):
+            core.step()
+
+
+class TestInstructionBudget:
+    def test_run_raises_when_budget_exceeded(self):
+        core, *_ = build_gather_core(BankedCore, n_threads=4, n=64,
+                                     config=CoreConfig(max_cycles=2))
+        with pytest.raises(DeadlockError, match="instruction budget"):
+            core.run()
+
+    def test_sufficient_budget_completes(self):
+        core, mem, sym, expected = build_gather_core(
+            BankedCore, n_threads=2, n=8,
+            config=CoreConfig(max_cycles=100_000))
+        core.run()
+        out = [int(v) for v in mem.read_array(sym["out"], len(expected))]
+        assert out == expected
+
+
+class TestFGMTBudget:
+    def test_fgmt_run_raises_when_budget_exceeded(self):
+        core, *_ = build_gather_core(FGMTCore, n_threads=4, n=64,
+                                     config=CoreConfig(max_cycles=2))
+        with pytest.raises(DeadlockError, match="instruction budget"):
+            core.run()
+
+    def test_fgmt_budget_error_is_transient_classified(self):
+        from repro.errors import TRANSIENT_ERRORS
+        core, *_ = build_gather_core(FGMTCore, n_threads=4, n=64,
+                                     config=CoreConfig(max_cycles=2))
+        with pytest.raises(TRANSIENT_ERRORS):
+            core.run()

@@ -1,0 +1,21 @@
+"""Every fault-injection test runs under a hard wall-clock limit.
+
+Injection bugs tend to manifest as hangs (a recovery that never completes,
+a retry loop that never converges), so rather than depend on the
+pytest-timeout plugin each test in this directory is wrapped in the
+SIGALRM guard from ``tests/helpers.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import time_limit  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _fault_test_time_limit():
+    with time_limit(120.0):
+        yield

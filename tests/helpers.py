@@ -2,12 +2,41 @@
 
 from __future__ import annotations
 
+import signal
+import threading
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.core.cgmt import ContextLayout, make_threads
 from repro.isa import X, assemble
 from repro.memory import Cache, CacheConfig, MainMemory
 from repro.stats.counters import Stats
+
+
+@contextmanager
+def time_limit(seconds: float = 120.0):
+    """Fail a test that runs longer than ``seconds`` (no pytest-timeout dep).
+
+    SIGALRM-based, so it only guards on the main thread of a POSIX run;
+    elsewhere it is a no-op.
+    """
+    usable = (hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise TimeoutError(f"test exceeded its {seconds}s time limit")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 class FixedLatencyBackend:

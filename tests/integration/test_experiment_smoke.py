@@ -18,7 +18,8 @@ from repro.experiments import (
 
 
 def test_registry_complete():
-    assert set(ALL_EXPERIMENTS) == {"ablation", "compiler_study", "fig01",
+    assert set(ALL_EXPERIMENTS) == {"ablation", "compiler_study",
+                                    "fault_study", "fig01",
                                     "fig02", "fig09", "fig10", "fig11",
                                     "fig12", "fig13", "fig14", "sizing",
                                     "throughput"}
@@ -101,3 +102,14 @@ def test_bad_scale_rejected():
         scale_to_n("gigantic")
     assert scale_to_n(77) == 77
     assert scale_to_n("tiny") == 12
+
+
+def test_fault_study_subset():
+    from repro.experiments import fault_study
+    r = fault_study.run("tiny")
+    assert len(r.rows) == (len(fault_study.CELLS) * len(fault_study.SCHEMES)
+                           * len(fault_study.RATES))
+    # rate-0 rows prove the subsystem is opt-in: nothing injected, no cost
+    for row in r.rows:
+        if float(row["rate"]) == 0.0:
+            assert row["injected"] == 0 and row["overhead"] == 0.0
