@@ -3,11 +3,43 @@
 Not a paper figure — this measures the *reproduction tool itself* so
 regressions in simulation speed are caught.  pytest-benchmark runs these
 with real repetitions (unlike the single-shot figure benches).
+
+Besides the interactive output, the module writes ``BENCH_simspeed.json``
+(next to the current working directory) with the per-core-type rates so CI
+can archive simulator-speed history alongside the figure artifacts.
 """
+
+import json
+import os
 
 import pytest
 
 from repro.system import RunConfig, run_config
+
+#: collected {bench name: {"instructions", "seconds", "instr_per_s"}} rows,
+#: flushed to BENCH_simspeed.json at session end
+_RESULTS = {}
+_OUT_PATH = os.environ.get("BENCH_SIMSPEED_JSON", "BENCH_simspeed.json")
+
+
+def _record(name, instructions, seconds):
+    _RESULTS[name] = {
+        "instructions": int(instructions),
+        "seconds": round(seconds, 6),
+        "instr_per_s": round(instructions / seconds, 1) if seconds else None,
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_simspeed_json():
+    """Flush the collected rates once the module's benches finish."""
+    yield
+    if not _RESULTS:
+        return
+    with open(_OUT_PATH, "w") as f:
+        json.dump({"bench": "simspeed", "results": _RESULTS}, f,
+                  indent=1, sort_keys=True)
+        f.write("\n")
 
 
 def run_once(core_type, n_per_thread=48, threads=8, **kw):
@@ -23,11 +55,32 @@ def test_simulation_speed(benchmark, core_type):
     instr = result.instructions
     seconds = benchmark.stats.stats.mean
     rate = instr / seconds
+    _record(core_type, instr, seconds)
     print(f"\n{core_type}: {instr} instructions in {seconds * 1e3:.0f} ms "
           f"= {rate / 1e3:.0f}k instr/s")
     # regression guard: the timeline engine should stay above 3k instr/s
     # even on slow CI hosts
     assert rate > 3_000
+
+
+def test_telemetry_overhead(benchmark):
+    """Same virec run with full telemetry on — quantifies the tracing tax.
+
+    Only a smoke bound here (docs/observability.md discusses the measured
+    numbers); the hard guarantee is cycle-count identity, covered by
+    tests/telemetry/test_noop.py.
+    """
+    telemetry = {"events": True, "interval": 100, "pipeline_trace": True}
+    result = benchmark.pedantic(run_once, args=("virec",),
+                                kwargs={"telemetry": telemetry},
+                                rounds=3, iterations=1)
+    instr = result.instructions
+    seconds = benchmark.stats.stats.mean
+    rate = instr / seconds
+    _record("virec+telemetry", instr, seconds)
+    print(f"\nvirec+telemetry: {instr} instructions in "
+          f"{seconds * 1e3:.0f} ms = {rate / 1e3:.0f}k instr/s")
+    assert rate > 1_500
 
 
 def test_functional_sim_speed(benchmark):
@@ -46,5 +99,6 @@ def test_functional_sim_speed(benchmark):
 
     count = benchmark.pedantic(run, rounds=3, iterations=1)
     rate = count / benchmark.stats.stats.mean
+    _record("functional", count, benchmark.stats.stats.mean)
     print(f"\ngolden model: {rate / 1e3:.0f}k instr/s")
     assert rate > 20_000

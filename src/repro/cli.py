@@ -9,6 +9,12 @@ Commands
 ``sweep --axis FIELD=V1,V2,... [--checkpoint P] [--resume] ...``
     Run a parameter grid with per-config error isolation, watchdogs,
     retries, and a crash-safe checkpoint journal.
+``trace --workload W --core C [--out trace.json] [--interval N] ...``
+    Run one configuration with event telemetry and export a Chrome
+    trace-event JSON (opens in Perfetto / chrome://tracing).
+``timeline --workload W --core C [--interval N] [--jsonl P] ...``
+    Run one configuration with interval sampling and print sparkline
+    time-series of IPC, VRMU hit rate, occupancy, and spill/fill traffic.
 ``workloads``
     List the registered workloads with metadata.
 ``disasm --workload W``
@@ -42,12 +48,18 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _base_config(args, **extra) -> RunConfig:
+    """RunConfig from the shared configuration options (see
+    :func:`_add_config_options`)."""
+    return RunConfig(workload=args.workload, core_type=args.core,
+                     n_threads=args.threads, n_cores=args.cores,
+                     n_per_thread=args.per_thread,
+                     context_fraction=args.context, policy=args.policy,
+                     dcache_kb=args.dcache_kb, seed=args.seed, **extra)
+
+
 def _cmd_run(args) -> int:
-    cfg = RunConfig(workload=args.workload, core_type=args.core,
-                    n_threads=args.threads, n_cores=args.cores,
-                    n_per_thread=args.per_thread,
-                    context_fraction=args.context, policy=args.policy,
-                    dcache_kb=args.dcache_kb, seed=args.seed)
+    cfg = _base_config(args)
     r = run_config(cfg)
     print(f"workload={cfg.workload} core={cfg.core_type} threads={cfg.n_threads} "
           f"cores={cfg.n_cores}")
@@ -77,11 +89,7 @@ def _cmd_sweep(args) -> int:
     from .system import run_grid, sweep_grid
     from .stats.reporting import rows_to_csv
 
-    base = RunConfig(workload=args.workload, core_type=args.core,
-                     n_threads=args.threads, n_cores=args.cores,
-                     n_per_thread=args.per_thread,
-                     context_fraction=args.context, policy=args.policy,
-                     dcache_kb=args.dcache_kb, seed=args.seed)
+    base = _base_config(args)
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint", file=sys.stderr)
         return 2
@@ -134,6 +142,59 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+#: default metric columns of ``repro timeline``; columns absent from a run
+#: (e.g. VRMU metrics on a banked core) are skipped by the renderer
+_TIMELINE_COLUMNS = ("ipc", "vrmu_hit_rate", "occupancy_total",
+                     "spill_fill_per_kcycle", "dcache_misses",
+                     "context_switches")
+
+
+def _cmd_trace(args) -> int:
+    cfg = _base_config(args, telemetry={
+        "events": True, "interval": args.interval,
+        "pipeline_trace": args.pipeline,
+        "max_events": args.max_events,
+        "flow_events": not args.no_flow})
+    r = run_config(cfg)
+    session = r.telemetry
+    session.write_chrome_trace(args.out, metadata={
+        "workload": cfg.workload, "core_type": cfg.core_type,
+        "n_threads": cfg.n_threads, "n_cores": cfg.n_cores,
+        "seed": cfg.seed})
+    print(f"wrote {session.event_count} events to {args.out} "
+          f"(open in https://ui.perfetto.dev or chrome://tracing)")
+    if args.metrics:
+        session.write_metrics_jsonl(args.metrics)
+        print(f"wrote {len(session.interval_rows())} interval rows "
+              f"to {args.metrics}")
+    print()
+    print(session.report())
+    if r.host_profile and r.host_profile.get("instr_per_s"):
+        print(f"host: {r.host_profile['total_s']:.2f}s wall, "
+              f"{r.host_profile['instr_per_s']:,.0f} instr/s")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .stats.reporting import render_intervals
+
+    cfg = _base_config(args, telemetry={
+        "events": False, "interval": args.interval})
+    r = run_config(cfg)
+    session = r.telemetry
+    rows = session.interval_rows()
+    print(f"workload={cfg.workload} core={cfg.core_type} "
+          f"threads={cfg.n_threads} cores={cfg.n_cores} "
+          f"interval={args.interval}")
+    columns = (args.columns.split(",") if args.columns
+               else list(_TIMELINE_COLUMNS))
+    print(render_intervals(rows, columns, width=args.width))
+    if args.jsonl:
+        session.write_metrics_jsonl(args.jsonl)
+        print(f"wrote {len(rows)} rows to {args.jsonl}")
+    return 0
+
+
 def _cmd_workloads(args) -> int:
     print(f"{'name':<16} {'suite':<9} {'pattern':<10} {'loads/iter':>10}  description")
     for spec in workloads.all_workloads():
@@ -156,6 +217,19 @@ def _cmd_area(args) -> int:
     return 0
 
 
+def _add_config_options(p: argparse.ArgumentParser) -> None:
+    """The shared ``RunConfig`` options (see :func:`_base_config`)."""
+    p.add_argument("--workload", default="gather", choices=workloads.names())
+    p.add_argument("--core", default="virec", choices=list(CORE_TYPES))
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--cores", type=int, default=1)
+    p.add_argument("--per-thread", type=int, default=64)
+    p.add_argument("--context", type=float, default=0.8)
+    p.add_argument("--policy", default="lrc")
+    p.add_argument("--dcache-kb", type=int, default=8)
+    p.add_argument("--seed", type=int, default=7)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (one subcommand per verb)."""
     parser = argparse.ArgumentParser(
@@ -169,28 +243,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_experiments)
 
     p = sub.add_parser("run", help="simulate one configuration")
-    p.add_argument("--workload", default="gather", choices=workloads.names())
-    p.add_argument("--core", default="virec", choices=list(CORE_TYPES))
-    p.add_argument("--threads", type=int, default=8)
-    p.add_argument("--cores", type=int, default=1)
-    p.add_argument("--per-thread", type=int, default=64)
-    p.add_argument("--context", type=float, default=0.8)
-    p.add_argument("--policy", default="lrc")
-    p.add_argument("--dcache-kb", type=int, default=8)
-    p.add_argument("--seed", type=int, default=7)
+    _add_config_options(p)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_run)
 
+    p = sub.add_parser("trace",
+                       help="run with event telemetry; export a Perfetto-"
+                            "loadable Chrome trace")
+    _add_config_options(p)
+    p.add_argument("--out", default="trace.json", metavar="PATH",
+                   help="Chrome trace-event JSON output path")
+    p.add_argument("--interval", type=int, default=0, metavar="N",
+                   help="also sample interval metrics every N cycles")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write interval metrics as JSONL (with --interval)")
+    p.add_argument("--pipeline", action="store_true",
+                   help="attach per-instruction pipeline tracers and report "
+                        "stall attribution")
+    p.add_argument("--max-events", type=int, default=200_000,
+                   help="event ring capacity (oldest overwritten past it)")
+    p.add_argument("--no-flow", action="store_true",
+                   help="omit spill/fill flow arrows")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("timeline",
+                       help="run with interval sampling; print sparkline "
+                            "time-series")
+    _add_config_options(p)
+    p.add_argument("--interval", type=int, default=500, metavar="N",
+                   help="cycles per sample")
+    p.add_argument("--columns", metavar="C1,C2,...",
+                   help=f"metric columns (default: "
+                        f"{','.join(_TIMELINE_COLUMNS)})")
+    p.add_argument("--width", type=int, default=60,
+                   help="sparkline width in characters")
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="also write the interval rows as JSONL")
+    p.set_defaults(fn=_cmd_timeline)
+
     p = sub.add_parser("sweep", help="run a resilient parameter grid")
-    p.add_argument("--workload", default="gather", choices=workloads.names())
-    p.add_argument("--core", default="virec", choices=list(CORE_TYPES))
-    p.add_argument("--threads", type=int, default=8)
-    p.add_argument("--cores", type=int, default=1)
-    p.add_argument("--per-thread", type=int, default=64)
-    p.add_argument("--context", type=float, default=0.8)
-    p.add_argument("--policy", default="lrc")
-    p.add_argument("--dcache-kb", type=int, default=8)
-    p.add_argument("--seed", type=int, default=7)
+    _add_config_options(p)
     p.add_argument("--axis", action="append", metavar="FIELD=V1,V2,...",
                    help="sweep axis over a RunConfig field (repeatable)")
     p.add_argument("--checkpoint", metavar="PATH",

@@ -138,6 +138,10 @@ class TimelineCore:
         #: when None (the default) the pipeline behaves bit-identically to a
         #: build without the fault subsystem
         self.fault_hook = None
+        #: optional :class:`~repro.telemetry.CoreTelemetry`; strictly opt-in
+        #: and purely observational — it records events and drives interval
+        #: sampling but never alters a cycle timestamp
+        self.telemetry = None
         self.commits_since_switch = 0
         self.scoreboard: Dict[Reg, int] = {}
         self.flags_ready = 0
@@ -260,6 +264,8 @@ class TimelineCore:
         self.ex_free = t
         self.commit_tail = max(self.commit_tail, t)
         self._last_fetch_line = -1
+        if self.telemetry is not None:
+            self.telemetry.on_run_begin(thread.tid, t)
         return True
 
     # ---------------------------------------------------------------- running
@@ -336,6 +342,9 @@ class TimelineCore:
                     return  # thread suspended; load replays on resume
                 # switch suppressed (no commits since last switch): stall here
                 self.stats.inc("switches_suppressed")
+                if self.telemetry is not None:
+                    self.telemetry.on_stall_in_place(
+                        thread.tid, t_issue_mem, data_at, "suppressed-switch")
             self.load_slots.append(data_at)
             if not r.hit:
                 self.stats.inc("load_miss_stalls")
@@ -351,6 +360,8 @@ class TimelineCore:
         if not result.halt:
             thread.instructions += 1
         self.now = t_c
+        if self.telemetry is not None:
+            self.telemetry.on_commit(t_c)
 
         # architectural update at commit
         for reg, value in result.writes.items():
@@ -372,6 +383,8 @@ class TimelineCore:
             thread.state = ThreadState.DONE
             self.current = None
             self.stats.inc("threads_completed")
+            if self.telemetry is not None:
+                self.telemetry.on_thread_done(thread.tid, t_c)
             return
         thread.pc = result.target if result.taken else thread.pc + 1
         if result.taken:
@@ -422,6 +435,9 @@ class TimelineCore:
         self.on_flush(thread, flushed, t_sw)
         self.stats.inc("context_switches")
         self.stats.inc("flushed_instructions", len(flushed))
+        if self.telemetry is not None:
+            self.telemetry.on_switch(thread.tid, t_sw,
+                                     access_result.complete_at, len(flushed))
 
         thread.state = ThreadState.BLOCKED
         thread.ready_at = access_result.complete_at

@@ -12,7 +12,7 @@ Tracing costs simulation speed; attach it only for short diagnostic runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 
@@ -51,37 +51,59 @@ class TraceRecord:
                 f"M@{self.t_data} C@{self.t_commit}  {self.dominant_stall}")
 
 
-@dataclass
 class PipelineTracer:
-    """Bounded ring of trace records; attach via ``core.tracer = tracer``."""
+    """Bounded ring of trace records; attach via ``core.tracer = tracer``.
 
-    limit: int = 10_000
-    records: List[TraceRecord] = field(default_factory=list)
-    dropped: int = 0
+    A true ring: once ``limit`` records exist, each new record overwrites
+    the oldest, so a long run always retains the most recent ``limit``
+    committed instructions (``dropped`` counts the overwritten ones).
+    """
+
+    def __init__(self, limit: int = 10_000) -> None:
+        if limit < 1:
+            raise ValueError("tracer limit must be >= 1")
+        self.limit = limit
+        self.dropped = 0
+        self._ring: List[TraceRecord] = []
+        self._head = 0  # next overwrite position once the ring is full
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Retained records in chronological (commit) order."""
+        if len(self._ring) < self.limit:
+            return list(self._ring)
+        return self._ring[self._head:] + self._ring[:self._head]
 
     def record(self, tid: int, pc: int, text: str, t_decode: int,
                t_issue: int, t_ex_done: int, t_data: int,
                t_commit: int) -> None:
-        if len(self.records) >= self.limit:
-            self.dropped += 1
+        rec = TraceRecord(tid, pc, text, t_decode, t_issue,
+                          t_ex_done, t_data, t_commit)
+        if len(self._ring) < self.limit:
+            self._ring.append(rec)
             return
-        self.records.append(TraceRecord(tid, pc, text, t_decode, t_issue,
-                                        t_ex_done, t_data, t_commit))
+        self._ring[self._head] = rec
+        self._head = (self._head + 1) % self.limit
+        self.dropped += 1
 
     def format(self, last: Optional[int] = None) -> str:
-        rows = self.records[-last:] if last else self.records
+        records = self.records
+        rows = records[-last:] if last else records
         out = [r.format() for r in rows]
         if self.dropped:
-            out.append(f"... {self.dropped} records dropped (limit {self.limit})")
+            out.append(f"... {self.dropped} older records overwritten "
+                       f"(ring limit {self.limit})")
         return "\n".join(out)
 
     def stall_summary(self) -> dict:
-        """Aggregate stall attribution over the trace."""
-        total = len(self.records) or 1
-        mem = sum(r.mem_stall for r in self.records)
-        regs = sum(r.decode_stall for r in self.records)
+        """Aggregate stall attribution over the retained trace window."""
+        records = self.records
+        total = len(records) or 1
+        mem = sum(r.mem_stall for r in records)
+        regs = sum(r.decode_stall for r in records)
         return {
-            "instructions": len(self.records),
+            "instructions": len(records),
+            "dropped": self.dropped,
             "mem_stall_cycles": mem,
             "reg_stall_cycles": regs,
             "mem_stall_per_inst": mem / total,

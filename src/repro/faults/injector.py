@@ -133,6 +133,9 @@ class FaultInjector:
         self._accum = {site: 0.0 for site in SITES}
         self._sched = sorted(config.scheduled)
         self._sched_i = 0
+        #: optional :class:`~repro.telemetry.CoreTelemetry` receiving one
+        #: event per injected fault (strictly opt-in, observational only)
+        self.event_sink = None
 
     # -- wiring ------------------------------------------------------------
     @classmethod
@@ -183,6 +186,8 @@ class FaultInjector:
     def _inject(self, site: str) -> None:
         self.stats.inc("faults_injected")
         self.stats.inc(f"faults_injected_{site}")
+        if self.event_sink is not None:
+            self.event_sink.on_fault(site, self._last)
         if self.vrmu is None:
             if site != "rf":
                 self.stats.inc("faults_masked")  # site class absent

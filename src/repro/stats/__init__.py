@@ -3,12 +3,14 @@
 from .counters import Stats
 from .reporting import (
     compare,
+    render_intervals,
     rows_to_csv,
+    sparkline,
     stats_to_csv,
     stats_to_dict,
     stats_to_json,
     text_histogram,
 )
 
-__all__ = ["Stats", "compare", "rows_to_csv", "stats_to_csv", "stats_to_dict",
-           "stats_to_json", "text_histogram"]
+__all__ = ["Stats", "compare", "render_intervals", "rows_to_csv", "sparkline",
+           "stats_to_csv", "stats_to_dict", "stats_to_json", "text_histogram"]

@@ -76,6 +76,40 @@ class Stats:
         """Flatten the entire tree into a plain dictionary."""
         return dict(self.flat())
 
+    def merge(self, other: "Stats") -> "Stats":
+        """Add every counter of ``other``'s tree into this one (recursively).
+
+        Children are matched by name; missing namespaces are created.  Lets
+        aggregation sites (multi-core sweeps, the interval sampler) combine
+        per-core trees structurally instead of hand-flattening dicts.
+        Returns ``self`` for chaining.
+        """
+        for key, value in other._counters.items():
+            self._counters[key] += value
+        for name, child in other._children.items():
+            self.child(name).merge(child)
+        return self
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat copy of every counter (dotted keys, rooted at this node).
+
+        Keys are relative to this namespace (the node's own name is not
+        prefixed), so snapshots taken from the same node are comparable
+        regardless of where the node sits in a larger tree.
+        """
+        return dict(self.flat(prefix=""))
+
+    def delta(self, since: Dict[str, float]) -> Dict[str, float]:
+        """Difference of the current counters against a prior snapshot.
+
+        Counters created after the snapshot delta against zero; counters
+        untouched since the snapshot report 0.0 (they are retained so
+        interval series keep a stable column set).
+        """
+        now = self.snapshot()
+        keys = set(now) | set(since)
+        return {k: now.get(k, 0.0) - since.get(k, 0.0) for k in keys}
+
     def reset(self) -> None:
         """Zero every counter in this namespace and all children."""
         self._counters.clear()

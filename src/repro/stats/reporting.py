@@ -90,6 +90,64 @@ def compare(runs: Dict[str, Stats], keys: Optional[Iterable[str]] = None,
     return "\n".join(out)
 
 
+#: eight-level block ramp used by :func:`sparkline`
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None,
+              lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """Render a numeric series as a one-line unicode sparkline.
+
+    ``width`` resamples the series (bucket means) to at most that many
+    characters; ``lo``/``hi`` pin the scale (default: the series range),
+    letting several sparklines share one axis.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and len(vals) > width:
+        per = len(vals) / width
+        vals = [sum(vals[int(i * per):max(int(i * per) + 1,
+                                          int((i + 1) * per))])
+                / max(1, int((i + 1) * per) - int(i * per))
+                for i in range(width)]
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1) + 0.5)
+        out.append(_SPARK_BLOCKS[max(0, min(len(_SPARK_BLOCKS) - 1, idx))])
+    return "".join(out)
+
+
+def render_intervals(rows: Sequence[Dict], columns: Sequence[str],
+                     width: int = 60, label_width: int = 22) -> str:
+    """Sparkline panel over interval-sampler rows (one line per metric).
+
+    ``rows`` are the dicts produced by
+    :class:`repro.telemetry.IntervalSampler`; ``columns`` names the numeric
+    fields to plot.  Fields absent from every row are skipped.
+    """
+    if not rows:
+        return "(no interval samples)"
+    lines = []
+    c0, c1 = rows[0].get("cycle", 0), rows[-1].get("cycle", 0)
+    lines.append(f"{len(rows)} intervals, cycles {c0}..{c1}")
+    for col in columns:
+        series = [row[col] for row in rows if col in row
+                  and isinstance(row[col], (int, float))]
+        if not series:
+            continue
+        spark = sparkline(series, width=width)
+        lines.append(f"{col:<{label_width}} {spark}  "
+                     f"min={min(series):g} max={max(series):g} "
+                     f"last={series[-1]:g}")
+    return "\n".join(lines)
+
+
 def text_histogram(values: Sequence[float], bins: int = 10, width: int = 40,
                    title: str = "") -> str:
     """ASCII histogram for terminal inspection of a metric distribution."""

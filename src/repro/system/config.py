@@ -79,6 +79,11 @@ class RunConfig:
     #: per-run cycle-budget watchdog: abort with DeadlockError once any
     #: core's local clock exceeds this (None = unlimited)
     max_cycles: Optional[int] = None
+    #: optional telemetry campaign: a mapping of
+    #: :class:`~repro.telemetry.TelemetryConfig` fields (or an instance).
+    #: None (the default) wires nothing — runs are bit-identical to a
+    #: build without the telemetry subsystem.
+    telemetry: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         if self.core_type not in CORE_TYPES:
@@ -92,6 +97,9 @@ class RunConfig:
             FaultConfig.from_spec(self.faults)  # validate eagerly
         if self.max_cycles is not None and self.max_cycles <= 0:
             raise ValueError("max_cycles must be positive")
+        if self.telemetry is not None:
+            from ..telemetry import TelemetryConfig
+            TelemetryConfig.from_spec(self.telemetry)  # validate eagerly
 
     def with_(self, **kw) -> "RunConfig":
         return replace(self, **kw)

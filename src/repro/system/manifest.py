@@ -43,6 +43,11 @@ class RunManifest:
     configs: List[Dict] = field(default_factory=list)
     results_digest: str = ""
     results_summary: List[Dict] = field(default_factory=list)
+    #: per-run host-side wall-clock profiles (phase seconds, instr/s).
+    #: Machine-dependent by nature, so deliberately *excluded* from the
+    #: reproducibility digest — kept to track simulator performance
+    #: run-over-run alongside the deterministic results.
+    host_profiles: List[Optional[Dict]] = field(default_factory=list)
 
     def add(self, result: RunResult) -> None:
         self.configs.append(asdict(result.config))
@@ -53,6 +58,7 @@ class RunManifest:
             "rf_hit_rate": (round(result.rf_hit_rate, 6)
                             if result.rf_hit_rate is not None else None),
         })
+        self.host_profiles.append(getattr(result, "host_profile", None))
         self.results_digest = self._digest()
 
     def _digest(self) -> str:
@@ -76,7 +82,8 @@ class RunManifest:
                 platform=data["platform"],
                 configs=data["configs"],
                 results_digest=data["results_digest"],
-                results_summary=data["results_summary"])
+                results_summary=data["results_summary"],
+                host_profiles=data.get("host_profiles", []))
         return m
 
     def replay_config(self, index: int = 0) -> RunConfig:

@@ -38,6 +38,12 @@ class RunResult:
     stats: Stats
     rf_hit_rate: Optional[float] = None
     correct: bool = True
+    #: the run's :class:`~repro.telemetry.TelemetrySession` when the config
+    #: asked for one (None otherwise)
+    telemetry: Optional[object] = None
+    #: host-side wall-clock profile (phase seconds + instr/s); always
+    #: collected — it never feeds back into simulated timing
+    host_profile: Optional[Dict] = None
 
     @property
     def speedup_base(self) -> float:
@@ -92,40 +98,51 @@ def _make_core(cfg: RunConfig, instance, icache, dcache, core_id=0, stats=None):
 
 def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
     """Simulate one configuration and return its result record."""
+    from ..telemetry import HostProfiler
+
     spec = workloads.get(cfg.workload)
+    profiler = HostProfiler()
 
     if cfg.core_type == "ooo":
-        return _run_ooo(cfg, spec, check)
+        return _run_ooo(cfg, spec, check, profiler)
 
     stats = Stats("system")
-    if cfg.dram_preset == "hbm":
-        from ..memory.dram import hbm_like_config
-        dram = hbm_like_config()
-    else:
-        dram = table1_dram()
-        dram.channels = cfg.dram_channels
-        dram.banks_per_channel = cfg.dram_banks
-    memsys = NDPMemorySystem(
-        n_cores=cfg.n_cores,
-        dcache=ndp_dcache(cfg.dcache_kb, cfg.dcache_latency),
-        icache=ndp_icache(), dram=dram,
-        crossbar_latency=cfg.crossbar_latency, stats=stats.child("mem"))
+    with profiler.phase("build"):
+        if cfg.dram_preset == "hbm":
+            from ..memory.dram import hbm_like_config
+            dram = hbm_like_config()
+        else:
+            dram = table1_dram()
+            dram.channels = cfg.dram_channels
+            dram.banks_per_channel = cfg.dram_banks
+        memsys = NDPMemorySystem(
+            n_cores=cfg.n_cores,
+            dcache=ndp_dcache(cfg.dcache_kb, cfg.dcache_latency),
+            icache=ndp_icache(), dram=dram,
+            crossbar_latency=cfg.crossbar_latency, stats=stats.child("mem"))
 
-    instances = []
+        instances = []
 
-    def factory(core_id, icache, dcache):
-        inst = spec.build(n_threads=cfg.n_threads,
-                          n_per_thread=cfg.n_per_thread,
-                          seed=cfg.seed + core_id, **cfg.workload_kwargs)
-        instances.append(inst)
-        return _make_core(cfg, inst, icache, dcache, core_id=core_id,
-                          stats=stats.child(f"core{core_id}"))
+        def factory(core_id, icache, dcache):
+            inst = spec.build(n_threads=cfg.n_threads,
+                              n_per_thread=cfg.n_per_thread,
+                              seed=cfg.seed + core_id, **cfg.workload_kwargs)
+            instances.append(inst)
+            return _make_core(cfg, inst, icache, dcache, core_id=core_id,
+                              stats=stats.child(f"core{core_id}"))
 
-    node = NearMemoryNode(cfg.n_cores, memsys, factory, stats=stats.child("node"))
-    _wire_fault_injection(cfg, node, instances)
-    result = node.run(max_cycles=cfg.max_cycles)
+        node = NearMemoryNode(cfg.n_cores, memsys, factory,
+                              stats=stats.child("node"))
+        _wire_fault_injection(cfg, node, instances)
+        session = _wire_telemetry(cfg, node)
 
-    correct = all(inst.check() for inst in instances) if check else True
+    with profiler.phase("simulate"):
+        result = node.run(max_cycles=cfg.max_cycles)
+    if session is not None:
+        session.finalize()
+
+    with profiler.phase("check"):
+        correct = all(inst.check() for inst in instances) if check else True
     if not correct:
         raise FunctionalCheckError(
             f"functional check failed: {cfg.workload} on {cfg.core_type}")
@@ -136,9 +153,33 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
         hits = sum(c.vrmu.stats["hits"] for c in node.cores)
         total = hits + sum(c.vrmu.stats["misses"] for c in node.cores)
         hit = hits / total if total else 1.0
+    host = profiler.as_dict(
+        instructions=result.instructions, cycles=result.cycles,
+        events=session.event_count if session is not None else None)
     return RunResult(config=cfg, cycles=result.cycles,
                      instructions=result.instructions, ipc=result.ipc,
-                     stats=stats, rf_hit_rate=hit, correct=correct)
+                     stats=stats, rf_hit_rate=hit, correct=correct,
+                     telemetry=session, host_profile=host)
+
+
+def _wire_telemetry(cfg: RunConfig, node):
+    """Attach a TelemetrySession when the config asks for one.
+
+    Strictly opt-in, and purely observational even when on: cycle counts
+    with telemetry enabled are identical to a run without it (enforced by
+    tests/telemetry/test_noop.py).  Must run *after* fault-injection
+    wiring so fault events reach the session's event ring.
+    """
+    if cfg.telemetry is None:
+        return None
+    from ..telemetry import TelemetryConfig, TelemetrySession
+    tc = TelemetryConfig.from_spec(cfg.telemetry)
+    if not tc.enabled:
+        return None
+    session = TelemetrySession(tc)
+    for core in node.cores:
+        session.attach(core)
+    return session
 
 
 def _wire_fault_injection(cfg: RunConfig, node, instances) -> None:
@@ -160,30 +201,43 @@ def _wire_fault_injection(cfg: RunConfig, node, instances) -> None:
             stats=core.stats.child("faults"), regs=inst.active_regs)
 
 
-def _run_ooo(cfg: RunConfig, spec, check: bool) -> RunResult:
+def _run_ooo(cfg: RunConfig, spec, check: bool, profiler=None) -> RunResult:
     """Single OoO host core over the full (unpartitioned) problem."""
+    from ..telemetry import HostProfiler, TelemetryConfig
+
+    if profiler is None:
+        profiler = HostProfiler()
     if cfg.faults is not None:
         from ..faults import FaultConfig
         if FaultConfig.from_spec(cfg.faults).enabled:
             raise ValueError("fault injection is not modelled for the ooo "
                              "host core (its RF is not a ViReC-style cache)")
-    inst = spec.build(n_threads=1,
-                      n_per_thread=cfg.n_per_thread * cfg.n_threads,
-                      seed=cfg.seed, **cfg.workload_kwargs)
-    host = HostMemorySystem(dram=table1_dram())
-    stats = Stats("ooo-system")
-    core = OoOCore(inst.program, host.icache, host.dcache, inst.memory,
-                   stats=stats.child("core0"))
-    core_stats = core.run(inst.init_regs[0] if inst.init_regs else None)
-    if check and not inst.check():
-        raise FunctionalCheckError(
-            f"functional check failed: {cfg.workload} on ooo")
+    if cfg.telemetry is not None and TelemetryConfig.from_spec(
+            cfg.telemetry).enabled:
+        raise ValueError("telemetry is not modelled for the ooo host core "
+                         "(it does not run on the timeline engine)")
+    with profiler.phase("build"):
+        inst = spec.build(n_threads=1,
+                          n_per_thread=cfg.n_per_thread * cfg.n_threads,
+                          seed=cfg.seed, **cfg.workload_kwargs)
+        host = HostMemorySystem(dram=table1_dram())
+        stats = Stats("ooo-system")
+        core = OoOCore(inst.program, host.icache, host.dcache, inst.memory,
+                       stats=stats.child("core0"))
+    with profiler.phase("simulate"):
+        core_stats = core.run(inst.init_regs[0] if inst.init_regs else None)
+    with profiler.phase("check"):
+        if check and not inst.check():
+            raise FunctionalCheckError(
+                f"functional check failed: {cfg.workload} on ooo")
     # normalize to NDP cycles: the host runs at 2 GHz
     cycles = int(core_stats["cycles"] / OOO_CLOCK_RATIO)
     instructions = int(core_stats["instructions"])
     return RunResult(config=cfg, cycles=cycles, instructions=instructions,
                      ipc=instructions / cycles if cycles else 0.0,
-                     stats=stats, correct=True)
+                     stats=stats, correct=True,
+                     host_profile=profiler.as_dict(instructions=instructions,
+                                                   cycles=cycles))
 
 
 class ResultList(List[Optional[RunResult]]):

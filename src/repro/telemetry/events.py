@@ -1,0 +1,155 @@
+"""Structured event tracing with a Chrome trace-event JSON exporter.
+
+Components emit typed events (context switch, VRMU miss/evict with cause,
+spill, fill, dcache miss, fault injection, thread stall/run segments) into
+an :class:`EventTracer` ring.  :meth:`EventTracer.chrome_trace` exports the
+ring in the Chrome trace-event format, so any run opens directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* one *process* per simulated core (``pid`` = core id);
+* one *track* per hardware thread (``tid`` = thread id) carrying ``run``
+  and ``stall`` duration slices;
+* auxiliary per-core tracks for the VRMU/BSI, the dcache, and
+  scheduler/fault control events;
+* spill/fill slices on the BSI track linked to the requesting thread's run
+  slice with flow arrows (``s``/``f`` event pairs).
+
+Timestamps are simulated cycles, exported 1 cycle = 1 µs so Perfetto's
+time axis reads directly in cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: synthetic track (tid) numbers for non-thread event sources, per core
+BSI_TRACK = 100
+DCACHE_TRACK = 101
+CTRL_TRACK = 102
+
+_TRACK_NAMES = {
+    BSI_TRACK: "vrmu/bsi",
+    DCACHE_TRACK: "dcache",
+    CTRL_TRACK: "sched/faults",
+}
+
+#: event name -> category, for the exported ``cat`` field
+EVENT_CATEGORIES = {
+    "run": "sched", "stall": "sched", "ctx_switch": "sched",
+    "thread_done": "sched", "ctx_fetch": "sched", "ctx_save": "sched",
+    "ctx_restore": "sched",
+    "vrmu_hit": "vrmu", "vrmu_miss": "vrmu", "evict": "vrmu",
+    "fill": "vrmu", "dummy_fill": "vrmu", "spill": "vrmu",
+    "sysreg": "vrmu",
+    "dcache_miss": "mem",
+    "fault": "fault",
+}
+
+
+class EventTracer:
+    """Bounded ring of trace events shared by every core of one run."""
+
+    def __init__(self, max_events: int = 200_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self.dropped = 0
+        self.counts: Dict[str, int] = {}
+        self._ring: List[dict] = []
+        self._head = 0
+        self._flow_id = 0
+        self._tracks: Dict[Tuple[int, int], str] = {}
+
+    # -- emission ----------------------------------------------------------
+    def register_track(self, pid: int, tid: int, name: str) -> None:
+        self._tracks[(pid, tid)] = name
+
+    def next_flow_id(self) -> int:
+        self._flow_id += 1
+        return self._flow_id
+
+    def emit(self, name: str, ph: str, ts: int, pid: int, tid: int,
+             dur: Optional[int] = None, args: Optional[dict] = None,
+             flow: Optional[int] = None, bind: Optional[str] = None) -> None:
+        """Record one trace event.
+
+        ``ph`` is the Chrome trace phase: ``X`` complete (with ``dur``),
+        ``i`` instant, ``s``/``f`` flow start/finish.  ``flow`` carries the
+        flow id for s/f pairs; ``bind`` sets the flow binding point.
+        """
+        self.counts[name] = self.counts.get(name, 0) + 1
+        ev = {"name": name, "ph": ph, "ts": int(ts), "pid": int(pid),
+              "tid": int(tid),
+              "cat": EVENT_CATEGORIES.get(name, "misc")}
+        if dur is not None:
+            ev["dur"] = max(0, int(dur))
+        if args:
+            ev["args"] = args
+        if flow is not None:
+            ev["id"] = flow
+        if bind is not None:
+            ev["bp"] = bind
+        if len(self._ring) < self.max_events:
+            self._ring.append(ev)
+        else:
+            self._ring[self._head] = ev
+            self._head = (self._head + 1) % self.max_events
+            self.dropped += 1
+
+    # -- convenience wrappers ---------------------------------------------
+    def instant(self, name: str, ts: int, pid: int, tid: int,
+                args: Optional[dict] = None) -> None:
+        self.emit(name, "i", ts, pid, tid, args=args)
+
+    def complete(self, name: str, ts: int, dur: int, pid: int, tid: int,
+                 args: Optional[dict] = None) -> None:
+        self.emit(name, "X", ts, pid, tid, dur=dur, args=args)
+
+    def flow_pair(self, name: str, t_from: int, tid_from: int,
+                  t_to: int, tid_to: int, pid: int) -> None:
+        """Arrow from (tid_from, t_from) to (tid_to, t_to) on core ``pid``."""
+        fid = self.next_flow_id()
+        self.emit(name, "s", t_from, pid, tid_from, flow=fid)
+        self.emit(name, "f", t_to, pid, tid_to, flow=fid, bind="e")
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def events(self) -> List[dict]:
+        """Retained events in emission order."""
+        if len(self._ring) < self.max_events:
+            return list(self._ring)
+        return self._ring[self._head:] + self._ring[:self._head]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- export ------------------------------------------------------------
+    def chrome_trace(self, metadata: Optional[dict] = None) -> dict:
+        """The full run as a Chrome trace-event JSON object.
+
+        Events are ordered by (pid, tid, ts) so every track's timestamps
+        are monotonic; thread-name metadata labels each track.
+        """
+        out: List[dict] = []
+        tracks = dict(self._tracks)
+        for ev in self._ring:
+            key = (ev["pid"], ev["tid"])
+            if key not in tracks:
+                tracks[key] = _TRACK_NAMES.get(ev["tid"],
+                                               f"thread {ev['tid']}")
+        for pid in sorted({p for p, _ in tracks}):
+            out.append({"name": "process_name", "ph": "M", "pid": pid,
+                        "tid": 0, "args": {"name": f"core {pid}"}})
+        for (pid, tid), name in sorted(tracks.items()):
+            out.append({"name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid, "args": {"name": name}})
+            out.append({"name": "thread_sort_index", "ph": "M", "pid": pid,
+                        "tid": tid, "args": {"sort_index": tid}})
+        out.extend(sorted(self.events,
+                          key=lambda e: (e["pid"], e["tid"], e["ts"])))
+        trace = {"traceEvents": out, "displayTimeUnit": "ms",
+                 "otherData": {"clock": "1 cycle = 1us",
+                               "dropped_events": self.dropped}}
+        if metadata:
+            trace["otherData"].update(metadata)
+        return trace

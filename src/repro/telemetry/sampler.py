@@ -1,0 +1,109 @@
+"""Interval metrics: per-N-cycle deltas of a core's Stats tree.
+
+The sampler snapshots a core's :class:`~repro.stats.counters.Stats` subtree
+(via ``Stats.snapshot()/delta()``) every ``interval`` cycles of that core's
+commit clock and emits one row per interval with the *deltas* — IPC, VRMU
+hit rate, spill/fill bandwidth, dcache misses — plus whatever the attached
+collector adds (per-thread register-cache occupancy, instruction counts).
+
+Rows are plain dicts of JSON scalars, exportable as deterministic JSONL
+(same seed + config => byte-identical output) and renderable as ASCII
+sparklines via :func:`repro.stats.reporting.render_intervals`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+from ..stats.counters import Stats
+
+#: dotted-suffix -> row column; values are summed over all matching
+#: counters in the sampled subtree (so multi-level trees just work)
+_DELTA_COLUMNS = {
+    "vrmu.hits": "vrmu_hits",
+    "vrmu.misses": "vrmu_misses",
+    "vrmu.spill_evictions": "vrmu_evictions",
+    "bsi.fills": "fills",
+    "bsi.dummy_fills": "dummy_fills",
+    "bsi.spills": "spills",
+    "dcache.misses": "dcache_misses",
+    "context_switches": "context_switches",
+}
+
+
+def _pick(delta: Dict[str, float], suffix: str) -> float:
+    return sum(v for k, v in delta.items()
+               if k == suffix or k.endswith("." + suffix))
+
+
+class IntervalSampler:
+    """Periodic Stats-delta sampler for one core.
+
+    ``extra`` is an optional callable ``extra(cycle) -> dict`` merged into
+    every row (the core-telemetry adapter uses it for instruction deltas
+    and VRMU occupancy, which live outside the Stats tree).
+    """
+
+    def __init__(self, interval: int, stats: Stats, core_id: int = 0,
+                 extra: Optional[Callable[[int], Dict]] = None) -> None:
+        if interval < 1:
+            raise ValueError("sampler interval must be >= 1")
+        self.interval = interval
+        self.stats = stats
+        self.core_id = core_id
+        self.extra = extra
+        self.rows: List[Dict] = []
+        self._snap = stats.snapshot()
+        self._next = interval
+
+    # -- sampling ----------------------------------------------------------
+    def on_cycle(self, cycle: int) -> None:
+        """Advance the sampler to commit-clock ``cycle`` (monotone)."""
+        while cycle >= self._next:
+            self._sample(self._next, self.interval)
+            self._next += self.interval
+
+    def finalize(self, cycle: int) -> None:
+        """Emit the final partial interval (if any cycles elapsed)."""
+        self.on_cycle(cycle)
+        elapsed = cycle - (self._next - self.interval)
+        if elapsed > 0:
+            self._sample(cycle, elapsed)
+
+    def _sample(self, cycle: int, elapsed: int) -> None:
+        delta = self.stats.delta(self._snap)
+        self._snap = self.stats.snapshot()
+        row: Dict = {"core": self.core_id, "cycle": int(cycle),
+                     "elapsed": int(elapsed)}
+        for suffix, column in _DELTA_COLUMNS.items():
+            row[column] = _pick(delta, suffix)
+        hits, misses = row["vrmu_hits"], row["vrmu_misses"]
+        row["vrmu_hit_rate"] = (round(hits / (hits + misses), 6)
+                                if hits + misses else None)
+        row["spill_fill_per_kcycle"] = round(
+            (row["spills"] + row["fills"] + row["dummy_fills"])
+            * 1000.0 / elapsed, 3)
+        if self.extra is not None:
+            row.update(self.extra(cycle))
+        if "instructions" in row:
+            row["ipc"] = round(row["instructions"] / elapsed, 6)
+        self.rows.append(row)
+
+    # -- export ------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Rows as deterministic JSON lines (sorted keys, trailing \\n)."""
+        if not self.rows:
+            return ""
+        return "\n".join(json.dumps(row, sort_keys=True)
+                         for row in self.rows) + "\n"
+
+
+def merge_rows(samplers: List[IntervalSampler]) -> List[Dict]:
+    """All samplers' rows interleaved by (cycle, core) — the JSONL order
+    for multi-core runs."""
+    rows: List[Dict] = []
+    for s in samplers:
+        rows.extend(s.rows)
+    rows.sort(key=lambda r: (r["cycle"], r["core"]))
+    return rows

@@ -126,6 +126,9 @@ class ViReCCore(TimelineCore):
         for flat in list(ts.resident_regs(thread.tid)):
             slot = ts.lookup(thread.tid, flat)
             if slot is not None:
+                if self.vrmu.probe is not None:
+                    self.vrmu.probe.on_evict(slot, thread.tid, "task-drop",
+                                             self.now)
                 ts.evict(slot)
         self.vrmu.segment_regs.pop(thread.tid, None)
         self.stats.inc("task_context_drops")

@@ -34,6 +34,8 @@ class SysRegBuffer:
         self.stats = stats if stats is not None else Stats("sysreg")
         self._ready: Dict[int, int] = {}  # tid -> prefetch completion cycle
         self._prev_tid: Optional[int] = None
+        #: optional :class:`~repro.telemetry.CoreTelemetry` (strictly opt-in)
+        self.event_sink = None
 
     def switch_to(self, tid: int, t: int) -> int:
         """Perform the buffer swap for a switch to ``tid`` at cycle ``t``.
@@ -47,11 +49,16 @@ class SysRegBuffer:
             ready = max(t, self._ready.pop(tid))
             if ready > t:
                 self.stats.inc("prefetch_late_cycles", ready - t)
+                kind = "prefetch-late"
             else:
                 self.stats.inc("prefetch_hits")
+                kind = "prefetch-hit"
         else:
             ready = self.bsi.sysreg_read(t, tid)  # demand fetch (cold)
             self.stats.inc("demand_fetches")
+            kind = "demand"
+        if self.event_sink is not None:
+            self.event_sink.on_sysreg(kind, tid, t)
 
         if self._prev_tid is not None and self._prev_tid != tid:
             self.bsi.sysreg_write(ready, self._prev_tid)

@@ -102,6 +102,16 @@ class ReplacementPolicy:
         prio = np.where(candidates, self.priority(), np.int64(-1 << 60))
         return int(prio.argmax())
 
+    # -- introspection -------------------------------------------------------
+    def describe(self, idx: int) -> dict:
+        """Replacement metadata of one entry (telemetry event args).
+
+        Exposes the T/C/A fields and the entry's current eviction priority
+        so exported eviction events show *why* the policy chose a victim.
+        """
+        return {"T": int(self.T[idx]), "C": int(self.C[idx]),
+                "A": int(self.A[idx]), "prio": int(self.priority()[idx])}
+
 
 class PLRU(ReplacementPolicy):
     """Age-only pseudo-LRU, as in the NSF [41] — thrashes across threads."""

@@ -48,6 +48,18 @@ class TagStore:
         """Flat register indices of ``tid`` currently resident."""
         return sorted(int(r) for (t, r) in self._map if t == tid)
 
+    def occupancy_by_thread(self) -> Dict[int, int]:
+        """Current register-cache occupancy per owning thread id.
+
+        Telemetry probe: the per-thread share of the physical register
+        cache, the time series the paper's contention story is about.
+        """
+        owners = self.owner[self.valid]
+        if not owners.size:
+            return {}
+        unique, counts = np.unique(owners, return_counts=True)
+        return {int(t): int(c) for t, c in zip(unique, counts)}
+
     # -- allocation -------------------------------------------------------------
     def free_slot(self) -> Optional[int]:
         """Index of an invalid slot, or None when the cache is full."""

@@ -55,6 +55,9 @@ class VRMU:
         #: optional :class:`~repro.faults.FaultInjector` probing physical
         #: register-file slots on every decode-stage read (strictly opt-in)
         self.fault_hook = None
+        #: optional :class:`~repro.telemetry.VRMUProbe`; strictly opt-in and
+        #: purely observational (occupancy/eviction-cause/residency probes)
+        self.probe = None
 
     # -- decode-stage access ------------------------------------------------
     def access(self, tid: int, inst: Instruction, t: int) -> int:
@@ -85,9 +88,13 @@ class VRMU:
                         tid, reg, slot, t, is_read=reg in srcs))
                 ready = max(ready, int(ts.fill_ready[slot]))
                 inst_slots.append(slot)
+                if self.probe is not None:
+                    self.probe.on_hit(tid, reg.flat, t)
             else:
                 self.stats.inc("misses")
                 missing.append(reg)
+                if self.probe is not None:
+                    self.probe.on_miss(tid, reg.flat, t)
         self.stats.inc("accesses", len(regs))
 
         t_fill = t
@@ -106,6 +113,8 @@ class VRMU:
                     t_fill = int(future.min()) if future.size else t_fill + 1
                     self.stats.inc("victim_wait_cycles")
                     victim = ts.select_victim(inst_slots, t_fill)
+                if self.probe is not None:
+                    self.probe.on_evict(victim, tid, "capacity", t_fill)
                 victim_info = ts.evict(victim)
                 slot = victim
                 self.stats.inc("spill_evictions")
@@ -114,14 +123,22 @@ class VRMU:
                 ready = max(ready, done)
                 ts.insert(slot, tid, reg.flat, t_fill, fill_ready=done,
                           dirty=reg in dests)
+                if self.probe is not None:
+                    self.probe.on_fill(tid, reg.flat, t_fill, done)
             else:
                 done = self.bsi.dummy_fill(t_fill, tid, reg.flat)
                 ts.insert(slot, tid, reg.flat, t_fill, fill_ready=done, dirty=True)
+                if self.probe is not None:
+                    self.probe.on_fill(tid, reg.flat, t_fill, done, dummy=True)
+            if self.probe is not None:
+                self.probe.on_insert(slot, tid, reg.flat, t_fill)
             inst_slots.append(slot)
             # spill after the fill was issued: fills have port priority
             if victim_info is not None:
                 vtid, vreg, vdirty = victim_info
                 self.bsi.spill(t_fill, vtid, vreg, vdirty)
+                if self.probe is not None:
+                    self.probe.on_spill(vtid, vreg, vdirty, t_fill)
 
         self.rollback.push(inst_slots, inst.is_mem)
         return ready
@@ -143,8 +160,12 @@ class VRMU:
             nxt = ts.policy.select_victim(candidates)
             if nxt is None:
                 break
+            if self.probe is not None:
+                self.probe.on_evict(nxt, victim_owner, "group", t)
             vtid, vreg, vdirty = ts.evict(nxt)
             self.bsi.spill(t, vtid, vreg, vdirty)
+            if self.probe is not None:
+                self.probe.on_spill(vtid, vreg, vdirty, t)
             self.stats.inc("group_evictions")
             extra += 1
 
@@ -162,11 +183,18 @@ class VRMU:
                 victim = ts.select_victim([], t)
                 if victim is None or int(ts.owner[victim]) == tid:
                     break  # nothing worth displacing
+                if self.probe is not None:
+                    self.probe.on_evict(victim, tid, "prefetch", t)
                 vtid, vreg, vdirty = ts.evict(victim)
                 self.bsi.spill(t, vtid, vreg, vdirty)
+                if self.probe is not None:
+                    self.probe.on_spill(vtid, vreg, vdirty, t)
                 slot = victim
             fill_done = self.bsi.fill(t, tid, flat)
             ts.insert(slot, tid, flat, t, fill_ready=fill_done)
+            if self.probe is not None:
+                self.probe.on_fill(tid, flat, t, fill_done)
+                self.probe.on_insert(slot, tid, flat, t)
             done = max(done, fill_done)
             self.stats.inc("context_prefetches")
         return done

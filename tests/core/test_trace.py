@@ -56,12 +56,42 @@ def test_virec_register_stalls_attributed():
 def test_trace_formatting_and_limit():
     core, *_ = build_gather_core(BankedCore, n_threads=2, n=32)
     core.tracer = PipelineTracer(limit=10)
-    core.run()
+    stats = core.run()
     assert len(core.tracer.records) == 10
-    assert core.tracer.dropped > 0
+    assert core.tracer.dropped == stats["instructions"] - 10
     text = core.tracer.format()
-    assert "dropped" in text and "C@" in text
-    assert len(core.tracer.format(last=3).splitlines()) == 4  # 3 + dropped note
+    assert "overwritten" in text and "C@" in text
+    assert len(core.tracer.format(last=3).splitlines()) == 4  # 3 + ring note
+
+
+def test_trace_ring_keeps_most_recent():
+    """The ring must retain the *newest* records, not the oldest."""
+    core, *_ = build_gather_core(BankedCore, n_threads=2, n=32)
+    full = PipelineTracer()
+    core.tracer = full
+    core.run()
+
+    core2, *_ = build_gather_core(BankedCore, n_threads=2, n=32)
+    ring = PipelineTracer(limit=7)
+    core2.tracer = ring
+    core2.run()
+
+    tail = [(r.tid, r.pc, r.t_commit) for r in full.records[-7:]]
+    kept = [(r.tid, r.pc, r.t_commit) for r in ring.records]
+    assert kept == tail
+    commits = [r.t_commit for r in ring.records]
+    assert commits == sorted(commits)  # chronological order preserved
+
+
+def test_trace_ring_summary_counts_window():
+    tracer = PipelineTracer(limit=3)
+    for i in range(10):
+        tracer.record(tid=0, pc=i, text="nop", t_decode=i, t_issue=i + 1,
+                      t_ex_done=i + 2, t_data=i + 2, t_commit=i + 3)
+    summary = tracer.stall_summary()
+    assert summary["instructions"] == 3
+    assert summary["dropped"] == 7
+    assert [r.pc for r in tracer.records] == [7, 8, 9]
 
 
 def test_trace_record_fields():

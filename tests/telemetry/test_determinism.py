@@ -1,0 +1,56 @@
+"""Telemetry artifacts are deterministic: same seed + config => same bytes."""
+
+import json
+
+from repro.system import RunConfig, run_config
+
+CFG = RunConfig(workload="gather", core_type="virec", n_threads=4,
+                n_per_thread=16,
+                telemetry={"events": True, "interval": 150})
+
+
+def _run():
+    return run_config(CFG)
+
+
+def test_metrics_jsonl_byte_identical():
+    a = _run().telemetry.metrics_jsonl()
+    b = _run().telemetry.metrics_jsonl()
+    assert a == b
+    assert a.endswith("\n")
+    # every line parses and keys are sorted (diffable output)
+    for line in a.splitlines():
+        row = json.loads(line)
+        assert list(row) == sorted(row)
+        assert {"core", "cycle", "elapsed", "ipc",
+                "vrmu_hit_rate"} <= set(row)
+
+
+def test_chrome_trace_identical_across_runs():
+    a = _run().telemetry.chrome_trace()
+    b = _run().telemetry.chrome_trace()
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_report_identical_across_runs():
+    assert _run().telemetry.report() == _run().telemetry.report()
+
+
+def test_interval_rows_cover_whole_run():
+    r = _run()
+    rows = r.telemetry.interval_rows()
+    assert rows[-1]["cycle"] == r.cycles  # finalize() emits the tail
+    cycles = [row["cycle"] for row in rows]
+    assert cycles == sorted(cycles)
+    assert sum(row["instructions"] for row in rows) == r.instructions
+
+
+def test_write_artifacts(tmp_path):
+    r = _run()
+    trace_path = tmp_path / "trace.json"
+    jsonl_path = tmp_path / "metrics.jsonl"
+    r.telemetry.write_chrome_trace(str(trace_path))
+    r.telemetry.write_metrics_jsonl(str(jsonl_path))
+    assert json.loads(trace_path.read_text())["traceEvents"]
+    assert len(jsonl_path.read_text().splitlines()) == \
+        len(r.telemetry.interval_rows())

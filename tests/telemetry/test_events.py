@@ -1,0 +1,100 @@
+"""Chrome trace-event export: schema, track monotonicity, flow pairing."""
+
+import json
+
+import pytest
+
+from repro.system import RunConfig, run_config
+from repro.telemetry import BSI_TRACK, EventTracer
+from repro.telemetry.events import EVENT_CATEGORIES
+
+
+@pytest.fixture(scope="module")
+def trace():
+    r = run_config(RunConfig(workload="gather", core_type="virec",
+                             n_threads=4, n_per_thread=16,
+                             telemetry={"events": True, "interval": 200}))
+    return r.telemetry.chrome_trace(metadata={"workload": "gather"})
+
+
+def test_trace_is_json_serializable(trace):
+    text = json.dumps(trace)
+    assert json.loads(text) == trace
+
+
+def test_required_top_level_keys(trace):
+    assert set(trace) >= {"traceEvents", "displayTimeUnit", "otherData"}
+    assert trace["otherData"]["workload"] == "gather"
+    assert trace["otherData"]["dropped_events"] == 0
+    assert trace["traceEvents"]
+
+
+def test_event_schema(trace):
+    for ev in trace["traceEvents"]:
+        assert set(ev) >= {"name", "ph", "pid", "tid"}
+        if ev["ph"] == "M":
+            assert ev["name"] in ("process_name", "thread_name",
+                                  "thread_sort_index")
+            continue
+        assert isinstance(ev["ts"], int) and ev["ts"] >= 0
+        assert ev["cat"] in set(EVENT_CATEGORIES.values()) | {"misc"}
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+        if ev["ph"] in ("s", "f"):
+            assert "id" in ev
+
+
+def test_timestamps_monotonic_per_track(trace):
+    last = {}
+    for ev in trace["traceEvents"]:
+        if ev["ph"] == "M":
+            continue
+        key = (ev["pid"], ev["tid"])
+        assert ev["ts"] >= last.get(key, 0)
+        last[key] = ev["ts"]
+
+
+def test_metadata_names_every_track(trace):
+    named = {(e["pid"], e["tid"]) for e in trace["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    used = {(e["pid"], e["tid"]) for e in trace["traceEvents"]
+            if e["ph"] != "M"}
+    assert used <= named
+
+
+def test_flow_pairs_match(trace):
+    starts = [e for e in trace["traceEvents"] if e["ph"] == "s"]
+    finishes = [e for e in trace["traceEvents"] if e["ph"] == "f"]
+    assert starts, "expected spill/fill flow events from a virec run"
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+    for f in finishes:
+        assert f["bp"] == "e"
+
+
+def test_expected_event_types_present(trace):
+    names = {e["name"] for e in trace["traceEvents"] if e["ph"] != "M"}
+    assert {"run", "stall", "ctx_switch", "vrmu_miss", "evict", "fill",
+            "spill", "dcache_miss"} <= names
+
+
+def test_ring_overflow_keeps_newest():
+    tr = EventTracer(max_events=10)
+    for i in range(25):
+        tr.instant("tick", ts=i, pid=0, tid=BSI_TRACK)
+    assert len(tr) == 10
+    assert tr.dropped == 15
+    assert [e["ts"] for e in tr.events] == list(range(15, 25))
+    assert tr.chrome_trace()["otherData"]["dropped_events"] == 15
+
+
+def test_flow_ids_unique():
+    tr = EventTracer()
+    for _ in range(5):
+        tr.flow_pair("f", 0, 1, 2, BSI_TRACK, pid=0)
+    ids = [e["id"] for e in tr.events if e["ph"] == "s"]
+    assert len(ids) == len(set(ids)) == 5
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ValueError):
+        EventTracer(max_events=0)

@@ -1,0 +1,72 @@
+"""Telemetry must be purely observational.
+
+The hard guarantee of the observability layer: a run with telemetry *on*
+produces exactly the same simulated behaviour — cycle counts, instruction
+counts, and the entire stats tree — as the same run with telemetry off.
+(The instruments only read simulator state; they never touch a timestamp.)
+"""
+
+import pytest
+
+from repro.system import RunConfig, run_config
+
+FULL_TELEMETRY = {"events": True, "interval": 100, "vrmu_probes": True,
+                  "pipeline_trace": True}
+
+
+@pytest.mark.parametrize("core_type", ["virec", "banked", "swctx", "fgmt",
+                                       "nsf", "prefetch-exact"])
+def test_telemetry_does_not_change_cycles(core_type):
+    base = RunConfig(workload="gather", core_type=core_type,
+                     n_threads=4, n_per_thread=16)
+    off = run_config(base)
+    on = run_config(base.with_(telemetry=FULL_TELEMETRY))
+    assert on.cycles == off.cycles
+    assert on.instructions == off.instructions
+    assert on.ipc == off.ipc
+    assert on.stats.as_dict() == off.stats.as_dict()
+
+
+def test_telemetry_multicore_identical():
+    base = RunConfig(workload="spmv", core_type="virec",
+                     n_threads=4, n_per_thread=8, n_cores=2)
+    off = run_config(base)
+    on = run_config(base.with_(telemetry=FULL_TELEMETRY))
+    assert on.cycles == off.cycles
+    assert on.stats.as_dict() == off.stats.as_dict()
+
+
+def test_telemetry_with_faults_identical():
+    """Telemetry observing a fault campaign must not perturb it."""
+    base = RunConfig(workload="gather", core_type="virec",
+                     n_threads=4, n_per_thread=16,
+                     faults={"rf_rate": 1e-4, "scheme": "ecc"})
+    off = run_config(base)
+    on = run_config(base.with_(telemetry=FULL_TELEMETRY))
+    assert on.cycles == off.cycles
+    assert on.stats.as_dict() == off.stats.as_dict()
+
+
+def test_telemetry_off_wires_nothing():
+    r = run_config(RunConfig(workload="gather", core_type="virec",
+                             n_threads=2, n_per_thread=8))
+    assert r.telemetry is None
+
+
+def test_disabled_spec_wires_nothing():
+    r = run_config(RunConfig(
+        workload="gather", core_type="virec", n_threads=2, n_per_thread=8,
+        telemetry={"events": False, "interval": 0, "vrmu_probes": False}))
+    assert r.telemetry is None
+
+
+def test_ooo_rejects_telemetry():
+    cfg = RunConfig(workload="gather", core_type="ooo", n_threads=1,
+                    n_per_thread=16, telemetry={"events": True})
+    with pytest.raises(ValueError, match="ooo"):
+        run_config(cfg)
+
+
+def test_unknown_telemetry_field_rejected_eagerly():
+    with pytest.raises(ValueError, match="unknown telemetry field"):
+        RunConfig(telemetry={"evnets": True})

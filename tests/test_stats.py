@@ -58,3 +58,71 @@ def test_flat_unnamed_root():
     s = Stats()
     s.inc("k", 1)
     assert dict(s.flat()) == {"k": 1}
+
+
+def test_merge_adds_counters_recursively():
+    a = Stats("core0")
+    a.inc("cycles", 100)
+    a.child("vrmu").inc("hits", 10)
+    b = Stats("core1")
+    b.inc("cycles", 50)
+    b.inc("extra", 1)
+    b.child("vrmu").inc("hits", 5)
+    b.child("bsi").inc("spills", 3)
+
+    out = a.merge(b)
+    assert out is a  # chains
+    assert a["cycles"] == 150 and a["extra"] == 1
+    assert a.child("vrmu")["hits"] == 15
+    assert a.child("bsi")["spills"] == 3
+    # merge reads but never mutates the source tree
+    assert b["cycles"] == 50 and b.child("vrmu")["hits"] == 5
+
+
+def test_merge_into_empty_copies_structure():
+    src = Stats("src")
+    src.child("x").child("y").inc("n", 2)
+    dst = Stats("agg").merge(src)
+    assert dst.as_dict()["agg.x.y.n"] == 2
+
+
+def test_snapshot_is_relative_and_immutable():
+    s = Stats("core7")
+    s.inc("cycles", 5)
+    s.child("vrmu").inc("hits", 2)
+    snap = s.snapshot()
+    # keys relative to the node, not prefixed with its own name
+    assert snap == {"cycles": 5, "vrmu.hits": 2}
+    s.inc("cycles", 10)
+    assert snap["cycles"] == 5  # a copy, not a view
+
+
+def test_delta_against_snapshot():
+    s = Stats("c")
+    s.inc("cycles", 5)
+    snap = s.snapshot()
+    s.inc("cycles", 7)
+    s.child("vrmu").inc("misses", 3)
+    d = s.delta(snap)
+    assert d["cycles"] == 7          # elapsed since snapshot
+    assert d["vrmu.misses"] == 3     # created after snapshot -> vs zero
+    # untouched counters stay present at 0 (stable column set)
+    s2 = Stats("c2")
+    s2.inc("k", 1)
+    snap2 = s2.snapshot()
+    assert s2.delta(snap2) == {"k": 0.0}
+
+
+def test_node_merged_stats():
+    from repro.system import RunConfig, run_config
+
+    r = run_config(RunConfig(workload="gather", core_type="virec",
+                             n_threads=4, n_per_thread=8, n_cores=2))
+    merged = Stats("agg")
+    per_core = {name: child for name, child in r.stats.children().items()
+                if name.startswith("core")}
+    assert len(per_core) == 2
+    for child in per_core.values():
+        merged.merge(child)
+    total_instr = sum(child["instructions"] for child in per_core.values())
+    assert merged["instructions"] == total_instr == r.instructions
