@@ -1,0 +1,23 @@
+"""Static analysis tooling tuned to this codebase (``repro lint``).
+
+The linter in :mod:`repro.analysis.lint` encodes determinism and
+correctness rules that generic tools do not know about: a cycle-accurate
+simulator must never consume unseeded randomness or wall-clock time on a
+simulation path, must not let hash-ordering leak into cycle counts or
+digests, and must not guard invariants with bare ``assert`` (stripped
+under ``python -O``).
+"""
+
+from .lint import (
+    RULES,
+    Finding,
+    LintRule,
+    Severity,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+__all__ = ["Finding", "LintRule", "RULES", "Severity", "lint_paths",
+           "lint_source", "render_json", "render_text"]

@@ -1,0 +1,395 @@
+"""``repro lint``: an AST-based determinism/correctness linter.
+
+Generic linters do not know that this package is a cycle-accurate
+simulator whose results must be bit-reproducible from ``RunConfig.seed``
+alone.  The rules here encode exactly that contract:
+
+=======  ========  =====================================================
+ID       severity  what it catches
+=======  ========  =====================================================
+VRC001   error     unseeded randomness (``random.Random()`` with no
+                   seed, global ``random.*`` draws, legacy
+                   ``numpy.random.*`` global-state draws, bare
+                   ``default_rng()``) — any of these makes cycle counts
+                   depend on interpreter state instead of the config
+VRC002   error     wall-clock reads (``time.time``/``perf_counter``/
+                   ``monotonic``, ``datetime.now``) outside the
+                   telemetry/profiler modules — host timing must never
+                   reach simulated state or digests
+VRC003   warning   iteration over a ``set``/``frozenset`` expression
+                   (including through ``list()``/``tuple()`` wrappers)
+                   — set order is salted per process, so any
+                   order-sensitive consumer silently loses determinism;
+                   wrap the iterable in ``sorted(...)``
+VRC004   error     bare ``assert`` guarding simulation invariants in
+                   library code — stripped under ``python -O``; raise a
+                   typed exception from :mod:`repro.errors` instead
+VRC005   error     mutable default argument (``def f(x=[])``) — shared
+                   across calls, a classic state-leak between runs
+=======  ========  =====================================================
+
+Suppression: append ``# lint: ignore[VRC00N]`` (or the conventional
+``# noqa: VRC00N``) to the flagged line.  A bare ``# noqa`` suppresses
+every rule on that line.  Suppressed findings are counted but do not
+affect the exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: severity names, weakest first; ``--fail-on`` compares by this order
+SEVERITIES = ("info", "warning", "error")
+
+
+def severity_rank(name: str) -> int:
+    return SEVERITIES.index(name)
+
+
+@dataclass(frozen=True)
+class Severity:
+    """Severity constants (kept as plain strings in findings)."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LintRule:
+    id: str
+    name: str
+    severity: str
+    rationale: str
+
+
+RULES: Tuple[LintRule, ...] = (
+    LintRule("VRC001", "unseeded-random", "error",
+             "unseeded randomness breaks run-to-run reproducibility; "
+             "construct a seeded Random/Generator from the config seed"),
+    LintRule("VRC002", "wall-clock-read", "error",
+             "wall-clock time on a simulation path leaks host timing into "
+             "results; only telemetry/profiling may read it"),
+    LintRule("VRC003", "set-iteration-order", "warning",
+             "set iteration order is salted per process; wrap in sorted() "
+             "when order can reach cycle counts, digests, or output"),
+    LintRule("VRC004", "bare-assert", "error",
+             "assert statements vanish under python -O; simulation "
+             "invariants must raise typed repro.errors exceptions"),
+    LintRule("VRC005", "mutable-default-arg", "error",
+             "mutable default arguments are shared across calls and leak "
+             "state between runs"),
+)
+
+RULES_BY_ID: Dict[str, LintRule] = {r.id: r for r in RULES}
+
+#: modules allowed to read the wall clock (VRC002): any file whose path
+#: contains one of these directory names, or matches one of these stems
+_WALLCLOCK_ALLOWED_DIRS = ("telemetry", "tests", "benchmarks")
+_WALLCLOCK_ALLOWED_STEMS = ("profiler", "conftest")
+
+_WALLCLOCK_TIME_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns"})
+_WALLCLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+#: global-state draws on the ``random`` module (VRC001)
+_RANDOM_GLOBAL_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "getrandbits",
+    "randbytes", "betavariate", "expovariate", "seed"})
+#: legacy global-state draws on ``numpy.random`` (VRC001)
+_NUMPY_GLOBAL_FNS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "uniform", "normal", "seed", "bytes"})
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*(?:noqa|lint:\s*ignore)"      # '# noqa' or '# lint: ignore'
+    r"(?:\s*[:\[]\s*(?P<codes>[A-Z0-9,\s]+?)\s*\]?)?\s*(?:#|$)")
+
+
+@dataclass
+class Finding:
+    rule: LintRule
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    @property
+    def severity(self) -> str:
+        return self.rule.severity
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule.id, "name": self.rule.name,
+                "severity": self.rule.severity, "path": self.path,
+                "line": self.line, "col": self.col,
+                "message": self.message, "suppressed": self.suppressed}
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule.id} [{self.rule.severity}] {self.message}{tag}")
+
+
+def _suppressed_codes(line_text: str) -> Optional[frozenset]:
+    """Codes suppressed on this line, empty frozenset = suppress all,
+    None = no suppression comment."""
+    m = _SUPPRESS_RE.search(line_text)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if not codes:
+        return frozenset()
+    return frozenset(c.strip() for c in codes.split(",") if c.strip())
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """'a.b.c' for an attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass visitor running every enabled rule."""
+
+    def __init__(self, path: str, select: frozenset) -> None:
+        self.path = path
+        self.select = select
+        self.findings: List[Finding] = []
+        self._wallclock_exempt = self._is_wallclock_exempt(path)
+
+    @staticmethod
+    def _is_wallclock_exempt(path: str) -> bool:
+        p = Path(path)
+        if any(part in _WALLCLOCK_ALLOWED_DIRS for part in p.parts):
+            return True
+        return p.stem in _WALLCLOCK_ALLOWED_STEMS
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if rule_id not in self.select:
+            return
+        self.findings.append(Finding(
+            RULES_BY_ID[rule_id], self.path,
+            getattr(node, "lineno", 0), getattr(node, "col_offset", 0) + 1,
+            message))
+
+    # -- VRC001 / VRC002: call-pattern rules --------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            self._check_random(node, dotted)
+            self._check_wallclock(node, dotted)
+        self.generic_visit(node)
+
+    def _check_random(self, node: ast.Call, dotted: str) -> None:
+        base, _, attr = dotted.rpartition(".")
+        if dotted == "random.Random" and not node.args and not node.keywords:
+            self._emit("VRC001", node,
+                       "random.Random() without a seed; pass the run seed")
+        elif base == "random" and attr in _RANDOM_GLOBAL_FNS:
+            self._emit("VRC001", node,
+                       f"random.{attr}() uses the unseeded global PRNG; use "
+                       f"a Random(seed) instance")
+        elif (base in ("np.random", "numpy.random")
+              and attr in _NUMPY_GLOBAL_FNS):
+            self._emit("VRC001", node,
+                       f"{dotted}() uses numpy's global RNG state; use "
+                       f"default_rng(seed)")
+        elif (attr == "default_rng"
+              and (not base or base.endswith("random"))
+              and not node.args and not node.keywords):
+            self._emit("VRC001", node,
+                       "default_rng() without a seed draws OS entropy; pass "
+                       "the run seed")
+
+    def _check_wallclock(self, node: ast.Call, dotted: str) -> None:
+        if self._wallclock_exempt:
+            return
+        base, _, attr = dotted.rpartition(".")
+        if base == "time" and attr in _WALLCLOCK_TIME_FNS:
+            self._emit("VRC002", node,
+                       f"time.{attr}() reads the wall clock outside "
+                       f"telemetry/profiler code")
+        elif (attr in _WALLCLOCK_DATETIME_FNS
+              and base.split(".")[-1] == "datetime"):
+            self._emit("VRC002", node,
+                       f"{dotted}() reads the wall clock outside "
+                       f"telemetry/profiler code")
+
+    # -- VRC003: set-ordered iteration --------------------------------------
+    def _set_valued(self, node: ast.AST) -> Optional[str]:
+        """Describe ``node`` if it syntactically evaluates to a set."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return f"{node.func.id}(...)"
+            # list(set(x)) / tuple(set(x)) preserve the salted order
+            if node.func.id in ("list", "tuple", "reversed", "iter") \
+                    and len(node.args) == 1:
+                inner = self._set_valued(node.args[0])
+                if inner is not None:
+                    return f"{node.func.id}({inner})"
+        return None
+
+    def _check_set_iter(self, iter_node: ast.AST, where: ast.AST) -> None:
+        desc = self._set_valued(iter_node)
+        if desc is not None:
+            self._emit("VRC003", where,
+                       f"iterating {desc}: set order is salted per process; "
+                       f"wrap in sorted(...) if order matters")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_set_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_set_iter(gen.iter, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = visit_SetComp = visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    # -- VRC004: bare assert -------------------------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._emit("VRC004", node,
+                   "bare assert is stripped under python -O; raise a typed "
+                   "exception from repro.errors")
+        self.generic_visit(node)
+
+    # -- VRC005: mutable default arguments ----------------------------------
+    def _check_defaults(self, node) -> None:
+        a = node.args
+        for default in list(a.defaults) + [d for d in a.kw_defaults if d]:
+            bad = None
+            if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                    ast.ListComp, ast.DictComp, ast.SetComp)):
+                bad = "a mutable literal"
+            elif (isinstance(default, ast.Call)
+                  and isinstance(default.func, ast.Name)
+                  and default.func.id in _MUTABLE_FACTORIES):
+                bad = f"{default.func.id}()"
+            if bad is not None:
+                self._emit("VRC005", default,
+                           f"mutable default argument ({bad}) is shared "
+                           f"across calls; default to None")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Iterable[str]] = None,
+                ignore: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint one module's source text; returns findings including
+    suppressed ones (marked ``suppressed=True``)."""
+    enabled = frozenset(select) if select else frozenset(RULES_BY_ID)
+    if ignore:
+        enabled = enabled - frozenset(ignore)
+    unknown = enabled - frozenset(RULES_BY_ID)
+    if unknown:
+        raise ValueError(f"unknown lint rule ids: {sorted(unknown)}")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(LintRule("VRC000", "syntax-error", "error",
+                                 "file must parse"),
+                        path, exc.lineno or 0, (exc.offset or 0),
+                        f"syntax error: {exc.msg}")]
+    visitor = _Visitor(path, enabled)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    for f in visitor.findings:
+        text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        codes = _suppressed_codes(text)
+        if codes is not None and (not codes or f.rule.id in codes):
+            f.suppressed = True
+    return visitor.findings
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Iterable[str]] = None,
+               ignore: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_source(
+            file.read_text(encoding="utf-8"), str(file),
+            select=select, ignore=ignore))
+    return findings
+
+
+# -- output -----------------------------------------------------------------
+def _summary(findings: List[Finding]) -> Dict[str, int]:
+    active = [f for f in findings if not f.suppressed]
+    out = {"total": len(active),
+           "suppressed": sum(1 for f in findings if f.suppressed)}
+    for sev in SEVERITIES:
+        out[sev] = sum(1 for f in active if f.severity == sev)
+    return out
+
+
+def render_text(findings: List[Finding], show_suppressed: bool = False) -> str:
+    shown = [f for f in findings if show_suppressed or not f.suppressed]
+    lines = [f.render() for f in shown]
+    s = _summary(findings)
+    lines.append(f"{s['total']} finding(s): {s['error']} error, "
+                 f"{s['warning']} warning, {s['info']} info "
+                 f"({s['suppressed']} suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding]) -> str:
+    return json.dumps({
+        "findings": [f.as_dict() for f in findings],
+        "summary": _summary(findings),
+    }, indent=2)
+
+
+def exit_code(findings: List[Finding], fail_on: str = "error") -> int:
+    """1 if any unsuppressed finding at/above ``fail_on`` severity."""
+    if fail_on == "none":
+        return 0
+    threshold = severity_rank(fail_on)
+    for f in findings:
+        if not f.suppressed and severity_rank(f.severity) >= threshold:
+            return 1
+    return 0

@@ -15,6 +15,9 @@ Commands
 ``timeline --workload W --core C [--interval N] [--jsonl P] ...``
     Run one configuration with interval sampling and print sparkline
     time-series of IPC, VRMU hit rate, occupancy, and spill/fill traffic.
+``lint [paths...] [--format json] [--fail-on SEV]``
+    Run the repro-specific determinism linter (see
+    :mod:`repro.analysis.lint`) over source trees.
 ``workloads``
     List the registered workloads with metadata.
 ``disasm --workload W``
@@ -51,6 +54,8 @@ def _cmd_experiments(args) -> int:
 def _base_config(args, **extra) -> RunConfig:
     """RunConfig from the shared configuration options (see
     :func:`_add_config_options`)."""
+    if getattr(args, "sanitize", None) and "sanitize" not in extra:
+        extra["sanitize"] = {"granularity": args.sanitize}
     return RunConfig(workload=args.workload, core_type=args.core,
                      n_threads=args.threads, n_cores=args.cores,
                      n_per_thread=args.per_thread,
@@ -195,6 +200,25 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint as lint_mod
+
+    try:
+        findings = lint_mod.lint_paths(
+            args.paths,
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(lint_mod.render_json(findings))
+    else:
+        print(lint_mod.render_text(findings,
+                                   show_suppressed=args.show_suppressed))
+    return lint_mod.exit_code(findings, fail_on=args.fail_on)
+
+
 def _cmd_workloads(args) -> int:
     print(f"{'name':<16} {'suite':<9} {'pattern':<10} {'loads/iter':>10}  description")
     for spec in workloads.all_workloads():
@@ -228,6 +252,10 @@ def _add_config_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--policy", default="lrc")
     p.add_argument("--dcache-kb", type=int, default=8)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--sanitize", nargs="?", const="commit", default=None,
+                   choices=["commit", "interval", "run"], metavar="GRAN",
+                   help="enable the VSan shadow-state sanitizer (optional "
+                        "check granularity: commit | interval | run)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -299,6 +327,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", metavar="PATH", help="write result rows as CSV")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("lint",
+                       help="run the repro-specific determinism linter")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--fail-on", choices=["error", "warning", "info", "none"],
+                   default="error",
+                   help="exit non-zero on findings at/above this severity")
+    p.add_argument("--select", metavar="IDS",
+                   help="comma-separated rule ids to enable (default: all)")
+    p.add_argument("--ignore", metavar="IDS",
+                   help="comma-separated rule ids to disable")
+    p.add_argument("--show-suppressed", action="store_true",
+                   help="also print findings silenced by inline comments")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("workloads", help="list registered workloads")
     p.set_defaults(fn=_cmd_workloads)

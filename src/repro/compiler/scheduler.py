@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..errors import InvariantError
 from ..isa.instructions import Instruction, Opcode
 from ..isa.program import Program
 
@@ -138,7 +139,9 @@ def _schedule_block(insts: List[Instruction]) -> Tuple[List[Instruction], int]:
             ready_at[s] = max(ready_at[s], clock - 1 + _latency(insts[best]))
             if indeg[s] == 0:
                 available.add(s)
-    assert len(order) == n, "scheduler dropped instructions"
+    if len(order) != n:
+        raise InvariantError(
+            f"scheduler dropped instructions ({len(order)} of {n} ordered)")
     moved = sum(1 for pos, idx in enumerate(order) if pos != idx)
     return [insts[i] for i in order], moved
 

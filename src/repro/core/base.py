@@ -142,6 +142,12 @@ class TimelineCore:
         #: and purely observational — it records events and drives interval
         #: sampling but never alters a cycle timestamp
         self.telemetry = None
+        #: optional :class:`~repro.sanitizer.CoreSanitizer` (VSan); strictly
+        #: opt-in and purely observational — it verifies committed state
+        #: against a shadow architectural register file and raises
+        #: :class:`~repro.errors.SanitizerViolation` on divergence, but
+        #: never alters a cycle timestamp
+        self.sanitizer = None
         self.commits_since_switch = 0
         self.scoreboard: Dict[Reg, int] = {}
         self.flags_ready = 0
@@ -374,6 +380,10 @@ class TimelineCore:
             thread.flags = result.new_flags
             self.flags_ready = t_ex_done
         self.on_commit(thread, inst, t_c)
+        if self.sanitizer is not None:
+            # after the architectural update, before pc advances: the
+            # sanitizer sees exactly the committed state
+            self.sanitizer.on_commit(thread, inst, result, t_c)
         if self.tracer is not None and not result.halt:
             self.tracer.record(thread.tid, thread.pc, inst.text or
                                inst.opcode.name.lower(), t_d, t_issue,

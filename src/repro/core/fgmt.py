@@ -148,6 +148,11 @@ class FGMTCore(TimelineCore):
             thread.flags = result.new_flags
             self._flags_ready[thread.tid] = t_ex_done
 
+        if self.sanitizer is not None:
+            # after the architectural update, before pc advances — the same
+            # commit-point contract as TimelineCore._process_instruction
+            self.sanitizer.on_commit(thread, inst, result, t_c)
+
         if result.halt:
             thread.state = ThreadState.DONE
             self.stats.inc("threads_completed")

@@ -32,6 +32,52 @@ class FunctionalCheckError(SimulationError, AssertionError):
     """A workload's numpy-oracle check rejected the simulated output."""
 
 
+class InvariantError(SimulationError):
+    """Internal simulator bookkeeping ended in an inconsistent state.
+
+    Replaces bare ``assert`` statements guarding simulation invariants in
+    ``src/`` (which ``python -O`` would strip); the ``repro lint`` rule
+    VRC004 enforces that discipline permanently.
+    """
+
+
+class SanitizerViolation(InvariantError, AssertionError):
+    """VSan detected a divergence between simulated and shadow state.
+
+    Raised by the opt-in runtime sanitizer (:mod:`repro.sanitizer`) when a
+    checked invariant fails: timing-model register values diverging from
+    the shadow architectural state, a broken tag-store bijection, a
+    malformed LRC priority word, out-of-bounds backing traffic, or
+    inconsistent rollback/CSL bookkeeping.  Double-inherits from
+    ``AssertionError`` so historical callers of
+    ``TagStore.check_invariants`` keep working unchanged.
+
+    ``invariant`` is the violated rule's stable identifier (e.g.
+    ``"shadow.reg"``, ``"tagstore.bijection"``), ``cycle`` the simulated
+    cycle at which the check ran, and ``details`` a structured payload for
+    machine consumption (the CLI and tests read it).
+    """
+
+    def __init__(self, message: str, invariant: str = "unknown",
+                 cycle: int = -1, core_id: int = -1,
+                 details: Optional[Dict] = None) -> None:
+        super().__init__(message)
+        self.invariant = invariant
+        self.cycle = cycle
+        self.core_id = core_id
+        self.details = dict(details or {})
+
+    def report(self) -> str:
+        """Cycle-stamped human-readable diagnostic block."""
+        lines = [f"SanitizerViolation: {self.invariant}",
+                 f"  cycle   : {self.cycle}",
+                 f"  core    : {self.core_id}",
+                 f"  message : {self.args[0] if self.args else ''}"]
+        for key in sorted(self.details):
+            lines.append(f"  {key:<8}: {self.details[key]}")
+        return "\n".join(lines)
+
+
 class FaultEscapeError(SimulationError):
     """Corrupted register/backing state reached architectural commit.
 
@@ -92,6 +138,10 @@ class RunFailure:
             extra["site"] = exc.site
         if isinstance(exc, TaskPoolError):
             extra["snapshot"] = exc.snapshot
+        if isinstance(exc, SanitizerViolation):
+            extra["invariant"] = exc.invariant
+            extra["cycle"] = exc.cycle
+            extra["core_id"] = exc.core_id
         return cls(index=index, config=config,
                    error_type=type(exc).__name__, message=str(exc),
                    attempts=attempts, elapsed_s=round(elapsed_s, 3),

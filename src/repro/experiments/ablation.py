@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence
 
 from .. import workloads as wl
 from ..core.base import ThreadState
+from ..errors import FunctionalCheckError
 from ..memory.hierarchy import NDPMemorySystem
 from ..stats.counters import Stats
 from ..system.config import RunConfig, ndp_dcache, ndp_icache, table1_dram
@@ -53,7 +54,8 @@ def _run_variant(workload: str, n: int, n_threads: int, overrides: Dict,
                      threads, virec=vc, layout=layout,
                      stats=stats.child("core"))
     result = core.run()
-    assert inst.check(), f"{workload} wrong under {overrides}"
+    if not inst.check():
+        raise FunctionalCheckError(f"{workload} wrong under {overrides}")
     return int(result["cycles"])
 
 

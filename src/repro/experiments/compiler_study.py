@@ -19,6 +19,7 @@ from .. import workloads as wl
 from ..compiler import schedule_program
 from ..core.base import ThreadState
 from ..core.cgmt import BankedCore
+from ..errors import FunctionalCheckError
 from ..memory.hierarchy import NDPMemorySystem
 from ..stats.counters import Stats
 from ..system.config import ndp_dcache, ndp_icache, table1_dram
@@ -43,7 +44,9 @@ def _run(instance, core_cls, program=None, core_kw=None) -> int:
                     threads, layout=layout, stats=stats.child("core"),
                     **(core_kw or {}))
     result = core.run()
-    assert instance.check()
+    if not instance.check():
+        raise FunctionalCheckError(
+            f"{instance.name} wrong after scheduling")
     return int(result["cycles"])
 
 

@@ -51,8 +51,16 @@ def _base_config(core_type: str, context_fraction: Optional[float],
     return RunConfig(**kwargs)
 
 
-def run(scale="quick") -> ExperimentResult:
-    """Fault-rate x scheme sweep; returns one row per (cell, scheme, rate)."""
+def run(scale="quick", sanitize: bool = False) -> ExperimentResult:
+    """Fault-rate x scheme sweep; returns one row per (cell, scheme, rate).
+
+    With ``sanitize=True`` every injected run also carries the VSan
+    shadow-state sanitizer (per-commit granularity), so a protection
+    scheme that claims recovery is cross-checked architecturally: a
+    "corrected" value that is not bit-identical to the golden model
+    raises :class:`~repro.errors.SanitizerViolation` and counts as an
+    escape.  See ``docs/correctness.md``.
+    """
     n = scale_to_n(scale)
     rows = []
     for core_type, cf in CELLS:
@@ -70,7 +78,9 @@ def run(scale="quick") -> ExperimentResult:
                     cfg = _base_config(core_type, cf, n, seed).with_(
                         faults={"rf_rate": rate, "tag_rate": rate,
                                 "backing_rate": rate, "scheme": scheme,
-                                "seed": seed})
+                                "seed": seed},
+                        sanitize=({"granularity": "commit"} if sanitize
+                                  else None))
                     try:
                         r = run_config(cfg)
                     except SimulationError:

@@ -1,0 +1,211 @@
+"""Structural invariant checks over the VRMU / BSI / CSL state.
+
+Each function inspects one structure family and returns the first
+:class:`~repro.errors.SanitizerViolation` found (or ``None``), so the
+:class:`~repro.sanitizer.Sanitizer` can compose them at any granularity.
+All checks are read-only.
+
+Invariant taxonomy (ids appear in the raised violation and in
+``docs/correctness.md``):
+
+``tagstore.bijection``
+    The (thread, arch-reg) -> physical-slot map and the per-slot tag arrays
+    must describe the same bijection: no dangling mappings, no duplicate
+    slots, tags matching the map, and a valid count equal to the map size.
+``policy.word``
+    LRC/MRT priority-word well-formedness: T in [0, 7], C in {0, 1}, A in
+    [0, 7] on every valid slot (3/1/3-bit hardware fields, Section 5.1).
+``policy.order``
+    Eviction-order consistency: the victim the policy selects over the
+    currently evictable slots must carry the maximum eviction priority.
+``rollback.depth`` / ``rollback.slots``
+    The rollback queue never exceeds its depth and only references
+    physical slots that exist.
+``bsi.bookkeeping``
+    BSI/CSL bookkeeping: the busy-until horizon and sysreg ping-pong
+    buffer entries must be sane (non-negative cycles, known thread ids).
+``backing.bounds``
+    The reserved dcache backing region exactly covers the context layout,
+    and every architectural register of every thread maps inside it
+    (spills can never escape the pinned region).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SanitizerViolation
+from ..virec.policies import A_MAX, T_MAX
+
+
+def _v(invariant: str, message: str, cycle: int, core_id: int,
+       **details: object) -> SanitizerViolation:
+    return SanitizerViolation(message, invariant=invariant, cycle=cycle,
+                              core_id=core_id, details=details)
+
+
+def check_tagstore(core, cycle: int) -> Optional[SanitizerViolation]:
+    """Tag-store <-> physical-RF bijection (no duplicates, no danglers)."""
+    vrmu = getattr(core, "vrmu", None)
+    if vrmu is None:
+        return None
+    ts = vrmu.tagstore
+    cid = core.core_id
+    mapped = len(ts._map)
+    valid = int(ts.valid.sum())
+    if mapped != valid:
+        return _v("tagstore.bijection",
+                  f"{mapped} mapped registers but {valid} valid slots",
+                  cycle, cid, mapped=mapped, valid=valid)
+    seen_slots = set()
+    for (tid, areg), slot in ts._map.items():
+        if not 0 <= slot < ts.capacity:
+            return _v("tagstore.bijection",
+                      f"mapping ({tid}, {areg}) points at slot {slot} "
+                      f"outside capacity {ts.capacity}", cycle, cid,
+                      tid=tid, areg=areg, slot=slot)
+        if not ts.valid[slot]:
+            return _v("tagstore.bijection",
+                      f"mapping ({tid}, {areg}) points at invalid slot "
+                      f"{slot} (dangling)", cycle, cid,
+                      tid=tid, areg=areg, slot=slot)
+        if int(ts.owner[slot]) != tid or int(ts.areg[slot]) != areg:
+            return _v("tagstore.bijection",
+                      f"slot {slot} tags ({int(ts.owner[slot])}, "
+                      f"{int(ts.areg[slot])}) disagree with map entry "
+                      f"({tid}, {areg})", cycle, cid,
+                      tid=tid, areg=areg, slot=slot)
+        if slot in seen_slots:
+            return _v("tagstore.bijection",
+                      f"two mappings share physical slot {slot}", cycle,
+                      cid, slot=slot)
+        seen_slots.add(slot)
+    return None
+
+
+def check_policy(core, cycle: int) -> Optional[SanitizerViolation]:
+    """Priority-word well-formedness + eviction-order consistency."""
+    vrmu = getattr(core, "vrmu", None)
+    if vrmu is None:
+        return None
+    ts = vrmu.tagstore
+    pol = ts.policy
+    cid = core.core_id
+    for slot in map(int, ts.valid_slots()):
+        t_bits, c_bit, a_bits = (int(pol.T[slot]), int(pol.C[slot]),
+                                 int(pol.A[slot]))
+        if not (0 <= t_bits <= T_MAX and c_bit in (0, 1)
+                and 0 <= a_bits <= A_MAX):
+            return _v("policy.word",
+                      f"slot {slot} priority word out of range: "
+                      f"T={t_bits} C={c_bit} A={a_bits} "
+                      f"(need T<={T_MAX}, C in 0/1, A<={A_MAX})",
+                      cycle, cid, slot=slot, T=t_bits, C=c_bit, A=a_bits)
+    # eviction-order consistency: whoever the policy would evict right now
+    # must carry the maximum priority among the evictable candidates.
+    # Only the pure argmax policies are probed — SRRIP ages entries and
+    # random replacement draws from its PRNG inside select_victim, so
+    # calling it here would perturb future victim choices.
+    if pol.name not in ("plru", "lru", "mrt-plru", "mrt-lru", "lrc"):
+        return None
+    candidates = ts.valid & (ts.fill_ready <= getattr(core, "now", cycle))
+    if candidates.any():
+        prio = pol.priority()
+        victim = pol.select_victim(candidates.copy())
+        if victim is None:
+            return _v("policy.order",
+                      "policy returned no victim over a non-empty "
+                      "candidate set", cycle, cid)
+        best = int(prio[candidates].max())
+        if int(prio[victim]) != best:
+            return _v("policy.order",
+                      f"policy picked slot {victim} (priority "
+                      f"{int(prio[victim])}) but the maximum evictable "
+                      f"priority is {best}", cycle, cid,
+                      victim=victim, victim_priority=int(prio[victim]),
+                      max_priority=best)
+    return None
+
+
+def check_rollback(core, cycle: int) -> Optional[SanitizerViolation]:
+    """Rollback-queue depth bound + slot-range consistency."""
+    vrmu = getattr(core, "vrmu", None)
+    if vrmu is None:
+        return None
+    rb = vrmu.rollback
+    cid = core.core_id
+    if len(rb) > rb.depth:
+        return _v("rollback.depth",
+                  f"rollback queue holds {len(rb)} entries but depth is "
+                  f"{rb.depth}", cycle, cid, entries=len(rb), depth=rb.depth)
+    capacity = vrmu.tagstore.capacity
+    for entry in rb._queue:
+        for slot in entry.slots:
+            if not 0 <= slot < capacity:
+                return _v("rollback.slots",
+                          f"rollback entry references slot {slot} outside "
+                          f"capacity {capacity}", cycle, cid,
+                          slot=slot, capacity=capacity)
+    return None
+
+
+def check_bsi(core, cycle: int) -> Optional[SanitizerViolation]:
+    """CSL/BSI bookkeeping: busy horizon and sysreg buffer sanity."""
+    bsi = getattr(core, "bsi", None)
+    cid = core.core_id
+    if bsi is not None and bsi.busy_until < 0:
+        return _v("bsi.bookkeeping",
+                  f"BSI busy_until is negative ({bsi.busy_until})",
+                  cycle, cid, busy_until=bsi.busy_until)
+    sysregs = getattr(core, "sysregs", None)
+    if sysregs is not None:
+        valid_tids = {th.tid for th in core.threads}
+        for tid, ready in sysregs._ready.items():
+            if tid not in valid_tids:
+                return _v("bsi.bookkeeping",
+                          f"sysreg buffer prefetched unknown thread {tid}",
+                          cycle, cid, tid=tid)
+            if ready < 0:
+                return _v("bsi.bookkeeping",
+                          f"sysreg prefetch for thread {tid} completes at "
+                          f"negative cycle {ready}", cycle, cid,
+                          tid=tid, ready=ready)
+    return None
+
+
+def check_backing_bounds(core, cycle: int) -> Optional[SanitizerViolation]:
+    """Pinned backing-region bounds: register traffic cannot escape it."""
+    layout = getattr(core, "layout", None)
+    if layout is None or getattr(core, "bsi", None) is None:
+        return None
+    cid = core.core_id
+    lo, hi = layout.region(len(core.threads))
+    region = getattr(core.dcache, "register_region", None)
+    if region is None:
+        return _v("backing.bounds",
+                  "core has a BSI but the dcache has no reserved register "
+                  "region", cycle, cid)
+    if tuple(region) != (lo, hi):
+        return _v("backing.bounds",
+                  f"dcache register region {tuple(region)} disagrees with "
+                  f"the context layout region ({lo}, {hi})", cycle, cid,
+                  dcache_region=tuple(region), layout_region=(lo, hi))
+    for th in core.threads:
+        for flat in layout.used_regs:
+            addr = layout.reg_addr(th.tid, flat)
+            if not lo <= addr < hi:
+                return _v("backing.bounds",
+                          f"register {flat} of thread {th.tid} maps to "
+                          f"0x{addr:x} outside the pinned region "
+                          f"[0x{lo:x}, 0x{hi:x})", cycle, cid,
+                          tid=th.tid, flat=flat, addr=addr)
+        sysaddr = layout.sysreg_addr(th.tid)
+        if not lo <= sysaddr < hi:
+            return _v("backing.bounds",
+                      f"sysreg line of thread {th.tid} maps to "
+                      f"0x{sysaddr:x} outside the pinned region",
+                      cycle, cid, tid=th.tid, addr=sysaddr)
+    return None
+
+
+STRUCTURE_CHECKS = (check_tagstore, check_policy, check_rollback, check_bsi)

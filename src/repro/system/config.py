@@ -84,6 +84,13 @@ class RunConfig:
     #: None (the default) wires nothing — runs are bit-identical to a
     #: build without the telemetry subsystem.
     telemetry: Optional[Dict] = None
+    #: optional VSan sanitizer mode: a mapping of
+    #: :class:`~repro.sanitizer.SanitizeConfig` fields (or an instance, or
+    #: ``True`` for the default per-commit checks).  None (the default)
+    #: wires nothing — runs are bit-identical to a build without the
+    #: sanitizer subsystem; a sanitize-on run that finds no violation is
+    #: still cycle-identical to a sanitize-off run.
+    sanitize: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         if self.core_type not in CORE_TYPES:
@@ -100,6 +107,9 @@ class RunConfig:
         if self.telemetry is not None:
             from ..telemetry import TelemetryConfig
             TelemetryConfig.from_spec(self.telemetry)  # validate eagerly
+        if self.sanitize is not None:
+            from ..sanitizer import SanitizeConfig
+            SanitizeConfig.from_spec(self.sanitize)  # validate eagerly
 
     def with_(self, **kw) -> "RunConfig":
         return replace(self, **kw)

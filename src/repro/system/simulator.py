@@ -41,6 +41,9 @@ class RunResult:
     #: the run's :class:`~repro.telemetry.TelemetrySession` when the config
     #: asked for one (None otherwise)
     telemetry: Optional[object] = None
+    #: the run's :class:`~repro.sanitizer.Sanitizer` when the config asked
+    #: for one (None otherwise); a returned result means no violation fired
+    sanitizer: Optional[object] = None
     #: host-side wall-clock profile (phase seconds + instr/s); always
     #: collected — it never feeds back into simulated timing
     host_profile: Optional[Dict] = None
@@ -135,9 +138,15 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
                               stats=stats.child("node"))
         _wire_fault_injection(cfg, node, instances)
         session = _wire_telemetry(cfg, node)
+        vsan = _wire_sanitizer(cfg, node, instances)
 
     with profiler.phase("simulate"):
         result = node.run(max_cycles=cfg.max_cycles)
+        if vsan is not None:
+            # run-end sweep over the full architectural register file (the
+            # only check point at granularity="run"); raises
+            # SanitizerViolation on divergence
+            vsan.finalize(result.cycles)
     if session is not None:
         session.finalize()
 
@@ -159,7 +168,7 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
     return RunResult(config=cfg, cycles=result.cycles,
                      instructions=result.instructions, ipc=result.ipc,
                      stats=stats, rf_hit_rate=hit, correct=correct,
-                     telemetry=session, host_profile=host)
+                     telemetry=session, sanitizer=vsan, host_profile=host)
 
 
 def _wire_telemetry(cfg: RunConfig, node):
@@ -180,6 +189,27 @@ def _wire_telemetry(cfg: RunConfig, node):
     for core in node.cores:
         session.attach(core)
     return session
+
+
+def _wire_sanitizer(cfg: RunConfig, node, instances):
+    """Attach a VSan Sanitizer when the config asks for one.
+
+    Strictly opt-in, and purely observational when on: a sanitize-on run
+    that raises no violation is cycle-identical to a sanitize-off run
+    (enforced by tests/sanitizer/test_noop.py).  Wired *after* fault
+    injection so injected corruption is visible to the shadow checks —
+    the fault subsystem doubles as VSan's test oracle.
+    """
+    if cfg.sanitize is None:
+        return None
+    from ..sanitizer import SanitizeConfig, Sanitizer
+    sc = SanitizeConfig.from_spec(cfg.sanitize)
+    if not sc.enabled:
+        return None
+    vsan = Sanitizer(sc)
+    for core, inst in zip(node.cores, instances):
+        vsan.attach(core, inst.memory)
+    return vsan
 
 
 def _wire_fault_injection(cfg: RunConfig, node, instances) -> None:
@@ -216,6 +246,12 @@ def _run_ooo(cfg: RunConfig, spec, check: bool, profiler=None) -> RunResult:
             cfg.telemetry).enabled:
         raise ValueError("telemetry is not modelled for the ooo host core "
                          "(it does not run on the timeline engine)")
+    if cfg.sanitize is not None:
+        from ..sanitizer import SanitizeConfig
+        if SanitizeConfig.from_spec(cfg.sanitize).enabled:
+            raise ValueError("the sanitizer is not modelled for the ooo "
+                             "host core (it does not run on the timeline "
+                             "engine)")
     with profiler.phase("build"):
         inst = spec.build(n_threads=1,
                           n_per_thread=cfg.n_per_thread * cfg.n_threads,

@@ -153,7 +153,8 @@ def _run_isolated(index: int, cfg: RunConfig, check: bool, retries: int,
     """
     if max_cycles is not None and cfg.max_cycles is None:
         cfg = cfg.with_(max_cycles=max_cycles)
-    started = time.monotonic()
+    # host-side watchdog, never reaches simulated state
+    started = time.monotonic()  # lint: ignore[VRC002]
     attempt = 0
     while True:
         # a retry perturbs the seed: transient failures (deadlock windows,
@@ -169,7 +170,8 @@ def _run_isolated(index: int, cfg: RunConfig, check: bool, retries: int,
                 continue
             failure = RunFailure.from_exception(
                 exc, index=index, config=asdict(cfg), attempts=attempt + 1,
-                elapsed_s=time.monotonic() - started, key=key)
+                elapsed_s=time.monotonic() - started,  # lint: ignore[VRC002]
+                key=key)
             return None, failure, exc
 
 

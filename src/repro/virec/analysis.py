@@ -106,7 +106,7 @@ class RegisterCacheMonitor:
             if self._access_count % self.period == 0:
                 per_thread = {
                     int(o): int(((ts.owner == o) & ts.valid).sum())
-                    for o in set(ts.owner[ts.valid].tolist())
+                    for o in sorted(set(ts.owner[ts.valid].tolist()))
                 }
                 self.report.samples.append(OccupancySample(
                     instruction_index=self._access_count,

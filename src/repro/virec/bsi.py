@@ -46,7 +46,8 @@ class BackingStoreInterface:
         #: lines on every register fill (strictly opt-in)
         self.fault_hook = None
 
-    def _issue(self, t: int, addr: int, is_write: bool, pin_delta: int):
+    def _issue(self, t: int, addr: int, is_write: bool, pin_delta: int,
+               ) -> "tuple[int, object]":
         if self.blocking:
             t = max(t, self._next_issue)
         t_issue, result = self.request(

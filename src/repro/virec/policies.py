@@ -201,8 +201,7 @@ class SRRIP(ReplacementPolicy):
         # RRIP does not age on every access; aging happens at eviction time
         self._clock += 1
 
-    def select_victim(self, candidates):
-        import numpy as np
+    def select_victim(self, candidates: np.ndarray) -> int | None:
         if not candidates.any():
             return None
         # age until some candidate reaches RRPV max, then evict it
@@ -213,7 +212,7 @@ class SRRIP(ReplacementPolicy):
             np.minimum(self.A + 1, self.RRPV_MAX, out=self.A,
                        where=candidates)
 
-    def priority(self):
+    def priority(self) -> np.ndarray:
         return self.A
 
 
@@ -238,14 +237,13 @@ class RandomPolicy(ReplacementPolicy):
         self._state = x
         return x
 
-    def select_victim(self, candidates):
-        import numpy as np
+    def select_victim(self, candidates: np.ndarray) -> int | None:
         idxs = np.flatnonzero(candidates)
         if not idxs.size:
             return None
         return int(idxs[self._next() % idxs.size])
 
-    def priority(self):
+    def priority(self) -> np.ndarray:
         # only used for introspection; selection is randomized
         return self.A
 

@@ -9,7 +9,7 @@ metadata (T/C/A) lives in the attached policy.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,7 +44,7 @@ class TagStore:
             return int(self.valid.sum())
         return int((self.valid & (self.owner == tid)).sum())
 
-    def resident_regs(self, tid: int):
+    def resident_regs(self, tid: int) -> List[int]:
         """Flat register indices of ``tid`` currently resident."""
         return sorted(int(r) for (t, r) in self._map if t == tid)
 
@@ -132,13 +132,23 @@ class TagStore:
     def on_context_switch(self, prev_tid: int, new_tid: int) -> None:
         self.policy.on_context_switch(self.owner, self.valid, prev_tid, new_tid)
 
-    # -- invariants (used by property tests) ------------------------------------
+    # -- invariants (used by property tests and VSan) ---------------------------
     def check_invariants(self) -> None:
-        """Raise AssertionError if internal state is inconsistent."""
-        assert len(self._map) == int(self.valid.sum()), "map/valid mismatch"
+        """Raise :class:`~repro.errors.SanitizerViolation` (an
+        ``AssertionError`` subclass, so legacy callers still catch it) if
+        internal state is inconsistent."""
+        from ..errors import SanitizerViolation
+
+        def fail(message: str) -> None:
+            raise SanitizerViolation(message, invariant="tagstore.bijection")
+
+        if len(self._map) != int(self.valid.sum()):
+            fail("map/valid mismatch")
         for (tid, reg), slot in self._map.items():
-            assert self.valid[slot], f"mapped slot {slot} invalid"
-            assert self.owner[slot] == tid and self.areg[slot] == reg, \
-                f"slot {slot} tag mismatch"
+            if not self.valid[slot]:
+                fail(f"mapped slot {slot} invalid")
+            if self.owner[slot] != tid or self.areg[slot] != reg:
+                fail(f"slot {slot} tag mismatch")
         pairs = list(self._map.values())
-        assert len(pairs) == len(set(pairs)), "two mappings share a slot"
+        if len(pairs) != len(set(pairs)):
+            fail("two mappings share a slot")

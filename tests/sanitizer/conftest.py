@@ -1,0 +1,20 @@
+"""Every sanitizer test runs under a hard wall-clock limit.
+
+Shadow-state bugs tend to manifest as hangs or quadratic sweeps, so each
+test in this directory is wrapped in the SIGALRM guard from
+``tests/helpers.py`` (no pytest-timeout dependency).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import time_limit  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_test_time_limit():
+    with time_limit(240.0):
+        yield

@@ -1,0 +1,117 @@
+"""Fault injection is VSan's test oracle.
+
+Under the unprotected (``none``) scheme the injector corrupts live
+architectural state on the spot, so every run in which a bit actually
+flipped must be caught by the shadow comparison — with a cycle-stamped,
+typed diagnostic.  The detection-rate floor here (95%) is the contract
+``docs/correctness.md`` documents; the tiny allowed slack covers flips
+architecturally masked by the committing instruction's own writeback.
+"""
+
+import pytest
+
+from repro.errors import RunFailure, SanitizerViolation
+from repro.system import RunConfig, run_config
+
+SANITIZE = {"granularity": "commit"}
+
+
+def _flips(result) -> int:
+    """Bits actually flipped in architectural state (not just injections)."""
+    return int(sum(v for k, v in result.stats.flat()
+                   if k.endswith("faults.bits_flipped")))
+
+
+def _silently_corrupted(cfg: RunConfig) -> bool:
+    """True when the sanitize-off run completes with architectural bit
+    flips and no error of its own.  Crashing runs (e.g. a flipped address
+    register tripping an alignment check) are already loud without VSan —
+    the sanitizer's contract is catching the *silent* corruption."""
+    try:
+        return _flips(run_config(cfg, check=False)) > 0
+    except Exception:
+        return False
+
+
+def _campaign_config(seed: int, core_type: str = "virec") -> RunConfig:
+    return RunConfig(workload="gather", core_type=core_type,
+                     n_threads=4, n_per_thread=16, seed=seed,
+                     faults={"rf_rate": 2e-4, "tag_rate": 2e-4,
+                             "scheme": "none", "seed": seed})
+
+
+def test_detects_rf_and_tag_flips_under_none_scheme():
+    corrupted = caught = 0
+    for seed in range(20):
+        base = _campaign_config(seed)
+        if not _silently_corrupted(base):
+            continue
+        corrupted += 1
+        try:
+            run_config(base.with_(sanitize=SANITIZE), check=False)
+        except SanitizerViolation as exc:
+            assert exc.cycle >= 0
+            assert exc.invariant.startswith(("shadow.", "tagstore.",
+                                             "policy.", "rollback.",
+                                             "bsi.", "backing."))
+            caught += 1
+    assert corrupted >= 8, "campaign rates too low to exercise detection"
+    assert caught / corrupted >= 0.95, \
+        f"VSan caught only {caught}/{corrupted} corrupted runs"
+
+
+def test_violation_report_is_cycle_stamped():
+    for seed in range(20):
+        base = _campaign_config(seed)
+        if not _silently_corrupted(base):
+            continue
+        with pytest.raises(SanitizerViolation) as excinfo:
+            run_config(base.with_(sanitize=SANITIZE), check=False)
+        report = excinfo.value.report()
+        assert "cycle" in report
+        assert str(excinfo.value.cycle) in report
+        assert excinfo.value.invariant in report
+        return
+    pytest.fail("no seed produced a corrupting campaign")
+
+
+def test_banked_core_detection():
+    """The shadow comparison works on cores without a VRMU too."""
+    for seed in range(20):
+        base = _campaign_config(seed, core_type="banked")
+        if not _silently_corrupted(base):
+            continue
+        with pytest.raises(SanitizerViolation):
+            run_config(base.with_(sanitize=SANITIZE), check=False)
+        return
+    pytest.fail("no seed flipped a bit on the banked core")
+
+
+def test_run_failure_carries_violation_metadata():
+    """Sweep-runner failure records preserve the invariant id and cycle."""
+    for seed in range(20):
+        base = _campaign_config(seed)
+        if not _silently_corrupted(base):
+            continue
+        try:
+            run_config(base.with_(sanitize=SANITIZE), check=False)
+        except SanitizerViolation as exc:
+            failure = RunFailure.from_exception(exc, index=0, config={})
+            assert failure.extra["invariant"] == exc.invariant
+            assert failure.extra["cycle"] == exc.cycle
+            return
+    pytest.fail("no seed produced a violation")
+
+
+def test_interval_granularity_still_detects():
+    """Deferred checking trades latency, not detection: a divergence seen
+    while checks are deferred surfaces at the next boundary."""
+    for seed in range(20):
+        base = _campaign_config(seed)
+        if not _silently_corrupted(base):
+            continue
+        with pytest.raises(SanitizerViolation):
+            run_config(base.with_(sanitize={"granularity": "interval",
+                                            "interval": 200}), check=False)
+        return
+    pytest.fail("no seed produced a corrupting campaign")

@@ -1,0 +1,121 @@
+"""Structural invariant checks catch deliberately corrupted VRMU state.
+
+Each test runs a healthy ViReC core to completion, verifies the checks
+pass, then breaks one structure by hand and asserts the matching typed
+violation fires (with its documented invariant id from
+``docs/correctness.md``).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import build_gather_core  # noqa: E402
+
+from repro.errors import SanitizerViolation
+from repro.sanitizer import SanitizeConfig, Sanitizer
+from repro.virec import ViReCConfig, ViReCCore
+
+
+def _sanitized_core(**cfg_kw):
+    core, mem, _, _ = build_gather_core(
+        ViReCCore, n_threads=4, n=32, virec=ViReCConfig(rf_size=16))
+    vsan = Sanitizer(SanitizeConfig(shadow=False, **cfg_kw))
+    vsan.attach(core, mem)
+    core.run()
+    return core, vsan
+
+
+def _check(core):
+    core.sanitizer.check(core.now)
+
+
+def test_healthy_run_passes_all_checks():
+    core, vsan = _sanitized_core()
+    _check(core)
+    vsan.finalize(core.now)
+
+
+def test_dangling_map_entry_caught():
+    core, _ = _sanitized_core()
+    ts = core.vrmu.tagstore
+    (tid, areg), slot = next(iter(ts._map.items()))
+    ts.valid[slot] = False          # mapping now points at an invalid slot
+    with pytest.raises(SanitizerViolation) as excinfo:
+        _check(core)
+    assert excinfo.value.invariant == "tagstore.bijection"
+
+
+def test_tag_mismatch_caught():
+    core, _ = _sanitized_core()
+    ts = core.vrmu.tagstore
+    (tid, areg), slot = next(iter(ts._map.items()))
+    ts.owner[slot] = tid + 1        # tag disagrees with the map
+    with pytest.raises(SanitizerViolation) as excinfo:
+        _check(core)
+    assert excinfo.value.invariant == "tagstore.bijection"
+
+
+def test_map_valid_count_mismatch_caught():
+    core, _ = _sanitized_core()
+    ts = core.vrmu.tagstore
+    del ts._map[next(iter(ts._map))]
+    with pytest.raises(SanitizerViolation) as excinfo:
+        _check(core)
+    assert excinfo.value.invariant == "tagstore.bijection"
+
+
+def test_priority_word_out_of_range_caught():
+    core, _ = _sanitized_core()
+    ts = core.vrmu.tagstore
+    slot = int(ts.valid_slots()[0])
+    ts.policy.T[slot] = 99          # 3-bit hardware field
+    with pytest.raises(SanitizerViolation) as excinfo:
+        _check(core)
+    assert excinfo.value.invariant == "policy.word"
+
+
+def test_rollback_depth_violation_caught():
+    core, _ = _sanitized_core()
+    core.vrmu.rollback.depth = -1   # any occupancy now exceeds the bound
+    core.vrmu.rollback._queue.append(
+        type("Entry", (), {"slots": (0,)})())
+    with pytest.raises(SanitizerViolation) as excinfo:
+        _check(core)
+    assert excinfo.value.invariant == "rollback.depth"
+
+
+def test_bsi_bookkeeping_violation_caught():
+    core, _ = _sanitized_core()
+    core.bsi.busy_until = -5
+    with pytest.raises(SanitizerViolation) as excinfo:
+        _check(core)
+    assert excinfo.value.invariant == "bsi.bookkeeping"
+
+
+def test_backing_region_mismatch_caught():
+    core, _ = _sanitized_core(structures=False)
+    core.dcache.register_region = (0x1000, 0x2000)
+    with pytest.raises(SanitizerViolation) as excinfo:
+        _check(core)
+    assert excinfo.value.invariant == "backing.bounds"
+
+
+def test_tagstore_check_invariants_raises_typed():
+    """The tag store's own invariant checker now raises the typed
+    violation — still an AssertionError for legacy property tests."""
+    core, _ = _sanitized_core()
+    ts = core.vrmu.tagstore
+    ts.check_invariants()           # healthy state passes
+    del ts._map[next(iter(ts._map))]
+    with pytest.raises(SanitizerViolation):
+        ts.check_invariants()
+    ts_err = None
+    try:
+        ts.check_invariants()
+    except AssertionError as exc:   # the legacy contract
+        ts_err = exc
+    assert isinstance(ts_err, SanitizerViolation)
+    assert ts_err.invariant == "tagstore.bijection"
