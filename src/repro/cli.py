@@ -126,7 +126,8 @@ def _cmd_sweep(args) -> int:
     rows = run_grid(grid, progress=progress if args.verbose else None,
                     retries=args.retries, timeout_s=args.timeout_s,
                     max_cycles=args.max_cycles,
-                    checkpoint=args.checkpoint, resume=args.resume)
+                    checkpoint=args.checkpoint, resume=args.resume,
+                    jobs=args.jobs)
     if args.csv:
         with open(args.csv, "w") as f:
             f.write(rows_to_csv(rows))
@@ -324,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-config wall-clock watchdog (seconds)")
     p.add_argument("--max-cycles", type=int, default=None,
                    help="per-config simulated-cycle budget")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="run configs over N parallel worker processes "
+                        "(0 = all cores; default serial, or $REPRO_JOBS); "
+                        "results are identical to a serial sweep")
     p.add_argument("--csv", metavar="PATH", help="write result rows as CSV")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_sweep)

@@ -14,6 +14,16 @@ Functional execution happens at *commit*: instructions flushed by a context
 switch never update architectural state and are replayed when their thread
 resumes, exactly like the pipeline flush in Figure 4 of the paper.
 
+The engine runs over a :class:`~repro.isa.decoded.DecodedProgram` — static
+per-instruction metadata (operand tuples, flag behaviour, classification,
+execute latency, icache line) pre-computed once per program — and keeps all
+observation layers behind one :class:`~repro.core.instrument.InstrumentBus`.
+With nothing attached the per-instruction step is a *compiled fast path*
+containing zero instrumentation branches; attaching any instrument
+(``fault_hook`` / ``telemetry`` / ``sanitizer`` / ``tracer``) rebinds the
+step to the instrumented body with the fixed dispatch order
+faults -> telemetry -> sanitizer -> tracer.
+
 Subclass hooks (all optional):
 
 ``decode_regs_ready(thread, inst, t_decode)``
@@ -39,15 +49,17 @@ from enum import Enum, auto
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import DeadlockError
-from ..isa.instructions import Flags, Instruction, Opcode, evaluate
+from ..isa.decoded import DecodedProgram
+from ..isa.instructions import MASK64, Flags, Instruction, Opcode, evaluate
 from ..isa.program import Program
 from ..isa.registers import NUM_FP_REGS, NUM_INT_REGS, Reg, RegClass
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
 from ..stats.counters import Stats
+from .instrument import InstrumentBus
 
-__all__ = ["CoreConfig", "DeadlockError", "ThreadContext", "ThreadState",
-           "TimelineCore"]
+__all__ = ["CoreConfig", "DeadlockError", "InstrumentBus", "ThreadContext",
+           "ThreadState", "TimelineCore"]
 
 
 class ThreadState(Enum):
@@ -81,7 +93,7 @@ class ThreadContext:
 
     def write(self, reg: Reg, value) -> None:
         if reg.rclass == RegClass.X:
-            self.xregs[reg.index] = int(value) & ((1 << 64) - 1)
+            self.xregs[reg.index] = int(value) & MASK64
         else:
             self.dregs[reg.index] = float(value)
 
@@ -97,7 +109,17 @@ class CoreConfig:
     switch_on_miss: bool = False   # CGMT behaviour
     #: pipeline refill after a context switch before the first decode
     switch_refill: int = 2
-    max_cycles: int = 50_000_000
+    #: simulated-cycle watchdog on the commit clock (``commit_tail``);
+    #: ``None`` disables it.  Historical note: before the guard split this
+    #: field was (mis)used as an *instruction* budget — committed
+    #: instructions were counted against it.  It is now a true cycle
+    #: watchdog; since every commit advances ``commit_tail`` by at least
+    #: one cycle, any run bounded by the old interpretation is still
+    #: bounded by the new one, so existing configs keep terminating.
+    max_cycles: Optional[int] = 50_000_000
+    #: committed-instruction budget (the guard the old ``max_cycles``
+    #: actually implemented); ``None`` disables it
+    max_instructions: Optional[int] = None
 
 
 class TimelineCore:
@@ -120,6 +142,10 @@ class TimelineCore:
         self.stats = stats if stats is not None else Stats(self.config.name)
         self.core_id = core_id
 
+        #: pre-decoded static instruction metadata (shared per program)
+        self.dprog = DecodedProgram.of(program, icache.config.line_bytes)
+        self._dops = self.dprog.ops
+
         # shared pipeline resources (cycle timestamps)
         self.now = 0
         self.fetch_avail = 0       # cycle next instruction reaches decode
@@ -132,26 +158,91 @@ class TimelineCore:
         self._last_fetch_line = -1
 
         self.current: Optional[ThreadContext] = None
-        #: optional :class:`~repro.core.trace.PipelineTracer` (debug aid)
-        self.tracer = None
-        #: optional :class:`~repro.faults.FaultInjector`; strictly opt-in —
-        #: when None (the default) the pipeline behaves bit-identically to a
-        #: build without the fault subsystem
-        self.fault_hook = None
-        #: optional :class:`~repro.telemetry.CoreTelemetry`; strictly opt-in
-        #: and purely observational — it records events and drives interval
-        #: sampling but never alters a cycle timestamp
-        self.telemetry = None
-        #: optional :class:`~repro.sanitizer.CoreSanitizer` (VSan); strictly
-        #: opt-in and purely observational — it verifies committed state
-        #: against a shadow architectural register file and raises
-        #: :class:`~repro.errors.SanitizerViolation` on divergence, but
-        #: never alters a cycle timestamp
-        self.sanitizer = None
+        #: the unified instrumentation seam; see
+        #: :class:`~repro.core.instrument.InstrumentBus`.  ``fault_hook``,
+        #: ``telemetry``, ``sanitizer``, and ``tracer`` are properties over
+        #: its slots, so subsystem ``attach()`` entry points are unchanged.
+        self.bus = InstrumentBus()
         self.commits_since_switch = 0
         self.scoreboard: Dict[Reg, int] = {}
         self.flags_ready = 0
         self._rr_next = 0
+        #: which subclass hooks are actually overridden (the fast path
+        #: skips the no-op base implementations entirely)
+        cls = type(self)
+        self._has_reg_hook = (cls.decode_regs_ready
+                              is not TimelineCore.decode_regs_ready)
+        self._has_commit_hook = cls.on_commit is not TimelineCore.on_commit
+        self._recompile_step()
+
+    # ----------------------------------------------------- instrument bus
+    def _recompile_step(self) -> None:
+        """Bind the per-instruction step to the fast or instrumented body.
+
+        Called on every bus attach/detach.  With an empty bus the hot loop
+        runs :meth:`_process_instruction_fast`, which contains no
+        instrumentation branches at all.
+
+        ``_step_impl`` always names the currently compiled body; external
+        wrappers of ``_process_instruction`` (the task-pool redispatcher)
+        call through it so an attach after wrapping still takes effect, and
+        the recompile never clobbers such a wrapper (it only rebinds
+        ``_process_instruction`` while it is one of the two engine bodies).
+        """
+        impl = (self._process_instruction_fast if self.bus.empty
+                else self._process_instruction_instrumented)
+        self._step_impl = impl
+        current = self.__dict__.get("_process_instruction")
+        if current is None or getattr(current, "_engine_step", False):
+            self._process_instruction = impl
+
+    @property
+    def tracer(self):
+        """Optional :class:`~repro.core.trace.PipelineTracer` (debug aid)."""
+        return self.bus.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.bus.tracer = value
+        self._recompile_step()
+
+    @property
+    def fault_hook(self):
+        """Optional :class:`~repro.faults.FaultInjector`; strictly opt-in —
+        when None (the default) the pipeline behaves bit-identically to a
+        build without the fault subsystem."""
+        return self.bus.faults
+
+    @fault_hook.setter
+    def fault_hook(self, value) -> None:
+        self.bus.faults = value
+        self._recompile_step()
+
+    @property
+    def telemetry(self):
+        """Optional :class:`~repro.telemetry.CoreTelemetry`; strictly opt-in
+        and purely observational — it records events and drives interval
+        sampling but never alters a cycle timestamp."""
+        return self.bus.telemetry
+
+    @telemetry.setter
+    def telemetry(self, value) -> None:
+        self.bus.telemetry = value
+        self._recompile_step()
+
+    @property
+    def sanitizer(self):
+        """Optional :class:`~repro.sanitizer.CoreSanitizer` (VSan); strictly
+        opt-in and purely observational — it verifies committed state
+        against a shadow architectural register file and raises
+        :class:`~repro.errors.SanitizerViolation` on divergence, but never
+        alters a cycle timestamp."""
+        return self.bus.sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, value) -> None:
+        self.bus.sanitizer = value
+        self._recompile_step()
 
     # ------------------------------------------------------------------ hooks
     def decode_regs_ready(self, thread: ThreadContext, inst: Instruction,
@@ -199,11 +290,11 @@ class TimelineCore:
     def _fetch(self, thread: ThreadContext) -> int:
         """Cycle the instruction at ``thread.pc`` enters decode."""
         t_d = max(self.fetch_avail, self.decode_free)
-        line = (thread.pc * 4) // self.icache.config.line_bytes
-        if line != self._last_fetch_line:
-            self._last_fetch_line = line
+        d = self._dops[thread.pc]
+        if d.line != self._last_fetch_line:
+            self._last_fetch_line = d.line
             r = self.icache.access(max(0, t_d - self.icache.config.latency),
-                                   thread.pc * 4, requestor=self.core_id)
+                                   d.addr, requestor=self.core_id)
             if not r.hit:
                 self.stats.inc("icache_miss_stalls")
             t_d = max(t_d, r.complete_at)
@@ -238,17 +329,20 @@ class TimelineCore:
 
     def _pick_next_thread(self, t: int) -> Tuple[Optional[ThreadContext], int]:
         """Round-robin over runnable threads; returns (thread, cycle)."""
-        live = [th for th in self.threads if th.state != ThreadState.DONE]
+        threads = self.threads
+        live = [th for th in threads if th.state is not ThreadState.DONE]
         if not live:
             return None, t
         candidates = self._ready_threads(t)
         if not candidates:
             t = min(th.ready_at for th in live)
             candidates = self._ready_threads(t)
-        n = len(self.threads)
+        ready_tids = {th.tid for th in candidates}
+        n = len(threads)
+        rr = self._rr_next
         for i in range(n):
-            th = self.threads[(self._rr_next + i) % n]
-            if th in candidates:
+            th = threads[(rr + i) % n]
+            if th.tid in ready_tids:
                 self._rr_next = (th.tid + 1) % n
                 return th, t
         return None, t  # pragma: no cover - candidates guarantees a hit
@@ -270,8 +364,9 @@ class TimelineCore:
         self.ex_free = t
         self.commit_tail = max(self.commit_tail, t)
         self._last_fetch_line = -1
-        if self.telemetry is not None:
-            self.telemetry.on_run_begin(thread.tid, t)
+        telemetry = self.bus.telemetry
+        if telemetry is not None:
+            telemetry.on_run_begin(thread.tid, t)
         return True
 
     # ---------------------------------------------------------------- running
@@ -295,12 +390,28 @@ class TimelineCore:
         return True
 
     def run(self) -> Stats:
-        """Run all threads to completion; returns the stats namespace."""
-        guard = 0
+        """Run all threads to completion; returns the stats namespace.
+
+        Two independent watchdogs guard against a wedged simulation:
+        ``config.max_instructions`` bounds *committed instructions* (the
+        guard the engine historically mislabelled "max_cycles") and
+        ``config.max_cycles`` bounds the *simulated commit clock*
+        (``commit_tail``), which is what the name always promised.
+        """
+        config = self.config
+        max_instructions = config.max_instructions
+        max_cycles = config.max_cycles
+        committed = 0
         while self.step():
-            guard += 1
-            if guard > self.config.max_cycles:
-                raise DeadlockError("instruction budget exceeded")
+            committed += 1
+            if max_instructions is not None and committed > max_instructions:
+                raise DeadlockError(
+                    f"instruction budget exceeded ({committed} > "
+                    f"max_instructions={max_instructions})")
+            if max_cycles is not None and self.commit_tail > max_cycles:
+                raise DeadlockError(
+                    f"cycle budget exceeded (commit clock {self.commit_tail}"
+                    f" > max_cycles={max_cycles})")
         self.finalize_stats()
         return self.stats
 
@@ -311,105 +422,277 @@ class TimelineCore:
         self.stats.set("ipc", total / self.commit_tail if self.commit_tail else 0.0)
 
     # ---------------------------------------------------- per-instruction step
-    def _process_instruction(self, thread: ThreadContext) -> None:
-        inst = self.program[thread.pc]
-        t_d = self._fetch(thread)
-        if self.fault_hook is not None:
-            t_d = self.fault_hook.on_instruction(thread, inst, t_d)
+    #
+    # Two bodies, one contract.  ``_process_instruction`` is *rebound* by
+    # ``_recompile_step`` to the fast body (empty bus: zero instrumentation
+    # branches) or the instrumented body (any instrument attached: fixed
+    # faults -> telemetry -> sanitizer -> tracer dispatch).  The two must
+    # stay cycle-identical except for the fault injector's explicit
+    # timestamp adjustments; tests/core/test_instrument_bus.py and the
+    # telemetry/sanitizer noop suites enforce that.  Edit them together.
+
+    def _process_instruction_fast(self, thread: ThreadContext) -> None:
+        """Uninstrumented per-instruction step (the compiled fast path)."""
+        d = self._dops[thread.pc]
+        inst = d.inst
+        config = self.config
+        stats = self.stats
+
+        # fetch
+        fetch_avail = self.fetch_avail
+        decode_free = self.decode_free
+        t_d = fetch_avail if fetch_avail > decode_free else decode_free
+        if d.line != self._last_fetch_line:
+            self._last_fetch_line = d.line
+            icache = self.icache
+            r = icache.access(max(0, t_d - icache.config.latency), d.addr,
+                              requestor=self.core_id)
+            if not r.hit:
+                stats.inc("icache_miss_stalls")
+            if r.complete_at > t_d:
+                t_d = r.complete_at
 
         # decode: operand scoreboard + register-residency hook (VRMU)
+        scoreboard = self.scoreboard
         t_ops = t_d
-        for reg in inst.srcs:
-            t_ops = max(t_ops, self.scoreboard.get(reg, 0))
-        if inst.reads_flags:
-            t_ops = max(t_ops, self.flags_ready)
-        t_regs = self.decode_regs_ready(thread, inst, t_d)
+        for reg in d.srcs:
+            w = scoreboard.get(reg, 0)
+            if w > t_ops:
+                t_ops = w
+        if d.reads_flags and self.flags_ready > t_ops:
+            t_ops = self.flags_ready
+        t_regs = (self.decode_regs_ready(thread, inst, t_d)
+                  if self._has_reg_hook else t_d)
         t_issue = max(t_d + 1, t_ops, t_regs)
         self.decode_free = t_issue
-        self.fetch_avail = max(self.fetch_avail + 1, t_d + 1)
+        self.fetch_avail = max(fetch_avail + 1, t_d + 1)
 
         # execute
-        t_ex_start = max(t_issue, self.ex_free)
-        t_ex_done = t_ex_start + inst.ex_latency
+        ex_free = self.ex_free
+        t_ex_start = t_issue if t_issue > ex_free else ex_free
+        t_ex_done = t_ex_start + d.ex_latency
         self.ex_free = t_ex_done
 
-        srcvals = {r: thread.read(r) for r in inst.srcs}
+        xregs = thread.xregs
+        dregs = thread.dregs
+        srcvals = {}
+        for reg, is_x, idx in d.src_reads:
+            srcvals[reg] = xregs[idx] if is_x else dregs[idx]
         result = evaluate(inst, srcvals, thread.flags, thread.pc)
 
         data_at = t_ex_done
-        if inst.is_load:
+        if d.is_load:
             t_m = self._load_slot_wait(t_ex_done)
             t_issue_mem, r = self.dcache_request(
                 t_m, result.addr, is_load_data=True)
             data_at = r.complete_at
-            if (self.config.switch_on_miss and r.switch_signal
+            if (config.switch_on_miss and r.switch_signal
                     and len(self.threads) > 1):
                 if self._handle_miss_switch(thread, inst, t_issue_mem, r):
                     return  # thread suspended; load replays on resume
                 # switch suppressed (no commits since last switch): stall here
-                self.stats.inc("switches_suppressed")
-                if self.telemetry is not None:
-                    self.telemetry.on_stall_in_place(
-                        thread.tid, t_issue_mem, data_at, "suppressed-switch")
+                stats.inc("switches_suppressed")
             self.load_slots.append(data_at)
             if not r.hit:
-                self.stats.inc("load_miss_stalls")
-        elif inst.is_store:
+                stats.inc("load_miss_stalls")
+        elif d.is_store:
             data_at = self._sq_insert(t_ex_done, result.addr)
             self.memory.store(result.addr, result.store_value)
 
         # commit (in-order, one per cycle)
-        t_c = max(self.commit_tail + 1, data_at)
+        t_c = self.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
         self.commit_tail = t_c
         self.commits_since_switch += 1
         thread.fruitless = 0
         if not result.halt:
             thread.instructions += 1
         self.now = t_c
-        if self.telemetry is not None:
-            self.telemetry.on_commit(t_c)
 
         # architectural update at commit
-        for reg, value in result.writes.items():
-            thread.write(reg, value)
-            self.scoreboard[reg] = t_ex_done
-        if inst.is_load:
-            thread.write(inst.rd, self.memory.load(result.addr))
-            self.scoreboard[inst.rd] = data_at
+        writes = result.writes
+        if writes:
+            for reg, value in writes.items():
+                if reg.rclass is RegClass.X:
+                    xregs[reg.index] = int(value) & MASK64
+                else:
+                    dregs[reg.index] = float(value)
+                scoreboard[reg] = t_ex_done
+        if d.is_load:
+            rd = d.rd
+            value = self.memory.load(result.addr)
+            if rd.rclass is RegClass.X:
+                xregs[rd.index] = int(value) & MASK64
+            else:
+                dregs[rd.index] = float(value)
+            scoreboard[rd] = data_at
         if result.new_flags is not None:
             thread.flags = result.new_flags
             self.flags_ready = t_ex_done
-        self.on_commit(thread, inst, t_c)
-        if self.sanitizer is not None:
-            # after the architectural update, before pc advances: the
-            # sanitizer sees exactly the committed state
-            self.sanitizer.on_commit(thread, inst, result, t_c)
-        if self.tracer is not None and not result.halt:
-            self.tracer.record(thread.tid, thread.pc, inst.text or
-                               inst.opcode.name.lower(), t_d, t_issue,
-                               t_ex_done, data_at, t_c)
+        if self._has_commit_hook:
+            self.on_commit(thread, inst, t_c)
 
         if result.halt:
             thread.state = ThreadState.DONE
             self.current = None
-            self.stats.inc("threads_completed")
-            if self.telemetry is not None:
-                self.telemetry.on_thread_done(thread.tid, t_c)
+            stats.inc("threads_completed")
             return
         thread.pc = result.target if result.taken else thread.pc + 1
         if result.taken:
-            self.fetch_avail = t_ex_done + 1 + self.config.redirect_penalty
-            self.stats.inc("taken_branches")
+            self.fetch_avail = t_ex_done + 1 + config.redirect_penalty
+            stats.inc("taken_branches")
+
+    def _process_instruction_instrumented(self, thread: ThreadContext) -> None:
+        """Per-instruction step with the bus dispatched at every probe point.
+
+        Same timeline math as :meth:`_process_instruction_fast`; dispatch
+        order is fixed: faults (front end) -> telemetry (commit clock) ->
+        sanitizer (post-architectural-update) -> tracer (record).
+        """
+        bus = self.bus
+        faults = bus.faults
+        telemetry = bus.telemetry
+        sanitizer = bus.sanitizer
+        tracer = bus.tracer
+
+        d = self._dops[thread.pc]
+        inst = d.inst
+        config = self.config
+        stats = self.stats
+
+        # fetch
+        fetch_avail = self.fetch_avail
+        decode_free = self.decode_free
+        t_d = fetch_avail if fetch_avail > decode_free else decode_free
+        if d.line != self._last_fetch_line:
+            self._last_fetch_line = d.line
+            icache = self.icache
+            r = icache.access(max(0, t_d - icache.config.latency), d.addr,
+                              requestor=self.core_id)
+            if not r.hit:
+                stats.inc("icache_miss_stalls")
+            if r.complete_at > t_d:
+                t_d = r.complete_at
+        if faults is not None:
+            t_d = faults.on_instruction(thread, inst, t_d)
+
+        # decode: operand scoreboard + register-residency hook (VRMU)
+        scoreboard = self.scoreboard
+        t_ops = t_d
+        for reg in d.srcs:
+            w = scoreboard.get(reg, 0)
+            if w > t_ops:
+                t_ops = w
+        if d.reads_flags and self.flags_ready > t_ops:
+            t_ops = self.flags_ready
+        t_regs = (self.decode_regs_ready(thread, inst, t_d)
+                  if self._has_reg_hook else t_d)
+        t_issue = max(t_d + 1, t_ops, t_regs)
+        self.decode_free = t_issue
+        self.fetch_avail = max(fetch_avail + 1, t_d + 1)
+
+        # execute
+        ex_free = self.ex_free
+        t_ex_start = t_issue if t_issue > ex_free else ex_free
+        t_ex_done = t_ex_start + d.ex_latency
+        self.ex_free = t_ex_done
+
+        xregs = thread.xregs
+        dregs = thread.dregs
+        srcvals = {}
+        for reg, is_x, idx in d.src_reads:
+            srcvals[reg] = xregs[idx] if is_x else dregs[idx]
+        result = evaluate(inst, srcvals, thread.flags, thread.pc)
+
+        data_at = t_ex_done
+        if d.is_load:
+            t_m = self._load_slot_wait(t_ex_done)
+            t_issue_mem, r = self.dcache_request(
+                t_m, result.addr, is_load_data=True)
+            data_at = r.complete_at
+            if (config.switch_on_miss and r.switch_signal
+                    and len(self.threads) > 1):
+                if self._handle_miss_switch(thread, inst, t_issue_mem, r):
+                    return  # thread suspended; load replays on resume
+                # switch suppressed (no commits since last switch): stall here
+                stats.inc("switches_suppressed")
+                if telemetry is not None:
+                    telemetry.on_stall_in_place(
+                        thread.tid, t_issue_mem, data_at, "suppressed-switch")
+            self.load_slots.append(data_at)
+            if not r.hit:
+                stats.inc("load_miss_stalls")
+        elif d.is_store:
+            data_at = self._sq_insert(t_ex_done, result.addr)
+            self.memory.store(result.addr, result.store_value)
+
+        # commit (in-order, one per cycle)
+        t_c = self.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
+        self.commit_tail = t_c
+        self.commits_since_switch += 1
+        thread.fruitless = 0
+        if not result.halt:
+            thread.instructions += 1
+        self.now = t_c
+        if telemetry is not None:
+            telemetry.on_commit(t_c)
+
+        # architectural update at commit
+        writes = result.writes
+        if writes:
+            for reg, value in writes.items():
+                if reg.rclass is RegClass.X:
+                    xregs[reg.index] = int(value) & MASK64
+                else:
+                    dregs[reg.index] = float(value)
+                scoreboard[reg] = t_ex_done
+        if d.is_load:
+            rd = d.rd
+            value = self.memory.load(result.addr)
+            if rd.rclass is RegClass.X:
+                xregs[rd.index] = int(value) & MASK64
+            else:
+                dregs[rd.index] = float(value)
+            scoreboard[rd] = data_at
+        if result.new_flags is not None:
+            thread.flags = result.new_flags
+            self.flags_ready = t_ex_done
+        if self._has_commit_hook:
+            self.on_commit(thread, inst, t_c)
+        if sanitizer is not None:
+            # after the architectural update, before pc advances: the
+            # sanitizer sees exactly the committed state
+            sanitizer.on_commit(thread, inst, result, t_c)
+        if tracer is not None and not result.halt:
+            tracer.record(thread.tid, thread.pc, inst.text or
+                          inst.opcode.name.lower(), t_d, t_issue,
+                          t_ex_done, data_at, t_c)
+
+        if result.halt:
+            thread.state = ThreadState.DONE
+            self.current = None
+            stats.inc("threads_completed")
+            if telemetry is not None:
+                telemetry.on_thread_done(thread.tid, t_c)
+            return
+        thread.pc = result.target if result.taken else thread.pc + 1
+        if result.taken:
+            self.fetch_avail = t_ex_done + 1 + config.redirect_penalty
+            stats.inc("taken_branches")
 
     # -------------------------------------------------------- context switch
     def _flushed_window(self, thread: ThreadContext) -> List[Instruction]:
         """The missing load plus younger instructions already in the frontend."""
-        insts = [self.program[thread.pc]]
+        dops = self._dops
+        insts = [dops[thread.pc].inst]
         pc = thread.pc + 1
         for _ in range(2):  # frontend depth between MEM and decode
-            if pc < len(self.program):
-                nxt = self.program[pc]
-                insts.append(nxt)
+            if pc < len(dops):
+                nxt = dops[pc]
+                insts.append(nxt.inst)
                 if nxt.is_branch or nxt.is_halt:
                     break
                 pc += 1
@@ -445,9 +728,10 @@ class TimelineCore:
         self.on_flush(thread, flushed, t_sw)
         self.stats.inc("context_switches")
         self.stats.inc("flushed_instructions", len(flushed))
-        if self.telemetry is not None:
-            self.telemetry.on_switch(thread.tid, t_sw,
-                                     access_result.complete_at, len(flushed))
+        telemetry = self.bus.telemetry
+        if telemetry is not None:
+            telemetry.on_switch(thread.tid, t_sw,
+                                access_result.complete_at, len(flushed))
 
         thread.state = ThreadState.BLOCKED
         thread.ready_at = access_result.complete_at
@@ -456,3 +740,9 @@ class TimelineCore:
         self.commits_since_switch = 0
         self._schedule(t_sw)
         return True
+
+
+# the recompile-safety marker read by TimelineCore._recompile_step (bound
+# methods forward attribute reads to their underlying function)
+TimelineCore._process_instruction_fast._engine_step = True
+TimelineCore._process_instruction_instrumented._engine_step = True

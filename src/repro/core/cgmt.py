@@ -87,8 +87,9 @@ class BankedCore(TimelineCore):
             _, r = self.dcache_request(t + i, base + line * LINE_BYTES)
             done = max(done, r.complete_at)
         self.stats.inc("context_fetches")
-        if self.telemetry is not None:
-            self.telemetry.on_context_move("ctx_fetch", thread.tid, t, done)
+        telemetry = self.bus.telemetry
+        if telemetry is not None:
+            telemetry.on_context_move("ctx_fetch", thread.tid, t, done)
         return done
 
 
@@ -110,14 +111,15 @@ class SoftwareSwitchCore(TimelineCore):
         Section 3).
         """
         done = t
+        telemetry = self.bus.telemetry
         if self._prev_thread is not None and self._prev_thread is not thread:
             for flat in self.layout.used_regs:
                 addr = self.layout.reg_addr(self._prev_thread.tid, flat)
                 t_issue, _ = self.dcache_request(done, addr, is_write=True)
                 done = t_issue + 1
             self.stats.inc("context_saves")
-            if self.telemetry is not None:
-                self.telemetry.on_context_move(
+            if telemetry is not None:
+                telemetry.on_context_move(
                     "ctx_save", self._prev_thread.tid, t, done)
         restore_done = done
         for i, flat in enumerate(self.layout.used_regs):
@@ -125,9 +127,9 @@ class SoftwareSwitchCore(TimelineCore):
             _, r = self.dcache_request(done + i, addr)
             restore_done = max(restore_done, r.complete_at)
         self.stats.inc("context_restores")
-        if self.telemetry is not None:
-            self.telemetry.on_context_move("ctx_restore", thread.tid, done,
-                                           restore_done)
+        if telemetry is not None:
+            telemetry.on_context_move("ctx_restore", thread.tid, done,
+                                      restore_done)
         self._prev_thread = thread
         return restore_done + self.config.switch_refill
 

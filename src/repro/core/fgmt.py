@@ -27,9 +27,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..isa.instructions import Instruction, evaluate
+from ..isa.instructions import evaluate
 from ..isa.registers import Reg
-from .base import CoreConfig, DeadlockError, ThreadContext, ThreadState, TimelineCore
+from .base import CoreConfig, ThreadContext, ThreadState, TimelineCore
 from .cgmt import ContextLayout
 
 
@@ -60,13 +60,19 @@ class FGMTCore(TimelineCore):
                 best, best_t = th, t
         return best
 
-    def _operand_ready(self, thread: ThreadContext, inst: Instruction) -> int:
+    def _operand_ready(self, thread: ThreadContext, inst) -> int:
+        """Operand readiness; ``inst`` is an Instruction or DecodedOp (both
+        expose ``srcs``/``reads_flags``)."""
         board = self._boards[thread.tid]
         t = 0
         for reg in inst.srcs:
-            t = max(t, board.get(reg, 0))
+            w = board.get(reg, 0)
+            if w > t:
+                t = w
         if inst.reads_flags:
-            t = max(t, self._flags_ready[thread.tid])
+            fr = self._flags_ready[thread.tid]
+            if fr > t:
+                t = fr
         return t
 
     def step(self) -> bool:
@@ -80,14 +86,9 @@ class FGMTCore(TimelineCore):
         self._process_barrel_instruction(thread)
         return True
 
-    def run(self):
-        guard = 0
-        while self.step():
-            guard += 1
-            if guard > self.config.max_cycles:
-                raise DeadlockError("instruction budget exceeded")
-        self.finalize_stats()
-        return self.stats
+    # run() is inherited: the base watchdog loop drives the overridden
+    # step(), and commit_tail advances per instruction here as well, so
+    # both the instruction budget and the cycle watchdog apply unchanged.
 
     def thread_start_cost(self, thread: ThreadContext, t: int) -> int:
         """Fetch the offloaded context into the thread's bank (as banked)."""
@@ -102,33 +103,43 @@ class FGMTCore(TimelineCore):
 
     # ------------------------------------------------------------------
     def _process_barrel_instruction(self, thread: ThreadContext) -> None:
-        inst = self.program[thread.pc]
-        board = self._boards[thread.tid]
-        if self.fault_hook is not None:
-            self._issue_ready[thread.tid] = self.fault_hook.on_instruction(
-                thread, inst, self._issue_ready[thread.tid])
+        dops = self._dops
+        d = dops[thread.pc]
+        inst = d.inst
+        tid = thread.tid
+        board = self._boards[tid]
+        stats = self.stats
+        issue_ready = self._issue_ready
+        bus = self.bus
+        if bus.faults is not None:
+            issue_ready[tid] = bus.faults.on_instruction(
+                thread, inst, issue_ready[tid])
 
         # issue slot: one instruction per cycle shared by all threads
-        t_ops = self._operand_ready(thread, inst)
-        t_issue = max(t_ops, self.decode_free + 1,
-                      self._issue_ready[thread.tid])
+        t_ops = self._operand_ready(thread, d)
+        t_issue = max(t_ops, self.decode_free + 1, issue_ready[tid])
         self.decode_free = t_issue
 
-        t_ex_start = max(t_issue, self.ex_free)
-        t_ex_done = t_ex_start + inst.ex_latency
+        ex_free = self.ex_free
+        t_ex_start = t_issue if t_issue > ex_free else ex_free
+        t_ex_done = t_ex_start + d.ex_latency
         self.ex_free = t_ex_done
 
-        srcvals = {r: thread.read(r) for r in inst.srcs}
+        xregs = thread.xregs
+        dregs = thread.dregs
+        srcvals = {}
+        for reg, is_x, idx in d.src_reads:
+            srcvals[reg] = xregs[idx] if is_x else dregs[idx]
         result = evaluate(inst, srcvals, thread.flags, thread.pc)
 
         data_at = t_ex_done
-        if inst.is_load:
+        if d.is_load:
             t_m = self._load_slot_wait(t_ex_done)
             _, r = self.dcache_request(t_m, result.addr, is_load_data=True)
             data_at = r.complete_at
             if not r.hit:
-                self.stats.inc("load_miss_stalls")
-        elif inst.is_store:
+                stats.inc("load_miss_stalls")
+        elif d.is_store:
             data_at = self._sq_insert(t_ex_done, result.addr)
             self.memory.store(result.addr, result.store_value)
 
@@ -136,35 +147,32 @@ class FGMTCore(TimelineCore):
         self.commit_tail = t_c
         if not result.halt:
             thread.instructions += 1
-        self.now = min(self._issue_ready.values())
+        self.now = min(issue_ready.values())
 
         for reg, value in result.writes.items():
             thread.write(reg, value)
             board[reg] = t_ex_done
-        if inst.is_load:
-            thread.write(inst.rd, self.memory.load(result.addr))
-            board[inst.rd] = data_at
+        if d.is_load:
+            thread.write(d.rd, self.memory.load(result.addr))
+            board[d.rd] = data_at
         if result.new_flags is not None:
             thread.flags = result.new_flags
-            self._flags_ready[thread.tid] = t_ex_done
+            self._flags_ready[tid] = t_ex_done
 
-        if self.sanitizer is not None:
+        if bus.sanitizer is not None:
             # after the architectural update, before pc advances — the same
-            # commit-point contract as TimelineCore._process_instruction
-            self.sanitizer.on_commit(thread, inst, result, t_c)
+            # commit-point contract as the TimelineCore step bodies
+            bus.sanitizer.on_commit(thread, inst, result, t_c)
 
         if result.halt:
             thread.state = ThreadState.DONE
-            self.stats.inc("threads_completed")
+            stats.inc("threads_completed")
             return
         thread.pc = result.target if result.taken else thread.pc + 1
         # peek the next instruction's operand readiness so the scheduler
         # lets other threads run while this one waits on a load
-        nxt = self.program[thread.pc]
-        self._issue_ready[thread.tid] = max(
-            t_issue + 1, self._operand_ready(thread, nxt))
-        if result.taken:
+        t_next = max(t_issue + 1, self._operand_ready(thread, dops[thread.pc]))
+        if result.taken and t_ex_done + self.config.redirect_penalty > t_next:
             # barrel cores still pay the fetch redirect for taken branches
-            self._issue_ready[thread.tid] = max(
-                self._issue_ready[thread.tid],
-                t_ex_done + self.config.redirect_penalty)
+            t_next = t_ex_done + self.config.redirect_penalty
+        issue_ready[tid] = t_next

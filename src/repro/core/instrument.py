@@ -1,0 +1,89 @@
+"""The unified instrumentation bus of the timeline engine.
+
+Three generations of opt-in observation layers — fault injection,
+telemetry, and the VSan sanitizer — plus the original pipeline tracer each
+used to hang off the core as its own attribute, and the hot loop paid one
+``if self.X is not None`` per layer per committed instruction whether or
+not anything was attached.  :class:`InstrumentBus` collapses the four into
+one seam with two guarantees:
+
+* **Compiled fast path.**  When nothing is attached the engine runs a
+  separate uninstrumented copy of the per-instruction step that contains
+  *zero* instrumentation branches: attaching or detaching any instrument
+  rebinds ``core._process_instruction`` between the fast and the
+  instrumented body (see ``TimelineCore._recompile_step``).
+
+* **Fixed dispatch order.**  When instruments are attached they are
+  dispatched in a fixed pipeline-position order per instruction:
+  ``faults`` (front end, may legally add cycles) -> ``telemetry`` (commit
+  clock) -> ``sanitizer`` (post-architectural-update commit check) ->
+  ``tracer`` (record, last).  Observational instruments (telemetry,
+  sanitizer, tracer) must never alter a cycle timestamp — the noop suites
+  under ``tests/telemetry`` and ``tests/sanitizer`` enforce cycle-identity
+  of the attached path against the fast path.
+
+Backward compatibility: ``core.fault_hook`` / ``core.telemetry`` /
+``core.sanitizer`` / ``core.tracer`` remain readable and writable — they
+are properties delegating to the bus slots, so the existing ``attach()``
+entry points of each subsystem keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["InstrumentBus"]
+
+#: bus slot names in dispatch order (see the module docstring)
+DISPATCH_ORDER = ("faults", "telemetry", "sanitizer", "tracer")
+
+
+class InstrumentBus:
+    """The instrumentation attachment point of one core.
+
+    Slots (all ``None`` when detached, dispatch in this order):
+
+    ``faults``
+        :class:`~repro.faults.FaultInjector` — the only instrument allowed
+        to return an adjusted timestamp (fault recovery costs cycles).
+    ``telemetry``
+        :class:`~repro.telemetry.CoreTelemetry` — event/interval recording
+        off the commit clock; purely observational.
+    ``sanitizer``
+        :class:`~repro.sanitizer.CoreSanitizer` — shadow-state check after
+        the architectural update; purely observational (raises on
+        divergence, never adjusts timing).
+    ``tracer``
+        :class:`~repro.core.trace.PipelineTracer` — per-instruction stage
+        timestamps; purely observational.
+    """
+
+    __slots__ = ("faults", "telemetry", "sanitizer", "tracer")
+
+    def __init__(self) -> None:
+        self.faults = None
+        self.telemetry = None
+        self.sanitizer = None
+        self.tracer = None
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is attached (the engine may run its fast path)."""
+        return (self.faults is None and self.telemetry is None
+                and self.sanitizer is None and self.tracer is None)
+
+    def attached(self) -> List[Tuple[str, object]]:
+        """``(slot, instrument)`` pairs in dispatch order, attached only."""
+        return [(name, getattr(self, name)) for name in DISPATCH_ORDER
+                if getattr(self, name) is not None]
+
+    def set(self, slot: str, instrument: Optional[object]) -> None:
+        """Attach (or detach with ``None``) one instrument by slot name."""
+        if slot not in DISPATCH_ORDER:
+            raise ValueError(f"unknown instrument slot {slot!r}; "
+                             f"expected one of {DISPATCH_ORDER}")
+        setattr(self, slot, instrument)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        on = ",".join(name for name, _ in self.attached()) or "empty"
+        return f"<InstrumentBus {on}>"

@@ -1,0 +1,13 @@
+"""Execution backends for batch simulation (serial / process-parallel).
+
+See :mod:`repro.exec.backends` for the backend contract and the
+determinism guarantees, and ``docs/architecture.md`` ("Execution backends
+& instrumentation bus") for the design discussion.
+"""
+
+from .backends import (ExecBackend, ProcessPoolBackend, SerialBackend,
+                       resolve_backend)
+from .workers import grid_worker, strip_result, sweep_worker
+
+__all__ = ["ExecBackend", "ProcessPoolBackend", "SerialBackend",
+           "grid_worker", "resolve_backend", "strip_result", "sweep_worker"]

@@ -1,0 +1,89 @@
+"""Top-level worker functions for :class:`~repro.exec.ProcessPoolBackend`.
+
+Process-pool workers are pickled *by reference* (module + name), so they
+must live at module top level; their arguments and return values cross a
+process boundary, so both must pickle cleanly.  That drives two rules
+encoded here:
+
+* **Results are stripped before returning.**  A
+  :class:`~repro.system.simulator.RunResult` carries the live telemetry
+  session and sanitizer handles, which hold references to cores (bound
+  methods, caches) that neither pickle nor mean anything in the parent.
+  ``strip_result`` drops them; everything the sweep machinery consumes
+  (config, cycles, instructions, ipc, rf_hit_rate, stats, host_profile)
+  survives, so result digests are unaffected.
+
+* **Expected failures are return values, not exceptions.**  Each worker
+  catches :class:`~repro.errors.SimulationError` into a structured
+  :class:`~repro.errors.RunFailure` (picklable primitives) plus a
+  best-effort copy of the original exception for fail-fast mode; an
+  exception that escapes a worker aborts the whole map, which is reserved
+  for genuine driver bugs.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import asdict
+from typing import Optional, Tuple
+
+from ..errors import RunFailure, SimulationError
+
+__all__ = ["grid_worker", "strip_result", "sweep_worker"]
+
+
+def strip_result(result):
+    """Drop the unpicklable session handles from a RunResult (in place)."""
+    if result is not None:
+        result.telemetry = None
+        result.sanitizer = None
+    return result
+
+
+def _portable_exc(exc: Optional[BaseException]) -> Optional[BaseException]:
+    """The exception itself if it survives pickling, else a faithful stand-in.
+
+    Some simulation errors carry rich attachments (e.g. a fault site
+    record) that may not reconstruct across a process boundary; fail-fast
+    callers still deserve the right exception *type* and message.
+    """
+    if exc is None:
+        return None
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        try:
+            return type(exc)(str(exc))
+        except Exception:
+            return SimulationError(f"{type(exc).__name__}: {exc}")
+
+
+def sweep_worker(task: Tuple[int, object, bool]):
+    """Run one sweep config: ``(index, cfg, check)`` -> tagged result.
+
+    Returns ``("ok", result)`` or ``("err", failure, exception)``.
+    """
+    index, cfg, check = task
+    from ..system.simulator import run_config
+    try:
+        return ("ok", strip_result(run_config(cfg, check=check)))
+    except SimulationError as exc:
+        failure = RunFailure.from_exception(exc, index=index,
+                                            config=asdict(cfg))
+        return ("err", failure, _portable_exc(exc))
+
+
+def grid_worker(task):
+    """Run one grid config through the resilient isolated runner.
+
+    ``task`` mirrors :func:`repro.system.sweeps._run_isolated`'s signature:
+    ``(index, cfg, check, retries, timeout_s, max_cycles, key)``.  The
+    SIGALRM wall-clock watchdog still works here — pool tasks execute on
+    the worker process's main thread.
+    """
+    index, cfg, check, retries, timeout_s, max_cycles, key = task
+    from ..system.sweeps import _run_isolated
+    result, failure, exc = _run_isolated(index, cfg, check, retries,
+                                         timeout_s, max_cycles, key)
+    return strip_result(result), failure, _portable_exc(exc)

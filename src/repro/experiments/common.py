@@ -90,3 +90,18 @@ def geomean(values: Sequence[float]) -> float:
     if not vals:
         return 0.0
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def run_many(configs: Sequence, check: bool = True, jobs: int = None,
+             backend=None) -> List:
+    """Run a batch of RunConfigs through the execution backend.
+
+    The figure drivers build their whole config list up front and map it
+    through this helper, so ``jobs=N`` (or the ``REPRO_JOBS`` environment
+    variable) fans a figure's runs over worker processes with results in
+    config order — identical to a serial run (see :mod:`repro.exec`).
+    Fail-fast: any simulation error raises, as the drivers expect.
+    """
+    from ..system.simulator import sweep
+    return sweep(list(configs), check=check, on_error="raise", jobs=jobs,
+                 backend=backend)

@@ -5,47 +5,74 @@ ViReC at 40/60/80% context, the NSF register cache [41], and the two
 prefetching strategies.  Reports per-run speedup relative to the banked
 core plus the suite means the paper quotes (e.g. mean drops of ~4.4%/7.1%/
 10% at 80% context for 4/6/8 threads).
+
+The driver builds the complete config list up front and maps it through
+:func:`~repro.experiments.common.run_many`, so the whole figure fans out
+over worker processes with ``jobs=N`` (results and row order are identical
+to a serial run — this grid is also the reference for the serial-vs-
+parallel digest-equality acceptance test).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..system import RunConfig, run_config
-from .common import SUITE, ExperimentResult, geomean, scale_to_n
+from ..system import RunConfig
+from .common import SUITE, ExperimentResult, geomean, run_many, scale_to_n
 
 CONTEXTS = (0.8, 0.6, 0.4)
 THREADS = (4, 6, 8)
 
 
-def run(scale="quick", workloads: Sequence[str] = SUITE,
-        threads: Sequence[int] = THREADS,
-        include_nsf: bool = True,
-        include_prefetch: bool = True) -> ExperimentResult:
-    """Reproduce Figure 9 (ViReC vs banked/NSF/prefetch speedups)."""
+def grid(scale="quick", workloads: Sequence[str] = SUITE,
+         threads: Sequence[int] = THREADS, include_nsf: bool = True,
+         include_prefetch: bool = True) -> List[RunConfig]:
+    """The figure's flat config list, row-major, baseline first per cell."""
     n = scale_to_n(scale)
-    rows: List[Dict] = []
+    configs: List[RunConfig] = []
     for workload in workloads:
         for t in threads:
             base = RunConfig(workload=workload, n_threads=t, n_per_thread=n)
-            banked = run_config(base.with_(core_type="banked"))
-            row = {"workload": workload, "threads": t,
-                   "banked_cycles": banked.cycles}
+            configs.append(base.with_(core_type="banked"))
             for frac in CONTEXTS:
-                r = run_config(base.with_(core_type="virec",
+                configs.append(base.with_(core_type="virec",
                                           context_fraction=frac))
-                row[f"virec{int(frac * 100)}"] = banked.cycles / r.cycles
             if include_nsf:
                 for frac in (0.8, 0.4):
-                    r = run_config(base.with_(core_type="nsf",
+                    configs.append(base.with_(core_type="nsf",
                                               context_fraction=frac))
-                    row[f"nsf{int(frac * 100)}"] = banked.cycles / r.cycles
             if include_prefetch:
-                r = run_config(base.with_(core_type="prefetch-full"))
-                row["pf_full"] = banked.cycles / r.cycles
-                r = run_config(base.with_(core_type="prefetch-exact"))
-                row["pf_exact"] = banked.cycles / r.cycles
-            rows.append(row)
+                configs.append(base.with_(core_type="prefetch-full"))
+                configs.append(base.with_(core_type="prefetch-exact"))
+    return configs
+
+
+def _column(cfg: RunConfig) -> str:
+    """Row column name of one non-baseline config."""
+    if cfg.core_type == "virec":
+        return f"virec{int(cfg.context_fraction * 100)}"
+    if cfg.core_type == "nsf":
+        return f"nsf{int(cfg.context_fraction * 100)}"
+    return {"prefetch-full": "pf_full", "prefetch-exact": "pf_exact"}[
+        cfg.core_type]
+
+
+def run(scale="quick", workloads: Sequence[str] = SUITE,
+        threads: Sequence[int] = THREADS,
+        include_nsf: bool = True,
+        include_prefetch: bool = True,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    """Reproduce Figure 9 (ViReC vs banked/NSF/prefetch speedups)."""
+    configs = grid(scale, workloads, threads, include_nsf, include_prefetch)
+    results = iter(run_many(configs, jobs=jobs))
+
+    rows: List[Dict] = []
+    for cfg, result in zip(configs, results):
+        if cfg.core_type == "banked":
+            rows.append({"workload": cfg.workload, "threads": cfg.n_threads,
+                         "banked_cycles": result.cycles})
+        else:
+            rows[-1][_column(cfg)] = rows[-1]["banked_cycles"] / result.cycles
 
     # suite means per thread count (the numbers quoted in Section 6.1)
     summary = []

@@ -8,37 +8,43 @@ physical registers provisioned.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .. import workloads as wl
-from ..system import RunConfig, run_config
-from .common import ExperimentResult, scale_to_n
+from ..system import RunConfig
+from .common import ExperimentResult, run_many, scale_to_n
 
 FRACTIONS = (0.4, 0.6, 0.8, 1.0)
 
 
 def run(scale="quick", workload: str = "gather",
-        threads: Sequence[int] = (2, 4, 6, 8, 10)) -> ExperimentResult:
+        threads: Sequence[int] = (2, 4, 6, 8, 10),
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Reproduce Figure 10 (performance per register vs threads)."""
     n = scale_to_n(scale)
     total = n * max(threads)
     active = len(wl.get(workload).build(n_threads=2, n_per_thread=4).active_regs)
-    rows = []
+    configs = []
     for t in threads:
         per_thread = max(4, total // t)
         base = RunConfig(workload=workload, n_threads=t, n_per_thread=per_thread)
         if t <= 8:
-            banked = run_config(base.with_(core_type="banked"))
-            regs = t * 64
-            rows.append({"threads": t, "config": "banked", "registers": regs,
-                         "cycles": banked.cycles,
-                         "perf": 1e6 / banked.cycles,
-                         "perf_per_reg": 1e6 / banked.cycles / regs})
+            configs.append(base.with_(core_type="banked"))
         for frac in FRACTIONS:
-            cfg = base.with_(core_type="virec", context_fraction=frac)
-            r = run_config(cfg)
+            configs.append(base.with_(core_type="virec",
+                                      context_fraction=frac))
+    rows = []
+    for cfg, r in zip(configs, run_many(configs, jobs=jobs)):
+        if cfg.core_type == "banked":
+            regs = cfg.n_threads * 64
+            rows.append({"threads": cfg.n_threads, "config": "banked",
+                         "registers": regs, "cycles": r.cycles,
+                         "perf": 1e6 / r.cycles,
+                         "perf_per_reg": 1e6 / r.cycles / regs})
+        else:
             regs = cfg.resolve_rf_size(active)
-            rows.append({"threads": t, "config": f"virec{int(frac * 100)}",
+            rows.append({"threads": cfg.n_threads,
+                         "config": f"virec{int(cfg.context_fraction * 100)}",
                          "registers": regs, "cycles": r.cycles,
                          "perf": 1e6 / r.cycles,
                          "perf_per_reg": 1e6 / r.cycles / regs,

@@ -1,6 +1,7 @@
 """Mini AArch64-flavoured ISA: registers, instructions, assembler, golden model."""
 
 from .assembler import AssemblerError, assemble
+from .decoded import DecodedOp, DecodedProgram
 from .encoding import (
     EncodingError,
     decode_instruction,
@@ -22,7 +23,8 @@ from .program import Program
 from .registers import D, Reg, RegClass, SP, X, from_flat, parse_reg
 
 __all__ = [
-    "AddrMode", "ArchState", "AssemblerError", "Cond", "D", "EncodingError",
+    "AddrMode", "ArchState", "AssemblerError", "Cond", "D", "DecodedOp",
+    "DecodedProgram", "EncodingError",
     "ExecResult", "Flags", "FunctionalSimulator", "Instruction", "Opcode",
     "Program", "Reg", "RegClass", "SP", "X", "assemble",
     "decode_instruction", "decode_program", "encode_instruction",

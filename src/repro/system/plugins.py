@@ -1,0 +1,102 @@
+"""Subsystem wiring registry for the simulation driver.
+
+``run_config`` used to carry one copy-paste ``_wire_<subsystem>`` function
+per opt-in layer (fault injection, telemetry, VSan), each encoding the same
+shape: *is it asked for in the RunConfig? build its config, attach it to
+every core, hand back a session-like handle, finalize it at the right
+moment*.  Adding a layer meant editing the driver in three places (wiring,
+finalize, and the ooo-core rejection list).
+
+This module replaces that with a registry of :class:`SubsystemPlugin`
+records.  Each subsystem package registers its own plugin at import time
+(see ``repro/faults/__init__.py``, ``repro/telemetry/__init__.py``,
+``repro/sanitizer/__init__.py``), and the driver just iterates — the next
+layer (a replayer, checkpointing, ...) wires itself without touching
+``simulator.py``.
+
+Contracts preserved from the hand-written wiring:
+
+* **Order matters.**  Plugins wire in ascending ``order``: fault injection
+  (order 10) must come before telemetry (20) so fault events reach the
+  session's event ring (``core.fault_hook.event_sink``), and before the
+  sanitizer (30) so injected corruption is visible to the shadow checks.
+* **Finalize runs in reverse wiring order**, in two stages matching the
+  driver's phases: ``finalize_simulate`` (inside the simulate profiling
+  phase, e.g. VSan's run-end register sweep, which may raise) and
+  ``finalize`` (after it, e.g. flushing telemetry interval samples).
+* **Strictly opt-in.**  A plugin's ``wire`` returns ``None`` when its
+  config is absent or disabled; the run is then bit-identical to a build
+  without that subsystem.
+* The ooo host core runs none of the timeline-engine layers: a plugin with
+  ``ooo_error`` set makes ``run_config`` reject an enabled config for
+  ``core_type="ooo"`` with exactly that message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["SubsystemPlugin", "register", "registered", "get"]
+
+
+@dataclass(frozen=True)
+class SubsystemPlugin:
+    """One opt-in simulation subsystem and how the driver wires it."""
+
+    #: registry key; also the ``RunResult`` attribute the handle lands on
+    #: when one of the legacy fields (``telemetry``/``sanitizer``) matches
+    name: str
+    #: does this RunConfig ask for the subsystem (used for ooo rejection)?
+    enabled: Callable[[object], bool]
+    #: attach to every core; returns the session-like handle or None.
+    #: Signature: ``wire(cfg, node, instances) -> Optional[handle]``
+    wire: Callable[[object, object, List[object]], Optional[object]]
+    #: called inside the simulate phase, after the run, with
+    #: ``(handle, node_result)`` — may raise (e.g. SanitizerViolation)
+    finalize_simulate: Optional[Callable[[object, object], None]] = None
+    #: called after the simulate phase with ``(handle,)``
+    finalize: Optional[Callable[[object], None]] = None
+    #: rejection message for the ooo host core (None = allowed there)
+    ooo_error: Optional[str] = None
+    #: wiring position; ties broken by registration sequence
+    order: int = 100
+
+
+_REGISTRY: Dict[str, SubsystemPlugin] = {}
+_SEQ: Dict[str, int] = {}
+_booted = False
+
+
+def register(plugin: SubsystemPlugin) -> SubsystemPlugin:
+    """Register (or re-register, idempotently by name) a subsystem plugin."""
+    if plugin.name not in _SEQ:
+        _SEQ[plugin.name] = len(_SEQ)
+    _REGISTRY[plugin.name] = plugin
+    return plugin
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in subsystem packages so they self-register.
+
+    The driver imports them lazily (they are heavyweight and opt-in), so
+    the registry bootstraps them on first use instead of at module import.
+    """
+    global _booted
+    if _booted:
+        return
+    _booted = True
+    from .. import faults, sanitizer, telemetry  # noqa: F401  (self-register)
+
+
+def registered() -> List[SubsystemPlugin]:
+    """All plugins in wiring order (ascending ``order``, then registration)."""
+    _ensure_builtins()
+    return sorted(_REGISTRY.values(),
+                  key=lambda p: (p.order, _SEQ[p.name]))
+
+
+def get(name: str) -> Optional[SubsystemPlugin]:
+    """The registered plugin named ``name`` (None when unknown)."""
+    _ensure_builtins()
+    return _REGISTRY.get(name)

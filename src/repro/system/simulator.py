@@ -25,6 +25,7 @@ from ..virec import ViReCConfig, ViReCCore, make_nsf_core
 from .config import OOO_CLOCK_RATIO, RunConfig, ndp_dcache, ndp_icache, table1_dram
 from .node import NearMemoryNode, NodeResult
 from .offload import offload_contexts
+from .plugins import registered as registered_plugins
 
 
 @dataclass
@@ -136,19 +137,24 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
 
         node = NearMemoryNode(cfg.n_cores, memsys, factory,
                               stats=stats.child("node"))
-        _wire_fault_injection(cfg, node, instances)
-        session = _wire_telemetry(cfg, node)
-        vsan = _wire_sanitizer(cfg, node, instances)
+        # subsystem wiring: every registered plugin, in registry order
+        # (faults -> telemetry -> sanitizer -> ...); disabled plugins
+        # return None and wire nothing (see system/plugins.py)
+        plugins = registered_plugins()
+        handles = {p.name: p.wire(cfg, node, instances) for p in plugins}
 
     with profiler.phase("simulate"):
         result = node.run(max_cycles=cfg.max_cycles)
-        if vsan is not None:
-            # run-end sweep over the full architectural register file (the
-            # only check point at granularity="run"); raises
-            # SanitizerViolation on divergence
-            vsan.finalize(result.cycles)
-    if session is not None:
-        session.finalize()
+        # e.g. VSan's run-end sweep over the full architectural register
+        # file — may raise SanitizerViolation, so it belongs to this phase
+        for p in reversed(plugins):
+            if p.finalize_simulate is not None and handles[p.name] is not None:
+                p.finalize_simulate(handles[p.name], result)
+    for p in reversed(plugins):
+        if p.finalize is not None and handles[p.name] is not None:
+            p.finalize(handles[p.name])
+    session = handles.get("telemetry")
+    vsan = handles.get("sanitizer")
 
     with profiler.phase("check"):
         correct = all(inst.check() for inst in instances) if check else True
@@ -171,87 +177,17 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
                      telemetry=session, sanitizer=vsan, host_profile=host)
 
 
-def _wire_telemetry(cfg: RunConfig, node):
-    """Attach a TelemetrySession when the config asks for one.
-
-    Strictly opt-in, and purely observational even when on: cycle counts
-    with telemetry enabled are identical to a run without it (enforced by
-    tests/telemetry/test_noop.py).  Must run *after* fault-injection
-    wiring so fault events reach the session's event ring.
-    """
-    if cfg.telemetry is None:
-        return None
-    from ..telemetry import TelemetryConfig, TelemetrySession
-    tc = TelemetryConfig.from_spec(cfg.telemetry)
-    if not tc.enabled:
-        return None
-    session = TelemetrySession(tc)
-    for core in node.cores:
-        session.attach(core)
-    return session
-
-
-def _wire_sanitizer(cfg: RunConfig, node, instances):
-    """Attach a VSan Sanitizer when the config asks for one.
-
-    Strictly opt-in, and purely observational when on: a sanitize-on run
-    that raises no violation is cycle-identical to a sanitize-off run
-    (enforced by tests/sanitizer/test_noop.py).  Wired *after* fault
-    injection so injected corruption is visible to the shadow checks —
-    the fault subsystem doubles as VSan's test oracle.
-    """
-    if cfg.sanitize is None:
-        return None
-    from ..sanitizer import SanitizeConfig, Sanitizer
-    sc = SanitizeConfig.from_spec(cfg.sanitize)
-    if not sc.enabled:
-        return None
-    vsan = Sanitizer(sc)
-    for core, inst in zip(node.cores, instances):
-        vsan.attach(core, inst.memory)
-    return vsan
-
-
-def _wire_fault_injection(cfg: RunConfig, node, instances) -> None:
-    """Attach a per-core FaultInjector when the config asks for one.
-
-    Strictly opt-in: with ``cfg.faults`` unset (or all rates zero and no
-    scheduled flips) nothing is wired and the run is bit-identical to one
-    on a build without the fault subsystem.
-    """
-    if cfg.faults is None:
-        return
-    from ..faults import FaultConfig, FaultInjector
-    fc = FaultConfig.from_spec(cfg.faults)
-    if not fc.enabled:
-        return
-    for cid, (core, inst) in enumerate(zip(node.cores, instances)):
-        FaultInjector.attach(
-            core, fc.reseeded(fc.seed + 1009 * cid + cfg.seed),
-            stats=core.stats.child("faults"), regs=inst.active_regs)
-
-
 def _run_ooo(cfg: RunConfig, spec, check: bool, profiler=None) -> RunResult:
     """Single OoO host core over the full (unpartitioned) problem."""
-    from ..telemetry import HostProfiler, TelemetryConfig
+    from ..telemetry import HostProfiler
 
     if profiler is None:
         profiler = HostProfiler()
-    if cfg.faults is not None:
-        from ..faults import FaultConfig
-        if FaultConfig.from_spec(cfg.faults).enabled:
-            raise ValueError("fault injection is not modelled for the ooo "
-                             "host core (its RF is not a ViReC-style cache)")
-    if cfg.telemetry is not None and TelemetryConfig.from_spec(
-            cfg.telemetry).enabled:
-        raise ValueError("telemetry is not modelled for the ooo host core "
-                         "(it does not run on the timeline engine)")
-    if cfg.sanitize is not None:
-        from ..sanitizer import SanitizeConfig
-        if SanitizeConfig.from_spec(cfg.sanitize).enabled:
-            raise ValueError("the sanitizer is not modelled for the ooo "
-                             "host core (it does not run on the timeline "
-                             "engine)")
+    # the ooo host core does not run on the timeline engine, so none of
+    # the registered subsystem plugins can be wired to it
+    for p in registered_plugins():
+        if p.ooo_error is not None and p.enabled(cfg):
+            raise ValueError(p.ooo_error)
     with profiler.phase("build"):
         inst = spec.build(n_threads=1,
                           n_per_thread=cfg.n_per_thread * cfg.n_threads,
@@ -291,25 +227,55 @@ class ResultList(List[Optional[RunResult]]):
 
 
 def sweep(configs: List[RunConfig], check: bool = True,
-          on_error: str = "raise") -> List[RunResult]:
+          on_error: str = "raise", jobs: Optional[int] = None,
+          backend=None) -> List[RunResult]:
     """Run a list of configurations (the experiment drivers' workhorse).
 
     ``on_error="raise"`` (default) keeps the historical fail-fast contract.
     ``on_error="isolate"`` records each failing config as a RunFailure on
     the returned :class:`ResultList` (with ``None`` as its placeholder
     entry) and keeps going, so one bad configuration cannot abort a grid.
+
+    ``jobs``/``backend`` select the execution backend (see
+    :mod:`repro.exec`): the default is serial, in-process; ``jobs=N``
+    fans the configs out over N spawn workers with results returned in
+    config order — parallel and serial sweeps of the same list produce
+    identical result digests.
     """
     if on_error not in ("raise", "isolate"):
         raise ValueError(f"on_error must be 'raise' or 'isolate', "
                          f"not {on_error!r}")
+    from ..exec import SerialBackend, resolve_backend, sweep_worker
+    backend = resolve_backend(jobs, backend)
+    if isinstance(backend, SerialBackend):
+        # in-process path: call run_config through this module's global so
+        # tests (and downstream embedders) that monkeypatch it still apply
+        if on_error == "raise":
+            return [run_config(c, check=check) for c in configs]
+        results = ResultList()
+        for i, cfg in enumerate(configs):
+            try:
+                results.append(run_config(cfg, check=check))
+            except SimulationError as exc:
+                results.append(None)
+                results.failures.append(RunFailure.from_exception(
+                    exc, index=i, config=asdict(cfg)))
+        return results
+
+    tagged = backend.map(sweep_worker,
+                         [(i, cfg, check) for i, cfg in enumerate(configs)])
     if on_error == "raise":
-        return [run_config(c, check=check) for c in configs]
+        out: List[RunResult] = []
+        for item in tagged:
+            if item[0] == "err":
+                raise item[2]
+            out.append(item[1])
+        return out
     results = ResultList()
-    for i, cfg in enumerate(configs):
-        try:
-            results.append(run_config(cfg, check=check))
-        except SimulationError as exc:
+    for item in tagged:
+        if item[0] == "ok":
+            results.append(item[1])
+        else:
             results.append(None)
-            results.failures.append(RunFailure.from_exception(
-                exc, index=i, config=asdict(cfg)))
+            results.failures.append(item[1])
     return results

@@ -215,7 +215,8 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
              timeout_s: Optional[float] = None,
              max_cycles: Optional[int] = None,
              checkpoint: Optional[str] = None,
-             resume: bool = False) -> GridRows:
+             resume: bool = False, jobs: Optional[int] = None,
+             backend=None) -> GridRows:
     """Simulate every config; returns flat result rows (config + metrics).
 
     ``progress`` is an optional callable invoked as ``progress(i, total,
@@ -229,28 +230,56 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
     per-config watchdogs.  ``checkpoint`` appends every finished row to a
     JSONL journal; with ``resume=True`` completed rows are replayed from it
     and only failed or missing configs are re-simulated.
+
+    ``jobs``/``backend`` select the execution backend (see
+    :mod:`repro.exec`).  With ``jobs=N`` the pending configs fan out over N
+    spawn workers; rows, failures, journal records, and progress callbacks
+    still arrive in config order, and the row set is identical to a serial
+    run.  Parallel fail-fast (``on_error="raise"``) raises the first (by
+    config order) failure after the batch completes, rather than aborting
+    mid-grid.  The journal is written by this (parent) process only, so
+    checkpoint/resume semantics are unchanged.
     """
     if on_error not in ("raise", "isolate"):
         raise ValueError(f"on_error must be 'raise' or 'isolate', "
                          f"not {on_error!r}")
     if resume and not checkpoint:
         raise ValueError("resume=True requires a checkpoint path")
+    from ..exec import SerialBackend, grid_worker, resolve_backend
+    backend = resolve_backend(jobs, backend)
     configs = list(configs)
     previous = _load_journal(checkpoint) if (checkpoint and resume) else {}
     journal = _Journal(checkpoint) if checkpoint else None
     rows = GridRows()
+    keys = [config_key(cfg) for cfg in configs]
+
+    def _is_resumed(i: int) -> bool:
+        done = previous.get(keys[i])
+        return done is not None and done.get("status") == "ok"
+
+    outcomes: Dict[int, tuple] = {}
+    if not isinstance(backend, SerialBackend):
+        tasks = [(i, cfg, check, retries, timeout_s, max_cycles, keys[i])
+                 for i, cfg in enumerate(configs) if not _is_resumed(i)]
+        for task, outcome in zip(tasks, backend.map(grid_worker, tasks)):
+            outcomes[task[0]] = outcome
     try:
         for i, cfg in enumerate(configs):
-            key = config_key(cfg)
-            done = previous.get(key)
-            if done is not None and done.get("status") == "ok":
-                rows.append(done["row"])
+            key = keys[i]
+            if _is_resumed(i):
+                rows.append(previous[key]["row"])
                 rows.resumed += 1
                 if progress is not None:
                     progress(i + 1, len(configs), None)
                 continue
-            result, failure, exc = _run_isolated(i, cfg, check, retries,
-                                                 timeout_s, max_cycles, key)
+            if i in outcomes:
+                result, failure, exc = outcomes[i]
+            else:
+                # serial path: call the module-global _run_isolated /
+                # run_config inline so monkeypatched entry points apply
+                result, failure, exc = _run_isolated(i, cfg, check, retries,
+                                                     timeout_s, max_cycles,
+                                                     key)
             if result is not None:
                 row = _result_row(cfg, result)
                 rows.append(row)

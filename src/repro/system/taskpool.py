@@ -72,7 +72,6 @@ class TaskPool:
 
 def attach_pool(core: TimelineCore, pool: TaskPool) -> None:
     """Hook ``core`` so halting threads pull the next task from ``pool``."""
-    orig_process = core._process_instruction
     drop_regs = getattr(core, "drop_thread_registers", None)  # ViReC cores
 
     def redispatch(thread: ThreadContext, t: int) -> bool:
@@ -96,7 +95,9 @@ def attach_pool(core: TimelineCore, pool: TaskPool) -> None:
         return True
 
     def process(thread: ThreadContext) -> None:
-        orig_process(thread)
+        # call through _step_impl (not a captured binding) so instruments
+        # attached after this wrapper still recompile the underlying step
+        core._step_impl(thread)
         if thread.state == ThreadState.DONE:
             pool.completed += 1
             if redispatch(thread, core.commit_tail):

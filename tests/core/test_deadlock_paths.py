@@ -40,10 +40,25 @@ class TestNoRunnableThread:
 
 
 class TestInstructionBudget:
-    def test_run_raises_when_budget_exceeded(self):
+    def test_run_raises_when_instruction_budget_exceeded(self):
+        core, *_ = build_gather_core(
+            BankedCore, n_threads=4, n=64,
+            config=CoreConfig(max_instructions=2, max_cycles=None))
+        with pytest.raises(DeadlockError, match="instruction budget"):
+            core.run()
+
+    def test_run_raises_when_cycle_budget_exceeded(self):
+        # max_cycles now bounds the simulated commit clock (commit_tail),
+        # not committed instructions — the historical mislabelling
         core, *_ = build_gather_core(BankedCore, n_threads=4, n=64,
                                      config=CoreConfig(max_cycles=2))
-        with pytest.raises(DeadlockError, match="instruction budget"):
+        with pytest.raises(DeadlockError, match="cycle budget"):
+            core.run()
+
+    def test_cycle_watchdog_reports_commit_clock(self):
+        core, *_ = build_gather_core(BankedCore, n_threads=4, n=64,
+                                     config=CoreConfig(max_cycles=2))
+        with pytest.raises(DeadlockError, match="commit clock"):
             core.run()
 
     def test_sufficient_budget_completes(self):
@@ -54,11 +69,26 @@ class TestInstructionBudget:
         out = [int(v) for v in mem.read_array(sym["out"], len(expected))]
         assert out == expected
 
+    def test_disabled_watchdogs_complete(self):
+        core, mem, sym, expected = build_gather_core(
+            BankedCore, n_threads=2, n=8,
+            config=CoreConfig(max_cycles=None, max_instructions=None))
+        core.run()
+        out = [int(v) for v in mem.read_array(sym["out"], len(expected))]
+        assert out == expected
+
 
 class TestFGMTBudget:
-    def test_fgmt_run_raises_when_budget_exceeded(self):
+    def test_fgmt_run_raises_when_cycle_budget_exceeded(self):
         core, *_ = build_gather_core(FGMTCore, n_threads=4, n=64,
                                      config=CoreConfig(max_cycles=2))
+        with pytest.raises(DeadlockError, match="cycle budget"):
+            core.run()
+
+    def test_fgmt_run_raises_when_instruction_budget_exceeded(self):
+        core, *_ = build_gather_core(
+            FGMTCore, n_threads=4, n=64,
+            config=CoreConfig(max_instructions=2, max_cycles=None))
         with pytest.raises(DeadlockError, match="instruction budget"):
             core.run()
 

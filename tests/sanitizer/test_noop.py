@@ -112,3 +112,47 @@ def test_violation_is_not_transient():
     never paper over it with a reseeded retry."""
     assert not issubclass(SanitizerViolation, TRANSIENT_ERRORS)
     assert issubclass(SanitizerViolation, AssertionError)
+
+
+# ----------------------------------------------------- the instrument bus
+# VSan rides the core's InstrumentBus (slot ``sanitizer``, dispatched after
+# the architectural update, before the tracer): attaching must flip the
+# core off its fast path, and the checked run must commit on exactly the
+# fast path's clock.
+
+def test_attach_goes_through_the_bus():
+    from repro.core.base import TimelineCore
+    from repro.core.cgmt import BankedCore
+    from repro.sanitizer import Sanitizer
+
+    from ..helpers import build_gather_core
+
+    core, mem, _, _ = build_gather_core(BankedCore, n_threads=2, n=8)
+    assert core.bus.empty
+    assert (core._process_instruction.__func__
+            is TimelineCore._process_instruction_fast)
+
+    cs = Sanitizer().attach(core, mem)
+    assert core.bus.sanitizer is cs is core.sanitizer
+    assert (core._process_instruction.__func__
+            is TimelineCore._process_instruction_instrumented)
+
+
+def test_bus_attached_run_is_cycle_identical_to_fast_path():
+    from repro.core.cgmt import BankedCore
+    from repro.sanitizer import Sanitizer
+
+    from ..helpers import build_gather_core
+
+    bare, _, _, _ = build_gather_core(BankedCore, n_threads=4, n=32)
+    bare.run()
+
+    checked, mem, _, _ = build_gather_core(BankedCore, n_threads=4, n=32)
+    vsan = Sanitizer()
+    vsan.attach(checked, mem)
+    checked.run()
+    vsan.finalize(checked.commit_tail)       # run-end sweep finds no bug
+
+    assert checked.commit_tail == bare.commit_tail
+    assert checked.stats.as_dict() == bare.stats.as_dict()
+    assert checked.sanitizer.shadow is not None

@@ -70,3 +70,46 @@ def test_ooo_rejects_telemetry():
 def test_unknown_telemetry_field_rejected_eagerly():
     with pytest.raises(ValueError, match="unknown telemetry field"):
         RunConfig(telemetry={"evnets": True})
+
+
+# ----------------------------------------------------- the instrument bus
+# Telemetry rides the core's InstrumentBus: attaching must leave the fast
+# (uninstrumented) step path, and the instrumented run must commit on
+# exactly the fast path's clock (the bus-level restatement of the cycle
+# tests above — see repro/core/instrument.py).
+
+def test_attach_goes_through_the_bus():
+    from repro.core.base import TimelineCore
+    from repro.core.cgmt import BankedCore
+    from repro.telemetry import TelemetryConfig, TelemetrySession
+
+    from ..helpers import build_gather_core
+
+    core, _, _, _ = build_gather_core(BankedCore, n_threads=2, n=8)
+    assert core.bus.empty
+    assert (core._process_instruction.__func__
+            is TimelineCore._process_instruction_fast)
+
+    session = TelemetrySession(TelemetryConfig(events=True, interval=50))
+    ct = session.attach(core)
+    assert core.bus.telemetry is ct is core.telemetry
+    assert (core._process_instruction.__func__
+            is TimelineCore._process_instruction_instrumented)
+
+
+def test_bus_attached_run_is_cycle_identical_to_fast_path():
+    from repro.core.cgmt import BankedCore
+    from repro.telemetry import TelemetryConfig, TelemetrySession
+
+    from ..helpers import build_gather_core
+
+    bare, _, _, _ = build_gather_core(BankedCore, n_threads=4, n=32)
+    bare.run()
+
+    observed, _, _, _ = build_gather_core(BankedCore, n_threads=4, n=32)
+    TelemetrySession(TelemetryConfig(events=True, interval=25,
+                                     pipeline_trace=True)).attach(observed)
+    observed.run()
+
+    assert observed.commit_tail == bare.commit_tail
+    assert observed.stats.as_dict() == bare.stats.as_dict()
