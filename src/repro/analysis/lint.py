@@ -26,6 +26,11 @@ VRC004   error     bare ``assert`` guarding simulation invariants in
                    typed exception from :mod:`repro.errors` instead
 VRC005   error     mutable default argument (``def f(x=[])``) — shared
                    across calls, a classic state-leak between runs
+VRC006   warning   direct ``print()`` in library hot paths — library
+                   output must go through the reporting/monitor layers
+                   (or a logger) so sweeps and parsers see structured
+                   data, not stray stdout; the CLI, experiment drivers,
+                   and reporting modules are exempt
 =======  ========  =====================================================
 
 Suppression: append ``# lint: ignore[VRC00N]`` (or the conventional
@@ -84,6 +89,10 @@ RULES: Tuple[LintRule, ...] = (
     LintRule("VRC005", "mutable-default-arg", "error",
              "mutable default arguments are shared across calls and leak "
              "state between runs"),
+    LintRule("VRC006", "print-in-library", "warning",
+             "direct print() in library code bypasses the reporting/"
+             "monitor layers and pollutes machine-readable output; route "
+             "through repro.stats.reporting or the CLI"),
 )
 
 RULES_BY_ID: Dict[str, LintRule] = {r.id: r for r in RULES}
@@ -91,7 +100,17 @@ RULES_BY_ID: Dict[str, LintRule] = {r.id: r for r in RULES}
 #: modules allowed to read the wall clock (VRC002): any file whose path
 #: contains one of these directory names, or matches one of these stems
 _WALLCLOCK_ALLOWED_DIRS = ("telemetry", "tests", "benchmarks")
-_WALLCLOCK_ALLOWED_STEMS = ("profiler", "conftest")
+#: ``spans``/``monitor`` time the *host-side fleet* (worker phases, sweep
+#: heartbeats) — like the profiler, their readings never reach simulated
+#: state or digests
+_WALLCLOCK_ALLOWED_STEMS = ("profiler", "conftest", "spans", "monitor")
+
+#: files allowed to print() directly (VRC006): user-facing surfaces
+#: (the CLI, experiment drivers, reporting/plot helpers) and non-library
+#: trees; everything else must return data or go through reporting
+_PRINT_ALLOWED_DIRS = ("experiments", "tests", "benchmarks", "examples",
+                       "scripts", "docs")
+_PRINT_ALLOWED_STEMS = ("cli", "reporting", "plotting", "monitor")
 
 _WALLCLOCK_TIME_FNS = frozenset({
     "time", "time_ns", "perf_counter", "perf_counter_ns",
@@ -172,6 +191,7 @@ class _Visitor(ast.NodeVisitor):
         self.select = select
         self.findings: List[Finding] = []
         self._wallclock_exempt = self._is_wallclock_exempt(path)
+        self._print_exempt = self._is_print_exempt(path)
 
     @staticmethod
     def _is_wallclock_exempt(path: str) -> bool:
@@ -179,6 +199,13 @@ class _Visitor(ast.NodeVisitor):
         if any(part in _WALLCLOCK_ALLOWED_DIRS for part in p.parts):
             return True
         return p.stem in _WALLCLOCK_ALLOWED_STEMS
+
+    @staticmethod
+    def _is_print_exempt(path: str) -> bool:
+        p = Path(path)
+        if any(part in _PRINT_ALLOWED_DIRS for part in p.parts):
+            return True
+        return p.stem in _PRINT_ALLOWED_STEMS
 
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
         if rule_id not in self.select:
@@ -188,13 +215,22 @@ class _Visitor(ast.NodeVisitor):
             getattr(node, "lineno", 0), getattr(node, "col_offset", 0) + 1,
             message))
 
-    # -- VRC001 / VRC002: call-pattern rules --------------------------------
+    # -- VRC001 / VRC002 / VRC006: call-pattern rules -----------------------
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
         if dotted is not None:
             self._check_random(node, dotted)
             self._check_wallclock(node, dotted)
+        self._check_print(node)
         self.generic_visit(node)
+
+    def _check_print(self, node: ast.Call) -> None:
+        if self._print_exempt:
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self._emit("VRC006", node,
+                       "direct print() call in library code; return data or "
+                       "route through repro.stats.reporting")
 
     def _check_random(self, node: ast.Call, dotted: str) -> None:
         base, _, attr = dotted.rpartition(".")

@@ -6,9 +6,18 @@ Commands
     Run experiment drivers (default: all) and print their tables.
 ``run --workload W --core C [--threads N] [--context F] ...``
     Simulate one configuration and print its stats.
-``sweep --axis FIELD=V1,V2,... [--checkpoint P] [--resume] ...``
+``sweep --axis FIELD=V1,V2,... [--dir D] [--live] [--metrics] ...``
     Run a parameter grid with per-config error isolation, watchdogs,
-    retries, and a crash-safe checkpoint journal.
+    retries, and a crash-safe checkpoint journal.  ``--dir`` roots the
+    sweep's observability surface (event log, heartbeats, merged
+    parent+workers Chrome trace, manifest, fleet metrics); ``--live``
+    renders a refreshing progress panel while it runs.
+``monitor DIR [--follow]``
+    Re-attach a progress panel to a sweep directory (live or post-hoc).
+``report DIR [--baseline P] [--out report.html] [--check]``
+    Render a self-contained HTML report from a sweep directory's
+    manifest, fleet metrics, and event log; with ``--check``, exit
+    non-zero when a tracked metric regresses past the baseline.
 ``trace --workload W --core C [--out trace.json] [--interval N] ...``
     Run one configuration with event telemetry and export a Chrome
     trace-event JSON (opens in Perfetto / chrome://tracing).
@@ -91,12 +100,25 @@ def _parse_axis_value(text: str):
 
 
 def _cmd_sweep(args) -> int:
+    import os
     from .system import run_grid, sweep_grid
     from .stats.reporting import rows_to_csv
 
-    base = _base_config(args)
-    if args.resume and not args.checkpoint:
-        print("--resume requires --checkpoint", file=sys.stderr)
+    extra = {"metrics": True} if args.metrics else {}
+    base = _base_config(args, **extra)
+    checkpoint, observe, manifest = args.checkpoint, None, None
+    if args.dir:
+        os.makedirs(args.dir, exist_ok=True)
+        if not checkpoint:
+            checkpoint = os.path.join(args.dir, "checkpoint.jsonl")
+        observe = args.dir
+        from .system.manifest import RunManifest
+        manifest = RunManifest()
+    if args.live and not args.dir:
+        print("--live requires --dir", file=sys.stderr)
+        return 2
+    if args.resume and not checkpoint:
+        print("--resume requires --checkpoint (or --dir)", file=sys.stderr)
         return 2
     axes = {}
     for spec in args.axis or []:
@@ -123,11 +145,27 @@ def _cmd_sweep(args) -> int:
             status = "ok"
         print(f"  [{i}/{total}] {status}", file=sys.stderr)
 
+    live_thread = None
+    if args.live:
+        import threading
+        from .system.monitor import monitor_loop
+        live_thread = threading.Thread(
+            target=monitor_loop, args=(args.dir,),
+            kwargs={"refresh": args.refresh, "follow": True}, daemon=True)
+        live_thread.start()
     rows = run_grid(grid, progress=progress if args.verbose else None,
                     retries=args.retries, timeout_s=args.timeout_s,
                     max_cycles=args.max_cycles,
-                    checkpoint=args.checkpoint, resume=args.resume,
-                    jobs=args.jobs)
+                    checkpoint=checkpoint, resume=args.resume,
+                    jobs=args.jobs, observe=observe, manifest=manifest)
+    if live_thread is not None:
+        # the monitor thread exits on its own once it reads sweep_end
+        live_thread.join(timeout=2 * args.refresh + 1.0)
+    if args.dir:
+        if manifest is not None and manifest.configs:
+            manifest.save(os.path.join(args.dir, "manifest.json"))
+        print(f"sweep directory: {args.dir} (checkpoint, manifest, "
+              f"metrics, trace, events, heartbeats)")
     if args.csv:
         with open(args.csv, "w") as f:
             f.write(rows_to_csv(rows))
@@ -141,10 +179,58 @@ def _cmd_sweep(args) -> int:
         print(f"  FAILED [{failure.index}] {failure.error_type}: "
               f"{failure.message} (attempts={failure.attempts})")
     if rows.failures:
-        if args.checkpoint:
-            print(f"re-run with --checkpoint {args.checkpoint} --resume "
+        if args.dir:
+            print(f"re-run with --dir {args.dir} --resume to retry only "
+                  f"the failed configs")
+        elif checkpoint:
+            print(f"re-run with --checkpoint {checkpoint} --resume "
                   f"to retry only the failed configs")
         return 3
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    import os
+    from .system.monitor import monitor_loop
+
+    if not os.path.isdir(args.dir):
+        print(f"no such sweep directory: {args.dir}", file=sys.stderr)
+        return 2
+    state = monitor_loop(args.dir, refresh=args.refresh,
+                         follow=args.follow)
+    return 0 if state.failed == 0 else 3
+
+
+def _cmd_report(args) -> int:
+    import os
+    from .stats.report_html import EXIT_REGRESSION, write_report
+
+    if not os.path.isdir(args.dir):
+        print(f"no such sweep directory: {args.dir}", file=sys.stderr)
+        return 2
+    baseline = args.baseline
+    if baseline is None:
+        # auto-detect a benchmark baseline next to the sweep, then in cwd
+        for candidate in (os.path.join(args.dir, "BENCH_simspeed.json"),
+                          "BENCH_simspeed.json"):
+            if os.path.exists(candidate):
+                baseline = candidate
+                break
+    out = args.out or os.path.join(args.dir, "report.html")
+    report = write_report(args.dir, out, baseline=baseline,
+                          threshold=args.threshold)
+    s = report["summary"]
+    print(f"wrote {out}: {s['ok']} ok / {s['failed']} failed rows, "
+          f"{len(report['deltas'])} tracked metric(s)")
+    for d in report["deltas"]:
+        delta = (f"{d['delta'] * 100:+.1f}%" if d["delta"] is not None
+                 else "n/a")
+        print(f"  [{d['severity']:<10}] {d['name']}: {d['current']} "
+              f"vs {d['baseline']} ({delta})")
+    if args.check and report["has_regression"]:
+        print(f"regression beyond {args.threshold * 100:.0f}% threshold",
+              file=sys.stderr)
+        return EXIT_REGRESSION
     return 0
 
 
@@ -330,8 +416,50 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = all cores; default serial, or $REPRO_JOBS); "
                         "results are identical to a serial sweep")
     p.add_argument("--csv", metavar="PATH", help="write result rows as CSV")
+    p.add_argument("--dir", metavar="DIR",
+                   help="sweep directory: checkpoint journal, live event "
+                        "log, worker heartbeats, merged Chrome trace, "
+                        "manifest.json, and metrics.json all land here")
+    p.add_argument("--live", action="store_true",
+                   help="render a refreshing progress panel while the "
+                        "sweep runs (requires --dir)")
+    p.add_argument("--refresh", type=float, default=1.0, metavar="S",
+                   help="--live panel refresh period in seconds")
+    p.add_argument("--metrics", action="store_true",
+                   help="enable the per-run metrics registry "
+                        "(RunConfig.metrics=True) and aggregate a fleet "
+                        "registry across the grid")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("monitor",
+                       help="attach a live progress panel to a running "
+                            "(or finished) sweep directory")
+    p.add_argument("dir", help="sweep directory (from repro sweep --dir)")
+    p.add_argument("--follow", action="store_true",
+                   help="keep refreshing until the sweep ends "
+                        "(default: one snapshot)")
+    p.add_argument("--refresh", type=float, default=1.0, metavar="S",
+                   help="refresh period in seconds (with --follow)")
+    p.set_defaults(fn=_cmd_monitor)
+
+    p = sub.add_parser("report",
+                       help="render a self-contained HTML report from a "
+                            "sweep directory; optionally gate on baseline "
+                            "regressions")
+    p.add_argument("dir", help="sweep directory (from repro sweep --dir)")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="BENCH_simspeed.json-style baseline (default: "
+                        "auto-detect in the sweep dir, then cwd)")
+    p.add_argument("--out", metavar="PATH",
+                   help="HTML output path (default: DIR/report.html)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero when a tracked metric regresses "
+                        "beyond --threshold (CI perf gate)")
+    p.add_argument("--threshold", type=float, default=0.5, metavar="F",
+                   help="relative regression threshold (default 0.5 = 50%%; "
+                        "loose because CI hosts vary)")
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("lint",
                        help="run the repro-specific determinism linter")

@@ -20,9 +20,9 @@ execute latency, icache line) pre-computed once per program — and keeps all
 observation layers behind one :class:`~repro.core.instrument.InstrumentBus`.
 With nothing attached the per-instruction step is a *compiled fast path*
 containing zero instrumentation branches; attaching any instrument
-(``fault_hook`` / ``telemetry`` / ``sanitizer`` / ``tracer``) rebinds the
-step to the instrumented body with the fixed dispatch order
-faults -> telemetry -> sanitizer -> tracer.
+(``fault_hook`` / ``telemetry`` / ``metrics`` / ``sanitizer`` / ``tracer``)
+rebinds the step to the instrumented body with the fixed dispatch order
+faults -> telemetry -> metrics -> sanitizer -> tracer.
 
 Subclass hooks (all optional):
 
@@ -160,8 +160,9 @@ class TimelineCore:
         self.current: Optional[ThreadContext] = None
         #: the unified instrumentation seam; see
         #: :class:`~repro.core.instrument.InstrumentBus`.  ``fault_hook``,
-        #: ``telemetry``, ``sanitizer``, and ``tracer`` are properties over
-        #: its slots, so subsystem ``attach()`` entry points are unchanged.
+        #: ``telemetry``, ``metrics``, ``sanitizer``, and ``tracer`` are
+        #: properties over its slots, so subsystem ``attach()`` entry
+        #: points are unchanged.
         self.bus = InstrumentBus()
         self.commits_since_switch = 0
         self.scoreboard: Dict[Reg, int] = {}
@@ -228,6 +229,19 @@ class TimelineCore:
     @telemetry.setter
     def telemetry(self, value) -> None:
         self.bus.telemetry = value
+        self._recompile_step()
+
+    @property
+    def metrics(self):
+        """Optional :class:`~repro.metrics.CoreMetrics`; strictly opt-in
+        and purely observational — it feeds labeled counters/histograms of
+        the cross-process metrics registry but never alters a cycle
+        timestamp."""
+        return self.bus.metrics
+
+    @metrics.setter
+    def metrics(self, value) -> None:
+        self.bus.metrics = value
         self._recompile_step()
 
     @property
@@ -548,11 +562,13 @@ class TimelineCore:
 
         Same timeline math as :meth:`_process_instruction_fast`; dispatch
         order is fixed: faults (front end) -> telemetry (commit clock) ->
-        sanitizer (post-architectural-update) -> tracer (record).
+        metrics (commit counters) -> sanitizer (post-architectural-update)
+        -> tracer (record).
         """
         bus = self.bus
         faults = bus.faults
         telemetry = bus.telemetry
+        metrics = bus.metrics
         sanitizer = bus.sanitizer
         tracer = bus.tracer
 
@@ -639,6 +655,8 @@ class TimelineCore:
         self.now = t_c
         if telemetry is not None:
             telemetry.on_commit(t_c)
+        if metrics is not None:
+            metrics.on_commit(thread, d, t_c)
 
         # architectural update at commit
         writes = result.writes

@@ -16,9 +16,10 @@ one seam with two guarantees:
 * **Fixed dispatch order.**  When instruments are attached they are
   dispatched in a fixed pipeline-position order per instruction:
   ``faults`` (front end, may legally add cycles) -> ``telemetry`` (commit
-  clock) -> ``sanitizer`` (post-architectural-update commit check) ->
-  ``tracer`` (record, last).  Observational instruments (telemetry,
-  sanitizer, tracer) must never alter a cycle timestamp — the noop suites
+  clock) -> ``metrics`` (commit counters) -> ``sanitizer``
+  (post-architectural-update commit check) -> ``tracer`` (record, last).
+  Observational instruments (telemetry, metrics, sanitizer, tracer) must
+  never alter a cycle timestamp — the noop suites
   under ``tests/telemetry`` and ``tests/sanitizer`` enforce cycle-identity
   of the attached path against the fast path.
 
@@ -35,7 +36,7 @@ from typing import List, Optional, Tuple
 __all__ = ["InstrumentBus"]
 
 #: bus slot names in dispatch order (see the module docstring)
-DISPATCH_ORDER = ("faults", "telemetry", "sanitizer", "tracer")
+DISPATCH_ORDER = ("faults", "telemetry", "metrics", "sanitizer", "tracer")
 
 
 class InstrumentBus:
@@ -49,6 +50,10 @@ class InstrumentBus:
     ``telemetry``
         :class:`~repro.telemetry.CoreTelemetry` — event/interval recording
         off the commit clock; purely observational.
+    ``metrics``
+        :class:`~repro.metrics.CoreMetrics` — labeled counter/histogram
+        recording off the commit clock (cross-process metrics registry);
+        purely observational.
     ``sanitizer``
         :class:`~repro.sanitizer.CoreSanitizer` — shadow-state check after
         the architectural update; purely observational (raises on
@@ -58,11 +63,12 @@ class InstrumentBus:
         timestamps; purely observational.
     """
 
-    __slots__ = ("faults", "telemetry", "sanitizer", "tracer")
+    __slots__ = ("faults", "telemetry", "metrics", "sanitizer", "tracer")
 
     def __init__(self) -> None:
         self.faults = None
         self.telemetry = None
+        self.metrics = None
         self.sanitizer = None
         self.tracer = None
 
@@ -70,7 +76,8 @@ class InstrumentBus:
     def empty(self) -> bool:
         """True when nothing is attached (the engine may run its fast path)."""
         return (self.faults is None and self.telemetry is None
-                and self.sanitizer is None and self.tracer is None)
+                and self.metrics is None and self.sanitizer is None
+                and self.tracer is None)
 
     def attached(self) -> List[Tuple[str, object]]:
         """``(slot, instrument)`` pairs in dispatch order, attached only."""

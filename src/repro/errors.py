@@ -96,6 +96,25 @@ class WatchdogTimeout(SimulationError):
     """A per-config wall-clock watchdog expired mid-simulation."""
 
 
+class WorkerCrashError(SimulationError):
+    """A pool worker process died abruptly (segfault, ``os._exit``, OOM kill).
+
+    Unlike every other member of the taxonomy this is raised by the
+    *execution backend*, not the simulator: the worker never got to return
+    a value, so the parent reconstructs what it can — the input positions
+    of the chunk the worker held (``indices``) and the executor's exit
+    context (``context``, e.g. the ``BrokenProcessPool`` message).  The
+    resilient sweep converts it into a per-chunk
+    :class:`RunFailure` instead of aborting the whole grid.
+    """
+
+    def __init__(self, message: str, indices: Optional[list] = None,
+                 context: str = "") -> None:
+        super().__init__(message)
+        self.indices = list(indices or [])
+        self.context = context
+
+
 class TaskPoolError(SimulationError):
     """Task-pool bookkeeping ended inconsistent (tasks lost or undispatched).
 
@@ -112,7 +131,10 @@ class TaskPoolError(SimulationError):
 #: failure classes worth retrying under a different seed: a reseeded run
 #: changes workload data, fault victims, and scheduling, so these can clear
 #: on retry; a functional-check failure with no faults injected cannot.
-TRANSIENT_ERRORS = (DeadlockError, WatchdogTimeout, FaultEscapeError)
+#: A worker crash is host-environment trouble (OOM, signal), not a property
+#: of the config — retrying in a fresh worker is always reasonable.
+TRANSIENT_ERRORS = (DeadlockError, WatchdogTimeout, FaultEscapeError,
+                    WorkerCrashError)
 
 
 @dataclass
@@ -138,6 +160,9 @@ class RunFailure:
             extra["site"] = exc.site
         if isinstance(exc, TaskPoolError):
             extra["snapshot"] = exc.snapshot
+        if isinstance(exc, WorkerCrashError):
+            extra["chunk_indices"] = exc.indices
+            extra["exit_context"] = exc.context
         if isinstance(exc, SanitizerViolation):
             extra["invariant"] = exc.invariant
             extra["cycle"] = exc.cycle

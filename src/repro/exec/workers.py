@@ -9,9 +9,11 @@ encoded here:
   :class:`~repro.system.simulator.RunResult` carries the live telemetry
   session and sanitizer handles, which hold references to cores (bound
   methods, caches) that neither pickle nor mean anything in the parent.
-  ``strip_result`` drops them; everything the sweep machinery consumes
-  (config, cycles, instructions, ipc, rf_hit_rate, stats, host_profile)
-  survives, so result digests are unaffected.
+  ``strip_result`` drops them — and folds a live metrics session down to
+  its plain snapshot dict, which *does* pickle and is all the parent
+  needs for merging.  Everything the sweep machinery consumes (config,
+  cycles, instructions, ipc, rf_hit_rate, stats, host_profile) survives,
+  so result digests are unaffected.
 
 * **Expected failures are return values, not exceptions.**  Each worker
   catches :class:`~repro.errors.SimulationError` into a structured
@@ -19,24 +21,44 @@ encoded here:
   best-effort copy of the original exception for fail-fast mode; an
   exception that escapes a worker aborts the whole map, which is reserved
   for genuine driver bugs.
+
+**Observability is a trailing opt-in.**  Both workers accept their
+historical task tuple unchanged, or the same tuple with one extra
+element: the ``obs`` spec built by :func:`repro.exec.spans.task_spec`.
+With a spec attached the worker records per-phase spans (queue-wait,
+setup, simulate, serialize), touches a heartbeat file the live monitor
+ages, and appends row events to the sweep's JSONL event log — and its
+return value grows one trailing element carrying the span records.
+Callers that never pass a spec see byte-identical behavior to before.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pickle
 from dataclasses import asdict
 from typing import Optional, Tuple
 
 from ..errors import RunFailure, SimulationError
+from .spans import SpanRecorder, now_s
 
 __all__ = ["grid_worker", "strip_result", "sweep_worker"]
 
 
 def strip_result(result):
-    """Drop the unpicklable session handles from a RunResult (in place)."""
+    """Drop the unpicklable session handles from a RunResult (in place).
+
+    The metrics session is the exception: its snapshot is plain data the
+    parent merges into the fleet registry, so it is folded down rather
+    than dropped.
+    """
     if result is not None:
         result.telemetry = None
         result.sanitizer = None
+        metrics = getattr(result, "metrics", None)
+        if metrics is not None and hasattr(metrics, "snapshot"):
+            result.metrics = metrics.snapshot()
     return result
 
 
@@ -59,31 +81,136 @@ def _portable_exc(exc: Optional[BaseException]) -> Optional[BaseException]:
             return SimulationError(f"{type(exc).__name__}: {exc}")
 
 
-def sweep_worker(task: Tuple[int, object, bool]):
-    """Run one sweep config: ``(index, cfg, check)`` -> tagged result.
-
-    Returns ``("ok", result)`` or ``("err", failure, exception)``.
-    """
-    index, cfg, check = task
-    from ..system.simulator import run_config
+# -- observability side-channels (best-effort, never fail the run) ----------
+def _heartbeat(obs) -> None:
+    """Touch this worker's heartbeat file (monitor reads the mtime age)."""
+    hb_dir = obs.get("heartbeat_dir")
+    if not hb_dir:
+        return
     try:
-        return ("ok", strip_result(run_config(cfg, check=check)))
+        with open(os.path.join(hb_dir, f"{os.getpid()}.hb"), "w") as f:
+            f.write(str(os.getpid()))
+    except OSError:
+        pass
+
+
+def _append_event(obs, ev: str, index: int, **fields) -> None:
+    """Append one event row to the sweep's JSONL log.
+
+    Single ``O_APPEND`` write of one line — atomic for lines under
+    ``PIPE_BUF``, so concurrent workers never interleave mid-row.
+    """
+    path = obs.get("events_path")
+    if not path:
+        return
+    row = {"ev": ev, "index": index, "pid": os.getpid(),
+           "t": round(now_s() - obs["t0"], 6)}
+    row.update(fields)
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, (json.dumps(row, sort_keys=True) + "\n").encode())
+        finally:
+            os.close(fd)
+    except OSError:
+        pass
+
+
+def _measure_serialize(rec: Optional[SpanRecorder], result) -> None:
+    """Time one pickle of the stripped result as the ``serialize`` span.
+
+    The pool pickles the return value again on the way out; this measured
+    copy is a faithful stand-in for that cost (same object, same protocol).
+    """
+    if rec is None or result is None:
+        return
+    try:
+        pickle.dumps(result)
+    except Exception:
+        pass
+    rec.phase("serialize")
+
+
+def sweep_worker(task):
+    """Run one sweep config: ``(index, cfg, check[, obs])`` -> tagged result.
+
+    Returns ``("ok", result)`` or ``("err", failure, exception)``; with an
+    ``obs`` spec attached, each gains a trailing span-record list.
+    """
+    index, cfg, check = task[:3]
+    obs = task[3] if len(task) > 3 else None
+    if obs is None:
+        from ..system.simulator import run_config
+        try:
+            return ("ok", strip_result(run_config(cfg, check=check)))
+        except SimulationError as exc:
+            failure = RunFailure.from_exception(exc, index=index,
+                                                config=asdict(cfg))
+            return ("err", failure, _portable_exc(exc))
+
+    rec = SpanRecorder(obs, index) if obs.get("spans") else None
+    _heartbeat(obs)
+    _append_event(obs, "row_start", index)
+    from ..system.simulator import run_config
+    if rec is not None:
+        rec.phase("setup")
+    try:
+        result = run_config(cfg, check=check)
+        if rec is not None:
+            rec.phase("simulate")
+        result = strip_result(result)
+        _measure_serialize(rec, result)
+        _heartbeat(obs)
+        _append_event(obs, "row_ok", index, cycles=result.cycles)
+        return ("ok", result, rec.records if rec else [])
     except SimulationError as exc:
+        if rec is not None:
+            rec.phase("simulate")
         failure = RunFailure.from_exception(exc, index=index,
                                             config=asdict(cfg))
-        return ("err", failure, _portable_exc(exc))
+        _heartbeat(obs)
+        _append_event(obs, "row_fail", index,
+                      error=type(exc).__name__)
+        return ("err", failure, _portable_exc(exc),
+                rec.records if rec else [])
 
 
 def grid_worker(task):
     """Run one grid config through the resilient isolated runner.
 
     ``task`` mirrors :func:`repro.system.sweeps._run_isolated`'s signature:
-    ``(index, cfg, check, retries, timeout_s, max_cycles, key)``.  The
-    SIGALRM wall-clock watchdog still works here — pool tasks execute on
-    the worker process's main thread.
+    ``(index, cfg, check, retries, timeout_s, max_cycles, key[, obs])``.
+    The SIGALRM wall-clock watchdog still works here — pool tasks execute
+    on the worker process's main thread.  Returns
+    ``(result, failure, exc)``, plus a trailing span-record list when an
+    ``obs`` spec is attached.
     """
-    index, cfg, check, retries, timeout_s, max_cycles, key = task
+    index, cfg, check, retries, timeout_s, max_cycles, key = task[:7]
+    obs = task[7] if len(task) > 7 else None
     from ..system.sweeps import _run_isolated
+    if obs is None:
+        result, failure, exc = _run_isolated(index, cfg, check, retries,
+                                             timeout_s, max_cycles, key)
+        return strip_result(result), failure, _portable_exc(exc)
+
+    rec = SpanRecorder(obs, index) if obs.get("spans") else None
+    _heartbeat(obs)
+    _append_event(obs, "row_start", index, key=key)
+    if rec is not None:
+        rec.phase("setup")
     result, failure, exc = _run_isolated(index, cfg, check, retries,
                                          timeout_s, max_cycles, key)
-    return strip_result(result), failure, _portable_exc(exc)
+    if rec is not None:
+        rec.phase("simulate")
+    result = strip_result(result)
+    _measure_serialize(rec, result)
+    _heartbeat(obs)
+    if failure is None:
+        _append_event(obs, "row_ok", index, key=key,
+                      cycles=result.cycles if result else None)
+    else:
+        _append_event(obs, "row_fail", index, key=key,
+                      error=failure.error_type,
+                      attempts=failure.attempts)
+    return (result, failure, _portable_exc(exc),
+            rec.records if rec else [])

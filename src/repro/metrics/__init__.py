@@ -1,0 +1,173 @@
+"""Cross-process metrics: typed Counter/Gauge/Histogram with label sets.
+
+``repro.metrics`` is the *fleet* half of the observability stack.  Where
+:mod:`repro.telemetry` looks inside one run (event rings, interval
+samples, probes), a :class:`MetricsRegistry` aggregates **across** runs and
+worker processes with deterministic snapshot/merge semantics — the same
+discipline as :meth:`repro.stats.counters.Stats.merge`, but typed, labeled,
+and built to cross a process boundary as plain JSON.
+
+Two attachment points:
+
+* **Per-run (engine level).**  ``RunConfig(metrics=...)`` wires a
+  :class:`MetricsSession` whose :class:`CoreMetrics` instruments ride the
+  core's :class:`~repro.core.instrument.InstrumentBus` ``metrics`` slot —
+  strictly opt-in, purely observational, dispatched after telemetry and
+  before the sanitizer.  With ``metrics=None`` (the default) the engine
+  keeps its compiled uninstrumented fast path and manifest digests are
+  byte-identical to a build without this package.
+
+* **Per-sweep (fleet level).**  ``run_grid(..., metrics=registry)``
+  accumulates sweep counters (rows by status, per-stage wall-clock) and
+  merges every worker-shipped per-run snapshot into one registry; the CLI
+  writes it as ``metrics.json`` inside a sweep directory for
+  ``repro report``.
+
+Like ``host_profiles``, metric values never enter reproducibility digests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from .config import MetricsConfig
+from .registry import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
+                       MetricsRegistry)
+
+__all__ = ["CoreMetrics", "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram",
+           "MetricsConfig", "MetricsRegistry", "MetricsSession"]
+
+#: commit-gap histogram bounds in cycles: tight at the pipelined end,
+#: coarse into stall territory
+_GAP_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128, 256, 1024)
+
+
+class CoreMetrics:
+    """The per-core bus instrument: counts committed work.
+
+    Dispatched from the instrumented per-instruction step (bus slot
+    ``metrics``), after telemetry and before the sanitizer.  Purely
+    observational — it reads the commit timestamp, never adjusts one.
+    """
+
+    __slots__ = ("session", "core", "_core_label", "_instructions",
+                 "_gaps", "_by_kind", "_last_commit")
+
+    def __init__(self, session: "MetricsSession", core) -> None:
+        self.session = session
+        self.core = core
+        self._core_label = str(core.core_id)
+        reg = session.registry
+        cfg = session.config
+        self._instructions = reg.counter(
+            "sim_instructions_committed",
+            "instructions committed, by core (and kind with by_kind)")
+        self._gaps = (reg.histogram(
+            "sim_commit_gap_cycles",
+            "cycles between consecutive commits, by core",
+            buckets=_GAP_BUCKETS) if cfg.commit_gaps else None)
+        self._by_kind = cfg.by_kind
+        self._last_commit = 0
+
+    def on_commit(self, thread, d, t_commit: int) -> None:
+        """Record one committed instruction (``d`` is its DecodedOp)."""
+        if self._by_kind:
+            if d.is_load:
+                kind = "load"
+            elif d.is_store:
+                kind = "store"
+            elif d.is_branch:
+                kind = "branch"
+            else:
+                kind = "alu"
+            self._instructions.inc(core=self._core_label, kind=kind)
+        else:
+            self._instructions.inc(core=self._core_label)
+        if self._gaps is not None:
+            gap = t_commit - self._last_commit
+            self._last_commit = t_commit
+            self._gaps.observe(gap, core=self._core_label)
+
+
+class MetricsSession:
+    """All metric state of one simulation run (owns the registry)."""
+
+    def __init__(self, config: Optional[MetricsConfig] = None) -> None:
+        self.config = config or MetricsConfig()
+        self.registry = MetricsRegistry()
+        self.cores: List[CoreMetrics] = []
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, core) -> Optional[CoreMetrics]:
+        """Wire one core's ``metrics`` bus slot to this session."""
+        if not self.config.commits:
+            self.cores.append(CoreMetrics(self, core))  # for finalize only
+            return None
+        cm = CoreMetrics(self, core)
+        core.metrics = cm  # property: sets the bus slot and recompiles
+        self.cores.append(cm)
+        return cm
+
+    def finalize(self) -> None:
+        """Fold run-end summary gauges from the simulated state."""
+        if not self.config.summary:
+            return
+        reg = self.registry
+        cycles = reg.gauge("sim_cycles", "commit-clock cycles, by core")
+        vrmu_hits = reg.counter("sim_vrmu_hits", "VRMU register-cache hits")
+        vrmu_miss = reg.counter("sim_vrmu_misses",
+                                "VRMU register-cache misses")
+        for cm in self.cores:
+            core = cm.core
+            cycles.set(int(core.commit_tail), core=cm._core_label)
+            if hasattr(core, "vrmu"):
+                vrmu_hits.inc(core.vrmu.stats["hits"], core=cm._core_label)
+                vrmu_miss.inc(core.vrmu.stats["misses"], core=cm._core_label)
+
+    # -- artifacts ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deterministic JSON value (ships across process boundaries)."""
+        return self.registry.snapshot()
+
+    def render_text(self) -> str:
+        return self.registry.render_text()
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.snapshot(), f, indent=1, sort_keys=True)
+            f.write("\n")
+
+
+# -- driver wiring (self-registration into the system plugin registry) ----
+from ..system.plugins import SubsystemPlugin, register as _register_plugin
+
+
+def _plugin_enabled(cfg) -> bool:
+    return (cfg.metrics is not None
+            and MetricsConfig.from_spec(cfg.metrics).enabled)
+
+
+def _plugin_wire(cfg, node, instances):
+    """Attach a MetricsSession when the config asks for one.
+
+    Strictly opt-in; wired after telemetry (plugin order 25) so the
+    dispatch order on the bus matches the registry order.
+    """
+    if not _plugin_enabled(cfg):
+        return None
+    session = MetricsSession(MetricsConfig.from_spec(cfg.metrics))
+    for core in node.cores:
+        session.attach(core)
+    return session
+
+
+PLUGIN = _register_plugin(SubsystemPlugin(
+    name="metrics",
+    enabled=_plugin_enabled,
+    wire=_plugin_wire,
+    finalize=lambda session: session.finalize(),
+    ooo_error=("metrics are not modelled for the ooo host core "
+               "(it does not run on the timeline engine)"),
+    order=25,
+))

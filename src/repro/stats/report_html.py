@@ -1,0 +1,386 @@
+"""Regression-aware HTML reports from sweep directories.
+
+``repro report <dir>`` folds a sweep's artifacts — ``manifest.json``
+(configs, deterministic result summaries, host profiles),
+``metrics.json`` (the fleet :class:`~repro.metrics.MetricsRegistry`
+snapshot), and ``sweep_events.jsonl`` — into one **self-contained** HTML
+file: inline CSS, inline SVG sparklines, no external assets, so the file
+can be archived as a CI artifact and opened anywhere.
+
+Sections rendered (each skipped gracefully when its artifact is absent):
+
+* sweep summary (rows ok/failed/resumed, rate, wall-clock);
+* per-row IPC / cycles / RF-hit-rate tables with sparkline history
+  across the grid;
+* per-stage host wall-clock breakdown (from the fleet
+  ``sweep_stage_seconds`` counter);
+* VRMU hit-rate / cycle tables per core (from the per-run metrics
+  snapshots merged into the fleet registry);
+* severity-gated deltas against a ``BENCH_simspeed.json`` baseline.
+
+The delta table doubles as a **CI perf gate**: ``repro report --check``
+exits non-zero (:data:`EXIT_REGRESSION`) when any tracked metric
+regresses beyond the threshold, so a pipeline step fails exactly when
+simulator throughput does.  Wall-clock rates are machine-dependent; the
+default threshold is deliberately loose — tighten it only on pinned
+hardware.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["EXIT_REGRESSION", "build_report", "classify_delta",
+           "load_baseline", "render_html", "svg_sparkline", "write_report"]
+
+#: ``repro report --check`` exit code on a gated regression (2 = usage
+#: error, 3 = sweep failures, as elsewhere in the CLI)
+EXIT_REGRESSION = 4
+
+#: default relative regression threshold for ``--check`` (generous: CI
+#: hosts vary; see the module docstring)
+DEFAULT_THRESHOLD = 0.5
+
+SEVERITY_ORDER = ("ok", "warn", "regression")
+
+
+# -- building blocks ---------------------------------------------------------
+def svg_sparkline(values: Sequence[float], width: int = 140,
+                  height: int = 28, color: str = "#2a6fb0") -> str:
+    """An inline-SVG sparkline of ``values`` (safe on degenerate series).
+
+    Empty series render an empty frame; single-point and constant series
+    render a centered flat line (no divide-by-zero on a flat range).
+    """
+    finite = [float(v) for v in values
+              if isinstance(v, (int, float)) and v == v
+              and v not in (float("inf"), float("-inf"))]
+    pad = 2.0
+    if not finite:
+        return (f'<svg class="spark" width="{width}" height="{height}" '
+                f'viewBox="0 0 {width} {height}"></svg>')
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    usable_h = height - 2 * pad
+    usable_w = width - 2 * pad
+
+    def y_of(v: float) -> float:
+        if span == 0:
+            return height / 2.0
+        return pad + usable_h * (1.0 - (v - lo) / span)
+
+    if len(finite) == 1:
+        xs = [width / 2.0]
+    else:
+        step = usable_w / (len(finite) - 1)
+        xs = [pad + i * step for i in range(len(finite))]
+    points = " ".join(f"{x:.1f},{y_of(v):.1f}" for x, v in zip(xs, finite))
+    last_x, last_y = xs[-1], y_of(finite[-1])
+    return (f'<svg class="spark" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">'
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+            f'points="{points}"/>'
+            f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2" '
+            f'fill="{color}"/></svg>')
+
+
+def classify_delta(current: Optional[float], baseline: Optional[float],
+                   threshold: float = DEFAULT_THRESHOLD,
+                   higher_is_better: bool = True) -> Dict:
+    """One tracked metric's delta, graded ``ok`` / ``warn`` / ``regression``.
+
+    ``warn`` fires at half the regression threshold.  Missing or
+    non-positive baselines grade ``ok`` (nothing to compare against).
+    """
+    entry = {"current": current, "baseline": baseline, "delta": None,
+             "severity": "ok"}
+    if current is None or baseline is None or baseline <= 0:
+        return entry
+    delta = (current - baseline) / baseline
+    if not higher_is_better:
+        delta = -delta
+    entry["delta"] = delta
+    if delta < -threshold:
+        entry["severity"] = "regression"
+    elif delta < -threshold / 2:
+        entry["severity"] = "warn"
+    return entry
+
+
+def load_baseline(path: str) -> Dict[str, float]:
+    """Tracked baseline rates from a ``BENCH_simspeed.json``-style file.
+
+    Accepts the benchmark writer's shape (``{"bench": ..., "results":
+    {name: {"instr_per_s": ...}}}``) or a plain ``{name: rate}`` mapping.
+    Entries without a numeric rate are skipped.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    out: Dict[str, float] = {}
+    results = data.get("results", data) if isinstance(data, dict) else {}
+    for name, entry in results.items():
+        if isinstance(entry, (int, float)):
+            out[name] = float(entry)
+        elif isinstance(entry, dict):
+            rate = entry.get("instr_per_s")
+            if isinstance(rate, (int, float)):
+                out[name] = float(rate)
+    return out
+
+
+# -- report assembly ---------------------------------------------------------
+def _load_json(path: str) -> Optional[Dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def _metric_series(metrics: Optional[Dict], name: str) -> Dict[str, object]:
+    if not metrics:
+        return {}
+    entry = metrics.get("metrics", {}).get(name)
+    return entry.get("series", {}) if entry else {}
+
+
+def _label_value(series_key: str, label: str) -> Optional[str]:
+    """Extract one label's value from a rendered series key."""
+    for part in series_key.split(","):
+        k, _, v = part.partition("=")
+        if k == label:
+            return v.strip('"')
+    return None
+
+
+def _row_label(cfg: Dict) -> str:
+    bits = [str(cfg.get("workload", "?")), str(cfg.get("core_type", "?")),
+            f"t{cfg.get('n_threads', '?')}"]
+    cf = cfg.get("context_fraction")
+    if cf not in (None, 1.0):
+        bits.append(f"cf{cf}")
+    seed = cfg.get("seed")
+    if seed not in (None, 7):
+        bits.append(f"s{seed}")
+    return "/".join(bits)
+
+
+def build_report(sweep_dir: str, baseline: Optional[str] = None,
+                 threshold: float = DEFAULT_THRESHOLD) -> Dict:
+    """Everything the HTML needs, as one plain dict (JSON-serializable).
+
+    Pure data assembly — rendering is :func:`render_html` — so tests can
+    assert on the gate decision without parsing HTML.
+    """
+    from ..system.monitor import read_state
+
+    manifest = _load_json(os.path.join(sweep_dir, "manifest.json"))
+    metrics = _load_json(os.path.join(sweep_dir, "metrics.json"))
+    state = read_state(sweep_dir)
+
+    report: Dict = {
+        "sweep_dir": os.path.abspath(sweep_dir),
+        "summary": {
+            "total": state.total, "ok": state.ok, "failed": state.failed,
+            "resumed": state.resumed, "rate": round(state.rate, 3),
+            "elapsed_s": round(state.elapsed_s, 3),
+            "finished": state.finished,
+            "workers": len(state.workers),
+        },
+        "rows": [], "stages": [], "vrmu": [], "deltas": [],
+        "threshold": threshold,
+        "has_regression": False,
+    }
+
+    host_rates: Dict[str, List[float]] = {}
+    if manifest:
+        configs = manifest.get("configs", [])
+        summaries = manifest.get("results_summary", [])
+        profiles = manifest.get("host_profiles", []) or []
+        report["results_digest"] = manifest.get("results_digest", "")
+        for i, (cfg, summary) in enumerate(zip(configs, summaries)):
+            prof = profiles[i] if i < len(profiles) else None
+            row = {"label": _row_label(cfg),
+                   "cycles": summary.get("cycles"),
+                   "instructions": summary.get("instructions"),
+                   "ipc": summary.get("ipc"),
+                   "rf_hit_rate": summary.get("rf_hit_rate"),
+                   "instr_per_s": (prof or {}).get("instr_per_s"),
+                   "total_s": (prof or {}).get("total_s")}
+            report["rows"].append(row)
+            rate = row["instr_per_s"]
+            if rate is not None:
+                host_rates.setdefault(str(cfg.get("core_type", "?")),
+                                      []).append(float(rate))
+
+    stage_series = _metric_series(metrics, "sweep_stage_seconds")
+    total_stage = sum(float(v) for v in stage_series.values()) or None
+    for key in sorted(stage_series):
+        secs = float(stage_series[key])
+        report["stages"].append({
+            "stage": _label_value(key, "stage") or key,
+            "seconds": round(secs, 4),
+            "share": round(secs / total_stage, 4) if total_stage else None})
+
+    hits = _metric_series(metrics, "sim_vrmu_hits")
+    misses = _metric_series(metrics, "sim_vrmu_misses")
+    cycles = _metric_series(metrics, "sim_cycles")
+    for key in sorted(set(hits) | set(misses)):
+        core = _label_value(key, "core") or "?"
+        h = float(hits.get(key, 0))
+        m = float(misses.get(key, 0))
+        report["vrmu"].append({
+            "core": core, "hits": int(h), "misses": int(m),
+            "hit_rate": round(h / (h + m), 4) if h + m else None,
+            "cycles": (int(float(cycles[key]))
+                       if key in cycles else None)})
+
+    if baseline:
+        base_rates = load_baseline(baseline)
+        report["baseline_path"] = os.path.abspath(baseline)
+        for name in sorted(base_rates):
+            if name not in host_rates:
+                continue
+            current = sum(host_rates[name]) / len(host_rates[name])
+            entry = classify_delta(current, base_rates[name],
+                                   threshold=threshold)
+            entry["name"] = f"{name} instr/s"
+            entry["current"] = round(current, 1)
+            report["deltas"].append(entry)
+        report["has_regression"] = any(
+            d["severity"] == "regression" for d in report["deltas"])
+    return report
+
+
+# -- rendering ---------------------------------------------------------------
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; color: #1c2733;
+       margin: 2em auto; max-width: 62em; padding: 0 1em; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: .6em 0; }
+th, td { border: 1px solid #d5dde5; padding: .25em .6em; text-align: right; }
+th { background: #eef2f6; } td.l, th.l { text-align: left; }
+.spark { vertical-align: middle; }
+.sev-ok { background: #e7f5ec; } .sev-warn { background: #fdf3d7; }
+.sev-regression { background: #fbe1e1; font-weight: 600; }
+.meta { color: #5a6a7a; font-size: .92em; }
+.badge { display: inline-block; padding: .1em .55em; border-radius: .7em;
+         font-size: .85em; color: #fff; }
+.badge-ok { background: #2e8b57; } .badge-regression { background: #c0392b; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "&ndash;"
+    if isinstance(value, float):
+        return f"{value:,.{digits}g}" if abs(value) >= 1 else f"{value:.{digits}f}"
+    return _esc(value)
+
+
+def render_html(report: Dict) -> str:
+    """The report dict as one self-contained HTML page."""
+    s = report["summary"]
+    badge = ('<span class="badge badge-regression">REGRESSION</span>'
+             if report["has_regression"]
+             else '<span class="badge badge-ok">OK</span>')
+    parts: List[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>repro sweep report</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Sweep report {badge}</h1>",
+        f"<p class='meta'>{_esc(report['sweep_dir'])}"
+        + (f" &middot; digest <code>{_esc(report['results_digest'])}</code>"
+           if report.get("results_digest") else "") + "</p>",
+        "<h2>Summary</h2>",
+        f"<p>{s['ok']} ok / {s['failed']} failed / {s['resumed']} resumed "
+        f"of {s['total']} rows &middot; {s['rate']} rows/s &middot; "
+        f"{s['elapsed_s']} s elapsed &middot; {s['workers']} worker(s) "
+        f"&middot; {'finished' if s['finished'] else 'in progress'}</p>",
+    ]
+
+    rows = report["rows"]
+    if rows:
+        parts.append("<h2>Per-row results</h2>")
+        for metric, digits in (("ipc", 4), ("cycles", 6),
+                               ("rf_hit_rate", 4), ("instr_per_s", 6)):
+            series = [r.get(metric) for r in rows]
+            if not any(v is not None for v in series):
+                continue
+            parts.append(f"<p class='l'><b>{_esc(metric)}</b> across the "
+                         f"grid {svg_sparkline([v for v in series if v is not None])}</p>")
+        parts.append("<table><tr><th class='l'>config</th><th>cycles</th>"
+                     "<th>instr</th><th>ipc</th><th>rf hit</th>"
+                     "<th>instr/s (host)</th></tr>")
+        for r in rows:
+            parts.append(
+                f"<tr><td class='l'>{_esc(r['label'])}</td>"
+                f"<td>{_fmt(r['cycles'])}</td>"
+                f"<td>{_fmt(r['instructions'])}</td>"
+                f"<td>{_fmt(r['ipc'])}</td>"
+                f"<td>{_fmt(r['rf_hit_rate'])}</td>"
+                f"<td>{_fmt(r['instr_per_s'], 6)}</td></tr>")
+        parts.append("</table>")
+
+    if report["stages"]:
+        parts.append("<h2>Host wall-clock by stage</h2>"
+                     "<table><tr><th class='l'>stage</th><th>seconds</th>"
+                     "<th>share</th></tr>")
+        for st in report["stages"]:
+            share = (f"{st['share'] * 100:.1f}%"
+                     if st["share"] is not None else "&ndash;")
+            parts.append(f"<tr><td class='l'>{_esc(st['stage'])}</td>"
+                         f"<td>{_fmt(st['seconds'])}</td>"
+                         f"<td>{share}</td></tr>")
+        parts.append("</table>")
+
+    if report["vrmu"]:
+        parts.append("<h2>VRMU register cache (fleet totals)</h2>"
+                     "<table><tr><th class='l'>core</th><th>hits</th>"
+                     "<th>misses</th><th>hit rate</th><th>cycles</th></tr>")
+        for v in report["vrmu"]:
+            parts.append(f"<tr><td class='l'>{_esc(v['core'])}</td>"
+                         f"<td>{_fmt(v['hits'])}</td>"
+                         f"<td>{_fmt(v['misses'])}</td>"
+                         f"<td>{_fmt(v['hit_rate'])}</td>"
+                         f"<td>{_fmt(v['cycles'])}</td></tr>")
+        parts.append("</table>")
+
+    if report["deltas"]:
+        parts.append(
+            f"<h2>Baseline deltas</h2>"
+            f"<p class='meta'>vs {_esc(report.get('baseline_path', '?'))} "
+            f"&middot; regression threshold "
+            f"{report['threshold'] * 100:.0f}%</p>"
+            "<table><tr><th class='l'>metric</th><th>current</th>"
+            "<th>baseline</th><th>delta</th><th class='l'>grade</th></tr>")
+        for d in report["deltas"]:
+            delta = (f"{d['delta'] * 100:+.1f}%"
+                     if d["delta"] is not None else "&ndash;")
+            parts.append(
+                f"<tr class='sev-{d['severity']}'>"
+                f"<td class='l'>{_esc(d['name'])}</td>"
+                f"<td>{_fmt(d['current'], 6)}</td>"
+                f"<td>{_fmt(d['baseline'], 6)}</td>"
+                f"<td>{delta}</td>"
+                f"<td class='l'>{_esc(d['severity'])}</td></tr>")
+        parts.append("</table>")
+
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_report(sweep_dir: str, out_path: str,
+                 baseline: Optional[str] = None,
+                 threshold: float = DEFAULT_THRESHOLD) -> Dict:
+    """Build + render + write in one call; returns the report dict."""
+    report = build_report(sweep_dir, baseline=baseline, threshold=threshold)
+    with open(out_path, "w") as f:
+        f.write(render_html(report))
+    return report

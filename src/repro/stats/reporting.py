@@ -11,6 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .counters import Stats
@@ -101,23 +102,36 @@ def sparkline(values: Sequence[float], width: Optional[int] = None,
     ``width`` resamples the series (bucket means) to at most that many
     characters; ``lo``/``hi`` pin the scale (default: the series range),
     letting several sparklines share one axis.
+
+    Degenerate inputs render rather than raise: an empty series gives
+    ``""``; constant and single-point series give flat baselines (a zero
+    span never divides); ``width < 1`` is clamped to one column; NaN/inf
+    samples are excluded from autoscaling and drawn as baseline blocks.
     """
     vals = [float(v) for v in values]
     if not vals:
         return ""
-    if width is not None and len(vals) > width:
-        per = len(vals) / width
-        vals = [sum(vals[int(i * per):max(int(i * per) + 1,
-                                          int((i + 1) * per))])
-                / max(1, int((i + 1) * per) - int(i * per))
-                for i in range(width)]
-    lo = min(vals) if lo is None else lo
-    hi = max(vals) if hi is None else hi
+    if width is not None:
+        width = max(1, int(width))
+        if len(vals) > width:
+            per = len(vals) / width
+            vals = [sum(vals[int(i * per):max(int(i * per) + 1,
+                                              int((i + 1) * per))])
+                    / max(1, int((i + 1) * per) - int(i * per))
+                    for i in range(width)]
+    finite = [v for v in vals if math.isfinite(v)]
+    if not finite:
+        return _SPARK_BLOCKS[0] * len(vals)
+    lo = min(finite) if lo is None else lo
+    hi = max(finite) if hi is None else hi
     span = hi - lo
-    if span <= 0:
+    if span <= 0 or not math.isfinite(span):
         return _SPARK_BLOCKS[0] * len(vals)
     out = []
     for v in vals:
+        if not math.isfinite(v):
+            out.append(_SPARK_BLOCKS[0])
+            continue
         idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1) + 0.5)
         out.append(_SPARK_BLOCKS[max(0, min(len(_SPARK_BLOCKS) - 1, idx))])
     return "".join(out)

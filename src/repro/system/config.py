@@ -84,6 +84,13 @@ class RunConfig:
     #: None (the default) wires nothing — runs are bit-identical to a
     #: build without the telemetry subsystem.
     telemetry: Optional[Dict] = None
+    #: optional per-run metrics campaign: a mapping of
+    #: :class:`~repro.metrics.MetricsConfig` fields (or an instance, or
+    #: ``True`` for the defaults).  None (the default) wires nothing —
+    #: runs are bit-identical to a build without the metrics subsystem,
+    #: and the field is excluded from config/manifest digests when None so
+    #: pre-existing digests and checkpoint-journal keys stay valid.
+    metrics: Optional[Dict] = None
     #: optional VSan sanitizer mode: a mapping of
     #: :class:`~repro.sanitizer.SanitizeConfig` fields (or an instance, or
     #: ``True`` for the default per-commit checks).  None (the default)
@@ -107,6 +114,9 @@ class RunConfig:
         if self.telemetry is not None:
             from ..telemetry import TelemetryConfig
             TelemetryConfig.from_spec(self.telemetry)  # validate eagerly
+        if self.metrics is not None:
+            from ..metrics import MetricsConfig
+            MetricsConfig.from_spec(self.metrics)  # validate eagerly
         if self.sanitize is not None:
             from ..sanitizer import SanitizeConfig
             SanitizeConfig.from_spec(self.sanitize)  # validate eagerly

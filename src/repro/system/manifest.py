@@ -21,6 +21,24 @@ from .config import RunConfig
 from .simulator import RunResult
 
 
+#: opt-in RunConfig fields added *after* digests were already in the wild:
+#: when left at their ``None`` default they are dropped from digest
+#: payloads, so config keys and manifest digests recorded before the field
+#: existed remain byte-identical (and checkpoint journals stay resumable).
+#: A non-None value still enters the digest — two configs differing only
+#: in an active campaign remain distinguishable.
+_DIGEST_OPTIONAL_FIELDS = ("metrics",)
+
+
+def config_payload(cfg: RunConfig) -> Dict:
+    """``asdict(cfg)`` normalized for digesting (see above)."""
+    payload = dataclasses.asdict(cfg)
+    for name in _DIGEST_OPTIONAL_FIELDS:
+        if payload.get(name) is None:
+            payload.pop(name, None)
+    return payload
+
+
 def config_key(cfg: RunConfig) -> str:
     """Stable 16-hex-digit digest of one RunConfig.
 
@@ -29,7 +47,7 @@ def config_key(cfg: RunConfig) -> str:
     extending the grid between invocations is safe) and available to
     manifest consumers for the same purpose.
     """
-    payload = json.dumps(dataclasses.asdict(cfg), sort_keys=True, default=str)
+    payload = json.dumps(config_payload(cfg), sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
@@ -50,7 +68,7 @@ class RunManifest:
     host_profiles: List[Optional[Dict]] = field(default_factory=list)
 
     def add(self, result: RunResult) -> None:
-        self.configs.append(asdict(result.config))
+        self.configs.append(config_payload(result.config))
         self.results_summary.append({
             "cycles": result.cycles,
             "instructions": result.instructions,

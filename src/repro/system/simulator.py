@@ -45,6 +45,11 @@ class RunResult:
     #: the run's :class:`~repro.sanitizer.Sanitizer` when the config asked
     #: for one (None otherwise); a returned result means no violation fired
     sanitizer: Optional[object] = None
+    #: the run's :class:`~repro.metrics.MetricsSession` when the config
+    #: asked for one (None otherwise).  Workers replace the live session
+    #: with its plain :meth:`~repro.metrics.MetricsSession.snapshot` dict
+    #: before shipping a result across a process boundary.
+    metrics: Optional[object] = None
     #: host-side wall-clock profile (phase seconds + instr/s); always
     #: collected — it never feeds back into simulated timing
     host_profile: Optional[Dict] = None
@@ -155,6 +160,7 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
             p.finalize(handles[p.name])
     session = handles.get("telemetry")
     vsan = handles.get("sanitizer")
+    metrics = handles.get("metrics")
 
     with profiler.phase("check"):
         correct = all(inst.check() for inst in instances) if check else True
@@ -174,7 +180,8 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
     return RunResult(config=cfg, cycles=result.cycles,
                      instructions=result.instructions, ipc=result.ipc,
                      stats=stats, rf_hit_rate=hit, correct=correct,
-                     telemetry=session, sanitizer=vsan, host_profile=host)
+                     telemetry=session, sanitizer=vsan, metrics=metrics,
+                     host_profile=host)
 
 
 def _run_ooo(cfg: RunConfig, spec, check: bool, profiler=None) -> RunResult:
@@ -262,18 +269,25 @@ def sweep(configs: List[RunConfig], check: bool = True,
                     exc, index=i, config=asdict(cfg)))
         return results
 
+    from ..exec import WorkerCrash
     tagged = backend.map(sweep_worker,
                          [(i, cfg, check) for i, cfg in enumerate(configs)])
     if on_error == "raise":
         out: List[RunResult] = []
-        for item in tagged:
+        for i, item in enumerate(tagged):
+            if isinstance(item, WorkerCrash):
+                raise item.to_error()
             if item[0] == "err":
                 raise item[2]
             out.append(item[1])
         return out
     results = ResultList()
-    for item in tagged:
-        if item[0] == "ok":
+    for i, item in enumerate(tagged):
+        if isinstance(item, WorkerCrash):
+            results.append(None)
+            results.failures.append(RunFailure.from_exception(
+                item.to_error(), index=i, config=asdict(configs[i])))
+        elif item[0] == "ok":
             results.append(item[1])
         else:
             results.append(None)

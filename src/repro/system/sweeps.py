@@ -106,13 +106,19 @@ class GridRows(List[Dict]):
 
     A plain ``list`` in every other respect, so downstream CSV/plot helpers
     need no changes.  ``resumed`` counts rows replayed from the checkpoint
-    journal rather than re-simulated.
+    journal rather than re-simulated.  When the grid ran observed
+    (``observe=``/``metrics=``), ``metrics`` carries the fleet
+    :class:`~repro.metrics.MetricsRegistry` and ``observability`` the
+    :class:`~repro.system.monitor.SweepObservability` surface (both None
+    otherwise).
     """
 
     def __init__(self, *args) -> None:
         super().__init__(*args)
         self.failures: List[RunFailure] = []
         self.resumed: int = 0
+        self.metrics = None
+        self.observability = None
 
 
 # -- watchdogs ---------------------------------------------------------------
@@ -216,7 +222,8 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
              max_cycles: Optional[int] = None,
              checkpoint: Optional[str] = None,
              resume: bool = False, jobs: Optional[int] = None,
-             backend=None) -> GridRows:
+             backend=None, observe=None, manifest=None,
+             metrics=None) -> GridRows:
     """Simulate every config; returns flat result rows (config + metrics).
 
     ``progress`` is an optional callable invoked as ``progress(i, total,
@@ -238,42 +245,142 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
     run.  Parallel fail-fast (``on_error="raise"``) raises the first (by
     config order) failure after the batch completes, rather than aborting
     mid-grid.  The journal is written by this (parent) process only, so
-    checkpoint/resume semantics are unchanged.
+    checkpoint/resume semantics are unchanged.  An abrupt worker death
+    (:class:`~repro.exec.WorkerCrash`) is converted into a transient
+    :class:`~repro.errors.RunFailure` carrying the lost chunk's indices
+    and exit context instead of aborting the sweep.
+
+    Observability (all opt-in, see :mod:`repro.system.monitor`):
+    ``observe`` is a sweep directory (or prepared
+    :class:`~repro.system.monitor.SweepObservability`) that receives the
+    live JSONL event log, worker heartbeat files, and the merged
+    parent+workers Chrome trace.  ``manifest`` is a
+    :class:`~repro.system.manifest.RunManifest` populated with every
+    freshly simulated result in config order — serial and ``jobs=N``
+    sweeps of the same grid produce identical manifests.  ``metrics`` is a
+    fleet :class:`~repro.metrics.MetricsRegistry` accumulating rows by
+    status, per-stage host wall-clock, and every worker-shipped per-run
+    metrics snapshot (created automatically when ``observe`` is set);
+    it is exposed as ``rows.metrics``.
     """
     if on_error not in ("raise", "isolate"):
         raise ValueError(f"on_error must be 'raise' or 'isolate', "
                          f"not {on_error!r}")
     if resume and not checkpoint:
         raise ValueError("resume=True requires a checkpoint path")
-    from ..exec import SerialBackend, grid_worker, resolve_backend
+    from ..exec import (SerialBackend, WorkerCrash, grid_worker,
+                        resolve_backend)
     backend = resolve_backend(jobs, backend)
     configs = list(configs)
     previous = _load_journal(checkpoint) if (checkpoint and resume) else {}
     journal = _Journal(checkpoint) if checkpoint else None
+    obs = None
+    if observe is not None:
+        from .monitor import SweepObservability
+        obs = SweepObservability.ensure(observe)
+    if metrics is None and obs is not None:
+        from ..metrics import MetricsRegistry
+        metrics = MetricsRegistry()
     rows = GridRows()
+    rows.metrics = metrics
+    rows.observability = obs
     keys = [config_key(cfg) for cfg in configs]
 
     def _is_resumed(i: int) -> bool:
         done = previous.get(keys[i])
         return done is not None and done.get("status") == "ok"
 
+    def _fold_fleet(result=None, status: str = "ok") -> None:
+        """Accumulate one finished row into the fleet registry."""
+        if metrics is None:
+            return
+        metrics.counter("sweep_rows_total",
+                        "grid rows by final status").inc(status=status)
+        if result is None:
+            return
+        host = getattr(result, "host_profile", None)
+        if host:
+            stage = metrics.counter(
+                "sweep_stage_seconds",
+                "host wall-clock by simulator stage (seconds)")
+            for name, secs in (host.get("phases_s") or {}).items():
+                stage.inc(float(secs), stage=name)
+        snap = getattr(result, "metrics", None)
+        if snap is not None:
+            if hasattr(snap, "snapshot"):
+                snap = snap.snapshot()
+            metrics.merge(snap)
+
+    def _crash_outcome(crash: WorkerCrash, index: int, cfg: RunConfig):
+        """A WorkerCrash sentinel as a standard (result, failure, exc)."""
+        err = crash.to_error()
+        failure = RunFailure.from_exception(
+            err, index=index, config=asdict(cfg),
+            attempts=crash.attempt, key=keys[index])
+        if obs is not None:
+            # the worker died before it could report this row itself
+            obs.append_event("row_fail", index=index, key=keys[index],
+                             error=failure.error_type)
+        return None, failure, err
+
+    def _run_serial_observed(i: int, cfg: RunConfig, key: str):
+        """Serial row under observability: events + parent-side spans."""
+        from ..exec.spans import SpanRecorder
+        spec = obs.task_obs()
+        obs.trace.dispatch(i)
+        obs.append_event("row_start", index=i, key=key)
+        rec = SpanRecorder(spec, i) if spec.get("spans") else None
+        outcome = _run_isolated(i, cfg, check, retries, timeout_s,
+                                max_cycles, key)
+        if rec is not None:
+            rec.phase("simulate")
+            obs.trace.merge_spans(rec.records)
+        _, failure, _ = outcome
+        if failure is None:
+            obs.append_event("row_ok", index=i, key=key)
+        else:
+            obs.append_event("row_fail", index=i, key=key,
+                             error=failure.error_type)
+        return outcome
+
+    if obs is not None:
+        obs.append_event("sweep_start", total=len(configs),
+                         jobs=backend.jobs)
+
     outcomes: Dict[int, tuple] = {}
     if not isinstance(backend, SerialBackend):
-        tasks = [(i, cfg, check, retries, timeout_s, max_cycles, keys[i])
-                 for i, cfg in enumerate(configs) if not _is_resumed(i)]
+        tasks = []
+        for i, cfg in enumerate(configs):
+            if _is_resumed(i):
+                continue
+            task = (i, cfg, check, retries, timeout_s, max_cycles, keys[i])
+            if obs is not None:
+                obs.trace.dispatch(i)
+                task = task + (obs.task_obs(),)
+            tasks.append(task)
         for task, outcome in zip(tasks, backend.map(grid_worker, tasks)):
-            outcomes[task[0]] = outcome
+            if isinstance(outcome, WorkerCrash):
+                outcomes[task[0]] = _crash_outcome(outcome, task[0], task[1])
+                continue
+            if obs is not None and len(outcome) > 3:
+                obs.trace.merge_spans(outcome[3])
+            outcomes[task[0]] = outcome[:3]
     try:
         for i, cfg in enumerate(configs):
             key = keys[i]
             if _is_resumed(i):
                 rows.append(previous[key]["row"])
                 rows.resumed += 1
+                _fold_fleet(status="resumed")
+                if obs is not None:
+                    obs.append_event("row_resumed", index=i, key=key)
                 if progress is not None:
                     progress(i + 1, len(configs), None)
                 continue
             if i in outcomes:
                 result, failure, exc = outcomes[i]
+            elif obs is not None:
+                result, failure, exc = _run_serial_observed(i, cfg, key)
             else:
                 # serial path: call the module-global _run_isolated /
                 # run_config inline so monkeypatched entry points apply
@@ -283,12 +390,18 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
             if result is not None:
                 row = _result_row(cfg, result)
                 rows.append(row)
+                if manifest is not None:
+                    manifest.add(result)
+                _fold_fleet(result=result, status="ok")
                 if journal is not None:
                     journal.append({"key": key, "index": i, "status": "ok",
                                     "row": row})
                 if progress is not None:
                     progress(i + 1, len(configs), result)
                 continue
+            _fold_fleet(status="crash"
+                        if failure.error_type == "WorkerCrashError"
+                        else "fail")
             if journal is not None:
                 journal.append({"key": key, "index": i, "status": "fail",
                                 "failure": failure.as_dict()})
@@ -300,6 +413,14 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
     finally:
         if journal is not None:
             journal.close()
+        if obs is not None:
+            obs.append_event("sweep_end", ok=len(rows) - rows.resumed,
+                             failed=len(rows.failures),
+                             resumed=rows.resumed)
+            obs.write_trace(metadata={"rows": len(rows),
+                                      "failures": len(rows.failures)})
+            if metrics is not None:
+                obs.write_metrics(metrics)
     return rows
 
 

@@ -59,10 +59,19 @@ class EventTracer:
         self._head = 0
         self._flow_id = 0
         self._tracks: Dict[Tuple[int, int], str] = {}
+        self._process_names: Dict[int, str] = {}
 
     # -- emission ----------------------------------------------------------
     def register_track(self, pid: int, tid: int, name: str) -> None:
         self._tracks[(pid, tid)] = name
+
+    def register_process(self, pid: int, name: str) -> None:
+        """Name a pid track (default: ``core {pid}``).
+
+        Single-run traces keep the default (pid = simulated core id);
+        cross-process sweep traces use this to label each worker process.
+        """
+        self._process_names[pid] = name
 
     def next_flow_id(self) -> int:
         self._flow_id += 1
@@ -137,9 +146,11 @@ class EventTracer:
             if key not in tracks:
                 tracks[key] = _TRACK_NAMES.get(ev["tid"],
                                                f"thread {ev['tid']}")
-        for pid in sorted({p for p, _ in tracks}):
+        pids = {p for p, _ in tracks} | set(self._process_names)
+        for pid in sorted(pids):
+            pname = self._process_names.get(pid, f"core {pid}")
             out.append({"name": "process_name", "ph": "M", "pid": pid,
-                        "tid": 0, "args": {"name": f"core {pid}"}})
+                        "tid": 0, "args": {"name": pname}})
         for (pid, tid), name in sorted(tracks.items()):
             out.append({"name": "thread_name", "ph": "M", "pid": pid,
                         "tid": tid, "args": {"name": name}})

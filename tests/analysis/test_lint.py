@@ -204,3 +204,37 @@ def test_src_tree_is_clean():
     assert active == [], "\n".join(f.render() for f in active)
     suppressed = [f for f in findings if f.suppressed]
     assert all("sweeps.py" in f.path for f in suppressed)
+
+
+def test_vrc006_print_in_library():
+    hits = L.lint_source(
+        "def f(x):\n"
+        "    print('debug', x)\n"
+        "    return x\n", path="src/repro/core/base.py")
+    assert ids(hits) == ["VRC006"]
+    assert len(hits) == 1
+
+
+def test_vrc006_exempt_surfaces():
+    src = "print('hello')\n"
+    # user-facing surfaces and non-library trees may print directly
+    for path in ("src/repro/cli.py", "src/repro/stats/reporting.py",
+                 "src/repro/system/monitor.py", "experiments/common.py",
+                 "tests/system/test_cli.py", "benchmarks/bench_x.py"):
+        assert L.lint_source(src, path=path) == [], path
+
+
+def test_vrc006_method_named_print_ok():
+    # only the bare builtin is flagged; obj.print() is someone's API
+    hits = L.lint_source(
+        "def f(w):\n"
+        "    w.print('fine')\n", path="src/repro/core/base.py")
+    assert hits == []
+
+
+def test_vrc006_suppressible():
+    hits = L.lint_source(
+        "print('meant it')  # noqa: VRC006\n",
+        path="src/repro/core/base.py")
+    assert len(hits) == 1
+    assert hits[0].suppressed

@@ -5,7 +5,8 @@ Three things must hold (see ``repro/core/instrument.py``):
 * **Compiled fast path** — with nothing attached the engine binds the
   uninstrumented step body; attaching/detaching any instrument rebinds it.
 * **Fixed dispatch order** — attached instruments fire per instruction as
-  faults -> telemetry -> sanitizer -> tracer, at their pipeline positions.
+  faults -> telemetry -> metrics -> sanitizer -> tracer, at their pipeline
+  positions.
 * **Cycle identity** — observational instruments never change a timestamp:
   the instrumented path commits on exactly the fast path's clock.
 """
@@ -64,6 +65,14 @@ class RecordingTelemetry:
         self.log.append(("telemetry", "on_context_move"))
 
 
+class RecordingMetrics:
+    def __init__(self, log):
+        self.log = log
+
+    def on_commit(self, thread, d, t_c):
+        self.log.append(("metrics", "on_commit"))
+
+
 class RecordingSanitizer:
     def __init__(self, log):
         self.log = log
@@ -83,6 +92,7 @@ class RecordingTracer:
 def attach_all(core, log):
     core.fault_hook = RecordingFaults(log)
     core.telemetry = RecordingTelemetry(log)
+    core.metrics = RecordingMetrics(log)
     core.sanitizer = RecordingSanitizer(log)
     core.tracer = RecordingTracer(log)
 
@@ -110,6 +120,7 @@ def test_attach_rebinds_to_instrumented_and_back():
 
 @pytest.mark.parametrize("slot,attr", [("faults", "fault_hook"),
                                        ("telemetry", "telemetry"),
+                                       ("metrics", "metrics"),
                                        ("sanitizer", "sanitizer"),
                                        ("tracer", "tracer")])
 def test_legacy_attributes_delegate_to_bus(slot, attr):
@@ -137,7 +148,8 @@ def test_attached_lists_in_dispatch_order():
     log = Log()
     attach_all(core, log)
     assert [name for name, _ in core.bus.attached()] == list(DISPATCH_ORDER)
-    assert DISPATCH_ORDER == ("faults", "telemetry", "sanitizer", "tracer")
+    assert DISPATCH_ORDER == ("faults", "telemetry", "metrics", "sanitizer",
+                              "tracer")
 
 
 def test_external_step_wrapper_survives_recompile():
@@ -172,12 +184,14 @@ def test_dispatch_order_per_instruction():
     body = [e for e in log if e[1] in ("on_instruction", "on_commit",
                                        "record")]
     # every committed instruction dispatches faults -> telemetry ->
-    # sanitizer -> tracer; the halt commits without a tracer record
+    # metrics -> sanitizer -> tracer; the halt commits without a tracer
+    # record
     per_inst = [("faults", "on_instruction"), ("telemetry", "on_commit"),
-                ("sanitizer", "on_commit"), ("tracer", "record")]
+                ("metrics", "on_commit"), ("sanitizer", "on_commit"),
+                ("tracer", "record")]
     n = core.threads[0].instructions
-    assert body[:4 * n] == per_inst * n
-    assert body[4 * n:] == per_inst[:3]     # the halt: no tracer record
+    assert body[:5 * n] == per_inst * n
+    assert body[5 * n:] == per_inst[:4]     # the halt: no tracer record
     assert log[-1] == ("telemetry", "on_thread_done")
 
 

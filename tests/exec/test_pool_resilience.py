@@ -1,0 +1,125 @@
+"""Worker-crash containment: BrokenProcessPool becomes per-row failures.
+
+A worker that dies outright (``os._exit``, OOM kill, segfault) used to
+surface as a bare ``BrokenProcessPool`` that aborted the whole sweep.
+The backend now blames the broken chunk with :class:`WorkerCrash`
+sentinels (carrying the chunk's row indices and exit context), retries
+the surviving chunks in a fresh pool, and ``run_grid`` records crashed
+rows as transient ``WorkerCrashError`` failures.
+
+(The victim function lives at module top level so spawn workers can
+pickle it by reference.)
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import RunFailure, WorkerCrashError
+from repro.exec import ProcessPoolBackend, WorkerCrash
+from repro.exec.backends import ExecBackend
+from repro.system import RunConfig, run_grid
+
+from ..helpers import time_limit
+
+
+def _victim(item):
+    if item == "die":
+        time.sleep(0.3)  # let sibling chunks get submitted first
+        os._exit(13)
+    return item * 2
+
+
+# -- sentinel semantics ------------------------------------------------------
+def test_worker_crash_to_error():
+    crash = WorkerCrash(index=2, chunk_indices=[2, 3], context="exit 13",
+                        attempt=1)
+    err = crash.to_error()
+    assert isinstance(err, WorkerCrashError)
+    assert err.indices == [2, 3]
+    assert err.context == "exit 13"
+    assert "3" in str(err)  # chunk peers named in the message
+
+
+def test_run_failure_carries_chunk_context():
+    err = WorkerCrashError("worker died", indices=[4, 5],
+                           context="exit code 9")
+    failure = RunFailure.from_exception(err, index=4, config={})
+    assert failure.error_type == "WorkerCrashError"
+    assert failure.transient  # crashes are retryable
+    assert failure.extra["chunk_indices"] == [4, 5]
+    assert failure.extra["exit_context"] == "exit code 9"
+
+
+# -- the pool itself ---------------------------------------------------------
+def test_crash_contained_to_its_chunk():
+    items = ["die", "a", "b", "c", "d", "e"]
+    with time_limit(300):
+        out = ProcessPoolBackend(jobs=2, chunksize=1).map(_victim, items)
+    crashes = [r for r in out if isinstance(r, WorkerCrash)]
+    assert len(crashes) == 1
+    assert crashes[0].index == 0
+    assert crashes[0].chunk_indices == [0]
+    # every other item still completed, in order
+    assert out[1:] == ["aa", "bb", "cc", "dd", "ee"]
+
+
+def test_crash_blames_whole_chunk():
+    items = ["x", "die", "y", "z"]
+    with time_limit(300):
+        out = ProcessPoolBackend(jobs=2, chunksize=2).map(_victim, items)
+    # chunk [x, die] is lost as a unit; chunk [y, z] survives
+    assert all(isinstance(r, WorkerCrash) for r in out[:2])
+    assert out[0].chunk_indices == [0, 1]
+    assert out[2:] == ["yy", "zz"]
+
+
+# -- run_grid conversion (deterministic fake backend, no real crash) --------
+class _CrashingBackend(ExecBackend):
+    """Pretends row 0's worker died; runs everything else in-process."""
+
+    jobs = 2
+
+    def map(self, fn, tasks):
+        out = []
+        for task in tasks:
+            if task[0] == 0:
+                out.append(WorkerCrash(index=0, chunk_indices=[0],
+                                       context="exit 13"))
+            else:
+                out.append(fn(task))
+        return out
+
+
+def test_run_grid_records_crash_as_failure():
+    cfgs = [RunConfig(workload="gather", core_type="virec", n_threads=2,
+                      n_per_thread=8, seed=s) for s in (1, 2)]
+    rows = run_grid(cfgs, backend=_CrashingBackend())
+    assert len(rows) == 1  # the surviving row
+    assert len(rows.failures) == 1
+    f = rows.failures[0]
+    assert f.error_type == "WorkerCrashError"
+    assert f.index == 0
+    assert f.transient
+    assert f.extra["exit_context"] == "exit 13"
+
+
+def test_sweep_crash_raises_in_fail_fast_mode():
+    from repro.system import sweep
+
+    cfgs = [RunConfig(workload="gather", core_type="virec", n_threads=2,
+                      n_per_thread=8, seed=s) for s in (1, 2)]
+    with pytest.raises(WorkerCrashError):
+        sweep(cfgs, backend=_CrashingBackend(), on_error="raise")
+
+
+def test_sweep_crash_isolated_as_failure():
+    from repro.system import sweep
+
+    cfgs = [RunConfig(workload="gather", core_type="virec", n_threads=2,
+                      n_per_thread=8, seed=s) for s in (1, 2)]
+    results = sweep(cfgs, backend=_CrashingBackend(), on_error="isolate")
+    assert results[0] is None and results[1] is not None
+    assert results.failures[0].error_type == "WorkerCrashError"
+    assert results.failures[0].index == 0

@@ -1,0 +1,121 @@
+"""Cross-process span tracing: recorder, merged trace, flow arrows.
+
+The unit half drives :class:`SweepTrace` with synthetic records from two
+fake worker pids and JSON-parses the merged Chrome trace; the integration
+half runs a real two-worker grid and validates the written ``trace.json``
+the same way CI does.
+"""
+
+import json
+import os
+
+from repro.exec import SpanRecorder, SweepTrace, task_spec
+from repro.exec.spans import PARENT_PID, now_s
+from repro.system import RunConfig, run_grid
+
+from ..helpers import time_limit
+
+
+# -- worker-side recorder ----------------------------------------------------
+def test_recorder_measures_queue_wait_and_phases():
+    t0 = now_s()
+    obs = task_spec(t0)
+    rec = SpanRecorder(obs, index=3)
+    rec.phase("setup")
+    rec.phase("simulate")
+    names = [r[2] for r in rec.records]
+    # queue_wait may be absent when dispatch->pickup is sub-clock-tick
+    assert names[-2:] == ["setup", "simulate"]
+    for index, pid, _, start_us, dur_us in rec.records:
+        assert index == 3
+        assert pid == os.getpid()
+        assert start_us >= 0 and dur_us >= 0
+
+
+def test_recorder_spans_are_contiguous():
+    obs = {"t0": now_s(), "t_submit": now_s() - 0.01}
+    rec = SpanRecorder(obs, index=0)
+    rec.phase("setup")
+    rec.phase("simulate")
+    assert rec.records[0][2] == "queue_wait"
+    for prev, cur in zip(rec.records, rec.records[1:]):
+        assert cur[3] >= prev[3]  # starts are monotonic
+
+
+# -- parent-side merge (synthetic two-worker fleet) --------------------------
+def _merged_trace():
+    trace = SweepTrace(label="sweep")
+    trace.dispatch(0)
+    trace.dispatch(1)
+    trace.merge_spans([(0, 101, "queue_wait", 10, 5),
+                       (0, 101, "simulate", 15, 50)])
+    trace.merge_spans([(1, 202, "queue_wait", 12, 3),
+                       (1, 202, "simulate", 15, 40)])
+    return trace, trace.chrome_trace(metadata={"rows": 2})
+
+
+def test_merge_creates_one_pid_track_per_worker():
+    trace, ct = _merged_trace()
+    assert trace.worker_pids == [101, 202]
+    events = json.loads(json.dumps(ct))["traceEvents"]
+    pnames = {e["pid"]: e["args"]["name"] for e in events
+              if e["ph"] == "M" and e["name"] == "process_name"}
+    assert pnames[PARENT_PID] == "sweep parent"
+    assert pnames[101] == "worker 101"
+    assert pnames[202] == "worker 202"
+    span_pids = {e["pid"] for e in events
+                 if e["ph"] == "X" and e["name"] == "simulate"}
+    assert span_pids == {101, 202}
+
+
+def test_flow_arrows_link_dispatch_to_worker():
+    _, ct = _merged_trace()
+    events = ct["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    ends = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == len(ends) == 2  # one arrow per task
+    assert all(e["pid"] == PARENT_PID for e in starts)
+    assert {e["pid"] for e in ends} == {101, 202}
+    assert ({e["id"] for e in starts} == {e["id"] for e in ends})
+    assert all(e.get("bp") == "e" for e in ends)
+
+
+def test_unknown_dispatch_defaults_flow_origin():
+    trace = SweepTrace()
+    # no dispatch() recorded for index 7: the arrow starts at the span
+    trace.merge_spans([(7, 303, "simulate", 100, 10)])
+    s = [e for e in trace.chrome_trace()["traceEvents"] if e["ph"] == "s"]
+    assert s and s[0]["ts"] == 100
+
+
+def test_trace_metadata_and_roundtrip(tmp_path):
+    trace, _ = _merged_trace()
+    path = tmp_path / "trace.json"
+    trace.write(str(path), metadata={"rows": 2})
+    data = json.loads(path.read_text())
+    assert data["otherData"]["workers"] == 2
+    assert data["otherData"]["rows"] == 2
+
+
+# -- integration: a real two-worker observed grid ----------------------------
+def test_observed_parallel_grid_traces_two_workers(tmp_path):
+    grid = [RunConfig(workload="gather", core_type=ct, n_threads=2,
+                      n_per_thread=8)
+            for ct in ("banked", "virec", "fgmt", "swctx")]
+    with time_limit(300):
+        rows = run_grid(grid, jobs=2, observe=str(tmp_path))
+    assert len(rows) == 4 and not rows.failures
+    data = json.loads((tmp_path / "trace.json").read_text())
+    events = data["traceEvents"]
+    worker_pids = {e["pid"] for e in events
+                   if e["ph"] == "X" and e["pid"] != PARENT_PID}
+    assert len(worker_pids) >= 2, "expected spans from >=2 worker processes"
+    span_names = {e["name"] for e in events if e["ph"] == "X"}
+    assert {"setup", "simulate", "serialize"} <= span_names
+    assert any(e["ph"] == "s" for e in events)
+    assert any(e["ph"] == "f" for e in events)
+    # the event log saw every row finish
+    log = (tmp_path / "sweep_events.jsonl").read_text().splitlines()
+    evs = [json.loads(line)["ev"] for line in log]
+    assert evs.count("row_ok") == 4
+    assert evs[-1] == "sweep_end"

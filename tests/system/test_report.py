@@ -1,0 +1,219 @@
+"""Regression-aware HTML reports: sparklines, grading, and the CI gate.
+
+``build_report`` is pure data assembly over a sweep directory, so both
+gate outcomes (pass and regression) are exercised on a synthetic
+directory with a hand-written manifest / metrics snapshot / event log —
+and once more through the CLI, asserting on the actual exit codes.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.stats.report_html import (DEFAULT_THRESHOLD, EXIT_REGRESSION,
+                                     build_report, classify_delta,
+                                     load_baseline, render_html,
+                                     svg_sparkline, write_report)
+
+
+# -- sparklines (SVG flavour) ------------------------------------------------
+def test_svg_sparkline_normal_series():
+    svg = svg_sparkline([1, 2, 3, 2])
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "<polyline" in svg and "<circle" in svg
+
+
+def test_svg_sparkline_empty_series():
+    svg = svg_sparkline([])
+    assert svg.startswith("<svg")
+    assert "<polyline" not in svg  # an empty frame, not a crash
+
+
+def test_svg_sparkline_single_point_centered():
+    svg = svg_sparkline([5.0], height=28)
+    assert "14.0" in svg  # flat line at mid-height; no div-by-zero
+
+
+def test_svg_sparkline_constant_series_flat():
+    svg = svg_sparkline([3, 3, 3, 3], height=28)
+    assert svg.count(",14.0") == 4  # every point at mid-height
+
+
+def test_svg_sparkline_filters_non_finite():
+    svg = svg_sparkline([1.0, float("nan"), float("inf"),
+                         float("-inf"), 2.0])
+    assert "nan" not in svg and "inf" not in svg
+    assert "<polyline" in svg
+    # only NaN/inf values: degenerates to the empty frame
+    assert "<polyline" not in svg_sparkline([float("nan")])
+
+
+# -- delta grading -----------------------------------------------------------
+def test_classify_delta_grades():
+    assert classify_delta(100, 100)["severity"] == "ok"
+    assert classify_delta(110, 100)["severity"] == "ok"  # improvements pass
+    # warn strictly beyond threshold/2, regression strictly beyond threshold
+    assert classify_delta(70, 100, threshold=0.5)["severity"] == "warn"
+    assert classify_delta(40, 100, threshold=0.5)["severity"] == "regression"
+    assert classify_delta(80, 100, threshold=0.5)["severity"] == "ok"
+
+
+def test_classify_delta_missing_baseline_is_ok():
+    assert classify_delta(100, None)["severity"] == "ok"
+    assert classify_delta(None, 100)["severity"] == "ok"
+    assert classify_delta(100, 0)["severity"] == "ok"
+    assert classify_delta(100, -5)["severity"] == "ok"
+
+
+def test_classify_delta_lower_is_better():
+    entry = classify_delta(300, 100, threshold=0.5, higher_is_better=False)
+    assert entry["severity"] == "regression"
+    assert classify_delta(50, 100, threshold=0.5,
+                          higher_is_better=False)["severity"] == "ok"
+
+
+def test_load_baseline_both_shapes(tmp_path):
+    bench = tmp_path / "BENCH_simspeed.json"
+    bench.write_text(json.dumps({
+        "bench": "simspeed",
+        "results": {"virec": {"instructions": 10, "seconds": 2,
+                              "instr_per_s": 5.0},
+                    "skipme": {"note": "no rate"}}}))
+    assert load_baseline(str(bench)) == {"virec": 5.0}
+    plain = tmp_path / "plain.json"
+    plain.write_text(json.dumps({"virec": 7.5, "banked": 3}))
+    assert load_baseline(str(plain)) == {"virec": 7.5, "banked": 3.0}
+
+
+# -- synthetic sweep directory ----------------------------------------------
+def _make_sweep_dir(tmp_path, instr_per_s=8000.0):
+    root = tmp_path / "swp"
+    root.mkdir(parents=True)
+    manifest = {
+        "repro_version": "0", "python_version": "3", "platform": "test",
+        "results_digest": "feedfacefeedface",
+        "configs": [{"workload": "gather", "core_type": "virec",
+                     "n_threads": 4, "context_fraction": 0.6, "seed": 7},
+                    {"workload": "gather", "core_type": "virec",
+                     "n_threads": 4, "context_fraction": 0.8, "seed": 7}],
+        "results_summary": [
+            {"cycles": 1000, "instructions": 400, "ipc": 0.4,
+             "rf_hit_rate": 0.9},
+            {"cycles": 900, "instructions": 400, "ipc": 0.44,
+             "rf_hit_rate": 0.95}],
+        "host_profiles": [
+            {"total_s": 0.05, "phases_s": {"build": 0.01, "simulate": 0.03,
+                                           "check": 0.01},
+             "instr_per_s": instr_per_s, "cycles_per_s": 2e4},
+            {"total_s": 0.04, "phases_s": {"build": 0.01, "simulate": 0.02,
+                                           "check": 0.01},
+             "instr_per_s": instr_per_s, "cycles_per_s": 2e4}],
+    }
+    (root / "manifest.json").write_text(json.dumps(manifest))
+    metrics = {"metrics": {
+        "sweep_stage_seconds": {
+            "kind": "counter", "help": "",
+            "series": {'stage="build"': 0.02, 'stage="simulate"': 0.05,
+                       'stage="check"': 0.02}},
+        "sim_vrmu_hits": {"kind": "counter", "help": "",
+                          "series": {'core="0"': 900.0}},
+        "sim_vrmu_misses": {"kind": "counter", "help": "",
+                            "series": {'core="0"': 100.0}},
+        "sim_cycles": {"kind": "gauge", "help": "", "agg": "max",
+                       "series": {'core="0"': 1000.0}},
+    }}
+    (root / "metrics.json").write_text(json.dumps(metrics))
+    events = [{"ev": "sweep_start", "t": 0.0, "total": 2},
+              {"ev": "row_ok", "t": 0.5, "index": 0},
+              {"ev": "row_ok", "t": 0.9, "index": 1},
+              {"ev": "sweep_end", "t": 1.0}]
+    (root / "sweep_events.jsonl").write_text(
+        "".join(json.dumps(e) + "\n" for e in events))
+    return root
+
+
+def _baseline(tmp_path, rate, name="base.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps({"bench": "simspeed", "results": {
+        "virec": {"instr_per_s": rate}}}))
+    return str(path)
+
+
+def test_build_report_sections(tmp_path):
+    root = _make_sweep_dir(tmp_path)
+    report = build_report(str(root))
+    assert report["summary"]["ok"] == 2 and report["summary"]["finished"]
+    assert [r["label"] for r in report["rows"]] == [
+        "gather/virec/t4/cf0.6", "gather/virec/t4/cf0.8"]
+    stages = {s["stage"]: s for s in report["stages"]}
+    assert set(stages) == {"build", "simulate", "check"}
+    assert stages["simulate"]["share"] == pytest.approx(0.05 / 0.09, abs=1e-3)
+    assert report["vrmu"] == [{"core": "0", "hits": 900, "misses": 100,
+                               "hit_rate": 0.9, "cycles": 1000}]
+    assert not report["has_regression"]  # no baseline given
+
+
+def test_gate_passes_on_matching_baseline(tmp_path):
+    root = _make_sweep_dir(tmp_path, instr_per_s=8000.0)
+    report = build_report(str(root), baseline=_baseline(tmp_path, 8000.0))
+    assert report["deltas"][0]["severity"] == "ok"
+    assert not report["has_regression"]
+
+
+def test_gate_fails_on_regression(tmp_path):
+    root = _make_sweep_dir(tmp_path, instr_per_s=2000.0)
+    # 2000 vs a 8000 baseline: -75%, well past the default 50% threshold
+    report = build_report(str(root), baseline=_baseline(tmp_path, 8000.0))
+    assert report["deltas"][0]["severity"] == "regression"
+    assert report["has_regression"]
+    # a looser threshold lets the same numbers pass
+    loose = build_report(str(root), baseline=_baseline(tmp_path, 8000.0),
+                         threshold=0.9)
+    assert not loose["has_regression"]
+
+
+def test_html_is_self_contained(tmp_path):
+    root = _make_sweep_dir(tmp_path, instr_per_s=2000.0)
+    report = write_report(str(root), str(root / "report.html"),
+                          baseline=_baseline(tmp_path, 8000.0))
+    html = (root / "report.html").read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<style>" in html and "<svg" in html
+    for external in ("http://", "https://", "src=", "@import"):
+        assert external not in html, f"external asset via {external}"
+    assert "REGRESSION" in html  # the badge reflects the gate
+    assert "sev-regression" in html
+    assert report["has_regression"]
+    ok_root = _make_sweep_dir(tmp_path / "ok", instr_per_s=8000.0)
+    write_report(str(ok_root), str(ok_root / "report.html"),
+                 baseline=_baseline(tmp_path, 8000.0, "b2.json"))
+    assert ">OK<" in (ok_root / "report.html").read_text()
+
+
+def test_report_on_bare_directory(tmp_path):
+    # no manifest, no metrics, no events: every section degrades gracefully
+    report = build_report(str(tmp_path))
+    assert report["rows"] == [] and report["stages"] == []
+    assert not report["has_regression"]
+    html = render_html(report)
+    assert "<h1>" in html
+
+
+# -- CLI gate ----------------------------------------------------------------
+def test_cli_report_check_exit_codes(tmp_path, capsys):
+    root = _make_sweep_dir(tmp_path, instr_per_s=2000.0)
+    bad = _baseline(tmp_path, 8000.0)
+    rc = cli_main(["report", str(root), "--baseline", bad, "--check"])
+    assert rc == EXIT_REGRESSION == 4
+    assert os.path.exists(root / "report.html")
+    good = _baseline(tmp_path, 2000.0, "good.json")
+    assert cli_main(["report", str(root), "--baseline", good,
+                     "--check"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_report_missing_dir():
+    assert cli_main(["report", "/nonexistent/sweep-dir"]) == 2

@@ -104,3 +104,45 @@ def test_monitor_lrc_evicts_far_threads():
     far = total - near
     # most evictions come from threads further away in the schedule
     assert far >= near * 0.8
+
+
+# -- sparkline edge cases ----------------------------------------------------
+def test_sparkline_empty_series():
+    from repro.stats.reporting import sparkline
+    assert sparkline([]) == ""
+
+
+def test_sparkline_single_point_is_flat():
+    from repro.stats.reporting import sparkline
+    assert sparkline([5.0]) == "▁"
+
+
+def test_sparkline_constant_series_is_flat():
+    from repro.stats.reporting import sparkline
+    # a zero span must not divide; every column sits on the baseline
+    assert sparkline([3, 3, 3, 3]) == "▁" * 4
+
+
+def test_sparkline_width_clamped():
+    from repro.stats.reporting import sparkline
+    assert len(sparkline([1, 2, 3], width=0)) == 1
+    assert len(sparkline([1, 2, 3], width=-5)) == 1
+    assert len(sparkline(range(100), width=10)) == 10
+
+
+def test_sparkline_non_finite_samples():
+    from repro.stats.reporting import sparkline
+    nan, inf = float("nan"), float("inf")
+    # NaN/inf render as baseline blocks and stay out of the autoscale
+    out = sparkline([1.0, nan, 2.0, inf, -inf])
+    assert len(out) == 5
+    assert out[1] == out[3] == out[4] == "▁"
+    assert out[2] == "█"  # 2.0 still tops the finite scale
+    # an all-non-finite series degrades to a flat baseline, not a crash
+    assert sparkline([nan, inf]) == "▁" * 2
+
+
+def test_sparkline_pinned_scale_still_safe():
+    from repro.stats.reporting import sparkline
+    # caller-pinned lo == hi is another zero-span path
+    assert sparkline([1, 2, 3], lo=5, hi=5) == "▁" * 3
