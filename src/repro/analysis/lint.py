@@ -31,6 +31,12 @@ VRC006   warning   direct ``print()`` in library hot paths — library
                    (or a logger) so sweeps and parsers see structured
                    data, not stray stdout; the CLI, experiment drivers,
                    and reporting modules are exempt
+VRC007   warning   ``except Exception:`` / bare ``except:`` in library
+                   code that does not re-raise — a handler that broad
+                   swallows the :mod:`repro.errors` taxonomy
+                   (SimulationError and friends), silently converting
+                   failures the sweep/fuzz drivers must see into wrong
+                   results; catch specific types or re-raise
 =======  ========  =====================================================
 
 Suppression: append ``# lint: ignore[VRC00N]`` (or the conventional
@@ -93,6 +99,10 @@ RULES: Tuple[LintRule, ...] = (
              "direct print() in library code bypasses the reporting/"
              "monitor layers and pollutes machine-readable output; route "
              "through repro.stats.reporting or the CLI"),
+    LintRule("VRC007", "broad-except-swallow", "warning",
+             "an except clause broad enough to catch SimulationError "
+             "hides simulator failures from the resilient drivers; catch "
+             "specific exception types or re-raise"),
 )
 
 RULES_BY_ID: Dict[str, LintRule] = {r.id: r for r in RULES}
@@ -111,6 +121,18 @@ _WALLCLOCK_ALLOWED_STEMS = ("profiler", "conftest", "spans", "monitor")
 _PRINT_ALLOWED_DIRS = ("experiments", "tests", "benchmarks", "examples",
                        "scripts", "docs")
 _PRINT_ALLOWED_STEMS = ("cli", "reporting", "plotting", "monitor")
+
+#: trees exempt from the broad-except rule (VRC007): non-library code may
+#: catch-all at its own risk; library code must let the repro.errors
+#: taxonomy propagate to the resilient drivers (or suppress explicitly
+#: with ``# noqa: VRC007`` where swallowing is the contract)
+_BROAD_EXCEPT_ALLOWED_DIRS = ("experiments", "tests", "benchmarks",
+                              "examples", "scripts", "docs")
+
+#: exception names broad enough to swallow SimulationError (VRC007)
+_BROAD_EXCEPTION_NAMES = frozenset({
+    "Exception", "BaseException",
+    "builtins.Exception", "builtins.BaseException"})
 
 _WALLCLOCK_TIME_FNS = frozenset({
     "time", "time_ns", "perf_counter", "perf_counter_ns",
@@ -192,6 +214,7 @@ class _Visitor(ast.NodeVisitor):
         self.findings: List[Finding] = []
         self._wallclock_exempt = self._is_wallclock_exempt(path)
         self._print_exempt = self._is_print_exempt(path)
+        self._broad_except_exempt = self._is_broad_except_exempt(path)
 
     @staticmethod
     def _is_wallclock_exempt(path: str) -> bool:
@@ -206,6 +229,11 @@ class _Visitor(ast.NodeVisitor):
         if any(part in _PRINT_ALLOWED_DIRS for part in p.parts):
             return True
         return p.stem in _PRINT_ALLOWED_STEMS
+
+    @staticmethod
+    def _is_broad_except_exempt(path: str) -> bool:
+        return any(part in _BROAD_EXCEPT_ALLOWED_DIRS
+                   for part in Path(path).parts)
 
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
         if rule_id not in self.select:
@@ -313,6 +341,39 @@ class _Visitor(ast.NodeVisitor):
         self._emit("VRC004", node,
                    "bare assert is stripped under python -O; raise a typed "
                    "exception from repro.errors")
+        self.generic_visit(node)
+
+    # -- VRC007: broad except swallowing the failure taxonomy ----------------
+    @staticmethod
+    def _broad_caught(type_node: ast.AST) -> List[str]:
+        """Caught-type names broad enough to hide SimulationError."""
+        nodes = type_node.elts if isinstance(type_node, ast.Tuple) \
+            else [type_node]
+        broad: List[str] = []
+        for n in nodes:
+            name = _dotted(n)
+            if name in _BROAD_EXCEPTION_NAMES:
+                broad.append(name.rpartition(".")[2])
+        return broad
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if not self._broad_except_exempt:
+            # a handler that re-raises (even conditionally) propagates the
+            # failure; only fully-swallowing handlers are flagged
+            reraises = any(isinstance(sub, ast.Raise)
+                           for stmt in node.body for sub in ast.walk(stmt))
+            if not reraises:
+                if node.type is None:
+                    self._emit("VRC007", node,
+                               "bare except: swallows every exception, "
+                               "including the repro.errors taxonomy; catch "
+                               "specific types or re-raise")
+                else:
+                    for name in self._broad_caught(node.type):
+                        self._emit("VRC007", node,
+                                   f"except {name}: swallows SimulationError "
+                                   f"and hides simulator failures; catch "
+                                   f"specific types or re-raise")
         self.generic_visit(node)
 
     # -- VRC005: mutable default arguments ----------------------------------

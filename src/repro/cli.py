@@ -27,6 +27,12 @@ Commands
 ``lint [paths...] [--format json] [--fail-on SEV]``
     Run the repro-specific determinism linter (see
     :mod:`repro.analysis.lint`) over source trees.
+``fuzz [--seed S] [--budget N] [--jobs K] [--corpus DIR] ...``
+    Property-based differential fuzzing: seeded random programs through
+    the banked-reference / ViReC / FGMT matrix under the VSan oracle,
+    with auto-shrinking, a deduplicated on-disk crash corpus, and
+    checkpoint/resume.  ``--replay DIR`` re-verifies stored reproducers.
+    Exit codes: 0 clean, 3 findings, 4 worker crashes / failed replays.
 ``workloads``
     List the registered workloads with metadata.
 ``disasm --workload W``
@@ -328,6 +334,63 @@ def _cmd_area(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import FuzzConfig, replay_corpus, run_fuzz
+
+    if args.replay:
+        rows = replay_corpus(args.replay)
+        bad = [r for r in rows if not r["ok"]]
+        for r in rows:
+            mark = "ok  " if r["ok"] else "FAIL"
+            print(f"{mark} {r['slug']}")
+            if not r["ok"]:
+                print(f"     expected {r['expected']}")
+                print(f"     got      {r['got']}")
+        print(f"\n{len(rows) - len(bad)}/{len(rows)} reproducers "
+              f"still fire their signature")
+        return 4 if bad else 0
+
+    faults = None
+    if args.flip_rate:
+        faults = {"rf_rate": args.flip_rate, "scheme": "none",
+                  "seed": args.fault_seed}
+    fcfg = FuzzConfig(
+        seed=args.seed, budget=args.budget, corpus_dir=args.corpus,
+        jobs=args.jobs, n_threads=args.threads,
+        n_per_thread=args.per_thread,
+        shrink=not args.no_shrink, shrink_budget=args.shrink_budget,
+        resume=args.resume, faults=faults)
+    if args.max_cycles:
+        fcfg.max_cycles = args.max_cycles
+
+    def progress(i: int, total: int, record) -> None:
+        if not args.verbose:
+            return
+        if record is None:
+            print(f"[{i}/{total}] worker crashed (will retry on --resume)")
+        elif not record["valid"]:
+            print(f"[{i}/{total}] invalid: {record['invalid_reason']}")
+        elif record["findings"]:
+            sigs = sorted({f["signature"] for f in record["findings"]})
+            print(f"[{i}/{total}] {len(sigs)} finding(s): {sigs}")
+
+    report = run_fuzz(fcfg, progress=progress)
+    d = report.as_dict()
+    print(f"fuzzed {d['programs']}/{d['budget']} programs "
+          f"(resumed {d['resumed']}, invalid {d['invalid']}, "
+          f"crashed {d['crashed']})")
+    print(f"{d['findings_total']} findings, "
+          f"{d['unique_signatures']} unique signatures, "
+          f"{len(d['new_entries'])} new corpus entries")
+    for slug in d["new_entries"]:
+        print(f"  + findings/{slug}")
+    print(f"corpus: {fcfg.corpus_dir} "
+          f"({len(d['entries'])} entries, report in fuzz_report.json)")
+    if report.crashed:
+        return 4
+    return 3 if report.findings_total else 0
+
+
 def _add_config_options(p: argparse.ArgumentParser) -> None:
     """The shared ``RunConfig`` options (see :func:`_base_config`)."""
     p.add_argument("--workload", default="gather", choices=workloads.names())
@@ -486,6 +549,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("area", help="print the area/delay tables")
     p.set_defaults(fn=_cmd_area)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs through the "
+             "banked/ViReC/FGMT matrix under the VSan oracle")
+    p.add_argument("--seed", type=int, default=1,
+                   help="campaign seed; same seed + budget => "
+                        "byte-identical corpus (default 1)")
+    p.add_argument("--budget", type=int, default=100,
+                   help="number of generated programs (default 100)")
+    p.add_argument("--corpus", default="fuzz-corpus", metavar="DIR",
+                   help="corpus directory: checkpoint journal, report, "
+                        "metrics, findings/<slug>/ reproducers")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="fan programs over N worker processes "
+                        "(0 = all cores; default serial, or $REPRO_JOBS); "
+                        "results are identical to a serial run")
+    p.add_argument("--resume", action="store_true",
+                   help="replay finished programs from the corpus "
+                        "checkpoint; only missing indices re-run")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--per-thread", type=int, default=16)
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="per-arm cycle budget; exhaustion is a wedge "
+                        "finding (default 400000)")
+    p.add_argument("--flip-rate", type=float, default=0.0, metavar="R",
+                   help="inject silent register-file bit flips at rate R "
+                        "(fault-detection acceptance mode)")
+    p.add_argument("--fault-seed", type=int, default=1,
+                   help="fault-campaign seed (with --flip-rate)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="store findings unshrunk")
+    p.add_argument("--shrink-budget", type=int, default=48,
+                   help="oracle trips per shrink (default 48)")
+    p.add_argument("--replay", metavar="DIR",
+                   help="re-run every reproducer in a corpus directory "
+                        "and verify its signature still fires")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_fuzz)
     return parser
 
 

@@ -399,7 +399,9 @@ class TimelineCore:
             if self.done:
                 return False
             if not self._schedule(self.commit_tail):
-                raise DeadlockError("no runnable thread")
+                raise DeadlockError(
+                    "no runnable thread", commit_tail=self.commit_tail,
+                    committed=sum(th.instructions for th in self.threads))
         self._process_instruction(self.current)
         return True
 
@@ -421,11 +423,13 @@ class TimelineCore:
             if max_instructions is not None and committed > max_instructions:
                 raise DeadlockError(
                     f"instruction budget exceeded ({committed} > "
-                    f"max_instructions={max_instructions})")
+                    f"max_instructions={max_instructions})",
+                    commit_tail=self.commit_tail, committed=committed)
             if max_cycles is not None and self.commit_tail > max_cycles:
                 raise DeadlockError(
                     f"cycle budget exceeded (commit clock {self.commit_tail}"
-                    f" > max_cycles={max_cycles})")
+                    f" > max_cycles={max_cycles})",
+                    commit_tail=self.commit_tail, committed=committed)
         self.finalize_stats()
         return self.stats
 

@@ -24,7 +24,27 @@ class SimulationError(Exception):
     """Root of the simulator's failure taxonomy."""
 
 
-class DeadlockError(SimulationError, RuntimeError):
+class _WedgeMixin:
+    """Shared ``commit_tail``/``committed`` payload for wedge exceptions.
+
+    A wedged run's most useful post-mortem facts are *where the commit
+    clock stopped* and *how many instructions had committed*.  They ride
+    inside the message (not only as attributes) because pool workers that
+    fail to pickle an exception fall back to ``type(exc)(str(exc))`` —
+    the attributes are lost but the message survives.
+    """
+
+    def __init__(self, message: str, commit_tail: int = -1,
+                 committed: int = -1) -> None:
+        if commit_tail >= 0 or committed >= 0:
+            message = (f"{message} [commit_tail={commit_tail}, "
+                       f"committed={committed}]")
+        super().__init__(message)
+        self.commit_tail = int(commit_tail)
+        self.committed = int(committed)
+
+
+class DeadlockError(_WedgeMixin, SimulationError, RuntimeError):
     """The core made no progress (bug guard for the timeline engine)."""
 
 
@@ -92,7 +112,7 @@ class FaultEscapeError(SimulationError):
         self.site = site
 
 
-class WatchdogTimeout(SimulationError):
+class WatchdogTimeout(_WedgeMixin, SimulationError):
     """A per-config wall-clock watchdog expired mid-simulation."""
 
 
@@ -167,6 +187,9 @@ class RunFailure:
             extra["invariant"] = exc.invariant
             extra["cycle"] = exc.cycle
             extra["core_id"] = exc.core_id
+        if isinstance(exc, _WedgeMixin):
+            extra["commit_tail"] = exc.commit_tail
+            extra["committed"] = exc.committed
         return cls(index=index, config=config,
                    error_type=type(exc).__name__, message=str(exc),
                    attempts=attempts, elapsed_s=round(elapsed_s, 3),

@@ -74,10 +74,10 @@ def _portable_exc(exc: Optional[BaseException]) -> Optional[BaseException]:
     try:
         pickle.loads(pickle.dumps(exc))
         return exc
-    except Exception:
+    except Exception:  # pickle probe: any failure means re-wrap  # noqa: VRC007
         try:
             return type(exc)(str(exc))
-        except Exception:
+        except Exception:  # last-resort stand-in construction  # noqa: VRC007
             return SimulationError(f"{type(exc).__name__}: {exc}")
 
 
@@ -126,7 +126,7 @@ def _measure_serialize(rec: Optional[SpanRecorder], result) -> None:
         return
     try:
         pickle.dumps(result)
-    except Exception:
+    except Exception:  # measurement probe only  # noqa: VRC007
         pass
     rec.phase("serialize")
 

@@ -1,0 +1,42 @@
+"""Property-based differential fuzzing for the simulator.
+
+The subsystem that turns the VSan shadow sanitizer from a per-run
+assertion into a fuzzing harness (see ``docs/correctness.md``):
+
+:mod:`repro.fuzz.generator`
+    deterministic, seeded random-program generator over the mini-ISA,
+    weighted by op-class mix, register working-set size, branch density,
+    and access-pattern archetype (stride / gather / pointer-chase / CSR);
+:mod:`repro.fuzz.oracle`
+    differential executor — each program runs on a banked reference core
+    and on ViReC/FGMT candidates with the sanitizer enabled, and every
+    failure is classified by a stable signature;
+:mod:`repro.fuzz.shrink`
+    ddmin-style auto-minimizer that deletes instruction spans and
+    simplifies operands while the signature still reproduces;
+:mod:`repro.fuzz.corpus` / :mod:`repro.fuzz.runner`
+    per-signature deduplicated on-disk corpus and the resilient
+    ``repro fuzz`` loop (checkpoint/resume, parallel jobs, replay).
+"""
+
+from .corpus import Corpus, replay_corpus, slug_for
+from .generator import ARCHETYPES, FuzzKernel, GenSpec, generate, sample_spec
+from .oracle import (
+    DEFAULT_ARMS,
+    DEFAULT_MAX_CYCLES,
+    Finding,
+    OracleReport,
+    RATIO_BOUNDS,
+    REFERENCE_ARM,
+    run_oracle,
+)
+from .runner import FuzzConfig, FuzzReport, run_fuzz
+from .shrink import ShrinkResult, shrink_program
+
+__all__ = [
+    "ARCHETYPES", "Corpus", "DEFAULT_ARMS", "DEFAULT_MAX_CYCLES",
+    "Finding", "FuzzConfig", "FuzzKernel", "FuzzReport", "GenSpec",
+    "OracleReport", "RATIO_BOUNDS", "REFERENCE_ARM", "ShrinkResult",
+    "generate", "replay_corpus", "run_fuzz", "run_oracle", "sample_spec",
+    "shrink_program", "slug_for",
+]

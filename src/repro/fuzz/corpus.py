@@ -1,0 +1,104 @@
+"""On-disk crash corpus: one deduplicated entry per stable signature.
+
+Layout (everything under the fuzz run's ``--corpus`` directory)::
+
+    corpus/
+      checkpoint.jsonl          # per-program journal (resume source)
+      fuzz_report.json          # deterministic run summary
+      metrics.json              # fuzz_programs_total / fuzz_findings_total
+      findings/
+        <slug>/
+          repro.asm             # (shrunk) reproducer assembly
+          meta.json             # signature, spec, geometry, fault campaign
+
+``<slug>`` is the sanitized signature plus a short content hash of it, so
+the same root cause lands in the same directory across runs and machines.
+``meta.json`` carries everything replay needs and nothing run-volatile
+(no paths, timestamps, or host data) — a fixed-seed fuzz run produces a
+byte-identical corpus every time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Dict, List, Optional, Tuple
+
+
+def slug_for(signature: str) -> str:
+    """Filesystem-safe, collision-resistant directory name for a signature."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", signature).strip("-")[:60]
+    digest = hashlib.sha256(signature.encode()).hexdigest()[:8]
+    return f"{safe}-{digest}" if safe else digest
+
+
+class Corpus:
+    """The ``findings/`` tree of a fuzz corpus directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.findings_dir = os.path.join(root, "findings")
+
+    def entries(self) -> List[str]:
+        """Sorted slugs of every stored reproducer."""
+        if not os.path.isdir(self.findings_dir):
+            return []
+        return sorted(
+            d for d in os.listdir(self.findings_dir)
+            if os.path.isfile(os.path.join(self.findings_dir, d, "meta.json")))
+
+    def has(self, signature: str) -> bool:
+        return os.path.isfile(os.path.join(
+            self.findings_dir, slug_for(signature), "meta.json"))
+
+    def add(self, signature: str, asm: str, meta: Dict) -> str:
+        """Store (or overwrite) the reproducer for ``signature``."""
+        slug = slug_for(signature)
+        entry = os.path.join(self.findings_dir, slug)
+        os.makedirs(entry, exist_ok=True)
+        with open(os.path.join(entry, "repro.asm"), "w") as f:
+            f.write(asm if asm.endswith("\n") else asm + "\n")
+        with open(os.path.join(entry, "meta.json"), "w") as f:
+            json.dump(meta, f, indent=2, sort_keys=True)
+            f.write("\n")
+        return slug
+
+    def load(self, slug: str) -> Tuple[str, Dict]:
+        entry = os.path.join(self.findings_dir, slug)
+        with open(os.path.join(entry, "repro.asm")) as f:
+            asm = f.read()
+        with open(os.path.join(entry, "meta.json")) as f:
+            meta = json.load(f)
+        return asm, meta
+
+
+def replay_entry(asm: str, meta: Dict,
+                 max_cycles: Optional[int] = None) -> Tuple[bool, List[str]]:
+    """Re-run one reproducer; True when its signature still fires."""
+    from .oracle import DEFAULT_MAX_CYCLES, run_oracle
+
+    report = run_oracle(
+        meta["spec"], asm=asm,
+        n_threads=int(meta.get("n_threads", 4)),
+        n_per_thread=int(meta.get("n_per_thread", 16)),
+        max_cycles=int(max_cycles or meta.get("max_cycles",
+                                              DEFAULT_MAX_CYCLES)),
+        faults=meta.get("faults"))
+    if not report.valid:
+        return False, [f"<invalid: {report.invalid_reason}>"]
+    return meta["signature"] in report.signatures, report.signatures
+
+
+def replay_corpus(root: str) -> List[Dict]:
+    """Replay every reproducer under ``root``; one result row per entry."""
+    corpus = Corpus(root)
+    results = []
+    for slug in corpus.entries():
+        asm, meta = corpus.load(slug)
+        ok, got = replay_entry(asm, meta)
+        results.append({"slug": slug, "ok": ok,
+                        "expected": meta.get("signature", ""),
+                        "got": list(got)})
+    return results

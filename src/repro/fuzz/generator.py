@@ -1,0 +1,460 @@
+"""Deterministic, seeded random-program generator over the mini-ISA.
+
+Every program is derived from a :class:`GenSpec` alone — the same spec
+always yields byte-identical assembly, data arrays, and metadata, which is
+what makes fuzz findings reproducible and the corpus deterministic.
+
+The generator is weighted along the axes that drive the paper's results:
+
+``archetype``
+    the access pattern of the inner loop — ``stride`` (unit progression),
+    ``gather`` (one level of indirection through an index array),
+    ``pchase`` (serially dependent pointer chasing through a permutation),
+    ``csr`` (a CSR row traversal with a data-dependent inner loop);
+``working_set`` / ``fp_working_set``
+    integer / FP accumulator registers kept live across iterations — the
+    register-pressure axis of the ViReC context-percentage sweeps;
+``branch_density`` / ``mem_density`` / ``store_fraction``
+    op-class mix of the loop body (forward conditional skips, extra
+    masked loads, per-iteration stores).
+
+Termination is guaranteed by construction: the only backward branches are
+the structured loops (the main iteration loop and the CSR inner loop),
+both driven by monotonically increasing induction variables that no body
+op may write.  Loads are masked into ``[0, footprint_words)``, so every
+access is aligned and in-bounds.
+
+The race-aware checker replays the program per thread on the functional
+golden model, records read/write sets, and only compares memory when no
+cross-thread conflict exists — so a shrunk program that loses its
+tid-partitioning arithmetic can never produce a false functional-check
+finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..isa import D, X, parse_reg
+from ..isa.func_sim import FunctionalSimulator
+from ..memory.main_memory import MainMemory
+
+ARCHETYPES = ("stride", "gather", "pchase", "csr")
+
+# -- register map (fixed across every generated program) ---------------------
+# x0 tid, x1 n_threads, x2 chunk, x3 i, x4 end: kernel plumbing
+# x5 data base, x6 aux base, x7 colidx base (csr)
+# x8..x18: integer accumulator pool
+# x20 chase pointer / csr k, x21 csr row start, x22 csr row end
+# x23 out base, x24 scratch base, x25 footprint mask, x26/x27 temporaries
+# d0..d7: FP accumulator pool, d8: FP combine temporary
+_INT_ACC_BASE, _INT_ACC_MAX = 8, 11
+_FP_ACC_MAX = 8
+
+#: data-array slots (see repro.workloads.registry.array_base)
+_ARRAY_SLOTS = ("data", "aux", "colidx", "out", "scratch")
+
+
+@dataclass(frozen=True)
+class GenSpec:
+    """Shape of one generated program (everything but thread geometry)."""
+
+    seed: int = 0
+    archetype: str = "stride"
+    #: random body constructs per loop iteration
+    n_body_ops: int = 8
+    #: live integer accumulators (1..11)
+    working_set: int = 4
+    #: live FP accumulators (0..8)
+    fp_working_set: int = 2
+    #: fraction of body constructs that are forward conditional skips
+    branch_density: float = 0.10
+    #: fraction of body constructs that are memory ops
+    mem_density: float = 0.25
+    #: fraction of memory body constructs that are stores
+    store_fraction: float = 0.35
+    #: words in the data footprint (power of two; loads are masked into it)
+    footprint_words: int = 1024
+    #: maximum nonzeros per CSR row
+    row_max_nnz: int = 4
+
+    def __post_init__(self) -> None:
+        if self.archetype not in ARCHETYPES:
+            raise ValueError(f"unknown archetype {self.archetype!r}; "
+                             f"choose from {ARCHETYPES}")
+        if not 1 <= self.working_set <= _INT_ACC_MAX:
+            raise ValueError(f"working_set must be in [1, {_INT_ACC_MAX}]")
+        if not 0 <= self.fp_working_set <= _FP_ACC_MAX:
+            raise ValueError(f"fp_working_set must be in [0, {_FP_ACC_MAX}]")
+        if self.n_body_ops < 0:
+            raise ValueError("n_body_ops must be >= 0")
+        if self.footprint_words < 8 or (self.footprint_words
+                                        & (self.footprint_words - 1)):
+            raise ValueError("footprint_words must be a power of two >= 8")
+        if not 1 <= self.row_max_nnz <= 16:
+            raise ValueError("row_max_nnz must be in [1, 16]")
+        for name in ("branch_density", "mem_density", "store_fraction"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    def as_dict(self) -> Dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def sample_spec(run_seed: int, index: int) -> GenSpec:
+    """The ``index``-th program spec of a fuzz run seeded ``run_seed``.
+
+    Derivation is pure: the same (run_seed, index) pair always yields the
+    same spec, independent of sampling order or process — which is what
+    lets a parallel fuzz loop checkpoint and resume by index alone.
+    """
+    rng = random.Random((run_seed * 0x9E3779B1) ^ (index * 0x85EBCA77) ^ 0x5EED)
+    footprint = rng.choice((256, 1024, 4096))
+    return GenSpec(
+        seed=rng.getrandbits(32),
+        archetype=rng.choice(ARCHETYPES),
+        n_body_ops=rng.randint(4, 20),
+        working_set=rng.randint(2, 8),
+        fp_working_set=rng.choice((0, 0, 2, 3, 4, 6)),
+        branch_density=rng.choice((0.0, 0.05, 0.1, 0.2, 0.3)),
+        mem_density=rng.choice((0.1, 0.2, 0.3, 0.4, 0.5)),
+        store_fraction=rng.choice((0.0, 0.25, 0.5)),
+        footprint_words=footprint,
+        row_max_nnz=rng.randint(1, 6),
+    )
+
+
+@dataclass
+class FuzzKernel:
+    """A fully generated program: assembly + data + metadata."""
+
+    asm: str
+    symbols: Dict[str, int]
+    #: symbol name -> word values to place in memory before the run
+    arrays: Dict[str, List[int]]
+    n_threads: int
+    n_per_thread: int
+    used_regs: Tuple[int, ...]
+    active_regs: Tuple[int, ...]
+    meta: Dict = field(default_factory=dict)
+
+
+# -- generation ---------------------------------------------------------------
+class _Emitter:
+    """Collects assembly lines and tracks which registers they touch."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.regs: Set[str] = set()
+        self.loop_regs: Set[str] = set()
+        self.counts = {"int_alu": 0, "fp_alu": 0, "load": 0, "store": 0,
+                       "branch": 0}
+        self._in_loop = False
+        self._labels = 0
+
+    def label(self) -> str:
+        self._labels += 1
+        return f"L{self._labels}"
+
+    def emit(self, line: str, *regs: str) -> None:
+        self.lines.append(line)
+        for r in regs:
+            self.regs.add(r)
+            if self._in_loop:
+                self.loop_regs.add(r)
+
+
+def _pick_weights(rng: random.Random, spec: GenSpec) -> str:
+    r = rng.random()
+    if r < spec.mem_density:
+        return ("store" if rng.random() < spec.store_fraction else "load")
+    if r < spec.mem_density + spec.branch_density:
+        return "branch"
+    total = spec.working_set + spec.fp_working_set
+    return "fp_alu" if rng.random() < spec.fp_working_set / total else "int_alu"
+
+
+def _emit_int_alu(em: _Emitter, rng: random.Random, accs: List[str]) -> None:
+    op = rng.choice(("add", "add", "sub", "eor", "eor", "orr", "and",
+                     "mul", "lsl", "lsr", "asr", "madd"))
+    rd, rn = rng.choice(accs), rng.choice(accs)
+    em.counts["int_alu"] += 1
+    if op == "madd":
+        rm, ra = rng.choice(accs), rng.choice(accs)
+        em.emit(f"    madd {rd}, {rn}, {rm}, {ra}", rd, rn, rm, ra)
+    elif op in ("lsl", "lsr", "asr"):
+        em.emit(f"    {op}  {rd}, {rn}, #{rng.randint(0, 7)}", rd, rn)
+    elif rng.random() < 0.3:
+        em.emit(f"    {op}  {rd}, {rn}, #{rng.randint(0, 255)}", rd, rn)
+    else:
+        rm = rng.choice(accs)
+        em.emit(f"    {op}  {rd}, {rn}, {rm}", rd, rn, rm)
+
+
+def _emit_fp_alu(em: _Emitter, rng: random.Random, faccs: List[str]) -> None:
+    op = rng.choice(("fadd", "fadd", "fsub", "fmul", "fmadd", "fmov"))
+    rd = rng.choice(faccs)
+    em.counts["fp_alu"] += 1
+    if op == "fmov":
+        em.emit(f"    fmov {rd}, #{round(rng.uniform(-4.0, 4.0), 3)}", rd)
+    elif op == "fmadd":
+        rn, rm, ra = (rng.choice(faccs) for _ in range(3))
+        em.emit(f"    fmadd {rd}, {rn}, {rm}, {ra}", rd, rn, rm, ra)
+    else:
+        rn, rm = rng.choice(faccs), rng.choice(faccs)
+        em.emit(f"    {op} {rd}, {rn}, {rm}", rd, rn, rm)
+
+
+def _emit_load(em: _Emitter, rng: random.Random, accs: List[str]) -> None:
+    src, dst = rng.choice(accs), rng.choice(accs)
+    fold = rng.choice(("add", "eor", "orr", "sub"))
+    em.counts["load"] += 1
+    em.emit(f"    and  x26, {src}, x25", "x26", src, "x25")
+    em.emit("    ldr  x27, [x5, x26, lsl #3]", "x27", "x5", "x26")
+    em.emit(f"    {fold}  {dst}, {dst}, x27", dst, "x27")
+
+
+def _emit_store(em: _Emitter, rng: random.Random, accs: List[str],
+                faccs: List[str]) -> None:
+    pool = accs + faccs
+    value = rng.choice(pool)
+    em.counts["store"] += 1
+    em.emit(f"    str  {value}, [x24, x3, lsl #3]", value, "x24", "x3")
+
+
+def _emit_branch(em: _Emitter, rng: random.Random, accs: List[str]) -> None:
+    """Forward conditional skip over 1-3 ALU ops (never a backward edge)."""
+    skip = em.label()
+    reg = rng.choice(accs)
+    em.counts["branch"] += 1
+    form = rng.choice(("cbz", "cbnz", "bcond"))
+    if form == "bcond":
+        cond = rng.choice(("lt", "le", "gt", "ge", "eq", "ne"))
+        em.emit(f"    cmp  {reg}, #{rng.randint(0, 64)}", reg)
+        em.emit(f"    b.{cond} {skip}")
+    else:
+        em.emit(f"    {form} {reg}, {skip}", reg)
+    for _ in range(rng.randint(1, 3)):
+        _emit_int_alu(em, rng, accs)
+    em.emit(f"{skip}:")
+
+
+def _archetype_arrays(spec: GenSpec, rng: random.Random) -> Dict[str, List[int]]:
+    """Deterministic data arrays for the spec's access pattern."""
+    fp = spec.footprint_words
+    arrays = {"data": [rng.getrandbits(64) for _ in range(fp)]}
+    if spec.archetype == "gather":
+        arrays["aux"] = [rng.randrange(fp) for _ in range(fp)]
+    elif spec.archetype == "pchase":
+        perm = list(range(fp))
+        rng.shuffle(perm)
+        arrays["aux"] = perm
+    elif spec.archetype == "csr":
+        nnz = [rng.randint(0, spec.row_max_nnz) for _ in range(fp)]
+        rowptr, total = [0], 0
+        for n in nnz:
+            total += n
+            rowptr.append(total)
+        arrays["aux"] = rowptr
+        arrays["colidx"] = [rng.randrange(fp) for _ in range(max(total, 1))]
+    return arrays
+
+
+def _emit_archetype(em: _Emitter, spec: GenSpec, accs: List[str]) -> None:
+    """Per-iteration load section of the inner loop."""
+    a0 = accs[0]
+    if spec.archetype == "stride":
+        em.emit("    and  x26, x3, x25", "x26", "x3", "x25")
+        em.emit("    ldr  x27, [x5, x26, lsl #3]", "x27", "x5", "x26")
+        em.emit(f"    add  {a0}, {a0}, x27", a0, "x27")
+    elif spec.archetype == "gather":
+        em.emit("    and  x26, x3, x25", "x26", "x3", "x25")
+        em.emit("    ldr  x26, [x6, x26, lsl #3]", "x26", "x6")
+        em.emit("    and  x26, x26, x25", "x26", "x25")
+        em.emit("    ldr  x27, [x5, x26, lsl #3]", "x27", "x5", "x26")
+        em.emit(f"    add  {a0}, {a0}, x27", a0, "x27")
+    elif spec.archetype == "pchase":
+        em.emit("    and  x26, x20, x25", "x26", "x20", "x25")
+        em.emit("    ldr  x20, [x6, x26, lsl #3]", "x20", "x6", "x26")
+        em.emit("    and  x26, x20, x25", "x26", "x20", "x25")
+        em.emit("    ldr  x27, [x5, x26, lsl #3]", "x27", "x5", "x26")
+        em.emit(f"    eor  {a0}, {a0}, x27", a0, "x27")
+    else:  # csr
+        row_loop, row_done = em.label(), em.label()
+        em.emit("    and  x26, x3, x25", "x26", "x3", "x25")
+        em.emit("    ldr  x20, [x6, x26, lsl #3]", "x20", "x6", "x26")
+        em.emit("    add  x26, x26, #1", "x26")
+        em.emit("    ldr  x22, [x6, x26, lsl #3]", "x22", "x6", "x26")
+        em.emit("    cmp  x20, x22", "x20", "x22")
+        em.emit(f"    b.ge {row_done}")
+        em.emit(f"{row_loop}:")
+        em.emit("    ldr  x26, [x7, x20, lsl #3]", "x26", "x7", "x20")
+        em.emit("    ldr  x27, [x5, x26, lsl #3]", "x27", "x5", "x26")
+        em.emit(f"    add  {a0}, {a0}, x27", a0, "x27")
+        em.emit("    add  x20, x20, #1", "x20")
+        em.emit("    cmp  x20, x22", "x20", "x22")
+        em.emit(f"    b.lt {row_loop}")
+        em.emit(f"{row_done}:")
+
+
+def generate(spec: GenSpec, n_threads: int = 4,
+             n_per_thread: int = 16) -> FuzzKernel:
+    """Generate the program of ``spec`` for the given thread geometry."""
+    from ..workloads.registry import array_base
+
+    rng = random.Random(spec.seed)
+    accs = [X(_INT_ACC_BASE + i).name for i in range(spec.working_set)]
+    faccs = [D(i).name for i in range(spec.fp_working_set)]
+
+    em = _Emitter()
+    em.emit("start:")
+    em.emit("    mov  x2, #chunk", "x2")
+    em.emit("    mul  x3, x0, x2", "x3", "x0", "x2")
+    em.emit("    add  x4, x3, x2", "x4", "x3", "x2")
+    em.emit("    adr  x5, data", "x5")
+    em.emit("    adr  x23, out", "x23")
+    em.emit("    adr  x24, scratch", "x24")
+    em.emit("    mov  x25, #mask", "x25")
+    if spec.archetype in ("gather", "pchase", "csr"):
+        em.emit("    adr  x6, aux", "x6")
+    if spec.archetype == "csr":
+        em.emit("    adr  x7, colidx", "x7")
+    if spec.archetype == "pchase":
+        em.emit("    mov  x20, x0", "x20", "x0")
+    for acc in accs:
+        em.emit(f"    mov  {acc}, #{rng.getrandbits(24)}", acc)
+    for facc in faccs:
+        em.emit(f"    fmov {facc}, #{round(rng.uniform(-2.0, 2.0), 3)}", facc)
+
+    em.emit("loop:")
+    em._in_loop = True
+    _emit_archetype(em, spec, accs)
+    for _ in range(spec.n_body_ops):
+        kind = _pick_weights(rng, spec)
+        if kind == "int_alu" or (kind == "fp_alu" and not faccs):
+            _emit_int_alu(em, rng, accs)
+        elif kind == "fp_alu":
+            _emit_fp_alu(em, rng, faccs)
+        elif kind == "load":
+            _emit_load(em, rng, accs)
+        elif kind == "store":
+            _emit_store(em, rng, accs, faccs)
+        else:
+            _emit_branch(em, rng, accs)
+    em.emit("    add  x3, x3, #1", "x3")
+    em.emit("    cmp  x3, x4", "x3", "x4")
+    em.emit("    b.lt loop")
+    em._in_loop = False
+
+    # epilogue: fold the accumulators and store one word per thread
+    em.emit("    mov  x27, #0", "x27")
+    for i, acc in enumerate(accs):
+        op = "add" if i % 2 == 0 else "eor"
+        em.emit(f"    {op}  x27, x27, {acc}", "x27", acc)
+    em.emit("    str  x27, [x23, x0, lsl #3]", "x27", "x23", "x0")
+    if faccs:
+        em.emit("    fmov d8, #0.0", "d8")
+        for facc in faccs:
+            em.emit(f"    fadd d8, d8, {facc}", "d8", facc)
+        em.emit("    add  x26, x0, x1", "x26", "x0", "x1")
+        em.emit("    str  d8, [x23, x26, lsl #3]", "d8", "x23", "x26")
+    em.emit("    halt")
+
+    arrays = _archetype_arrays(spec, rng)
+    n = n_threads * n_per_thread
+    symbols = {"chunk": n_per_thread, "mask": spec.footprint_words - 1}
+    for k, name in enumerate(_ARRAY_SLOTS):
+        symbols[name] = array_base(k)
+    asm = "\n".join(em.lines)
+    used = tuple(sorted(parse_reg(r).flat for r in em.regs | {"x0", "x1"}))
+    active = tuple(sorted(parse_reg(r).flat for r in em.loop_regs))
+    meta = dict(spec.as_dict())
+    meta.update({
+        "n_lines": len(em.lines),
+        "ops": dict(sorted(em.counts.items())),
+        "scratch_words": n,
+        "asm_sha256": hashlib.sha256(asm.encode()).hexdigest()[:16],
+    })
+    return FuzzKernel(asm=asm, symbols=symbols, arrays=arrays,
+                      n_threads=n_threads, n_per_thread=n_per_thread,
+                      used_regs=used, active_regs=active, meta=meta)
+
+
+# -- race-aware functional checker -------------------------------------------
+class _TrackingMemory(MainMemory):
+    """A private memory image recording this thread's read/write sets."""
+
+    def __init__(self, base: MainMemory) -> None:
+        super().__init__()
+        self._words = dict(base._words)
+        self.reads: Set[int] = set()
+        self.writes: Dict[int, object] = {}
+
+    def load(self, addr: int):
+        self.reads.add(addr)
+        return super().load(addr)
+
+    def store(self, addr: int, value) -> None:
+        self.writes[addr] = value
+        super().store(addr, value)
+
+
+def _same_word(a, b) -> bool:
+    """Word equality that treats NaN as equal to itself."""
+    if a == b:
+        return True
+    return (isinstance(a, float) and isinstance(b, float)
+            and a != a and b != b)
+
+
+def make_checker(program, pristine: MainMemory, init_regs,
+                 n_threads: int,
+                 max_instructions: int = 2_000_000) -> Callable:
+    """A race-aware golden-model checker for a generated program.
+
+    Replays each thread on the functional simulator against a private
+    copy of the pristine memory image, then:
+
+    * if any thread's write set intersects another thread's read or
+      write set, the program is racy — its memory outcome legitimately
+      depends on interleaving, so the check passes vacuously;
+    * otherwise the per-thread writes are disjoint and their union is
+      the exact expected final memory, which is compared word-for-word
+      against the timing model's memory image.
+
+    A replay that cannot complete (instruction budget, pc overrun,
+    value-domain overflow) also passes vacuously: the timing model
+    finishing a program the golden model cannot judge is not evidence of
+    a simulator bug.
+    """
+    def check(mem_after: MainMemory) -> bool:
+        footprints = []
+        for tid in range(n_threads):
+            tm = _TrackingMemory(pristine)
+            sim = FunctionalSimulator(program, tm,
+                                      max_instructions=max_instructions)
+            for reg, value in init_regs[tid].items():
+                sim.state.write(reg, value)
+            try:
+                sim.run()
+            except (RuntimeError, OverflowError, ValueError, IndexError):
+                return True
+            footprints.append((tm.reads, tm.writes))
+        for i, (_, writes_i) in enumerate(footprints):
+            waddrs = set(writes_i)
+            for j, (reads_j, writes_j) in enumerate(footprints):
+                if i == j:
+                    continue
+                if waddrs & (reads_j | set(writes_j)):
+                    return True  # racy: interleaving defines the outcome
+        for _, writes in footprints:
+            for addr, value in writes.items():
+                if not _same_word(mem_after.load(addr), value):
+                    return False
+        return True
+
+    return check

@@ -1,0 +1,99 @@
+"""Auto-minimizer: the smallest program still reproducing a signature.
+
+A delta-debugging (ddmin-style) pass deletes spans of assembly lines at
+halving granularity, re-running the differential oracle after every
+deletion and keeping a candidate only when the *target signature* still
+reproduces exactly.  A second pass simplifies surviving lines by
+replacing them with ``nop``.
+
+Structural lines — labels, ``start:``, ``halt`` — are never deleted, so
+most candidates stay assemblable; candidates that still break (dangling
+branch targets, pc overruns) are rejected by the oracle as invalid and
+simply count against the attempt budget.
+
+Every reproduction check costs a full oracle trip (reference + all
+candidate arms), so the whole shrink is bounded by ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+
+@dataclass
+class ShrinkResult:
+    asm: str
+    attempts: int
+    #: False when even the unmodified program failed to reproduce the
+    #: signature (a flaky finding — kept as-is, flagged in metadata)
+    reproduced: bool
+    orig_lines: int
+    lines: int
+
+
+def _protected(line: str) -> bool:
+    s = line.strip()
+    return (not s) or s.endswith(":") or s == "halt"
+
+
+def _deletable(lines: Sequence[str]) -> List[int]:
+    return [i for i, line in enumerate(lines) if not _protected(line)]
+
+
+def shrink_program(asm: str, signature: str,
+                   signatures_of: Callable[[str], Sequence[str]],
+                   max_attempts: int = 48) -> ShrinkResult:
+    """Minimize ``asm`` while ``signature`` still reproduces.
+
+    ``signatures_of(asm_text)`` must return the signatures the oracle
+    reports for a candidate (the runner binds it over the program's spec,
+    fault campaign, and thread geometry).  Returns the smallest program
+    found within ``max_attempts`` oracle trips — the original program
+    when nothing smaller (or not even the original) reproduces.
+    """
+    lines = asm.splitlines()
+    orig_lines = len(lines)
+    budget = [max_attempts]
+
+    def reproduces(candidate: Sequence[str]) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return signature in signatures_of("\n".join(candidate))
+
+    if not reproduces(lines):
+        return ShrinkResult(asm=asm, attempts=max_attempts - budget[0],
+                            reproduced=False, orig_lines=orig_lines,
+                            lines=orig_lines)
+
+    # pass 1: ddmin span deletion at halving granularity
+    span = max(1, len(_deletable(lines)) // 2)
+    while span >= 1 and budget[0] > 0:
+        pos = 0
+        while True:
+            idxs = _deletable(lines)
+            if pos >= len(idxs) or budget[0] <= 0:
+                break
+            doomed = set(idxs[pos:pos + span])
+            candidate = [l for i, l in enumerate(lines) if i not in doomed]
+            if reproduces(candidate):
+                lines = candidate          # keep position: new lines shifted in
+            else:
+                pos += span
+        span //= 2
+
+    # pass 2: operand simplification — blunt each surviving line to a nop
+    for i in list(_deletable(lines)):
+        if budget[0] <= 0:
+            break
+        if lines[i].strip() == "nop":
+            continue
+        candidate = list(lines)
+        candidate[i] = "    nop"
+        if reproduces(candidate):
+            lines = candidate
+
+    return ShrinkResult(asm="\n".join(lines),
+                        attempts=max_attempts - budget[0], reproduced=True,
+                        orig_lines=orig_lines, lines=len(lines))

@@ -68,6 +68,17 @@ class MainMemory:
         """Number of words ever touched (for tests/diagnostics)."""
         return len(self._words)
 
+    def copy(self) -> "MainMemory":
+        """Independent snapshot of the current contents.
+
+        Used by golden-model checkers that must replay a program against
+        the *pristine* pre-run image while the simulator mutates the
+        original (e.g. the race-aware fuzz checker).
+        """
+        new = MainMemory()
+        new._words = dict(self._words)
+        return new
+
 
 def line_address(addr: int) -> int:
     """Byte address of the 64-byte line containing ``addr``."""

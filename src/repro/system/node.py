@@ -90,7 +90,12 @@ class NearMemoryNode:
             core = min(live, key=lambda c: c.now)
             if max_cycles is not None and core.now > max_cycles:
                 raise DeadlockError(
-                    f"cycle budget exceeded ({core.now} > {max_cycles})")
+                    f"cycle budget exceeded ({core.now} > {max_cycles})",
+                    commit_tail=int(getattr(core, "commit_tail", core.now)),
+                    committed=sum(
+                        int(getattr(th, "instructions", 0))
+                        for c in self.cores
+                        for th in getattr(c, "threads", ())))
             if not core.step():
                 core.finalize_stats()
                 live.remove(core)

@@ -39,6 +39,7 @@ import os
 import signal
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -137,7 +138,22 @@ def _wall_clock_limit(seconds: Optional[float]):
         return
 
     def _expire(signum, frame):
-        raise WatchdogTimeout(f"wall-clock limit of {seconds}s exceeded")
+        # fish the wedged core's progress out of the interrupted stack so
+        # the timeout message says where the simulation stopped
+        commit_tail = committed = -1
+        f = frame
+        while f is not None:
+            obj = f.f_locals.get("self")
+            tail = getattr(obj, "commit_tail", None)
+            threads = getattr(obj, "threads", None)
+            if tail is not None and threads is not None:
+                commit_tail = int(tail)
+                committed = sum(int(getattr(th, "instructions", 0))
+                                for th in threads)
+                break
+            f = f.f_back
+        raise WatchdogTimeout(f"wall-clock limit of {seconds}s exceeded",
+                              commit_tail=commit_tail, committed=committed)
 
     previous = signal.signal(signal.SIGALRM, _expire)
     signal.setitimer(signal.ITIMER_REAL, seconds)
@@ -183,10 +199,17 @@ def _run_isolated(index: int, cfg: RunConfig, check: bool, retries: int,
 
 # -- checkpoint journal ------------------------------------------------------
 def _load_journal(path: str) -> Dict[str, Dict]:
-    """Latest journal record per config key (later lines win)."""
+    """Latest journal record per config key (later lines win).
+
+    A checkpoint can end in a torn line (the writing process died
+    mid-append) or contain foreign garbage; resume must never die on its
+    own journal, so malformed lines are skipped with a warning — the
+    affected configs simply re-run.
+    """
     records: Dict[str, Dict] = {}
     if not os.path.exists(path):
         return records
+    torn = 0
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -195,9 +218,17 @@ def _load_journal(path: str) -> Dict[str, Dict]:
             try:
                 rec = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn tail line from a crash mid-append
-            if "key" in rec:
-                records[rec["key"]] = rec
+                torn += 1  # torn tail line from a crash mid-append
+                continue
+            if not isinstance(rec, dict) or "key" not in rec:
+                torn += 1
+                continue
+            records[rec["key"]] = rec
+    if torn:
+        warnings.warn(
+            f"checkpoint {path}: skipped {torn} torn or malformed "
+            f"line(s); affected configs will re-run", RuntimeWarning,
+            stacklevel=2)
     return records
 
 
@@ -288,7 +319,16 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
 
     def _is_resumed(i: int) -> bool:
         done = previous.get(keys[i])
-        return done is not None and done.get("status") == "ok"
+        if done is None or done.get("status") != "ok":
+            return False
+        if "row" not in done:
+            # an "ok" record without its payload (partial write from an
+            # older crash): treat the config as not-yet-run
+            warnings.warn(
+                f"checkpoint record for {keys[i]} has no row; re-running",
+                RuntimeWarning, stacklevel=2)
+            return False
+        return True
 
     def _fold_fleet(result=None, status: str = "ok") -> None:
         """Accumulate one finished row into the fleet registry."""

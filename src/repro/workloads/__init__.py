@@ -1,6 +1,6 @@
 """Near-memory workload suite (Spatter, meabo, CORAL-2, PrIM kernels)."""
 
-from . import dbms, graph, meabo, pointer_chase, sparse, spatter, stencil, stream, synthetic  # noqa: F401 (registration)
+from . import dbms, fuzzgen, graph, meabo, pointer_chase, sparse, spatter, stencil, stream, synthetic  # noqa: F401 (registration)
 from .registry import (
     WorkloadInstance,
     WorkloadSpec,

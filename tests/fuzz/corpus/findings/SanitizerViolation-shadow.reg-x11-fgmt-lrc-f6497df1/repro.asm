@@ -1,0 +1,42 @@
+start:
+    mov  x2, #chunk
+    mul  x3, x0, x2
+    add  x4, x3, x2
+    adr  x5, data
+    adr  x23, out
+    adr  x24, scratch
+    mov  x25, #mask
+    adr  x6, aux
+    mov  x8, #1754124
+    mov  x9, #8561863
+    mov  x10, #2833776
+    mov  x11, #4452251
+    mov  x12, #1559409
+    mov  x13, #12124595
+loop:
+    and  x26, x3, x25
+    ldr  x26, [x6, x26, lsl #3]
+L1:
+L2:
+L3:
+L4:
+    and  x13, x13, x12
+    cbz x13, L5
+    lsl  x13, x12, #6
+    mul  x8, x12, x13
+L5:
+    and  x11, x11, x11
+    and  x26, x8, x25
+    ldr  x27, [x5, x26, lsl #3]
+    eor  x12, x12, x27
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    mov  x27, #0
+    add  x27, x27, x8
+    eor  x27, x27, x9
+    add  x27, x27, x10
+    eor  x27, x27, x11
+    add  x27, x27, x12
+    eor  x27, x27, x13
+    halt

@@ -1,0 +1,46 @@
+start:
+    mov  x2, #chunk
+    mul  x3, x0, x2
+    add  x4, x3, x2
+    adr  x5, data
+    adr  x23, out
+    adr  x24, scratch
+    mov  x25, #mask
+    mov  x8, #3242217
+    mov  x9, #15249022
+    mov  x10, #10247691
+    mov  x11, #6969055
+    mov  x12, #11939476
+    mov  x13, #3647225
+    mov  x14, #9628855
+    fmov d0, #1.295
+    fmov d1, #0.061
+    fmov d2, #1.532
+    fmov d3, #0.374
+loop:
+    and  x26, x3, x25
+    ldr  x27, [x5, x26, lsl #3]
+    add  x8, x8, x27
+    fmadd d1, d2, d1, d1
+    cbz x9, L1
+    madd x11, x14, x14, x9
+    lsr  x13, x13, #3
+L1:
+    and  x26, x14, x25
+    ldr  x27, [x5, x26, lsl #3]
+    sub  x11, x11, x27
+    eor  x27, x27, x9
+    add  x27, x27, x10
+    eor  x27, x27, x11
+    add  x27, x27, x12
+    eor  x27, x27, x13
+    add  x27, x27, x14
+    str  x27, [x23, x0, lsl #3]
+    fmov d8, #0.0
+    fadd d8, d8, d0
+    fadd d8, d8, d1
+    fadd d8, d8, d2
+    fadd d8, d8, d3
+    add  x26, x0, x1
+    str  d8, [x23, x26, lsl #3]
+    halt

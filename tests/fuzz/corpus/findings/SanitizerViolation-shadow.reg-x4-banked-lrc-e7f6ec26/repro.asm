@@ -1,0 +1,32 @@
+start:
+    mov  x2, #chunk
+    mul  x3, x0, x2
+    add  x4, x3, x2
+    adr  x5, data
+    adr  x23, out
+    adr  x24, scratch
+    mov  x25, #mask
+    mov  x8, #3242217
+    mov  x9, #15249022
+    mov  x10, #10247691
+    mov  x11, #6969055
+    mov  x12, #11939476
+    mov  x13, #3647225
+    mov  x14, #9628855
+loop:
+L1:
+    and  x10, x13, x8
+    and  x26, x9, x25
+    ldr  x27, [x5, x26, lsl #3]
+    sub  x10, x10, x27
+    and  x26, x11, x25
+    ldr  x27, [x5, x26, lsl #3]
+    add  x12, x12, x27
+    fmadd d3, d1, d2, d2
+    str  d2, [x24, x3, lsl #3]
+    add  x3, x3, #1
+    cmp  x3, x4
+    b.lt loop
+    mov  x27, #0
+    add  x27, x27, x8
+    halt

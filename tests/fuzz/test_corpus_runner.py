@@ -1,0 +1,164 @@
+"""Corpus dedup/layout, the fuzz loop, checkpoint/resume, CLI exit codes."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.fuzz.corpus import Corpus, replay_corpus, slug_for
+from repro.fuzz.runner import FuzzConfig, run_fuzz
+
+FAULTS = {"rf_rate": 2e-5, "scheme": "none", "seed": 9}
+
+
+def _read(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+# -- corpus ------------------------------------------------------------------
+def test_slug_is_stable_and_fs_safe():
+    sig = "SanitizerViolation:shadow.reg:x9@virec/lrc"
+    assert slug_for(sig) == slug_for(sig)
+    assert "/" not in slug_for(sig) and ":" not in slug_for(sig)
+    assert slug_for(sig) != slug_for(sig + "2")
+
+
+def test_corpus_roundtrip(tmp_path):
+    c = Corpus(str(tmp_path))
+    sig = "DeadlockError:cycle-budget@fgmt/lrc"
+    slug = c.add(sig, "    halt", {"signature": sig, "spec": {}})
+    assert c.entries() == [slug]
+    assert c.has(sig)
+    asm, meta = c.load(slug)
+    assert asm == "    halt\n"
+    assert meta["signature"] == sig
+
+
+# -- run_fuzz ----------------------------------------------------------------
+def test_clean_campaign_writes_report_and_metrics(tmp_path):
+    d = str(tmp_path / "c")
+    rep = run_fuzz(FuzzConfig(seed=1, budget=2, corpus_dir=d, jobs=1))
+    assert rep.programs == 2 and rep.findings_total == 0
+    on_disk = _read(os.path.join(d, "fuzz_report.json"))
+    assert on_disk == rep.as_dict()
+    metrics = _read(os.path.join(d, "metrics.json"))
+    assert "fuzz_programs_total" in json.dumps(metrics)
+
+
+def test_fixed_seed_campaign_is_byte_identical(tmp_path):
+    """Same seed + budget => byte-identical corpus metadata and report."""
+    outs = []
+    for sub in ("a", "b"):
+        d = str(tmp_path / sub)
+        run_fuzz(FuzzConfig(seed=5, budget=2, corpus_dir=d, jobs=1,
+                            faults=FAULTS, shrink_budget=8))
+        blob = {}
+        for root, _, files in os.walk(d):
+            for f in sorted(files):
+                if f == "checkpoint.jsonl":   # fsync journal, order-only
+                    continue
+                rel = os.path.relpath(os.path.join(root, f), d)
+                with open(os.path.join(root, f), "rb") as fh:
+                    blob[rel] = fh.read()
+        outs.append(blob)
+    assert outs[0] == outs[1]
+
+
+def test_faulted_campaign_dedups_and_replays(tmp_path):
+    d = str(tmp_path / "c")
+    rep = run_fuzz(FuzzConfig(seed=5, budget=2, corpus_dir=d, jobs=1,
+                              faults=FAULTS, shrink_budget=8))
+    assert rep.findings_total > 0
+    assert rep.unique_signatures == len(rep.entries)
+    assert sorted(rep.new_entries) == rep.entries
+    for slug in rep.entries:
+        meta = _read(os.path.join(d, "findings", slug, "meta.json"))
+        assert meta["faults"] == FAULTS
+        assert "spec" in meta and "signature" in meta
+    rows = replay_corpus(d)
+    assert rows and all(r["ok"] for r in rows)
+
+
+def test_resume_skips_finished_indices(tmp_path):
+    d = str(tmp_path / "c")
+    run_fuzz(FuzzConfig(seed=1, budget=2, corpus_dir=d, jobs=1))
+    rep = run_fuzz(FuzzConfig(seed=1, budget=3, corpus_dir=d, jobs=1,
+                              resume=True))
+    assert rep.resumed == 2
+    assert rep.programs == 3
+
+
+def test_resume_survives_torn_checkpoint_line(tmp_path):
+    d = str(tmp_path / "c")
+    run_fuzz(FuzzConfig(seed=1, budget=2, corpus_dir=d, jobs=1))
+    ck = os.path.join(d, "checkpoint.jsonl")
+    with open(ck, "a") as f:
+        f.write('{"key": "fuzz:1:2", "status": "ok", "resu')  # torn tail
+    with pytest.warns(RuntimeWarning):
+        rep = run_fuzz(FuzzConfig(seed=1, budget=3, corpus_dir=d, jobs=1,
+                                  resume=True))
+    assert rep.programs == 3
+    assert rep.resumed == 2       # the torn index re-ran
+
+
+def test_ok_record_without_result_reruns(tmp_path):
+    d = str(tmp_path / "c")
+    os.makedirs(d)
+    with open(os.path.join(d, "checkpoint.jsonl"), "w") as f:
+        f.write(json.dumps({"key": "fuzz:1:0", "status": "ok"}) + "\n")
+    rep = run_fuzz(FuzzConfig(seed=1, budget=1, corpus_dir=d, jobs=1,
+                              resume=True))
+    assert rep.resumed == 0
+    assert rep.programs == 1
+
+
+# -- CLI ---------------------------------------------------------------------
+def test_cli_clean_exit_zero(tmp_path, capsys):
+    d = str(tmp_path / "c")
+    rc = cli_main(["fuzz", "--seed", "1", "--budget", "2", "--corpus", d])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fuzzed 2/2" in out
+
+
+def test_cli_findings_exit_three_and_replay_zero(tmp_path, capsys):
+    d = str(tmp_path / "c")
+    rc = cli_main(["fuzz", "--seed", "5", "--budget", "2", "--corpus", d,
+                   "--flip-rate", "2e-5", "--fault-seed", "9",
+                   "--shrink-budget", "8"])
+    assert rc == 3
+    capsys.readouterr()
+    rc = cli_main(["fuzz", "--replay", d])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "reproducers still fire" in out
+
+
+def test_cli_replay_detects_rotted_reproducer(tmp_path, capsys):
+    d = str(tmp_path / "c")
+    cli_main(["fuzz", "--seed", "5", "--budget", "1", "--corpus", d,
+              "--flip-rate", "2e-5", "--fault-seed", "9", "--no-shrink"])
+    capsys.readouterr()
+    slug = sorted(os.listdir(os.path.join(d, "findings")))[0]
+    meta_path = os.path.join(d, "findings", slug, "meta.json")
+    meta = _read(meta_path)
+    meta["signature"] = "SanitizerViolation:shadow.reg:xNOPE@virec/lrc"
+    with open(meta_path, "w") as f:
+        json.dump(meta, f)
+    rc = cli_main(["fuzz", "--replay", d])
+    out = capsys.readouterr().out
+    assert rc == 4
+    assert "FAIL" in out
+
+
+def test_checked_in_corpus_still_reproduces():
+    """The committed reference corpus (also exercised by the CI
+    fuzz-smoke job) must keep firing its recorded signatures."""
+    root = os.path.join(os.path.dirname(__file__), "corpus")
+    assert os.path.isdir(os.path.join(root, "findings"))
+    rows = replay_corpus(root)
+    assert rows
+    bad = [r for r in rows if not r["ok"]]
+    assert not bad, f"stale reproducers: {[r['slug'] for r in bad]}"

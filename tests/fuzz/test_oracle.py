@@ -1,0 +1,109 @@
+"""The differential oracle: clean programs, wedges-as-findings, signatures."""
+
+import pytest
+
+from repro.fuzz.generator import GenSpec, sample_spec
+from repro.fuzz.oracle import (
+    DEFAULT_ARMS,
+    REFERENCE_ARM,
+    arm_name,
+    classify,
+    run_oracle,
+)
+from repro.errors import DeadlockError, SanitizerViolation, WatchdogTimeout
+
+ONE_ARM = (("virec", "lrc"),)
+
+
+def test_clean_program_has_no_findings():
+    spec = GenSpec(seed=7, archetype="stride", n_body_ops=6)
+    report = run_oracle(spec.as_dict())
+    assert report.valid
+    assert report.findings == []
+    arms = {arm_name(*REFERENCE_ARM)} | {arm_name(*a) for a in DEFAULT_ARMS}
+    assert set(report.arms) == arms
+    # equal-instruction-count invariant holds across every arm
+    counts = {s["instructions"] for s in report.arms.values()}
+    assert len(counts) == 1
+
+
+def test_oracle_is_deterministic():
+    spec = sample_spec(4, 2).as_dict()
+    a = run_oracle(spec, arms=ONE_ARM)
+    b = run_oracle(spec, arms=ONE_ARM)
+    assert a.valid == b.valid
+    assert a.arms == b.arms
+    assert [f.as_dict() for f in a.findings] == \
+           [f.as_dict() for f in b.findings]
+
+
+def test_wedge_is_a_finding_not_a_crash():
+    """An exhausted cycle budget must surface as a classified finding."""
+    spec = GenSpec(seed=7, archetype="pchase", n_body_ops=12)
+    report = run_oracle(spec.as_dict(), max_cycles=100, arms=ONE_ARM)
+    assert report.valid
+    assert report.findings, "budget exhaustion vanished"
+    for f in report.findings:
+        assert f.kind == "exception"
+        assert f.error_type == "DeadlockError"
+        assert f.signature.startswith("DeadlockError:cycle-budget@")
+
+
+def test_invalid_program_is_not_a_finding():
+    spec = GenSpec(seed=1, archetype="stride")
+    report = run_oracle(spec.as_dict(), asm="    bogus x1, x2\n    halt\n")
+    assert not report.valid
+    assert report.findings == []
+    assert report.invalid_reason
+
+
+def test_signatures_are_stable_and_site_keyed():
+    arm = "virec/lrc"
+    exc = SanitizerViolation("shadow mismatch", invariant="shadow.reg",
+                             cycle=123, core_id=0, details={"reg": "x9"})
+    f1 = classify(exc, arm)
+    exc2 = SanitizerViolation("shadow mismatch", invariant="shadow.reg",
+                              cycle=99_999, core_id=0, details={"reg": "x9"})
+    # different cycle, same root cause -> same signature
+    assert f1.signature == classify(exc2, arm).signature
+    assert f1.signature == "SanitizerViolation:shadow.reg:x9@virec/lrc"
+
+    d = classify(DeadlockError("cycle budget exceeded (9 > 5)",
+                               commit_tail=9, committed=4), arm)
+    assert d.signature == "DeadlockError:cycle-budget@virec/lrc"
+    assert d.details["commit_tail"] == 9
+    assert d.details["committed"] == 4
+
+    w = classify(WatchdogTimeout("wall-clock limit of 1s exceeded"), arm)
+    assert w.signature == "WatchdogTimeout@virec/lrc"
+
+
+def test_faulted_run_produces_findings():
+    spec = GenSpec(seed=3, archetype="gather", n_body_ops=10)
+    report = run_oracle(spec.as_dict(),
+                        faults={"rf_rate": 2e-5, "scheme": "none",
+                                "seed": 11})
+    assert report.valid
+    assert report.findings
+    assert all(f.error_type in ("SanitizerViolation", "FaultEscapeError",
+                                "FunctionalCheckError")
+               for f in report.findings)
+    # findings are sorted by signature for deterministic reports
+    sigs = [f.signature for f in report.findings]
+    assert sigs == sorted(sigs)
+
+
+def test_asm_override_matches_generated_run():
+    """Running the generated text through the asm-override path must be
+    indistinguishable from the generated run — the property replay and
+    shrinking depend on."""
+    from repro.fuzz.generator import generate
+
+    spec = GenSpec(seed=3, archetype="gather", n_body_ops=10)
+    kern = generate(spec)
+    faults = {"rf_rate": 2e-5, "scheme": "none", "seed": 11}
+    a = run_oracle(spec.as_dict(), faults=faults, arms=ONE_ARM)
+    b = run_oracle(spec.as_dict(), faults=faults, arms=ONE_ARM,
+                   asm=kern.asm)
+    assert a.signatures == b.signatures
+    assert a.arms == b.arms

@@ -1,0 +1,89 @@
+"""ddmin auto-shrinking against synthetic and real oracles."""
+
+from repro.fuzz.shrink import shrink_program
+
+SIG = "SanitizerViolation:shadow.reg:x9@virec/lrc"
+
+
+def _mk_asm(n_filler):
+    lines = ["start:"]
+    lines += [f"    add x{(i % 4) + 8}, x8, #1" for i in range(n_filler)]
+    lines += ["    eor x9, x9, x25", "    halt"]
+    return "\n".join(lines)
+
+
+def test_shrinks_to_essential_line():
+    """Only the eor line matters; everything deletable should go."""
+    asm = _mk_asm(12)
+
+    def signatures_of(text):
+        return [SIG] if "eor x9" in text else []
+
+    res = shrink_program(asm, SIG, signatures_of, max_attempts=200)
+    assert res.reproduced
+    assert res.lines < res.orig_lines
+    assert "eor x9" in res.asm
+    # structural lines survive
+    assert "start:" in res.asm
+    assert "halt" in res.asm
+    deletable = [l for l in res.asm.splitlines()
+                 if l.strip() and not l.strip().endswith(":")
+                 and l.strip() != "halt" and l.strip() != "nop"]
+    assert deletable == ["    eor x9, x9, x25"]
+
+
+def test_budget_bounds_oracle_trips():
+    calls = [0]
+
+    def signatures_of(text):
+        calls[0] += 1
+        return [SIG]
+
+    shrink_program(_mk_asm(64), SIG, signatures_of, max_attempts=10)
+    assert calls[0] <= 10
+
+
+def test_flaky_original_is_kept_unshrunk():
+    res = shrink_program(_mk_asm(6), SIG, lambda text: [], max_attempts=20)
+    assert not res.reproduced
+    assert res.asm == _mk_asm(6)
+    assert res.attempts == 1
+
+
+def test_signature_must_match_exactly():
+    """A candidate that fires a different signature is not a reproduction."""
+    asm = _mk_asm(4)
+
+    def signatures_of(text):
+        if "eor x9" in text and "add x8" in text:
+            return [SIG]
+        if "eor x9" in text:
+            return ["SanitizerViolation:shadow.reg:x8@virec/lrc"]
+        return []
+
+    res = shrink_program(asm, SIG, signatures_of, max_attempts=100)
+    assert res.reproduced
+    assert "eor x9" in res.asm
+    assert any("add x8" in l for l in res.asm.splitlines())
+
+
+def test_real_oracle_shrink_reproduces():
+    """End to end on the simulator: shrink a fault-seeded finding and
+    check the minimized program still fires the same signature."""
+    from repro.fuzz.generator import GenSpec, generate
+    from repro.fuzz.oracle import run_oracle
+
+    spec = GenSpec(seed=3, archetype="gather", n_body_ops=10)
+    kern = generate(spec)
+    faults = {"rf_rate": 2e-5, "scheme": "none", "seed": 11}
+    arms = (("virec", "lrc"),)
+
+    def signatures_of(text):
+        return run_oracle(spec.as_dict(), asm=text, faults=faults,
+                          arms=arms).signatures
+
+    sigs = run_oracle(spec.as_dict(), faults=faults, arms=arms).signatures
+    assert sigs, "fault campaign produced no finding to shrink"
+    res = shrink_program(kern.asm, sigs[0], signatures_of, max_attempts=12)
+    assert res.reproduced
+    assert sigs[0] in signatures_of(res.asm)
