@@ -37,6 +37,12 @@ VRC007   warning   ``except Exception:`` / bare ``except:`` in library
                    (SimulationError and friends), silently converting
                    failures the sweep/fuzz drivers must see into wrong
                    results; catch specific types or re-raise
+VRC008   warning   ``stats.inc("key")`` / ``.set`` / ``.max`` with a
+                   literal counter key missing from the central
+                   registry (:data:`repro.stats.names.COUNTER_NAMES`)
+                   — counter keys are stringly typed, so a typo
+                   silently splits one counter into two and downstream
+                   taxonomy sums stop adding up
 =======  ========  =====================================================
 
 Suppression: append ``# lint: ignore[VRC00N]`` (or the conventional
@@ -53,6 +59,8 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..stats.names import COUNTER_NAMES
 
 #: severity names, weakest first; ``--fail-on`` compares by this order
 SEVERITIES = ("info", "warning", "error")
@@ -103,6 +111,10 @@ RULES: Tuple[LintRule, ...] = (
              "an except clause broad enough to catch SimulationError "
              "hides simulator failures from the resilient drivers; catch "
              "specific exception types or re-raise"),
+    LintRule("VRC008", "unregistered-counter-key", "warning",
+             "a literal Stats counter key must come from "
+             "repro.stats.names.COUNTER_NAMES; a typo silently splits "
+             "one counter into two"),
 )
 
 RULES_BY_ID: Dict[str, LintRule] = {r.id: r for r in RULES}
@@ -128,6 +140,15 @@ _PRINT_ALLOWED_STEMS = ("cli", "reporting", "plotting", "monitor")
 #: with ``# noqa: VRC007`` where swallowing is the contract)
 _BROAD_EXCEPT_ALLOWED_DIRS = ("experiments", "tests", "benchmarks",
                               "examples", "scripts", "docs")
+
+#: trees exempt from the counter-key registry rule (VRC008): tests and
+#: ad-hoc scripts may invent scratch counters; library code must register
+#: names in :mod:`repro.stats.names` (or suppress with ``# noqa: VRC008``)
+_COUNTER_KEY_ALLOWED_DIRS = ("tests", "benchmarks", "examples", "scripts",
+                             "docs")
+
+#: Stats mutators whose first argument is a counter key (VRC008)
+_COUNTER_KEY_METHODS = frozenset({"inc", "set", "max"})
 
 #: exception names broad enough to swallow SimulationError (VRC007)
 _BROAD_EXCEPTION_NAMES = frozenset({
@@ -215,6 +236,7 @@ class _Visitor(ast.NodeVisitor):
         self._wallclock_exempt = self._is_wallclock_exempt(path)
         self._print_exempt = self._is_print_exempt(path)
         self._broad_except_exempt = self._is_broad_except_exempt(path)
+        self._counter_key_exempt = self._is_counter_key_exempt(path)
 
     @staticmethod
     def _is_wallclock_exempt(path: str) -> bool:
@@ -235,6 +257,11 @@ class _Visitor(ast.NodeVisitor):
         return any(part in _BROAD_EXCEPT_ALLOWED_DIRS
                    for part in Path(path).parts)
 
+    @staticmethod
+    def _is_counter_key_exempt(path: str) -> bool:
+        return any(part in _COUNTER_KEY_ALLOWED_DIRS
+                   for part in Path(path).parts)
+
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
         if rule_id not in self.select:
             return
@@ -243,14 +270,52 @@ class _Visitor(ast.NodeVisitor):
             getattr(node, "lineno", 0), getattr(node, "col_offset", 0) + 1,
             message))
 
-    # -- VRC001 / VRC002 / VRC006: call-pattern rules -----------------------
+    # -- VRC001 / VRC002 / VRC006 / VRC008: call-pattern rules --------------
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
         if dotted is not None:
             self._check_random(node, dotted)
             self._check_wallclock(node, dotted)
         self._check_print(node)
+        self._check_counter_key(node)
         self.generic_visit(node)
+
+    # -- VRC008: counter keys off the central registry -----------------------
+    @classmethod
+    def _stats_receiver(cls, node: ast.AST) -> bool:
+        """Does ``node`` syntactically look like a Stats tree?
+
+        Matches dotted names whose last segment is ``stats``-like
+        (``self.stats``, ``core.stats``, ``node_stats``) and ``child(...)``
+        chains rooted at one (``self.stats.child("x")``).
+        """
+        dotted = _dotted(node)
+        if dotted is not None:
+            leaf = dotted.rpartition(".")[2].lstrip("_")
+            return leaf == "stats" or leaf.endswith("_stats")
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "child"):
+            return cls._stats_receiver(node.func.value)
+        return False
+
+    def _check_counter_key(self, node: ast.Call) -> None:
+        if self._counter_key_exempt:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _COUNTER_KEY_METHODS
+                and self._stats_receiver(func.value)):
+            return
+        if not node.args:
+            return
+        key = node.args[0]
+        if isinstance(key, ast.Constant) and isinstance(key.value, str) \
+                and key.value not in COUNTER_NAMES:
+            self._emit("VRC008", node,
+                       f"counter key {key.value!r} is not in "
+                       f"repro.stats.names.COUNTER_NAMES; register it "
+                       f"there (or suppress a deliberate scratch counter)")
 
     def _check_print(self, node: ast.Call) -> None:
         if self._print_exempt:

@@ -24,6 +24,13 @@ Commands
 ``timeline --workload W --core C [--interval N] [--jsonl P] ...``
     Run one configuration with interval sampling and print sparkline
     time-series of IPC, VRMU hit rate, occupancy, and spill/fill traffic.
+``profile --workload W --core C [--top N] [--diff CORE2] ...``
+    Run one configuration with cycle attribution (every core cycle
+    classified into the top-down stall taxonomy, exact-sum enforced) and
+    print the per-cause table plus the hottest per-PC rows; ``--diff``
+    re-runs with a second core type and prints the per-cause/per-PC
+    cycle deltas; ``--flame`` writes folded flamegraph stacks and
+    ``--json`` the raw attribution snapshot.
 ``lint [paths...] [--format json] [--fail-on SEV]``
     Run the repro-specific determinism linter (see
     :mod:`repro.analysis.lint`) over source trees.
@@ -195,12 +202,34 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_monitor(args) -> int:
+def _check_sweep_dir(path: str) -> Optional[str]:
+    """One-line usage hint when ``path`` is not a usable sweep directory.
+
+    Returns None when the directory exists and carries a sweep event log;
+    otherwise the message ``repro monitor`` / ``repro report`` print
+    before exiting cleanly (instead of tracebacking on absent artifacts).
+    """
     import os
+    from .system.monitor import EVENTS_NAME
+
+    if not os.path.isdir(path):
+        return (f"no such sweep directory: {path} "
+                f"(create one with: repro sweep --dir {path} ...)")
+    if not os.listdir(path):
+        return (f"sweep directory {path} is empty "
+                f"(populate it with: repro sweep --dir {path} ...)")
+    if not os.path.exists(os.path.join(path, EVENTS_NAME)):
+        return (f"{path} has no {EVENTS_NAME} — not a sweep directory "
+                f"(expected output of: repro sweep --dir {path} ...)")
+    return None
+
+
+def _cmd_monitor(args) -> int:
     from .system.monitor import monitor_loop
 
-    if not os.path.isdir(args.dir):
-        print(f"no such sweep directory: {args.dir}", file=sys.stderr)
+    hint = _check_sweep_dir(args.dir)
+    if hint is not None:
+        print(hint, file=sys.stderr)
         return 2
     state = monitor_loop(args.dir, refresh=args.refresh,
                          follow=args.follow)
@@ -211,8 +240,9 @@ def _cmd_report(args) -> int:
     import os
     from .stats.report_html import EXIT_REGRESSION, write_report
 
-    if not os.path.isdir(args.dir):
-        print(f"no such sweep directory: {args.dir}", file=sys.stderr)
+    hint = _check_sweep_dir(args.dir)
+    if hint is not None:
+        print(hint, file=sys.stderr)
         return 2
     baseline = args.baseline
     if baseline is None:
@@ -290,6 +320,46 @@ def _cmd_timeline(args) -> int:
     if args.jsonl:
         session.write_metrics_jsonl(args.jsonl)
         print(f"wrote {len(rows)} rows to {args.jsonl}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .profiling import diff_snapshots
+    from .stats.reporting import (render_attribution_diff,
+                                  render_attribution_table)
+
+    cfg = _base_config(args, profile=True)
+    try:
+        r = run_config(cfg)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = r.profile
+    snapshot = session.snapshot()
+    print(f"workload={cfg.workload} core={cfg.core_type} "
+          f"threads={cfg.n_threads} cores={cfg.n_cores}")
+    print(render_attribution_table(snapshot, top=args.top))
+    if args.flame:
+        session.write_collapsed(args.flame)
+        n = len(session.collapsed().splitlines())
+        print(f"wrote {n} folded stack(s) to {args.flame} "
+              f"(flamegraph.pl / speedscope collapsed format)")
+    if args.json:
+        session.write_json(args.json)
+        print(f"wrote attribution snapshot to {args.json}")
+    if args.diff:
+        cfg2 = cfg.with_(core_type=args.diff)
+        try:
+            r2 = run_config(cfg2)
+        except ValueError as exc:
+            print(f"error: --diff {args.diff}: {exc}", file=sys.stderr)
+            return 2
+        other = r2.profile.snapshot()
+        print()
+        print(render_attribution_diff(diff_snapshots(snapshot, other),
+                                      base_label=cfg.core_type,
+                                      other_label=args.diff,
+                                      top=args.top))
     return 0
 
 
@@ -458,6 +528,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jsonl", metavar="PATH",
                    help="also write the interval rows as JSONL")
     p.set_defaults(fn=_cmd_timeline)
+
+    p = sub.add_parser("profile",
+                       help="run with cycle attribution; print per-cause "
+                            "and per-PC hotspot tables, optionally diff "
+                            "two core types")
+    _add_config_options(p)
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="hotspot / per-PC-delta rows to print (default 10)")
+    p.add_argument("--diff", metavar="CORE", choices=list(CORE_TYPES),
+                   help="re-run with this core type and print per-cause/"
+                        "per-PC cycle deltas (other vs base)")
+    p.add_argument("--flame", metavar="PATH",
+                   help="write folded flamegraph stacks (Brendan Gregg "
+                        "collapsed format)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the raw attribution snapshot as JSON "
+                        "(feeds the HTML report's attribution section)")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("sweep", help="run a resilient parameter grid")
     _add_config_options(p)

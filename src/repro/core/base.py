@@ -20,9 +20,10 @@ execute latency, icache line) pre-computed once per program — and keeps all
 observation layers behind one :class:`~repro.core.instrument.InstrumentBus`.
 With nothing attached the per-instruction step is a *compiled fast path*
 containing zero instrumentation branches; attaching any instrument
-(``fault_hook`` / ``telemetry`` / ``metrics`` / ``sanitizer`` / ``tracer``)
-rebinds the step to the instrumented body with the fixed dispatch order
-faults -> telemetry -> metrics -> sanitizer -> tracer.
+(``fault_hook`` / ``telemetry`` / ``metrics`` / ``profile`` / ``sanitizer``
+/ ``tracer``) rebinds the step to the instrumented body with the fixed
+dispatch order faults -> telemetry -> metrics -> profile -> sanitizer ->
+tracer.
 
 Subclass hooks (all optional):
 
@@ -245,6 +246,19 @@ class TimelineCore:
         self._recompile_step()
 
     @property
+    def profile(self):
+        """Optional :class:`~repro.profiling.CycleAttributor`; strictly
+        opt-in and purely observational — it classifies every commit-clock
+        cycle into the top-down stall taxonomy off the per-commit stage
+        timestamps but never alters one."""
+        return self.bus.profile
+
+    @profile.setter
+    def profile(self, value) -> None:
+        self.bus.profile = value
+        self._recompile_step()
+
+    @property
     def sanitizer(self):
         """Optional :class:`~repro.sanitizer.CoreSanitizer` (VSan); strictly
         opt-in and purely observational — it verifies committed state
@@ -363,6 +377,7 @@ class TimelineCore:
 
     def _schedule(self, t: int) -> bool:
         """Switch in the next runnable thread at cycle >= t."""
+        t_req = t
         thread, t = self._pick_next_thread(t)
         if thread is None:
             return False
@@ -370,6 +385,12 @@ class TimelineCore:
         self.current = thread
         self.scoreboard = {}
         self.flags_ready = t
+        profile = self.bus.profile
+        if profile is not None:
+            # (cursor, t_req] is switch drain, (t_req, t] is idle wait for
+            # a runnable thread; the window up to switch-in completion is
+            # posted below once switch_in/thread_start_cost have run
+            profile.on_schedule(thread.tid, t_req, t)
         if not thread.started:
             thread.started = True
             t = self.thread_start_cost(thread, t)
@@ -381,6 +402,8 @@ class TimelineCore:
         telemetry = self.bus.telemetry
         if telemetry is not None:
             telemetry.on_run_begin(thread.tid, t)
+        if profile is not None:
+            profile.on_switch_in(thread.tid, self.fetch_avail)
         return True
 
     # ---------------------------------------------------------------- running
@@ -444,7 +467,8 @@ class TimelineCore:
     # Two bodies, one contract.  ``_process_instruction`` is *rebound* by
     # ``_recompile_step`` to the fast body (empty bus: zero instrumentation
     # branches) or the instrumented body (any instrument attached: fixed
-    # faults -> telemetry -> sanitizer -> tracer dispatch).  The two must
+    # faults -> telemetry -> metrics -> profile -> sanitizer -> tracer
+    # dispatch).  The two must
     # stay cycle-identical except for the fault injector's explicit
     # timestamp adjustments; tests/core/test_instrument_bus.py and the
     # telemetry/sanitizer noop suites enforce that.  Edit them together.
@@ -566,13 +590,14 @@ class TimelineCore:
 
         Same timeline math as :meth:`_process_instruction_fast`; dispatch
         order is fixed: faults (front end) -> telemetry (commit clock) ->
-        metrics (commit counters) -> sanitizer (post-architectural-update)
-        -> tracer (record).
+        metrics (commit counters) -> profile (cycle attribution) ->
+        sanitizer (post-architectural-update) -> tracer (record).
         """
         bus = self.bus
         faults = bus.faults
         telemetry = bus.telemetry
         metrics = bus.metrics
+        profile = bus.profile
         sanitizer = bus.sanitizer
         tracer = bus.tracer
 
@@ -580,11 +605,13 @@ class TimelineCore:
         inst = d.inst
         config = self.config
         stats = self.stats
+        pc0 = thread.pc
 
         # fetch
         fetch_avail = self.fetch_avail
         decode_free = self.decode_free
         t_d = fetch_avail if fetch_avail > decode_free else decode_free
+        icache_missed = False
         if d.line != self._last_fetch_line:
             self._last_fetch_line = d.line
             icache = self.icache
@@ -592,6 +619,7 @@ class TimelineCore:
                               requestor=self.core_id)
             if not r.hit:
                 stats.inc("icache_miss_stalls")
+                icache_missed = True
             if r.complete_at > t_d:
                 t_d = r.complete_at
         if faults is not None:
@@ -643,9 +671,15 @@ class TimelineCore:
             self.load_slots.append(data_at)
             if not r.hit:
                 stats.inc("load_miss_stalls")
+                load_missed = True
+            else:
+                load_missed = False
         elif d.is_store:
             data_at = self._sq_insert(t_ex_done, result.addr)
             self.memory.store(result.addr, result.store_value)
+            load_missed = False
+        else:
+            load_missed = False
 
         # commit (in-order, one per cycle)
         t_c = self.commit_tail + 1
@@ -661,6 +695,10 @@ class TimelineCore:
             telemetry.on_commit(t_c)
         if metrics is not None:
             metrics.on_commit(thread, d, t_c)
+        if profile is not None:
+            profile.on_commit_timing(thread.tid, pc0, d, t_d, t_ops, t_regs,
+                                     t_ex_done, data_at, t_c, icache_missed,
+                                     load_missed)
 
         # architectural update at commit
         writes = result.writes
@@ -744,7 +782,13 @@ class TimelineCore:
         # oldest-is-not-memory signal); older commits are bounded by
         # commit_tail, so waiting for it implements the mask exactly.
         t_sw = max(t_detect, self.commit_tail)
-        t_sw = self.switch_extra_wait(t_sw)
+        t_hold = self.switch_extra_wait(t_sw)
+        profile = self.bus.profile
+        if profile is not None:
+            # (t_sw, t_hold] is the BSI-busy hold — posted spill writebacks
+            # blocking the switch (ViReC); zero-width for other cores
+            profile.on_switch_hold(thread.tid, t_sw, t_hold)
+        t_sw = t_hold
 
         flushed = self._flushed_window(thread)
         self.on_flush(thread, flushed, t_sw)

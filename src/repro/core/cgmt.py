@@ -121,6 +121,11 @@ class SoftwareSwitchCore(TimelineCore):
             if telemetry is not None:
                 telemetry.on_context_move(
                     "ctx_save", self._prev_thread.tid, t, done)
+            profile = self.bus.profile
+            if profile is not None:
+                # the save phase is the software analogue of a register
+                # spill writeback; the restore phase stays in "switch"
+                profile.on_spill_window(thread.tid, done)
         restore_done = done
         for i, flat in enumerate(self.layout.used_regs):
             addr = self.layout.reg_addr(thread.tid, flat)

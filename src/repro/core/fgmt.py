@@ -133,12 +133,14 @@ class FGMTCore(TimelineCore):
         result = evaluate(inst, srcvals, thread.flags, thread.pc)
 
         data_at = t_ex_done
+        load_missed = False
         if d.is_load:
             t_m = self._load_slot_wait(t_ex_done)
             _, r = self.dcache_request(t_m, result.addr, is_load_data=True)
             data_at = r.complete_at
             if not r.hit:
                 stats.inc("load_miss_stalls")
+                load_missed = True
         elif d.is_store:
             data_at = self._sq_insert(t_ex_done, result.addr)
             self.memory.store(result.addr, result.store_value)
@@ -148,6 +150,11 @@ class FGMTCore(TimelineCore):
         if not result.halt:
             thread.instructions += 1
         self.now = min(issue_ready.values())
+        if bus.profile is not None:
+            # barrel commits interleave threads on one commit clock; the
+            # attributor tiles (prev commit, t_c] off these bounds alone
+            bus.profile.on_barrel_commit(tid, thread.pc, d, t_issue,
+                                         t_ex_done, data_at, t_c, load_missed)
 
         for reg, value in result.writes.items():
             thread.write(reg, value)

@@ -16,12 +16,13 @@ one seam with two guarantees:
 * **Fixed dispatch order.**  When instruments are attached they are
   dispatched in a fixed pipeline-position order per instruction:
   ``faults`` (front end, may legally add cycles) -> ``telemetry`` (commit
-  clock) -> ``metrics`` (commit counters) -> ``sanitizer``
+  clock) -> ``metrics`` (commit counters) -> ``profile`` (cycle
+  attribution off the commit timestamps) -> ``sanitizer``
   (post-architectural-update commit check) -> ``tracer`` (record, last).
-  Observational instruments (telemetry, metrics, sanitizer, tracer) must
-  never alter a cycle timestamp — the noop suites
-  under ``tests/telemetry`` and ``tests/sanitizer`` enforce cycle-identity
-  of the attached path against the fast path.
+  Observational instruments (telemetry, metrics, profile, sanitizer,
+  tracer) must never alter a cycle timestamp — the noop suites
+  under ``tests/telemetry``, ``tests/sanitizer`` and ``tests/profiling``
+  enforce cycle-identity of the attached path against the fast path.
 
 Backward compatibility: ``core.fault_hook`` / ``core.telemetry`` /
 ``core.sanitizer`` / ``core.tracer`` remain readable and writable — they
@@ -36,7 +37,8 @@ from typing import List, Optional, Tuple
 __all__ = ["InstrumentBus"]
 
 #: bus slot names in dispatch order (see the module docstring)
-DISPATCH_ORDER = ("faults", "telemetry", "metrics", "sanitizer", "tracer")
+DISPATCH_ORDER = ("faults", "telemetry", "metrics", "profile", "sanitizer",
+                  "tracer")
 
 
 class InstrumentBus:
@@ -54,6 +56,10 @@ class InstrumentBus:
         :class:`~repro.metrics.CoreMetrics` — labeled counter/histogram
         recording off the commit clock (cross-process metrics registry);
         purely observational.
+    ``profile``
+        :class:`~repro.profiling.CycleAttributor` — top-down cycle
+        accounting off the per-commit stage timestamps (per-cause,
+        per-thread, per-PC); purely observational.
     ``sanitizer``
         :class:`~repro.sanitizer.CoreSanitizer` — shadow-state check after
         the architectural update; purely observational (raises on
@@ -63,12 +69,14 @@ class InstrumentBus:
         timestamps; purely observational.
     """
 
-    __slots__ = ("faults", "telemetry", "metrics", "sanitizer", "tracer")
+    __slots__ = ("faults", "telemetry", "metrics", "profile", "sanitizer",
+                 "tracer")
 
     def __init__(self) -> None:
         self.faults = None
         self.telemetry = None
         self.metrics = None
+        self.profile = None
         self.sanitizer = None
         self.tracer = None
 
@@ -76,8 +84,8 @@ class InstrumentBus:
     def empty(self) -> bool:
         """True when nothing is attached (the engine may run its fast path)."""
         return (self.faults is None and self.telemetry is None
-                and self.metrics is None and self.sanitizer is None
-                and self.tracer is None)
+                and self.metrics is None and self.profile is None
+                and self.sanitizer is None and self.tracer is None)
 
     def attached(self) -> List[Tuple[str, object]]:
         """``(slot, instrument)`` pairs in dispatch order, attached only."""

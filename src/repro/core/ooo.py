@@ -99,6 +99,9 @@ class OoOCore:
                 dregs[reg.index] = float(value)
         pc = self.program.entry
         instructions = 0
+        # exhaustive commit-clock accounting: every commit_tail advance is
+        # charged to exactly one cause, so sum(causes) == final cycles
+        causes = {"commit_bw": 0, "load_wait": 0, "dataflow": 0}
 
         def read(reg: Reg):
             return xregs[reg.index] if reg.rclass.value == 0 else dregs[reg.index]
@@ -172,7 +175,10 @@ class OoOCore:
                 if self.commit_slots_used >= cfg.width:
                     self.commit_tail += 1
                     self.commit_slots_used = 0
+                    causes["commit_bw"] += 1
             else:
+                causes["load_wait" if inst.is_load else "dataflow"] += (
+                    t_c - self.commit_tail)
                 self.commit_tail = t_c
                 self.commit_slots_used = 1
             self.rob.append(self.commit_tail)
@@ -185,6 +191,9 @@ class OoOCore:
         self.stats.set("cycles", self.commit_tail)
         self.stats.set("instructions", instructions)
         self.stats.set("ipc", instructions / self.commit_tail if self.commit_tail else 0.0)
+        cause_stats = self.stats.child("cycle_causes")
+        for cause, count in causes.items():
+            cause_stats.set(cause, count)
         return self.stats
 
     def run_with_init(self, init_regs: Optional[dict] = None) -> Stats:

@@ -98,6 +98,23 @@ class SanitizerViolation(InvariantError, AssertionError):
         return "\n".join(lines)
 
 
+class AttributionError(InvariantError):
+    """The cycle attributor's books don't balance.
+
+    Raised by the opt-in profiling subsystem (:mod:`repro.profiling`) when
+    the sum of per-cause attributed cycles differs from the core's commit
+    clock — the one invariant that makes a top-down breakdown trustworthy.
+    ``attributed``/``cycles`` carry both sides of the failed equality.
+    """
+
+    def __init__(self, message: str, core_id: int = -1,
+                 attributed: int = -1, cycles: int = -1) -> None:
+        super().__init__(message)
+        self.core_id = core_id
+        self.attributed = attributed
+        self.cycles = cycles
+
+
 class FaultEscapeError(SimulationError):
     """Corrupted register/backing state reached architectural commit.
 

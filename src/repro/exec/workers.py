@@ -49,9 +49,9 @@ __all__ = ["grid_worker", "strip_result", "sweep_worker"]
 def strip_result(result):
     """Drop the unpicklable session handles from a RunResult (in place).
 
-    The metrics session is the exception: its snapshot is plain data the
-    parent merges into the fleet registry, so it is folded down rather
-    than dropped.
+    The metrics and profile sessions are the exceptions: their snapshots
+    are plain data the parent consumes (fleet registry merge, attribution
+    reports), so they are folded down rather than dropped.
     """
     if result is not None:
         result.telemetry = None
@@ -59,6 +59,9 @@ def strip_result(result):
         metrics = getattr(result, "metrics", None)
         if metrics is not None and hasattr(metrics, "snapshot"):
             result.metrics = metrics.snapshot()
+        profile = getattr(result, "profile", None)
+        if profile is not None and hasattr(profile, "snapshot"):
+            result.profile = profile.snapshot()
     return result
 
 

@@ -15,6 +15,10 @@ golden-model check on.  Three classes of divergence become findings:
 * **timing divergence** — the candidate/reference cycle ratio must stay
   inside the declared :data:`RATIO_BOUNDS` (pinned on the fixed kernel
   set by ``tests/fuzz/test_cycle_ratio.py`` before fuzzing relies on it).
+  A timing finding arrives with a cycle-attribution cause breakdown in
+  its details (``causes`` / ``ref_causes`` / ``dominant``) from
+  deterministic profiled re-runs of both arms, so a ratio violation
+  already names the stall class that blew the bound.
 
 Failures are classified by a **stable signature** — exception type +
 violated invariant + divergence site + arm, with no cycle numbers or
@@ -176,6 +180,22 @@ def _flips(result) -> int:
                    if k.endswith("faults.bits_flipped")))
 
 
+def _attribution_causes(cfg: RunConfig) -> Dict[str, int]:
+    """Per-cause cycle totals of one arm, re-run with profiling wired.
+
+    Profiling is cycle-identical, so the deterministic re-run reproduces
+    the diverging run exactly and the breakdown explains *that* ratio.
+    Best-effort: an attribution failure never masks the finding itself,
+    and the breakdown is deterministic data, so corpus bytes stay
+    reproducible run-over-run.
+    """
+    try:
+        result = _simulator.run_config(cfg.with_(profile=True), check=False)
+        return dict(result.profile.snapshot().get("causes", {}))
+    except SimulationError:
+        return {}
+
+
 def _run_arm(cfg: RunConfig, arm: str):
     """(stats, finding, invalid_reason) — exactly one of the three set."""
     try:
@@ -210,6 +230,7 @@ def run_oracle(spec_dict: Dict, *, n_threads: int = 4, n_per_thread: int = 16,
     cfg = oracle_config(spec_dict, *REFERENCE_ARM, n_threads=n_threads,
                         n_per_thread=n_per_thread, max_cycles=max_cycles,
                         faults=faults, asm=asm)
+    ref_cfg = cfg
     ref_stats, finding, invalid = _run_arm(cfg, ref)
     if invalid:
         return OracleReport(valid=False, invalid_reason=invalid)
@@ -243,11 +264,20 @@ def run_oracle(spec_dict: Dict, *, n_threads: int = 4, n_per_thread: int = 16,
                  if ref_stats["cycles"] else 0.0)
         if not lo <= ratio <= hi:
             side = "high" if ratio > hi else "low"
+            causes = _attribution_causes(cfg)
+            ref_causes = _attribution_causes(ref_cfg)
+            deltas = {c: causes.get(c, 0) - ref_causes.get(c, 0)
+                      for c in sorted(set(causes) | set(ref_causes))}
             report.findings.append(Finding(
                 signature=f"TimingDivergence:{side}@{arm}",
                 kind="timing-divergence", arm=arm,
                 message=(f"cycle ratio {ratio:.3f} vs {ref} outside "
-                         f"[{lo}, {hi}]")))
+                         f"[{lo}, {hi}]"),
+                details={"causes": causes, "ref_causes": ref_causes,
+                         "dominant": [c for c, d in
+                                      sorted(deltas.items(),
+                                             key=lambda kv: -abs(kv[1]))
+                                      if d][:5]}))
 
     report.findings.sort(key=lambda f: f.signature)
     return report

@@ -1,0 +1,67 @@
+"""Top-down cycle accounting: per-cause, per-thread, per-PC attribution.
+
+``repro.profiling`` answers *where the cycles go*.  Where the flat stall
+counters (``icache_miss_stalls``, ``load_miss_stalls``, ...) count events,
+the :class:`CycleAttributor` classifies **every** commit-clock cycle of a
+run into an exhaustive top-down taxonomy (:data:`CAUSES`) — retire,
+frontend, icache miss, dependency, VRMU refill, spill writeback, execute,
+load hit/miss, store-queue full, switch overhead, idle — with the hard
+invariant ``sum(attributed cycles) == total cycles`` enforced per run.
+
+Attachment mirrors the metrics subsystem: ``RunConfig(profile=...)`` wires
+a :class:`ProfileSession` whose attributors ride the core's
+:class:`~repro.core.instrument.InstrumentBus` ``profile`` slot — strictly
+opt-in, purely observational, cycle-identical to a profile-off run.  The
+``repro profile`` CLI verb layers hotspot listings, folded-stack
+flamegraph export, and a two-config ``--diff`` view on top.
+"""
+
+from __future__ import annotations
+
+from .attributor import CAUSES, CycleAttributor, SCHEDULER_PC
+from .config import ProfileConfig
+from .session import ProfileSession, diff_snapshots, merge_cause_totals
+
+__all__ = ["CAUSES", "CycleAttributor", "ProfileConfig", "ProfileSession",
+           "SCHEDULER_PC", "diff_snapshots", "merge_cause_totals"]
+
+
+# -- driver wiring (self-registration into the system plugin registry) ----
+from ..system.plugins import SubsystemPlugin, register as _register_plugin
+
+
+def _plugin_enabled(cfg) -> bool:
+    spec = getattr(cfg, "profile", None)
+    return spec is not None and ProfileConfig.from_spec(spec).enabled
+
+
+def _plugin_wire(cfg, node, instances):
+    """Attach a ProfileSession when the config asks for one.
+
+    Strictly opt-in; wired after metrics (order 27) so profile dispatch on
+    the bus matches the registry order, and before the sanitizer.
+    """
+    if not _plugin_enabled(cfg):
+        return None
+    session = ProfileSession(ProfileConfig.from_spec(cfg.profile))
+    for core in node.cores:
+        session.attach(core)
+    return session
+
+
+def _plugin_finalize_simulate(session, node_result) -> None:
+    """Enforce the attribution-sum invariant (raises AttributionError)."""
+    session.verify()
+
+
+PLUGIN = _register_plugin(SubsystemPlugin(
+    name="profile",
+    enabled=_plugin_enabled,
+    wire=_plugin_wire,
+    finalize_simulate=_plugin_finalize_simulate,
+    finalize=lambda session: session.finalize(),
+    ooo_error=("cycle attribution is not modelled for the ooo host core "
+               "(it does not run on the timeline engine; see its "
+               "cycle_causes stats child for its own accounting)"),
+    order=27,
+))

@@ -16,6 +16,9 @@ Sections rendered (each skipped gracefully when its artifact is absent):
   ``sweep_stage_seconds`` counter);
 * VRMU hit-rate / cycle tables per core (from the per-run metrics
   snapshots merged into the fleet registry);
+* cycle attribution (from a ``profile.json`` snapshot written by
+  ``repro profile --json`` into the sweep directory): a per-cause
+  stacked bar plus the hottest per-PC rows;
 * severity-gated deltas against a ``BENCH_simspeed.json`` baseline.
 
 The delta table doubles as a **CI perf gate**: ``repro report --check``
@@ -190,9 +193,27 @@ def build_report(sweep_dir: str, baseline: Optional[str] = None,
             "workers": len(state.workers),
         },
         "rows": [], "stages": [], "vrmu": [], "deltas": [],
+        "attribution": None,
         "threshold": threshold,
         "has_regression": False,
     }
+
+    profile = _load_json(os.path.join(sweep_dir, "profile.json"))
+    if profile:
+        causes = profile.get("causes", {})
+        total = sum(causes.values())
+        order = [c for c in profile.get("taxonomy", sorted(causes))
+                 if causes.get(c)]
+        order += [c for c in sorted(causes) if causes[c] and c not in order]
+        report["attribution"] = {
+            "cycles": profile.get("cycles", 0),
+            "total": total,
+            "causes": [{"cause": c, "cycles": causes[c],
+                        "share": (round(causes[c] / total, 4)
+                                  if total else None)}
+                       for c in order],
+            "hotspots": profile.get("hotspots", [])[:10],
+        }
 
     host_rates: Dict[str, List[float]] = {}
     if manifest:
@@ -269,7 +290,17 @@ th { background: #eef2f6; } td.l, th.l { text-align: left; }
 .badge { display: inline-block; padding: .1em .55em; border-radius: .7em;
          font-size: .85em; color: #fff; }
 .badge-ok { background: #2e8b57; } .badge-regression { background: #c0392b; }
+.stack { display: flex; height: 20px; width: 100%; max-width: 56em;
+         border: 1px solid #d5dde5; border-radius: 3px; overflow: hidden; }
+.stack span { display: block; height: 100%; }
+.swatch { display: inline-block; width: .8em; height: .8em;
+          border-radius: 2px; margin-right: .35em; vertical-align: baseline; }
 """
+
+#: stacked-bar palette, cycled per cause (taxonomy display order)
+_CAUSE_COLORS = ("#2a6fb0", "#8ab4d8", "#c0392b", "#e67e22", "#8e44ad",
+                 "#d4a017", "#2e8b57", "#73c6a2", "#1f8a8a", "#b24d6e",
+                 "#7f8c8d", "#bcc6cc")
 
 
 def _esc(value) -> str:
@@ -351,6 +382,49 @@ def render_html(report: Dict) -> str:
                          f"<td>{_fmt(v['hit_rate'])}</td>"
                          f"<td>{_fmt(v['cycles'])}</td></tr>")
         parts.append("</table>")
+
+    attribution = report.get("attribution")
+    if attribution and attribution["causes"]:
+        parts.append(
+            f"<h2>Cycle attribution</h2>"
+            f"<p class='meta'>{attribution['total']} attributed cycles "
+            f"(run clock {attribution['cycles']}); taxonomy from "
+            f"<code>repro profile</code></p>")
+        bar, legend = [], []
+        for i, entry in enumerate(attribution["causes"]):
+            color = _CAUSE_COLORS[i % len(_CAUSE_COLORS)]
+            share = entry["share"] or 0.0
+            bar.append(f"<span style='width:{share * 100:.2f}%;"
+                       f"background:{color}' title='{_esc(entry['cause'])} "
+                       f"{entry['cycles']}'></span>")
+            legend.append(f"<span class='swatch' "
+                          f"style='background:{color}'></span>"
+                          f"{_esc(entry['cause'])} {share * 100:.1f}%")
+        parts.append(f"<div class='stack'>{''.join(bar)}</div>"
+                     f"<p class='meta'>{' &middot; '.join(legend)}</p>")
+        parts.append("<table><tr><th class='l'>cause</th><th>cycles</th>"
+                     "<th>share</th></tr>")
+        for entry in attribution["causes"]:
+            share = (f"{entry['share'] * 100:.1f}%"
+                     if entry["share"] is not None else "&ndash;")
+            parts.append(f"<tr><td class='l'>{_esc(entry['cause'])}</td>"
+                         f"<td>{_fmt(entry['cycles'])}</td>"
+                         f"<td>{share}</td></tr>")
+        parts.append("</table>")
+        if attribution["hotspots"]:
+            parts.append("<h2>Hotspots (per-PC attributed cycles)</h2>"
+                         "<table><tr><th>core</th><th>pc</th>"
+                         "<th class='l'>label</th><th class='l'>source</th>"
+                         "<th>cycles</th></tr>")
+            for row in attribution["hotspots"]:
+                pc = row["pc"] if row.get("pc", 0) >= 0 else "&ndash;"
+                parts.append(f"<tr><td>{_fmt(row.get('core'))}</td>"
+                             f"<td>{pc}</td>"
+                             f"<td class='l'>{_esc(row.get('label', ''))}</td>"
+                             f"<td class='l'><code>"
+                             f"{_esc(row.get('text', ''))}</code></td>"
+                             f"<td>{_fmt(row.get('cycles'))}</td></tr>")
+            parts.append("</table>")
 
     if report["deltas"]:
         parts.append(

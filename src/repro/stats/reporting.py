@@ -162,6 +162,81 @@ def render_intervals(rows: Sequence[Dict], columns: Sequence[str],
     return "\n".join(lines)
 
 
+def render_attribution_table(snapshot: Dict, top: int = 10,
+                             bar_width: int = 24) -> str:
+    """Terminal view of a profiling snapshot (``repro profile``).
+
+    ``snapshot`` is the plain-data dict produced by
+    :meth:`repro.profiling.ProfileSession.snapshot`: a per-cause cycle
+    table (taxonomy display order, shares, unicode bars) followed by the
+    ``top`` hottest per-PC rows mapped to kernel source.
+    """
+    cycles = snapshot.get("cycles", 0) or 0
+    causes = snapshot.get("causes", {})
+    total = sum(causes.values())
+    lines = [f"cycle attribution: {total} cycles over "
+             f"{len(snapshot.get('cores', []))} core(s)"]
+    order = [c for c in snapshot.get("taxonomy", sorted(causes)) if c in causes]
+    order += [c for c in sorted(causes) if c not in order]
+    peak = max(causes.values(), default=0)
+    for cause in order:
+        n = causes[cause]
+        share = n / total if total else 0.0
+        bar = "█" * (n * bar_width // peak if peak else 0)
+        lines.append(f"  {cause:<16} {n:>10} {share:>7.1%}  {bar}")
+    lines.append(f"  {'total':<16} {total:>10} {1:>7.1%}"
+                 if total else "  (no attributed cycles)")
+    if cycles and total != cycles:
+        lines.append(f"  WARNING: attributed {total} != run cycles {cycles}")
+
+    hotspots = snapshot.get("hotspots", [])[:top] if top else []
+    if hotspots:
+        lines.append("")
+        lines.append(f"top {len(hotspots)} hotspots (per-PC attributed cycles)")
+        lines.append(f"  {'core':>4} {'pc':>4} {'label':<14} {'cycles':>8} "
+                     f"{'share':>7}  source / top causes")
+        for row in hotspots:
+            top_causes = sorted(row.get("causes", {}).items(),
+                                key=lambda kv: -kv[1])[:3]
+            causes_txt = ", ".join(f"{c} {n}" for c, n in top_causes)
+            share = row["cycles"] / total if total else 0.0
+            pc = row["pc"] if row["pc"] >= 0 else "--"
+            lines.append(f"  {row['core']:>4} {pc!s:>4} {row['label']:<14} "
+                         f"{row['cycles']:>8} {share:>7.1%}  "
+                         f"{row['text']}  [{causes_txt}]")
+    return "\n".join(lines)
+
+
+def render_attribution_diff(diff: Dict, base_label: str = "base",
+                            other_label: str = "other",
+                            top: int = 10) -> str:
+    """Terminal view of :func:`repro.profiling.diff_snapshots` output.
+
+    Positive deltas mean the second (``other``) config spends more cycles
+    on that cause or pc; causes print largest absolute delta first.
+    """
+    lines = [f"cycle delta: {base_label} {diff.get('cycles_base', 0)} -> "
+             f"{other_label} {diff.get('cycles_other', 0)} "
+             f"({diff.get('cycles_delta', 0):+d} cycles)"]
+    by_cause = diff.get("by_cause", {})
+    if by_cause:
+        lines.append(f"  {'cause':<16} {'delta':>10}")
+        for cause in sorted(by_cause, key=lambda c: -abs(by_cause[c])):
+            if by_cause[cause]:
+                lines.append(f"  {cause:<16} {by_cause[cause]:>+10d}")
+    dominant = diff.get("dominant", [])
+    if dominant:
+        lines.append(f"dominant causes: {', '.join(dominant[:5])}")
+    by_pc = diff.get("by_pc", {})
+    if by_pc and top:
+        hot = sorted(by_pc.items(), key=lambda kv: -abs(kv[1]))[:top]
+        lines.append(f"top {len(hot)} per-PC deltas")
+        for pc, delta in hot:
+            name = "<scheduler>" if str(pc) == "-1" else f"pc{pc}"
+            lines.append(f"  {name:<12} {delta:>+10d}")
+    return "\n".join(lines)
+
+
 def text_histogram(values: Sequence[float], bins: int = 10, width: int = 40,
                    title: str = "") -> str:
     """ASCII histogram for terminal inspection of a metric distribution."""

@@ -91,6 +91,13 @@ class RunConfig:
     #: and the field is excluded from config/manifest digests when None so
     #: pre-existing digests and checkpoint-journal keys stay valid.
     metrics: Optional[Dict] = None
+    #: optional cycle-attribution profiling: a mapping of
+    #: :class:`~repro.profiling.ProfileConfig` fields (or an instance, or
+    #: ``True`` for the defaults).  None (the default) wires nothing —
+    #: runs are bit-identical to a build without the profiling subsystem,
+    #: and the field is excluded from config/manifest digests when None so
+    #: pre-existing digests and checkpoint-journal keys stay valid.
+    profile: Optional[Dict] = None
     #: optional VSan sanitizer mode: a mapping of
     #: :class:`~repro.sanitizer.SanitizeConfig` fields (or an instance, or
     #: ``True`` for the default per-commit checks).  None (the default)
@@ -117,6 +124,9 @@ class RunConfig:
         if self.metrics is not None:
             from ..metrics import MetricsConfig
             MetricsConfig.from_spec(self.metrics)  # validate eagerly
+        if self.profile is not None:
+            from ..profiling import ProfileConfig
+            ProfileConfig.from_spec(self.profile)  # validate eagerly
         if self.sanitize is not None:
             from ..sanitizer import SanitizeConfig
             SanitizeConfig.from_spec(self.sanitize)  # validate eagerly

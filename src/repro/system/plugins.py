@@ -86,7 +86,7 @@ def _ensure_builtins() -> None:
     if _booted:
         return
     _booted = True
-    from .. import faults, metrics, sanitizer, telemetry  # noqa: F401  (self-register)
+    from .. import faults, metrics, profiling, sanitizer, telemetry  # noqa: F401  (self-register)
 
 
 def registered() -> List[SubsystemPlugin]:

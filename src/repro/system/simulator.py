@@ -50,6 +50,11 @@ class RunResult:
     #: with its plain :meth:`~repro.metrics.MetricsSession.snapshot` dict
     #: before shipping a result across a process boundary.
     metrics: Optional[object] = None
+    #: the run's :class:`~repro.profiling.ProfileSession` when the config
+    #: asked for one (None otherwise); carries the verified per-cause/
+    #: per-thread/per-PC cycle attribution.  Workers fold it to its plain
+    #: snapshot dict before shipping across a process boundary.
+    profile: Optional[object] = None
     #: host-side wall-clock profile (phase seconds + instr/s); always
     #: collected — it never feeds back into simulated timing
     host_profile: Optional[Dict] = None
@@ -161,6 +166,7 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
     session = handles.get("telemetry")
     vsan = handles.get("sanitizer")
     metrics = handles.get("metrics")
+    profile = handles.get("profile")
 
     with profiler.phase("check"):
         correct = all(inst.check() for inst in instances) if check else True
@@ -181,7 +187,7 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
                      instructions=result.instructions, ipc=result.ipc,
                      stats=stats, rf_hit_rate=hit, correct=correct,
                      telemetry=session, sanitizer=vsan, metrics=metrics,
-                     host_profile=host)
+                     profile=profile, host_profile=host)
 
 
 def _run_ooo(cfg: RunConfig, spec, check: bool, profiler=None) -> RunResult:

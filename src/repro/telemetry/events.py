@@ -26,11 +26,13 @@ from typing import Dict, List, Optional, Tuple
 BSI_TRACK = 100
 DCACHE_TRACK = 101
 CTRL_TRACK = 102
+PROFILE_TRACK = 103
 
 _TRACK_NAMES = {
     BSI_TRACK: "vrmu/bsi",
     DCACHE_TRACK: "dcache",
     CTRL_TRACK: "sched/faults",
+    PROFILE_TRACK: "cycle causes",
 }
 
 #: event name -> category, for the exported ``cat`` field
@@ -43,6 +45,7 @@ EVENT_CATEGORIES = {
     "sysreg": "vrmu",
     "dcache_miss": "mem",
     "fault": "fault",
+    "cycle_causes": "profile",
 }
 
 

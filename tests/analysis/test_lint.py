@@ -298,3 +298,54 @@ def test_vrc007_exempt_trees_and_suppression():
         "    pass\n", path="src/repro/exec/workers.py")
     assert len(hits) == 1
     assert hits[0].suppressed
+
+
+def test_vrc008_unregistered_counter_key():
+    hits = L.lint_source(
+        "class C:\n"
+        "    def f(self):\n"
+        "        self.stats.inc('cyclez')\n"          # typo: flagged
+        "        self.stats.set('hitz', 3)\n"         # typo: flagged
+        "        self.stats.max('cycles', 7)\n"       # registered: ok
+        "        core_stats.inc('hits')\n"            # registered: ok
+        "        self.registry.inc('whatever')\n"     # not a Stats tree
+        "        self.stats.inc(key)\n",              # dynamic key: ok
+        path="src/repro/core/base.py")
+    assert ids(hits) == ["VRC008"]
+    assert len(hits) == 2
+    assert "cyclez" in hits[0].message
+
+
+def test_vrc008_child_chain_receiver():
+    hits = L.lint_source(
+        "self.stats.child('cycle_causes').set('dataflw', 1)\n",
+        path="src/repro/core/ooo.py")
+    assert ids(hits) == ["VRC008"]
+    ok = L.lint_source(
+        "self.stats.child('cycle_causes').set('dataflow', 1)\n",
+        path="src/repro/core/ooo.py")
+    assert ok == []
+
+
+def test_vrc008_exempt_trees_and_suppression():
+    src = "self.stats.inc('scratch_counter')\n"
+    for path in ("tests/core/test_x.py", "benchmarks/bench_x.py",
+                 "scripts/tool.py"):
+        assert L.lint_source(src, path=path) == [], path
+    hits = L.lint_source(
+        "self.stats.inc('scratch_counter')  # noqa: VRC008\n",
+        path="src/repro/core/base.py")
+    assert len(hits) == 1
+    assert hits[0].suppressed
+
+
+def test_vrc008_registry_agrees_with_the_tree():
+    """Every literal counter key in src/ is registered (the CI gate), and
+    is_registered mirrors membership."""
+    from repro.stats.names import COUNTER_NAMES, is_registered
+    findings = [f for f in L.lint_paths([str(SRC_DIR)])
+                if f.rule.id == "VRC008" and not f.suppressed]
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert is_registered("cycles")
+    assert not is_registered("cyclez")
+    assert COUNTER_NAMES  # non-empty, frozen

@@ -5,8 +5,8 @@ Three things must hold (see ``repro/core/instrument.py``):
 * **Compiled fast path** — with nothing attached the engine binds the
   uninstrumented step body; attaching/detaching any instrument rebinds it.
 * **Fixed dispatch order** — attached instruments fire per instruction as
-  faults -> telemetry -> metrics -> sanitizer -> tracer, at their pipeline
-  positions.
+  faults -> telemetry -> metrics -> profile -> sanitizer -> tracer, at
+  their pipeline positions.
 * **Cycle identity** — observational instruments never change a timestamp:
   the instrumented path commits on exactly the fast path's clock.
 """
@@ -73,6 +73,27 @@ class RecordingMetrics:
         self.log.append(("metrics", "on_commit"))
 
 
+class RecordingProfile:
+    def __init__(self, log):
+        self.log = log
+
+    def on_schedule(self, tid, t_req, t_sched):
+        self.log.append(("profile", "on_schedule"))
+
+    def on_switch_in(self, tid, t_fetch):
+        self.log.append(("profile", "on_switch_in"))
+
+    def on_switch_hold(self, tid, t_sw, t_hold):
+        self.log.append(("profile", "on_switch_hold"))
+
+    def on_spill_window(self, tid, done):
+        self.log.append(("profile", "on_spill_window"))
+
+    def on_commit_timing(self, tid, pc0, d, t_d, t_ops, t_regs, t_ex_done,
+                         data_at, t_c, icache_missed, load_missed):
+        self.log.append(("profile", "on_commit_timing"))
+
+
 class RecordingSanitizer:
     def __init__(self, log):
         self.log = log
@@ -93,6 +114,7 @@ def attach_all(core, log):
     core.fault_hook = RecordingFaults(log)
     core.telemetry = RecordingTelemetry(log)
     core.metrics = RecordingMetrics(log)
+    core.profile = RecordingProfile(log)
     core.sanitizer = RecordingSanitizer(log)
     core.tracer = RecordingTracer(log)
 
@@ -121,6 +143,7 @@ def test_attach_rebinds_to_instrumented_and_back():
 @pytest.mark.parametrize("slot,attr", [("faults", "fault_hook"),
                                        ("telemetry", "telemetry"),
                                        ("metrics", "metrics"),
+                                       ("profile", "profile"),
                                        ("sanitizer", "sanitizer"),
                                        ("tracer", "tracer")])
 def test_legacy_attributes_delegate_to_bus(slot, attr):
@@ -148,8 +171,8 @@ def test_attached_lists_in_dispatch_order():
     log = Log()
     attach_all(core, log)
     assert [name for name, _ in core.bus.attached()] == list(DISPATCH_ORDER)
-    assert DISPATCH_ORDER == ("faults", "telemetry", "metrics", "sanitizer",
-                              "tracer")
+    assert DISPATCH_ORDER == ("faults", "telemetry", "metrics", "profile",
+                              "sanitizer", "tracer")
 
 
 def test_external_step_wrapper_survives_recompile():
@@ -179,19 +202,20 @@ def test_dispatch_order_per_instruction():
     attach_all(core, log)
     core.run()
 
-    # the banked core charges the initial context fetch, then the run begins
-    assert ("telemetry", "on_run_begin") in log[:2]
+    # the banked core schedules and charges the initial context fetch
+    # (profile sees the schedule first), then the run begins
+    assert ("telemetry", "on_run_begin") in log[:3]
     body = [e for e in log if e[1] in ("on_instruction", "on_commit",
-                                       "record")]
+                                       "on_commit_timing", "record")]
     # every committed instruction dispatches faults -> telemetry ->
-    # metrics -> sanitizer -> tracer; the halt commits without a tracer
-    # record
+    # metrics -> profile -> sanitizer -> tracer; the halt commits without
+    # a tracer record
     per_inst = [("faults", "on_instruction"), ("telemetry", "on_commit"),
-                ("metrics", "on_commit"), ("sanitizer", "on_commit"),
-                ("tracer", "record")]
+                ("metrics", "on_commit"), ("profile", "on_commit_timing"),
+                ("sanitizer", "on_commit"), ("tracer", "record")]
     n = core.threads[0].instructions
-    assert body[:5 * n] == per_inst * n
-    assert body[5 * n:] == per_inst[:4]     # the halt: no tracer record
+    assert body[:6 * n] == per_inst * n
+    assert body[6 * n:] == per_inst[:5]     # the halt: no tracer record
     assert log[-1] == ("telemetry", "on_thread_done")
 
 
