@@ -1,13 +1,33 @@
-"""Static analysis tooling tuned to this codebase (``repro lint``).
+"""Static analysis tooling tuned to this codebase.
 
-The linter in :mod:`repro.analysis.lint` encodes determinism and
-correctness rules that generic tools do not know about: a cycle-accurate
-simulator must never consume unseeded randomness or wall-clock time on a
-simulation path, must not let hash-ordering leak into cycle counts or
-digests, and must not guard invariants with bare ``assert`` (stripped
-under ``python -O``).
+Two layers live here:
+
+* :mod:`repro.analysis.lint` (``repro lint``) encodes determinism and
+  correctness rules that generic tools do not know about: a
+  cycle-accurate simulator must never consume unseeded randomness or
+  wall-clock time on a simulation path, must not let hash-ordering leak
+  into cycle counts or digests, and must not guard invariants with bare
+  ``assert`` (stripped under ``python -O``).
+* :mod:`repro.analysis.dataflow` (``repro check``) analyses the
+  *simulated* programs: basic-block CFG construction, a backward
+  liveness fixpoint producing the dead/last-use hints the VRMU's
+  ``dead-*`` replacement policies consume, and a kernel verifier.
 """
 
+from .dataflow import (
+    BasicBlock,
+    BlockPressure,
+    ControlFlowGraph,
+    LivenessResult,
+    OpLiveness,
+    VerifierFinding,
+    VerifyReport,
+    annotate,
+    backward_branch_spans,
+    build_cfg,
+    compute_liveness,
+    verify_program,
+)
 from .lint import (
     RULES,
     Finding,
@@ -19,5 +39,9 @@ from .lint import (
     render_text,
 )
 
-__all__ = ["Finding", "LintRule", "RULES", "Severity", "lint_paths",
-           "lint_source", "render_json", "render_text"]
+__all__ = ["BasicBlock", "BlockPressure", "ControlFlowGraph", "Finding",
+           "LintRule", "LivenessResult", "OpLiveness", "RULES", "Severity",
+           "VerifierFinding", "VerifyReport", "annotate",
+           "backward_branch_spans", "build_cfg", "compute_liveness",
+           "lint_paths", "lint_source", "render_json", "render_text",
+           "verify_program"]

@@ -1,0 +1,57 @@
+"""Static dataflow analysis over the mini-ISA (CFG, liveness, verifier).
+
+The framework has three layers, each consumable on its own:
+
+:mod:`~repro.analysis.dataflow.cfg`
+    Basic-block control-flow graph construction over a
+    :class:`~repro.isa.program.Program`: leaders, branch-target and
+    fallthrough edges, reachability from the entry point, dominators,
+    and the backward-branch loop spans the compiler analyses build on.
+:mod:`~repro.analysis.dataflow.liveness`
+    A backward liveness fixpoint over the CFG producing per-op def/use
+    sets, **last-use** and **dead-on-commit** bits.  :func:`annotate`
+    caches the result on a :class:`~repro.isa.decoded.DecodedProgram`
+    and fills the hint slots of every :class:`~repro.isa.decoded.DecodedOp`
+    (``kill_flats`` / ``last_use_flats`` / ``dead_dest_flats``) that the
+    dead-hint VRMU replacement policies consume.
+:mod:`~repro.analysis.dataflow.verify`
+    A kernel verifier (the ``repro check`` CLI verb): reads of
+    never-written registers, unreachable blocks, out-of-range branch
+    targets, fall-through off the end of the program, plus per-block
+    register-pressure/working-set tables (text and JSON).
+
+The hint bits are strictly inert: annotating a program changes nothing
+in the timing model unless a hint-consuming replacement policy
+(``dead-first`` / ``dead-elide``) is selected.
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, backward_branch_spans, build_cfg
+from .liveness import (
+    FLAGS_FLAT,
+    LivenessResult,
+    OpLiveness,
+    annotate,
+    compute_liveness,
+)
+from .verify import (
+    BlockPressure,
+    VerifierFinding,
+    VerifyReport,
+    verify_program,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BlockPressure",
+    "ControlFlowGraph",
+    "FLAGS_FLAT",
+    "LivenessResult",
+    "OpLiveness",
+    "VerifierFinding",
+    "VerifyReport",
+    "annotate",
+    "backward_branch_spans",
+    "build_cfg",
+    "compute_liveness",
+    "verify_program",
+]

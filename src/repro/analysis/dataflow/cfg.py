@@ -1,0 +1,249 @@
+"""Basic-block control-flow graph over assembled mini-ISA programs.
+
+Construction is the classic leader algorithm: the entry point, every
+branch target, and every instruction following a branch or ``halt``
+starts a block; blocks end before the next leader.  Edges come from the
+last instruction of each block — an unconditional ``b`` contributes only
+its target, conditional branches contribute fallthrough + target, and
+``halt`` contributes nothing.
+
+Malformed control flow never raises here: a branch whose target is
+missing or outside the program is recorded in :attr:`ControlFlowGraph.bad_targets`
+(and simply contributes no edge), and a block whose fallthrough would run
+past the last instruction is recorded in
+:attr:`ControlFlowGraph.falls_off_end`.  The verifier
+(:mod:`repro.analysis.dataflow.verify`) turns both into findings; the
+liveness pass just analyses the graph it got.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...isa.instructions import Instruction, Opcode
+from ...isa.program import Program
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "backward_branch_spans",
+           "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line span ``[start, end)`` of instruction pcs."""
+
+    index: int
+    start: int
+    end: int                                   # exclusive
+    succs: List[int] = field(default_factory=list)   # successor block indices
+    preds: List[int] = field(default_factory=list)   # predecessor block indices
+
+    @property
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<BB{self.index} [{self.start},{self.end}) "
+                f"-> {self.succs}>")
+
+
+def _successor_pcs(inst: Instruction, pc: int, n: int
+                   ) -> Tuple[List[int], Optional[int], bool]:
+    """``(successor_pcs, bad_target, falls_off_end)`` of one instruction.
+
+    ``bad_target`` is the missing/out-of-range branch target (if any);
+    ``falls_off_end`` marks a fallthrough path that would run past the
+    last instruction.
+    """
+    if inst.is_halt:
+        return [], None, False
+    succs: List[int] = []
+    bad: Optional[int] = None
+    falls = False
+    if inst.is_branch:
+        target = inst.target
+        target_ok = target is not None and 0 <= target < n
+        if inst.opcode is Opcode.B:
+            if target_ok:
+                succs.append(target)            # type: ignore[arg-type]
+            else:
+                bad = -1 if target is None else target
+            return succs, bad, False
+        # conditional: fallthrough first, then the taken edge
+        if pc + 1 < n:
+            succs.append(pc + 1)
+        else:
+            falls = True
+        if target_ok:
+            if target not in succs:
+                succs.append(target)            # type: ignore[arg-type]
+        else:
+            bad = -1 if target is None else target
+        return succs, bad, falls
+    if pc + 1 < n:
+        return [pc + 1], None, False
+    return [], None, True
+
+
+class ControlFlowGraph:
+    """Blocks, edges, reachability, and dominators of one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        n = len(program)
+        self.blocks: List[BasicBlock] = []
+        #: pc -> owning block index
+        self.block_at: List[int] = [0] * n
+        #: ``(branch_pc, target)`` pairs with a missing/out-of-range target
+        #: (target -1 encodes an unresolved/missing one)
+        self.bad_targets: List[Tuple[int, int]] = []
+        #: pcs whose fallthrough would run past the last instruction
+        self.falls_off_end: List[int] = []
+        self.entry_block: int = 0
+        self._build()
+        self.reachable: frozenset = self._reachability()
+        self._dominators: Optional[Dict[int, frozenset]] = None
+
+    # -- construction -------------------------------------------------------
+    def _build(self) -> None:
+        program = self.program
+        n = len(program)
+        if n == 0:
+            return
+        leaders: Set[int] = {0, program.entry}
+        for pc, inst in enumerate(program.instructions):
+            if inst.is_branch or inst.is_halt:
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+                target = inst.target
+                if target is not None and 0 <= target < n:
+                    leaders.add(target)
+        starts = sorted(leaders)
+        bounds = starts + [n]
+        for i, start in enumerate(starts):
+            self.blocks.append(BasicBlock(index=i, start=start,
+                                          end=bounds[i + 1]))
+            for pc in range(start, bounds[i + 1]):
+                self.block_at[pc] = i
+        for block in self.blocks:
+            last_pc = block.end - 1
+            succs, bad, falls = _successor_pcs(
+                program.instructions[last_pc], last_pc, n)
+            if bad is not None:
+                self.bad_targets.append((last_pc, bad))
+            if falls:
+                self.falls_off_end.append(last_pc)
+            for pc in succs:
+                succ = self.block_at[pc]
+                if succ not in block.succs:
+                    block.succs.append(succ)
+                if block.index not in self.blocks[succ].preds:
+                    self.blocks[succ].preds.append(block.index)
+        self.entry_block = self.block_at[program.entry]
+
+    def _reachability(self) -> frozenset:
+        if not self.blocks:
+            return frozenset()
+        seen: Set[int] = set()
+        stack = [self.entry_block]
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            stack.extend(self.blocks[b].succs)
+        return frozenset(seen)
+
+    # -- derived views ------------------------------------------------------
+    def rpo(self) -> List[int]:
+        """Reverse postorder of the reachable blocks from the entry."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        def visit(b: int) -> None:
+            stack: List[Tuple[int, int]] = [(b, 0)]
+            seen.add(b)
+            while stack:
+                node, i = stack[-1]
+                succs = self.blocks[node].succs
+                if i < len(succs):
+                    stack[-1] = (node, i + 1)
+                    nxt = succs[i]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    order.append(node)
+                    stack.pop()
+
+        if self.blocks:
+            visit(self.entry_block)
+        return list(reversed(order))
+
+    def dominators(self) -> Dict[int, frozenset]:
+        """Block index -> set of dominating block indices (reachable only).
+
+        Classic iterative dataflow: ``dom(entry) = {entry}``,
+        ``dom(b) = {b} | intersection(dom(p) for reachable preds p)``.
+        """
+        if self._dominators is not None:
+            return self._dominators
+        order = self.rpo()
+        if not order:
+            self._dominators = {}
+            return self._dominators
+        universe = frozenset(order)
+        dom: Dict[int, frozenset] = {b: universe for b in order}
+        dom[self.entry_block] = frozenset({self.entry_block})
+        changed = True
+        while changed:
+            changed = False
+            for b in order:
+                if b == self.entry_block:
+                    continue
+                preds = [p for p in self.blocks[b].preds
+                         if p in self.reachable]
+                new = universe
+                for p in preds:
+                    new = new & dom[p]
+                new = new | {b}
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        self._dominators = dom
+        return dom
+
+    def back_edges(self) -> List[Tuple[int, int]]:
+        """Edges ``(tail_block, head_block)`` where the head dominates the
+        tail — the natural-loop back edges of the reachable graph."""
+        dom = self.dominators()
+        out = []
+        for b in sorted(self.reachable):
+            for s in self.blocks[b].succs:
+                if s in self.reachable and s in dom[b]:
+                    out.append((b, s))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CFG {self.program.name}: {len(self.blocks)} blocks, "
+                f"{len(self.reachable)} reachable>")
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Construct the CFG of ``program``."""
+    return ControlFlowGraph(program)
+
+
+def backward_branch_spans(program: Program) -> List[Tuple[int, int]]:
+    """``(head, tail)`` spans of every syntactic backward branch.
+
+    A backward branch is any branch at pc ``tail`` whose resolved target
+    ``head`` satisfies ``head <= tail`` — the static loop definition the
+    compiler analyses (:mod:`repro.compiler.liveness`) are built on.
+    Sorted and deduplicated.
+    """
+    spans = set()
+    for pc, inst in enumerate(program.instructions):
+        if inst.is_branch and inst.target is not None and inst.target <= pc:
+            spans.add((inst.target, pc))
+    return sorted(spans)

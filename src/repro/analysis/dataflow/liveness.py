@@ -1,0 +1,191 @@
+"""Backward liveness fixpoint over the CFG, feeding the VRMU dead hints.
+
+The analysis runs on architectural register *flat* indices
+(:attr:`repro.isa.registers.Reg.flat`) plus one pseudo-register,
+:data:`FLAGS_FLAT`, standing for the NZCV flags (``cmp`` defines it,
+``b.cond`` uses it).  The per-op products are the standard backward
+dataflow facts:
+
+``live_after``
+    Registers live immediately after the op (union of successors'
+    live-in at block boundaries).
+``kill``
+    Registers this op references (use or def) that are dead afterwards —
+    after this op commits, the VRMU may drop them without writeback.
+``last_use``
+    The used-and-dead subset of ``kill`` (a read that is the final read
+    before any redefinition).
+``dead_dests``
+    Defs that are never read — the written value itself is dead.
+
+:func:`annotate` caches a :class:`LivenessResult` on a
+:class:`~repro.isa.decoded.DecodedProgram` and copies the kill sets into
+the hint slots of each :class:`~repro.isa.decoded.DecodedOp`
+(``kill_flats`` et al., flags filtered out — the VRMU only manages real
+registers).  Ops in unreachable blocks get *empty* hints: claiming
+nothing is the conservative, always-sound choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ...isa.decoded import DecodedProgram
+from ...isa.program import Program
+from ...isa.registers import NUM_ARCH_REGS
+from .cfg import ControlFlowGraph, build_cfg
+
+__all__ = ["FLAGS_FLAT", "LivenessResult", "OpLiveness", "annotate",
+           "compute_liveness"]
+
+#: pseudo-register flat index for the NZCV flags (real regs are 0..63)
+FLAGS_FLAT = NUM_ARCH_REGS
+
+
+@dataclass(frozen=True)
+class OpLiveness:
+    """Per-instruction dataflow facts (flat register indices)."""
+
+    pc: int
+    use: FrozenSet[int]
+    defs: FrozenSet[int]
+    live_after: FrozenSet[int]
+
+    @property
+    def live_before(self) -> FrozenSet[int]:
+        return self.use | (self.live_after - self.defs)
+
+    @property
+    def kill(self) -> FrozenSet[int]:
+        """Referenced here, dead afterwards (droppable at commit)."""
+        return (self.use | self.defs) - self.live_after
+
+    @property
+    def last_use(self) -> FrozenSet[int]:
+        """Final read before any redefinition."""
+        return self.use - self.live_after
+
+    @property
+    def dead_dests(self) -> FrozenSet[int]:
+        """Defs whose written value is never read."""
+        return self.defs - self.live_after
+
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class LivenessResult:
+    """CFG + per-op and per-block liveness facts of one program."""
+
+    def __init__(self, program: Program, cfg: ControlFlowGraph,
+                 per_op: List[Optional[OpLiveness]],
+                 block_live_in: Dict[int, FrozenSet[int]],
+                 block_live_out: Dict[int, FrozenSet[int]]) -> None:
+        self.program = program
+        self.cfg = cfg
+        #: pc -> :class:`OpLiveness`, ``None`` for unreachable ops
+        self.per_op = per_op
+        #: reachable block index -> live-in / live-out register sets
+        self.block_live_in = block_live_in
+        self.block_live_out = block_live_out
+
+    def at(self, pc: int) -> Optional[OpLiveness]:
+        return self.per_op[pc]
+
+    def max_pressure(self, block: int) -> int:
+        """Peak simultaneously-live *register* count inside a block
+        (flags excluded) — the static working-set bound the verifier's
+        pressure table reports."""
+        best = len(self.block_live_out.get(block, _EMPTY) - {FLAGS_FLAT})
+        for pc in self.cfg.blocks[block].pcs:
+            ol = self.per_op[pc]
+            if ol is not None:
+                best = max(best, len(ol.live_before - {FLAGS_FLAT}))
+        return best
+
+
+def _op_use_def(program: Program, pc: int
+                ) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    inst = program.instructions[pc]
+    use = {r.flat for r in inst.srcs}
+    defs = {r.flat for r in inst.dests}
+    if inst.reads_flags:
+        use.add(FLAGS_FLAT)
+    if inst.sets_flags:
+        defs.add(FLAGS_FLAT)
+    return frozenset(use), frozenset(defs)
+
+
+def compute_liveness(program: Program,
+                     cfg: Optional[ControlFlowGraph] = None) -> LivenessResult:
+    """Run the backward fixpoint; exit blocks (halt / no successor) have
+    empty live-out — nothing is architecturally consumed after the
+    program stops."""
+    if cfg is None:
+        cfg = build_cfg(program)
+    n = len(program)
+    uses: List[FrozenSet[int]] = [_EMPTY] * n
+    defs: List[FrozenSet[int]] = [_EMPTY] * n
+    for pc in range(n):
+        uses[pc], defs[pc] = _op_use_def(program, pc)
+
+    reachable = sorted(cfg.reachable)
+    live_in: Dict[int, FrozenSet[int]] = {b: _EMPTY for b in reachable}
+    live_out: Dict[int, FrozenSet[int]] = {b: _EMPTY for b in reachable}
+    # postorder ≈ reverse flow order: converges in few sweeps
+    order = list(reversed(cfg.rpo()))
+    changed = True
+    while changed:
+        changed = False
+        for b in order:
+            out: FrozenSet[int] = _EMPTY
+            for s in cfg.blocks[b].succs:
+                if s in live_in:
+                    out = out | live_in[s]
+            live = out
+            for pc in reversed(cfg.blocks[b].pcs):
+                live = uses[pc] | (live - defs[pc])
+            if out != live_out[b] or live != live_in[b]:
+                live_out[b], live_in[b] = out, live
+                changed = True
+
+    per_op: List[Optional[OpLiveness]] = [None] * n
+    for b in reachable:
+        live = live_out[b]
+        for pc in reversed(cfg.blocks[b].pcs):
+            per_op[pc] = OpLiveness(pc=pc, use=uses[pc], defs=defs[pc],
+                                    live_after=live)
+            live = uses[pc] | (live - defs[pc])
+    return LivenessResult(program, cfg, per_op, live_in, live_out)
+
+
+def _reg_tuple(flats: FrozenSet[int]) -> Tuple[int, ...]:
+    """Sorted real-register subset (drops the flags pseudo-register)."""
+    return tuple(sorted(f for f in flats if f < NUM_ARCH_REGS))
+
+
+def annotate(dprog: DecodedProgram) -> LivenessResult:
+    """Compute (or reuse) liveness for ``dprog`` and fill every op's hint
+    slots.  Idempotent; the result is cached on the decoded program so
+    all cores sharing the decode share the analysis.
+
+    The hint bits are inert by construction: nothing in the engine reads
+    ``kill_flats``/``last_use_flats``/``dead_dest_flats`` unless a
+    hint-consuming replacement policy was selected.
+    """
+    res = dprog.liveness
+    if res is None:
+        res = compute_liveness(dprog.program)
+        dprog.liveness = res
+    for op in dprog.ops:
+        ol = res.per_op[op.pc]
+        if ol is None:                       # unreachable: claim nothing
+            op.kill_flats = ()
+            op.last_use_flats = ()
+            op.dead_dest_flats = ()
+        else:
+            op.kill_flats = _reg_tuple(ol.kill)
+            op.last_use_flats = _reg_tuple(ol.last_use)
+            op.dead_dest_flats = _reg_tuple(ol.dead_dests)
+    return res

@@ -1,0 +1,257 @@
+"""Kernel verifier: static findings + register-pressure tables.
+
+:func:`verify_program` runs the CFG and liveness passes over one program
+and reports:
+
+========================  ========  ==================================
+finding                   severity  meaning
+========================  ========  ==================================
+``bad-branch-target``     error     branch target missing or outside
+                                    the program
+``fallthrough-end``       error     an execution path can run past the
+                                    last instruction (no ``halt``)
+``read-uninitialized``    error     a reachable path reads a register
+                                    (or the flags) never written on
+                                    that path, and not in the declared
+                                    entry set
+``unreachable-code``      warning   block not reachable from the entry
+========================  ========  ==================================
+
+Read-uninitialized uses forward *definite assignment*: a register is
+safe at a point only if it is written on **every** reachable path from
+the entry (``IN[b] = ∩ OUT[p]``), seeded with the caller-declared entry
+set (for workloads: the registers ``make_instance`` initializes, e.g.
+``x0``/``x1``).  Per-block pressure tables come from the liveness
+result: live-in/out counts, peak simultaneous liveness, and the block's
+referenced-register working set.
+
+This module is pure analysis — the ``repro check`` CLI verb renders the
+:class:`VerifyReport` as text or JSON and maps severities to exit codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from ...isa.program import Program
+from ...isa.registers import NUM_ARCH_REGS, from_flat
+from .cfg import ControlFlowGraph, build_cfg
+from .liveness import FLAGS_FLAT, LivenessResult, compute_liveness
+
+__all__ = ["BlockPressure", "VerifierFinding", "VerifyReport",
+           "verify_program"]
+
+SEVERITIES = ("error", "warning")
+
+
+def _flat_name(flat: int) -> str:
+    return "flags" if flat == FLAGS_FLAT else from_flat(flat).name
+
+
+@dataclass(frozen=True)
+class VerifierFinding:
+    """One verifier diagnostic anchored at an instruction pc."""
+
+    kind: str           # e.g. "read-uninitialized"
+    severity: str       # "error" | "warning"
+    pc: int
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "severity": self.severity,
+                "pc": self.pc, "message": self.message}
+
+
+@dataclass(frozen=True)
+class BlockPressure:
+    """Static register-pressure summary of one reachable basic block."""
+
+    block: int
+    start: int
+    end: int                  # exclusive
+    live_in: int
+    live_out: int
+    max_live: int             # peak simultaneously-live registers
+    working_set: int          # distinct registers referenced in the block
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"block": self.block, "start": self.start, "end": self.end,
+                "live_in": self.live_in, "live_out": self.live_out,
+                "max_live": self.max_live, "working_set": self.working_set}
+
+
+@dataclass
+class VerifyReport:
+    """Everything ``repro check`` knows about one program."""
+
+    name: str
+    n_instructions: int
+    n_blocks: int
+    n_reachable: int
+    findings: List[VerifierFinding] = field(default_factory=list)
+    pressure: List[BlockPressure] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[VerifierFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[VerifierFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "instructions": self.n_instructions,
+            "blocks": self.n_blocks,
+            "reachable_blocks": self.n_reachable,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.as_dict() for f in self.findings],
+            "pressure": [p.as_dict() for p in self.pressure],
+        }
+
+    def render(self, show_pressure: bool = False,
+               program: Optional[Program] = None) -> str:
+        lines = [f"{self.name}: {self.n_instructions} instructions, "
+                 f"{self.n_reachable}/{self.n_blocks} blocks reachable — "
+                 f"{len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        for f in self.findings:
+            loc = f"pc {f.pc}"
+            if program is not None and 0 <= f.pc < len(program):
+                inst = program.instructions[f.pc]
+                loc += f" `{inst.text or inst.opcode.name.lower()}`"
+            lines.append(f"  {f.severity}: {f.kind} at {loc}: {f.message}")
+        if show_pressure and self.pressure:
+            lines.append("  block  span         live-in  live-out  "
+                         "max-live  working-set")
+            for p in self.pressure:
+                lines.append(
+                    f"  {p.block:5d}  [{p.start:4d},{p.end:4d})  "
+                    f"{p.live_in:7d}  {p.live_out:8d}  "
+                    f"{p.max_live:8d}  {p.working_set:11d}")
+        return "\n".join(lines)
+
+
+def _definite_assignment(cfg: ControlFlowGraph, program: Program,
+                         init: FrozenSet[int]) -> List[VerifierFinding]:
+    """Forward must-analysis for read-before-write on reachable paths."""
+    n = len(program)
+    use: List[FrozenSet[int]] = []
+    defs: List[FrozenSet[int]] = []
+    for inst in program.instructions:
+        u = {r.flat for r in inst.srcs}
+        d = {r.flat for r in inst.dests}
+        if inst.reads_flags:
+            u.add(FLAGS_FLAT)
+        if inst.sets_flags:
+            d.add(FLAGS_FLAT)
+        use.append(frozenset(u))
+        defs.append(frozenset(d))
+
+    universe = frozenset(range(NUM_ARCH_REGS + 1))
+    reachable = cfg.reachable
+    # TOP (= universe) until a path reaches the block; entry starts at init
+    assigned_in: Dict[int, FrozenSet[int]] = {b: universe for b in reachable}
+    order = cfg.rpo()
+    # monotone shrinking on a finite lattice: terminates
+    while True:
+        changed = False
+        for b in order:
+            if b == cfg.entry_block:
+                new_in = frozenset(init)
+            else:
+                preds = [p for p in cfg.blocks[b].preds if p in reachable]
+                new_in = universe
+                for p in preds:
+                    out = assigned_in[p]
+                    for pc in cfg.blocks[p].pcs:
+                        out = out | defs[pc]
+                    new_in = new_in & out
+            if new_in != assigned_in[b]:
+                assigned_in[b] = new_in
+                changed = True
+        if not changed:
+            break
+
+
+    findings: List[VerifierFinding] = []
+    seen = set()
+    for b in sorted(reachable):
+        assigned = assigned_in[b]
+        for pc in cfg.blocks[b].pcs:
+            for flat in sorted(use[pc] - assigned):
+                if (pc, flat) in seen:
+                    continue
+                seen.add((pc, flat))
+                what = ("the flags (no dominating cmp)"
+                        if flat == FLAGS_FLAT
+                        else f"register {_flat_name(flat)}")
+                findings.append(VerifierFinding(
+                    kind="read-uninitialized", severity="error", pc=pc,
+                    message=f"reads {what} with no write on some "
+                            f"path from the entry"))
+            assigned = assigned | defs[pc]
+    return findings
+
+
+def verify_program(program: Program,
+                   init_flats: Iterable[int] = (),
+                   liveness: Optional[LivenessResult] = None,
+                   name: str = "") -> VerifyReport:
+    """Verify one assembled program.
+
+    ``init_flats`` declares registers guaranteed written before entry
+    (the workload harness's ``init_regs``, e.g. ``x0`` = tid).
+    """
+    if liveness is None:
+        liveness = compute_liveness(program)
+    cfg = liveness.cfg
+    report = VerifyReport(
+        name=name or program.name,
+        n_instructions=len(program),
+        n_blocks=len(cfg.blocks),
+        n_reachable=len(cfg.reachable),
+    )
+
+    for pc, target in sorted(cfg.bad_targets):
+        desc = ("unresolved target" if target < 0
+                else f"target {target} outside [0, {len(program)})")
+        report.findings.append(VerifierFinding(
+            kind="bad-branch-target", severity="error", pc=pc,
+            message=desc))
+    for pc in sorted(cfg.falls_off_end):
+        report.findings.append(VerifierFinding(
+            kind="fallthrough-end", severity="error", pc=pc,
+            message="execution can run past the last instruction "
+                    "(missing halt)"))
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            report.findings.append(VerifierFinding(
+                kind="unreachable-code", severity="warning", pc=block.start,
+                message=f"block [{block.start},{block.end}) is unreachable "
+                        f"from the entry"))
+
+    report.findings.extend(
+        _definite_assignment(cfg, program, frozenset(init_flats)))
+    report.findings.sort(key=lambda f: (f.pc, f.kind))
+
+    for b in sorted(cfg.reachable):
+        block = cfg.blocks[b]
+        working = set()
+        for pc in block.pcs:
+            working.update(r.flat for r in program.instructions[pc].regs)
+        report.pressure.append(BlockPressure(
+            block=b, start=block.start, end=block.end,
+            live_in=len(liveness.block_live_in[b] - {FLAGS_FLAT}),
+            live_out=len(liveness.block_live_out[b] - {FLAGS_FLAT}),
+            max_live=liveness.max_pressure(b),
+            working_set=len(working),
+        ))
+    return report

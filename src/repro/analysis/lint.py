@@ -43,6 +43,12 @@ VRC008   warning   ``stats.inc("key")`` / ``.set`` / ``.max`` with a
                    — counter keys are stringly typed, so a typo
                    silently splits one counter into two and downstream
                    taxonomy sums stop adding up
+VRC009   warning   direct construction of a ``ReplacementPolicy``
+                   subclass in library code — policies must be built
+                   through the ``from_spec``/``make_policy`` registry
+                   (:data:`repro.virec.policies.POLICIES`) so config
+                   strings, sweeps, and the Fig 12 study stay the
+                   single source of the policy axis
 =======  ========  =====================================================
 
 Suppression: append ``# lint: ignore[VRC00N]`` (or the conventional
@@ -115,6 +121,10 @@ RULES: Tuple[LintRule, ...] = (
              "a literal Stats counter key must come from "
              "repro.stats.names.COUNTER_NAMES; a typo silently splits "
              "one counter into two"),
+    LintRule("VRC009", "ad-hoc-policy-construction", "warning",
+             "ReplacementPolicy subclasses must be constructed through "
+             "the from_spec/make_policy registry, not instantiated "
+             "directly in library code"),
 )
 
 RULES_BY_ID: Dict[str, LintRule] = {r.id: r for r in RULES}
@@ -146,6 +156,27 @@ _BROAD_EXCEPT_ALLOWED_DIRS = ("experiments", "tests", "benchmarks",
 #: names in :mod:`repro.stats.names` (or suppress with ``# noqa: VRC008``)
 _COUNTER_KEY_ALLOWED_DIRS = ("tests", "benchmarks", "examples", "scripts",
                              "docs")
+
+#: trees exempt from the policy-registry rule (VRC009); the registry
+#: module itself (``policies.py``) is where the classes legitimately
+#: construct each other (``super().__init__`` chains, ``from_spec``)
+_POLICY_CTOR_ALLOWED_DIRS = ("tests", "benchmarks", "examples", "scripts",
+                             "docs")
+_POLICY_CTOR_ALLOWED_STEMS = ("policies",)
+
+#: lazily-resolved class names of every registered ReplacementPolicy
+#: (import deferred: repro.virec imports repro.analysis at package level)
+_POLICY_CLASS_NAMES: Optional[frozenset] = None
+
+
+def _policy_class_names() -> frozenset:
+    global _POLICY_CLASS_NAMES
+    if _POLICY_CLASS_NAMES is None:
+        from ..virec.policies import POLICIES
+        _POLICY_CLASS_NAMES = (
+            frozenset(cls.__name__ for cls in POLICIES.values())
+            | {"ReplacementPolicy"})
+    return _POLICY_CLASS_NAMES
 
 #: Stats mutators whose first argument is a counter key (VRC008)
 _COUNTER_KEY_METHODS = frozenset({"inc", "set", "max"})
@@ -237,6 +268,7 @@ class _Visitor(ast.NodeVisitor):
         self._print_exempt = self._is_print_exempt(path)
         self._broad_except_exempt = self._is_broad_except_exempt(path)
         self._counter_key_exempt = self._is_counter_key_exempt(path)
+        self._policy_ctor_exempt = self._is_policy_ctor_exempt(path)
 
     @staticmethod
     def _is_wallclock_exempt(path: str) -> bool:
@@ -262,6 +294,13 @@ class _Visitor(ast.NodeVisitor):
         return any(part in _COUNTER_KEY_ALLOWED_DIRS
                    for part in Path(path).parts)
 
+    @staticmethod
+    def _is_policy_ctor_exempt(path: str) -> bool:
+        p = Path(path)
+        if any(part in _POLICY_CTOR_ALLOWED_DIRS for part in p.parts):
+            return True
+        return p.stem in _POLICY_CTOR_ALLOWED_STEMS
+
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
         if rule_id not in self.select:
             return
@@ -278,7 +317,25 @@ class _Visitor(ast.NodeVisitor):
             self._check_wallclock(node, dotted)
         self._check_print(node)
         self._check_counter_key(node)
+        self._check_policy_ctor(node)
         self.generic_visit(node)
+
+    # -- VRC009: policies constructed outside the from_spec registry ---------
+    def _check_policy_ctor(self, node: ast.Call) -> None:
+        if self._policy_ctor_exempt:
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return
+        if name in _policy_class_names():
+            self._emit("VRC009", node,
+                       f"{name}(...) constructed directly; use "
+                       f"make_policy/ReplacementPolicy.from_spec so the "
+                       f"policy axis stays registry-driven")
 
     # -- VRC008: counter keys off the central registry -----------------------
     @classmethod

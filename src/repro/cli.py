@@ -29,8 +29,14 @@ Commands
     classified into the top-down stall taxonomy, exact-sum enforced) and
     print the per-cause table plus the hottest per-PC rows; ``--diff``
     re-runs with a second core type and prints the per-cause/per-PC
-    cycle deltas; ``--flame`` writes folded flamegraph stacks and
+    cycle deltas (``--diff-policy`` does the same along the replacement-
+    policy axis); ``--flame`` writes folded flamegraph stacks and
     ``--json`` the raw attribution snapshot.
+``check [workloads...] [--corpus DIR] [--asm PATH] [--pressure] [--json]``
+    Statically verify kernels with the CFG + liveness framework
+    (:mod:`repro.analysis.dataflow`): out-of-range branch targets,
+    fall-through past the program end, reads of never-written registers,
+    unreachable blocks, and per-block register-pressure tables.
 ``lint [paths...] [--format json] [--fail-on SEV]``
     Run the repro-specific determinism linter (see
     :mod:`repro.analysis.lint`) over source trees.
@@ -360,6 +366,108 @@ def _cmd_profile(args) -> int:
                                       base_label=cfg.core_type,
                                       other_label=args.diff,
                                       top=args.top))
+    if args.diff_policy:
+        cfg3 = cfg.with_(policy=args.diff_policy)
+        try:
+            r3 = run_config(cfg3)
+        except ValueError as exc:
+            print(f"error: --diff-policy {args.diff_policy}: {exc}",
+                  file=sys.stderr)
+            return 2
+        other = r3.profile.snapshot()
+        print()
+        print(render_attribution_diff(diff_snapshots(snapshot, other),
+                                      base_label=f"policy={cfg.policy}",
+                                      other_label=f"policy={args.diff_policy}",
+                                      top=args.top))
+    return 0
+
+
+def _check_instance(inst, name: str, zero_init: bool = False):
+    """Verify one WorkloadInstance (kernel + declared init registers)."""
+    from .analysis.dataflow import verify_program
+    from .isa.registers import NUM_ARCH_REGS
+
+    init = {r.flat for d in inst.init_regs for r in d}
+    if zero_init:
+        init = set(range(NUM_ARCH_REGS))
+    return verify_program(inst.program, init_flats=init, name=name), \
+        inst.program
+
+
+def _cmd_check(args) -> int:
+    import json
+
+    from .analysis.dataflow import verify_program
+    from .isa.registers import parse_reg
+
+    checked = []  # (VerifyReport, Program) pairs
+    explicit = bool(args.targets or args.asm or args.corpus)
+    names = list(args.targets)
+    if not explicit:
+        names = list(workloads.names())
+    for name in names:
+        if name not in workloads.names():
+            print(f"unknown workload {name!r}; available: "
+                  f"{workloads.names()}", file=sys.stderr)
+            return 2
+        inst = workloads.get(name).build(n_threads=args.threads,
+                                         n_per_thread=args.per_thread)
+        checked.append(_check_instance(inst, name,
+                                       zero_init=args.assume_zero_init))
+
+    if args.asm:
+        try:
+            from pathlib import Path
+
+            from .isa.assembler import assemble
+            source = Path(args.asm).read_text()
+            init = {parse_reg(tok.strip()).flat
+                    for tok in args.init.split(",") if tok.strip()}
+            if args.assume_zero_init:
+                from .isa.registers import NUM_ARCH_REGS
+                init = set(range(NUM_ARCH_REGS))
+            program = assemble(source, name=args.asm)
+        except (OSError, ValueError) as exc:
+            print(f"error: --asm {args.asm}: {exc}", file=sys.stderr)
+            return 2
+        checked.append((verify_program(program, init_flats=init,
+                                       name=args.asm), program))
+
+    if args.corpus:
+        from .fuzz.corpus import Corpus
+
+        corpus = Corpus(args.corpus)
+        slugs = corpus.entries()
+        if not slugs:
+            print(f"note: no corpus entries under {args.corpus}",
+                  file=sys.stderr)
+        for slug in slugs:
+            asm, meta = corpus.load(slug)
+            inst = workloads.get("fuzz").build(
+                n_threads=meta.get("n_threads", args.threads),
+                n_per_thread=meta.get("n_per_thread", args.per_thread),
+                gen=meta.get("spec") or {}, asm=asm)
+            checked.append(_check_instance(
+                inst, f"corpus:{slug}", zero_init=args.assume_zero_init))
+
+    if args.json:
+        print(json.dumps([rep.as_dict() for rep, _ in checked], indent=2))
+    else:
+        for i, (rep, program) in enumerate(checked):
+            if i:
+                print()
+            print(rep.render(show_pressure=args.pressure, program=program))
+        n_err = sum(len(rep.errors) for rep, _ in checked)
+        n_warn = sum(len(rep.warnings) for rep, _ in checked)
+        print(f"\nchecked {len(checked)} program(s): "
+              f"{n_err} error(s), {n_warn} warning(s)")
+
+    if args.fail_on == "none":
+        return 0
+    for rep, _ in checked:
+        if rep.errors or (args.fail_on == "warning" and rep.warnings):
+            return 1
     return 0
 
 
@@ -539,6 +647,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--diff", metavar="CORE", choices=list(CORE_TYPES),
                    help="re-run with this core type and print per-cause/"
                         "per-PC cycle deltas (other vs base)")
+    p.add_argument("--diff-policy", metavar="POLICY",
+                   help="re-run with this replacement policy and print "
+                        "per-cause/per-PC cycle deltas (other vs base)")
     p.add_argument("--flame", metavar="PATH",
                    help="write folded flamegraph stacks (Brendan Gregg "
                         "collapsed format)")
@@ -611,6 +722,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative regression threshold (default 0.5 = 50%%; "
                         "loose because CI hosts vary)")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "check",
+        help="statically verify kernels (CFG + liveness): bad branch "
+             "targets, fall-through past the program end, reads of "
+             "never-written registers, unreachable blocks, plus per-block "
+             "register-pressure tables")
+    p.add_argument("targets", nargs="*", metavar="WORKLOAD",
+                   help="workload names (default: every registered "
+                        "workload unless --asm/--corpus is given)")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="also verify every fuzz-corpus reproducer in DIR")
+    p.add_argument("--asm", metavar="PATH",
+                   help="also verify a raw assembly file")
+    p.add_argument("--init", default="x0,x1", metavar="REGS",
+                   help="registers assumed written before entry for --asm "
+                        "(default x0,x1 — the tid / n_threads ABI)")
+    p.add_argument("--assume-zero-init", action="store_true",
+                   help="treat every register as initialized (machine "
+                        "reset semantics zero every register, so reads "
+                        "before a write are well-defined; shrunk fuzz "
+                        "reproducers rely on this after instruction "
+                        "deletion removes the writes)")
+    p.add_argument("--threads", type=int, default=4,
+                   help="threads used to materialize kernels (default 4)")
+    p.add_argument("--per-thread", type=int, default=16,
+                   help="elements per thread when building (default 16)")
+    p.add_argument("--pressure", action="store_true",
+                   help="print per-block register-pressure / working-set "
+                        "tables")
+    p.add_argument("--json", action="store_true",
+                   help="emit the reports as JSON instead of text")
+    p.add_argument("--fail-on", choices=["error", "warning", "none"],
+                   default="error",
+                   help="exit non-zero on findings at/above this severity")
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("lint",
                        help="run the repro-specific determinism linter")

@@ -6,14 +6,19 @@ workloads spend almost all of their runtime), versus the registers that only
 appear in outer-loop / prologue code.  The register-reduction pass
 (:mod:`repro.compiler.regreduce`) uses the same analysis to pick spill
 candidates.
+
+Loop discovery delegates to the shared CFG layer
+(:func:`repro.analysis.dataflow.backward_branch_spans`) so there is one
+loop/liveness implementation in the tree; this module keeps only the
+Figure-2 reporting shims on top of it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import List, Set
 
-from ..isa.instructions import Instruction
+from ..analysis.dataflow import backward_branch_spans
 from ..isa.program import Program
 from ..isa.registers import NUM_INT_REGS
 
@@ -34,12 +39,13 @@ class Loop:
 
 
 def find_loops(program: Program) -> List[Loop]:
-    """All static loops (backward branches), outermost and inner."""
-    loops = set()
-    for pc, inst in enumerate(program.instructions):
-        if inst.is_branch and inst.target is not None and inst.target <= pc:
-            loops.add(Loop(head=inst.target, tail=pc))
-    return sorted(loops, key=lambda l: (l.head, l.tail))
+    """All static loops (backward branches), outermost and inner.
+
+    Built on the CFG layer's backward-branch spans (same syntactic
+    definition: any branch whose resolved target is at or before it).
+    """
+    return [Loop(head=head, tail=tail)
+            for head, tail in backward_branch_spans(program)]
 
 
 def innermost_loops(program: Program) -> List[Loop]:

@@ -27,12 +27,15 @@ tracer.
 
 Subclass hooks (all optional):
 
-``decode_regs_ready(thread, inst, t_decode)``
+``decode_regs_ready(thread, op, t_decode)``
     Cycle at which the instruction's architectural registers are readable.
-    The ViReC core implements the VRMU here (fills/evictions); banked cores
-    return ``t_decode``.
-``on_commit(thread, inst, t_commit)``
-    Commit detection logic (rollback-queue pop, C-bit confirm).
+    Receives the :class:`~repro.isa.decoded.DecodedOp` (which carries the
+    operand tuples plus any static liveness hints).  The ViReC core
+    implements the VRMU here (fills/evictions); banked cores return
+    ``t_decode``.
+``on_commit(thread, op, t_commit)``
+    Commit detection logic (rollback-queue pop, C-bit confirm, dead-hint
+    marking).  Also receives the :class:`~repro.isa.decoded.DecodedOp`.
 ``on_flush(thread, insts, t)``
     Pipeline flush on a context switch; receives the flushed instructions
     (the missing load plus the younger instructions already in decode).
@@ -50,7 +53,7 @@ from enum import Enum, auto
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import DeadlockError
-from ..isa.decoded import DecodedProgram
+from ..isa.decoded import DecodedOp, DecodedProgram
 from ..isa.instructions import MASK64, Flags, Instruction, Opcode, evaluate
 from ..isa.program import Program
 from ..isa.registers import NUM_FP_REGS, NUM_INT_REGS, Reg, RegClass
@@ -273,11 +276,18 @@ class TimelineCore:
         self._recompile_step()
 
     # ------------------------------------------------------------------ hooks
-    def decode_regs_ready(self, thread: ThreadContext, inst: Instruction,
+    def decode_regs_ready(self, thread: ThreadContext, op: DecodedOp,
                           t_decode: int) -> int:
         return t_decode
 
-    def on_commit(self, thread: ThreadContext, inst: Instruction, t_commit: int) -> None:
+    def decode_spill_wait(self) -> int:
+        """Cycles of the latest ``decode_regs_ready`` wait caused by spill
+        writebacks holding the register port (profiling only; cores with a
+        residency hook override this so the attributor can split the
+        ``vrmu_refill`` slice into its spill-induced part)."""
+        return 0
+
+    def on_commit(self, thread: ThreadContext, op: DecodedOp, t_commit: int) -> None:
         pass
 
     def on_flush(self, thread: ThreadContext, insts: List[Instruction], t: int) -> None:
@@ -503,7 +513,7 @@ class TimelineCore:
                 t_ops = w
         if d.reads_flags and self.flags_ready > t_ops:
             t_ops = self.flags_ready
-        t_regs = (self.decode_regs_ready(thread, inst, t_d)
+        t_regs = (self.decode_regs_ready(thread, d, t_d)
                   if self._has_reg_hook else t_d)
         t_issue = max(t_d + 1, t_ops, t_regs)
         self.decode_free = t_issue
@@ -573,7 +583,7 @@ class TimelineCore:
             thread.flags = result.new_flags
             self.flags_ready = t_ex_done
         if self._has_commit_hook:
-            self.on_commit(thread, inst, t_c)
+            self.on_commit(thread, d, t_c)
 
         if result.halt:
             thread.state = ThreadState.DONE
@@ -634,7 +644,7 @@ class TimelineCore:
                 t_ops = w
         if d.reads_flags and self.flags_ready > t_ops:
             t_ops = self.flags_ready
-        t_regs = (self.decode_regs_ready(thread, inst, t_d)
+        t_regs = (self.decode_regs_ready(thread, d, t_d)
                   if self._has_reg_hook else t_d)
         t_issue = max(t_d + 1, t_ops, t_regs)
         self.decode_free = t_issue
@@ -696,9 +706,10 @@ class TimelineCore:
         if metrics is not None:
             metrics.on_commit(thread, d, t_c)
         if profile is not None:
+            spill_wait = self.decode_spill_wait() if self._has_reg_hook else 0
             profile.on_commit_timing(thread.tid, pc0, d, t_d, t_ops, t_regs,
                                      t_ex_done, data_at, t_c, icache_missed,
-                                     load_missed)
+                                     load_missed, spill_wait)
 
         # architectural update at commit
         writes = result.writes
@@ -721,7 +732,7 @@ class TimelineCore:
             thread.flags = result.new_flags
             self.flags_ready = t_ex_done
         if self._has_commit_hook:
-            self.on_commit(thread, inst, t_c)
+            self.on_commit(thread, d, t_c)
         if sanitizer is not None:
             # after the architectural update, before pc advances: the
             # sanitizer sees exactly the committed state

@@ -2,9 +2,11 @@
 
 Runs every workload on a single 8-thread ViReC processor at 80% and 40%
 context with each policy: PLRU (prior work), LRU (perfect recency),
-MRT-PLRU, MRT-LRU (perfect), and LRC.  Reports per-workload hit rates plus
-the suite means the paper quotes (LRC ~93.9%/82.9% at 80%/40%; LRC beats
-PLRU by ~21%/7% speedup).
+MRT-PLRU, MRT-LRU (perfect), LRC, and the compiler-assisted extensions
+``dead-first`` (static dead-on-commit hints steer eviction) and
+``dead-elide`` (additionally skips the writeback of dead victims).
+Reports per-workload hit rates plus the suite means the paper quotes
+(LRC ~93.9%/82.9% at 80%/40%; LRC beats PLRU by ~21%/7% speedup).
 """
 
 from __future__ import annotations
@@ -14,7 +16,8 @@ from typing import Dict, List, Sequence
 from ..system import RunConfig, run_config
 from .common import SUITE, ExperimentResult, geomean, scale_to_n
 
-POLICIES = ("plru", "lru", "mrt-plru", "mrt-lru", "lrc")
+POLICIES = ("plru", "lru", "mrt-plru", "mrt-lru", "lrc", "dead-first",
+            "dead-elide")
 CONTEXTS = (0.8, 0.4)
 
 

@@ -46,7 +46,8 @@ class DecodedOp:
 
     __slots__ = ("inst", "pc", "srcs", "src_reads", "dests", "reads_flags",
                  "sets_flags", "is_load", "is_store", "is_branch", "is_halt",
-                 "ex_latency", "addr", "line", "rd", "has_regs")
+                 "ex_latency", "addr", "line", "rd", "has_regs", "regs",
+                 "is_mem", "kill_flats", "last_use_flats", "dead_dest_flats")
 
     def __init__(self, pc: int, inst: Instruction, line_bytes: int) -> None:
         self.inst = inst
@@ -69,6 +70,17 @@ class DecodedOp:
         self.line: int = self.addr // line_bytes
         self.rd: Optional[Reg] = inst.rd
         self.has_regs: bool = bool(inst.regs)
+        #: mirrored so a DecodedOp duck-types as an Instruction for the
+        #: VRMU access/flush paths (which read only ``regs``/``dests``)
+        self.regs: Tuple[Reg, ...] = inst.regs
+        self.is_mem: bool = inst.is_mem
+        #: static liveness hints, ``None`` until
+        #: :func:`repro.analysis.dataflow.annotate` fills them; tuples of
+        #: flat register indices afterwards.  Strictly inert: only the
+        #: dead-hint replacement policies ever read them.
+        self.kill_flats: Optional[Tuple[int, ...]] = None
+        self.last_use_flats: Optional[Tuple[int, ...]] = None
+        self.dead_dest_flats: Optional[Tuple[int, ...]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<DecodedOp {self.pc}: {self.inst!r}>"
@@ -83,7 +95,7 @@ class DecodedProgram:
     the same program shares one decode.
     """
 
-    __slots__ = ("program", "line_bytes", "ops")
+    __slots__ = ("program", "line_bytes", "ops", "liveness")
 
     def __init__(self, program: Program, line_bytes: int = 64) -> None:
         self.program = program
@@ -91,6 +103,9 @@ class DecodedProgram:
         self.ops: List[DecodedOp] = [
             DecodedOp(pc, inst, line_bytes)
             for pc, inst in enumerate(program.instructions)]
+        #: cached :class:`~repro.analysis.dataflow.LivenessResult`, filled
+        #: lazily by :func:`repro.analysis.dataflow.annotate`
+        self.liveness = None
 
     @classmethod
     def of(cls, program: Program, line_bytes: int = 64) -> "DecodedProgram":

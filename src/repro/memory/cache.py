@@ -261,6 +261,23 @@ class Cache:
         self.stats.inc("prefetch_fills")
 
     # -- maintenance -------------------------------------------------------------
+    def unpin(self, addr: int) -> bool:
+        """Metadata-only pin release for the line holding ``addr``.
+
+        Used by BSI writeback elision: a dead register's spill is skipped
+        entirely, but the fill that brought it in pinned its backing line,
+        so the pin must still be dropped or the line would stay pinned
+        forever.  Pure bookkeeping — no port transaction, no timing effect.
+        Returns True if the line was present.
+        """
+        _, set_idx, tag = self._locate(addr)
+        line = self._sets[set_idx].get(tag)
+        if line is None:
+            return False
+        line.pin = max(0, line.pin - 1)
+        self.stats.inc("metadata_unpins")
+        return True
+
     def invalidate_line(self, addr: int) -> bool:
         """Drop the line holding ``addr`` without writeback; True if present.
 

@@ -43,7 +43,8 @@ CAUSES = (
     "icache_miss",      # fetch held by an icache miss
     "dependency",       # operand/flag scoreboard wait
     "vrmu_refill",      # register residency wait (VRMU fill port, Fig 10)
-    "spill_writeback",  # BSI-busy switch hold / software context save
+    "spill_writeback",  # spill-held register port / BSI-busy switch hold
+                        # / software context save
     "execute",          # EX pipe occupancy + latency
     "load_hit",         # dcache-hit load latency
     "load_miss",        # dcache-miss load latency exposed at commit
@@ -137,7 +138,8 @@ class CycleAttributor:
     # -------------------------------------------------------- commit hooks
     def on_commit_timing(self, tid: int, pc: int, d, t_d: int, t_ops: int,
                          t_regs: int, t_ex_done: int, data_at: int, t_c: int,
-                         icache_missed: bool, load_missed: bool) -> None:
+                         icache_missed: bool, load_missed: bool,
+                         spill_wait: int = 0) -> None:
         """Tile ``(cursor, t_c]`` for one TimelineCore commit."""
         cur = self.cursor
         limit = t_c - 1
@@ -169,8 +171,17 @@ class CycleAttributor:
         else:
             mem_cause = _EXECUTE
 
+        if decode_cause == _VRMU_REFILL and spill_wait > 0:
+            # the port wait happens at the head of the VRMU access: carve
+            # the spill-occupancy slice off the refill tile (same total —
+            # the cursor walk still covers (prev_commit, t_c] exactly)
+            split = t_d + spill_wait
+            decode_tiles = ((split if split < t_issue else t_issue,
+                             _SPILL_WRITEBACK), (t_issue, _VRMU_REFILL))
+        else:
+            decode_tiles = ((t_issue, decode_cause),)
         for end, cause in ((t_d, _ICACHE_MISS if icache_missed else _FRONTEND),
-                           (t_issue, decode_cause),
+                           *decode_tiles,
                            (t_ex_done, _EXECUTE),
                            (data_at, mem_cause),
                            (limit, mem_cause)):

@@ -94,19 +94,23 @@ def check_policy(core, cycle: int) -> Optional[SanitizerViolation]:
     for slot in map(int, ts.valid_slots()):
         t_bits, c_bit, a_bits = (int(pol.T[slot]), int(pol.C[slot]),
                                  int(pol.A[slot]))
+        d_bit = int(pol.D[slot])
         if not (0 <= t_bits <= T_MAX and c_bit in (0, 1)
-                and 0 <= a_bits <= A_MAX):
+                and 0 <= a_bits <= A_MAX and d_bit in (0, 1)):
             return _v("policy.word",
                       f"slot {slot} priority word out of range: "
-                      f"T={t_bits} C={c_bit} A={a_bits} "
-                      f"(need T<={T_MAX}, C in 0/1, A<={A_MAX})",
-                      cycle, cid, slot=slot, T=t_bits, C=c_bit, A=a_bits)
+                      f"T={t_bits} C={c_bit} A={a_bits} D={d_bit} "
+                      f"(need T<={T_MAX}, C in 0/1, A<={A_MAX}, D in 0/1)",
+                      cycle, cid, slot=slot, T=t_bits, C=c_bit, A=a_bits,
+                      D=d_bit)
     # eviction-order consistency: whoever the policy would evict right now
     # must carry the maximum priority among the evictable candidates.
-    # Only the pure argmax policies are probed — SRRIP ages entries and
-    # random replacement draws from its PRNG inside select_victim, so
+    # Only the pure argmax policies are probed (the dead-hint variants
+    # stay argmax — D just tops the priority word) — SRRIP ages entries
+    # and random replacement draws from its PRNG inside select_victim, so
     # calling it here would perturb future victim choices.
-    if pol.name not in ("plru", "lru", "mrt-plru", "mrt-lru", "lrc"):
+    if pol.name not in ("plru", "lru", "mrt-plru", "mrt-lru", "lrc",
+                        "dead-first", "dead-elide"):
         return None
     candidates = ts.valid & (ts.fill_ready <= getattr(core, "now", cycle))
     if candidates.any():

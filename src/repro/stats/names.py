@@ -36,9 +36,14 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     "hits", "misses", "accesses", "victim_wait_cycles", "spill_evictions",
     "group_evictions", "context_prefetches", "flush_resets", "evictions",
     "task_context_drops", "rf_hit_rate", "rf_size", "overflow", "flushes",
+    # dead-hint policies (virec/vrmu.py, repro.analysis.dataflow liveness)
+    "dead_marks", "dead_evictions", "elided_writebacks",
     # BSI port (virec/bsi.py)
     "fills", "fill_backing_misses", "dummy_fills", "spills", "dirty_spills",
-    "sysreg_reads", "sysreg_writes",
+    "sysreg_reads", "sysreg_writes", "elided_spills",
+    "spill_port_wait_cycles",
+    # metadata-only pin releases (memory/cache.py)
+    "metadata_unpins",
     # CSL prefetch decisions (virec/csl.py, memory/prefetcher.py)
     "prefetch_late_cycles", "prefetch_hits", "demand_fetches", "prefetches",
     "issued",

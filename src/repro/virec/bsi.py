@@ -32,15 +32,26 @@ class BackingStoreInterface:
     def __init__(self, request_fn: Callable, layout: ContextLayout, *,
                  blocking: bool = False, dummy_fill_enabled: bool = True,
                  pinning_enabled: bool = True,
+                 unpin_fn: Optional[Callable[[int], bool]] = None,
                  stats: Optional[Stats] = None) -> None:
         self.request = request_fn
         self.layout = layout
+        #: metadata-only pin release (no port transaction) used by
+        #: :meth:`elide_spill`; optional because only dead-hint policies
+        #: ever elide
+        self.unpin = unpin_fn
         self.blocking = blocking
         self.dummy_fill_enabled = dummy_fill_enabled
         self.pinning_enabled = pinning_enabled
         self.stats = stats if stats is not None else Stats("bsi")
         #: cycle until which a fill/spill is outstanding (CSL mask input)
         self.busy_until = 0
+        #: port horizon contributed by spill transactions only — lets the
+        #: profiler attribute spill-induced fill delays to spill_writeback
+        self.spill_busy_until = 0
+        #: fill-issue cycles lost to spill port occupancy since the VRMU
+        #: last reset it (accumulated per instruction, purely observational)
+        self.fill_spill_wait = 0
         self._next_issue = 0  # blocking-mode serialization
         #: optional :class:`~repro.faults.FaultInjector` probing backing-store
         #: lines on every register fill (strictly opt-in)
@@ -61,7 +72,11 @@ class BackingStoreInterface:
     def fill(self, t: int, tid: int, flat_reg: int) -> int:
         """Load a register from the backing store; returns data-ready cycle."""
         addr = self.layout.reg_addr(tid, flat_reg)
-        _, result = self._issue(t, addr, is_write=False, pin_delta=+1)
+        t_issue, result = self._issue(t, addr, is_write=False, pin_delta=+1)
+        if t_issue > t and self.spill_busy_until > t:
+            held = min(self.spill_busy_until, t_issue) - t
+            self.fill_spill_wait += held
+            self.stats.inc("spill_port_wait_cycles", held)
         self.stats.inc("fills")
         if not result.hit:
             self.stats.inc("fill_backing_misses")
@@ -89,7 +104,21 @@ class BackingStoreInterface:
         if dirty:
             self.stats.inc("dirty_spills")
         self.busy_until = max(self.busy_until, t_issue + 1)
+        self.spill_busy_until = max(self.spill_busy_until, t_issue + 1)
         return t_issue + 1
+
+    def elide_spill(self, t: int, tid: int, flat_reg: int) -> int:
+        """Skip the writeback of a dead register (compiler-assisted elision).
+
+        The value can never be read again, so no data moves: the only
+        action is releasing the backing line's pin, modelled as free
+        metadata (piggybacked on the eviction message rather than a port
+        transaction).  Returns ``t`` — nothing occupies the port.
+        """
+        self.stats.inc("elided_spills")
+        if self.pinning_enabled and self.unpin is not None:
+            self.unpin(self.layout.reg_addr(tid, flat_reg))
+        return t
 
     def sysreg_read(self, t: int, tid: int) -> int:
         """Prefetch a thread's system-register line (ping-pong buffer).

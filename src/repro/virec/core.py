@@ -21,8 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..analysis.dataflow import annotate
 from ..core.base import CoreConfig, ThreadContext, TimelineCore
 from ..core.cgmt import ContextLayout
+from ..isa.decoded import DecodedOp
 from ..isa.instructions import Instruction
 from ..stats.counters import Stats
 from .bsi import BackingStoreInterface
@@ -79,18 +81,29 @@ class ViReCCore(TimelineCore):
                         if vc.sysreg_buffer else None)
         self._prev_tid: Optional[int] = None
 
+        # compiler-assisted register caching: a dead-hint policy turns the
+        # static liveness annotation on (filling the DecodedOp hint slots);
+        # for every other policy the decode stays untouched, keeping
+        # existing configs byte-identical
+        if self.vrmu.dead_hints:
+            annotate(self.dprog)
+            self.bsi.unpin = self.dcache.unpin
+
         # reserve + pin the register region in the backing store
         self.dcache.register_region = self.layout.region(len(threads))
 
     # -- TimelineCore hooks ------------------------------------------------
-    def decode_regs_ready(self, thread: ThreadContext, inst: Instruction,
+    def decode_regs_ready(self, thread: ThreadContext, op: DecodedOp,
                           t_decode: int) -> int:
-        return self.vrmu.access(thread.tid, inst, t_decode)
+        return self.vrmu.access(thread.tid, op, t_decode)
 
-    def on_commit(self, thread: ThreadContext, inst: Instruction,
+    def decode_spill_wait(self) -> int:
+        return self.vrmu.last_spill_wait
+
+    def on_commit(self, thread: ThreadContext, op: DecodedOp,
                   t_commit: int) -> None:
-        if inst.regs:
-            self.vrmu.on_commit()
+        if op.has_regs:
+            self.vrmu.on_commit(thread.tid, op)
 
     def on_flush(self, thread: ThreadContext, insts: List[Instruction],
                  t: int) -> None:

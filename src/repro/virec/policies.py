@@ -20,35 +20,63 @@ Metadata fields per entry (Table in Section 5.1: T/C/A = 3/1/3 bits):
 ``A`` (age)
     3-bit saturating pseudo-LRU age: 0 on access, +1 on every subsequent
     instruction's register-file access.
+``D`` (dead)
+    Compiler-assisted liveness hint: set at commit time for registers the
+    static analysis (:mod:`repro.analysis.dataflow`) proved dead-on-commit
+    (never read again before redefinition); cleared whenever the register
+    is re-accessed.  Only the ``dead-*`` policies consume it.
 
 Implemented policies and their priority functions:
 
-=============  =======================================
+=============  ==============================================
 PLRU           ``A``                      (prior work [41])
 LRU            exact age (oracle recency)
 MRT-PLRU       ``(T << 3) | A``
 MRT-LRU        ``T`` then exact age       (perfect variant)
 LRC            ``(T << 4) | (C << 3) | A``  (the paper's policy)
-=============  =======================================
+dead-first     ``(D << 7) | LRC``  (dead registers evict first)
+dead-elide     dead-first + BSI writeback elision in the VRMU
+=============  ==============================================
+
+Policies are constructed through the :data:`POLICIES` factory table —
+:meth:`ReplacementPolicy.from_spec` / :func:`make_policy` — so config
+strings, sweeps, and the Fig 12 study all share one registry.  Lint rule
+VRC009 flags ad-hoc subclass construction in library code.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Type
 
 import numpy as np
 
 A_MAX = 7  # 3-bit age
 T_MAX = 7  # 3-bit thread recency
 
+#: policy-name -> class factory table; populated by :func:`register_policy`
+POLICIES: Dict[str, Type["ReplacementPolicy"]] = {}
+
+
+def register_policy(cls: Type["ReplacementPolicy"]) -> Type["ReplacementPolicy"]:
+    """Class decorator registering a policy under ``cls.name``."""
+    POLICIES[cls.name] = cls
+    return cls
+
 
 class ReplacementPolicy:
-    """Base class holding the T/C/A metadata arrays."""
+    """Base class holding the T/C/A/D metadata arrays."""
 
-    #: subclass name used by :func:`make_policy`
+    #: subclass name used by :meth:`from_spec`
     name = "base"
     #: whether the policy consumes the commit (C) bit
     uses_commit_bit = False
     #: whether the policy consumes thread-recency (T) bits
     uses_thread_bits = False
+    #: whether the policy consumes dead-on-commit (D) hints — selecting
+    #: such a policy is what turns static liveness annotation on
+    uses_dead_hints = False
+    #: whether the VRMU may skip the BSI spill of a dead victim
+    elides_dead_writebacks = False
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -57,8 +85,19 @@ class ReplacementPolicy:
         self.T = np.zeros(capacity, dtype=np.int64)
         self.C = np.ones(capacity, dtype=np.int64)
         self.A = np.zeros(capacity, dtype=np.int64)
+        self.D = np.zeros(capacity, dtype=np.int64)  # dead-on-commit hint
         self.stamp = np.zeros(capacity, dtype=np.int64)  # exact recency
         self._clock = 0
+
+    @classmethod
+    def from_spec(cls, spec: str, capacity: int) -> "ReplacementPolicy":
+        """Instantiate a registered policy from its config-string name."""
+        try:
+            policy_cls = POLICIES[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown policy {spec!r}; choose from {sorted(POLICIES)}")
+        return policy_cls(capacity)
 
     # -- event hooks --------------------------------------------------------
     def on_instruction(self, valid: np.ndarray) -> None:
@@ -71,6 +110,7 @@ class ReplacementPolicy:
         self.A[idx] = 0
         self.C[idx] = 1  # speculative commit initialization (Section 5.1)
         self.T[idx] = 0  # belongs to the running thread by construction
+        self.D[idx] = 0  # referenced again: no longer dead
         self.stamp[idx] = self._clock
 
     def on_insert(self, idx: int) -> None:
@@ -80,6 +120,11 @@ class ReplacementPolicy:
         """Rollback queue resets the C bit of flushed in-flight registers."""
         for idx in idxs:
             self.C[idx] = 0
+
+    def mark_dead(self, idx: int) -> None:
+        """Commit-time liveness hint: this entry's value is never read
+        again before redefinition.  Cleared by the next :meth:`on_access`."""
+        self.D[idx] = 1
 
     def on_context_switch(self, owner: np.ndarray, valid: np.ndarray,
                           prev_tid: int, new_tid: int) -> None:
@@ -106,13 +151,15 @@ class ReplacementPolicy:
     def describe(self, idx: int) -> dict:
         """Replacement metadata of one entry (telemetry event args).
 
-        Exposes the T/C/A fields and the entry's current eviction priority
+        Exposes the T/C/A/D fields and the entry's current eviction priority
         so exported eviction events show *why* the policy chose a victim.
         """
         return {"T": int(self.T[idx]), "C": int(self.C[idx]),
-                "A": int(self.A[idx]), "prio": int(self.priority()[idx])}
+                "A": int(self.A[idx]), "D": int(self.D[idx]),
+                "prio": int(self.priority()[idx])}
 
 
+@register_policy
 class PLRU(ReplacementPolicy):
     """Age-only pseudo-LRU, as in the NSF [41] — thrashes across threads."""
 
@@ -122,6 +169,7 @@ class PLRU(ReplacementPolicy):
         return self.A
 
 
+@register_policy
 class LRU(ReplacementPolicy):
     """Exact recency (perfect LRU) — still scheduling-oblivious."""
 
@@ -131,6 +179,7 @@ class LRU(ReplacementPolicy):
         return self._clock - self.stamp
 
 
+@register_policy
 class MRTPLRU(ReplacementPolicy):
     """Most-Recent-Thread PLRU: T bits concatenated above the PLRU age."""
 
@@ -141,6 +190,7 @@ class MRTPLRU(ReplacementPolicy):
         return (self.T << 3) | self.A
 
 
+@register_policy
 class MRTLRU(ReplacementPolicy):
     """MRT with exact ages (perfect variant of Figure 12)."""
 
@@ -151,6 +201,7 @@ class MRTLRU(ReplacementPolicy):
         return (self.T << 40) + (self._clock - self.stamp)
 
 
+@register_policy
 class LRC(ReplacementPolicy):
     """Least Recently Committed: T, then C, then A (the paper's policy)."""
 
@@ -162,17 +213,43 @@ class LRC(ReplacementPolicy):
         return (self.T << 4) | (self.C << 3) | self.A
 
 
-POLICIES = {cls.name: cls for cls in (PLRU, LRU, MRTPLRU, MRTLRU, LRC)}
+@register_policy
+class DeadFirstLRC(LRC):
+    """LRC with compiler dead hints concatenated on top.
+
+    A register the static liveness pass proved dead-on-commit outranks
+    every live entry (the full LRC priority is 7 bits, so ``D`` sits at
+    bit 7): the cache preferentially reuses slots whose values can never
+    be read again, keeping live working sets resident longer.
+    """
+
+    name = "dead-first"
+    uses_dead_hints = True
+
+    def priority(self) -> np.ndarray:
+        return (self.D << 7) | super().priority()
+
+
+@register_policy
+class DeadElideLRC(DeadFirstLRC):
+    """Dead-first eviction plus BSI writeback elision.
+
+    In addition to preferring dead victims, the VRMU skips the backing-
+    store spill entirely when the evicted register is dead — its value is
+    unreadable, so the writeback bandwidth and port occupancy are pure
+    waste (the compiler-assisted RF-cache argument from PAPERS.md).
+    """
+
+    name = "dead-elide"
+    elides_dead_writebacks = True
 
 
 def make_policy(name: str, capacity: int) -> ReplacementPolicy:
-    """Instantiate a policy by name (``plru``/``lru``/``mrt-plru``/``mrt-lru``/``lrc``)."""
-    try:
-        return POLICIES[name](capacity)
-    except KeyError:
-        raise ValueError(f"unknown policy {name!r}; choose from {sorted(POLICIES)}")
+    """Instantiate a policy by registered name (see :data:`POLICIES`)."""
+    return ReplacementPolicy.from_spec(name, capacity)
 
 
+@register_policy
 class SRRIP(ReplacementPolicy):
     """Static Re-Reference Interval Prediction [33], adapted to registers.
 
@@ -216,6 +293,7 @@ class SRRIP(ReplacementPolicy):
         return self.A
 
 
+@register_policy
 class RandomPolicy(ReplacementPolicy):
     """Uniform random replacement — the no-information floor.
 
@@ -246,7 +324,3 @@ class RandomPolicy(ReplacementPolicy):
     def priority(self) -> np.ndarray:
         # only used for introspection; selection is randomized
         return self.A
-
-
-POLICIES["srrip"] = SRRIP
-POLICIES["random"] = RandomPolicy

@@ -10,8 +10,9 @@ registers are resident — the front-end stall of Figure 4 (A)->(B).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
+from ..isa.decoded import DecodedOp
 from ..isa.instructions import Instruction
 from ..stats.counters import Stats
 from .bsi import BackingStoreInterface
@@ -45,6 +46,11 @@ class VRMU:
         self.tagstore = TagStore(capacity, policy, self.stats.child("tagstore"))
         self.rollback = RollbackQueue(rollback_depth, self.stats.child("rollback"))
         self.bsi = bsi
+        #: whether the policy consumes dead-on-commit hints; gates every
+        #: hint-path branch so non-hint policies take byte-identical paths
+        self.dead_hints: bool = policy.uses_dead_hints
+        #: whether spills of dead victims are elided entirely
+        self.elide_dead: bool = policy.elides_dead_writebacks
         #: >1 enables group evictions (the paper's future-work item): when a
         #: victim is needed, up to this many same-owner registers are spilled
         #: together, pre-freeing slots for the following misses.
@@ -52,6 +58,10 @@ class VRMU:
         #: registers each thread referenced during its latest run segment
         #: (drives the optional next-context prefetch, see ViReCConfig)
         self.segment_regs: dict = {}
+        #: fill-issue cycles the latest :meth:`access` lost to spill port
+        #: occupancy (read by the core's profile hook, never fed back into
+        #: timing)
+        self.last_spill_wait = 0
         #: optional :class:`~repro.faults.FaultInjector` probing physical
         #: register-file slots on every decode-stage read (strictly opt-in)
         self.fault_hook = None
@@ -60,14 +70,19 @@ class VRMU:
         self.probe = None
 
     # -- decode-stage access ------------------------------------------------
-    def access(self, tid: int, inst: Instruction, t: int) -> int:
+    def access(self, tid: int, inst: Union[Instruction, DecodedOp],
+               t: int) -> int:
         """Process one instruction's register lookups at decode time ``t``.
 
+        Accepts an :class:`Instruction` or a :class:`DecodedOp` (the engine
+        passes the latter; they expose the same operand attributes).
         Returns the cycle at which all operands are resident and readable.
         """
         regs = inst.regs
+        self.last_spill_wait = 0
         if not regs:
             return t
+        self.bsi.fill_spill_wait = 0
         ts = self.tagstore
         ts.on_instruction()
         dests = set(inst.dests)
@@ -100,6 +115,7 @@ class VRMU:
         t_fill = t
         for reg in missing:
             victim_info = None
+            victim_dead = False
             slot = ts.free_slot()
             if slot is None:
                 victim = ts.select_victim(inst_slots, t_fill)
@@ -115,6 +131,9 @@ class VRMU:
                     victim = ts.select_victim(inst_slots, t_fill)
                 if self.probe is not None:
                     self.probe.on_evict(victim, tid, "capacity", t_fill)
+                # D is cleared when the slot is re-inserted below, so the
+                # victim's deadness must be captured before the insert
+                victim_dead = self._victim_dead(victim)
                 victim_info = ts.evict(victim)
                 slot = victim
                 self.stats.inc("spill_evictions")
@@ -136,12 +155,31 @@ class VRMU:
             # spill after the fill was issued: fills have port priority
             if victim_info is not None:
                 vtid, vreg, vdirty = victim_info
-                self.bsi.spill(t_fill, vtid, vreg, vdirty)
-                if self.probe is not None:
-                    self.probe.on_spill(vtid, vreg, vdirty, t_fill)
+                self._spill_victim(t_fill, victim_dead, vtid, vreg, vdirty)
 
         self.rollback.push(inst_slots, inst.is_mem)
+        self.last_spill_wait = self.bsi.fill_spill_wait
         return ready
+
+    # -- dead-hint plumbing (inert unless a dead-* policy is selected) -------
+    def _victim_dead(self, victim: int) -> bool:
+        """Whether the chosen victim carries a dead-on-commit hint."""
+        if not self.dead_hints:
+            return False
+        return bool(self.tagstore.policy.D[victim])
+
+    def _spill_victim(self, t: int, dead: bool, vtid: int, vreg: int,
+                      vdirty: bool) -> None:
+        """Write back (or elide) one evicted register."""
+        if dead:
+            self.stats.inc("dead_evictions")
+            if self.elide_dead:
+                self.stats.inc("elided_writebacks")
+                self.bsi.elide_spill(t, vtid, vreg)
+                return
+        self.bsi.spill(t, vtid, vreg, vdirty)
+        if self.probe is not None:
+            self.probe.on_spill(vtid, vreg, vdirty, t)
 
     def _group_evict(self, victim: int, inst_slots, t: int) -> None:
         """Spill up to ``group_evict - 1`` additional registers of the
@@ -162,10 +200,9 @@ class VRMU:
                 break
             if self.probe is not None:
                 self.probe.on_evict(nxt, victim_owner, "group", t)
+            dead = self._victim_dead(nxt)
             vtid, vreg, vdirty = ts.evict(nxt)
-            self.bsi.spill(t, vtid, vreg, vdirty)
-            if self.probe is not None:
-                self.probe.on_spill(vtid, vreg, vdirty, t)
+            self._spill_victim(t, dead, vtid, vreg, vdirty)
             self.stats.inc("group_evictions")
             extra += 1
 
@@ -185,10 +222,9 @@ class VRMU:
                     break  # nothing worth displacing
                 if self.probe is not None:
                     self.probe.on_evict(victim, tid, "prefetch", t)
+                dead = self._victim_dead(victim)
                 vtid, vreg, vdirty = ts.evict(victim)
-                self.bsi.spill(t, vtid, vreg, vdirty)
-                if self.probe is not None:
-                    self.probe.on_spill(vtid, vreg, vdirty, t)
+                self._spill_victim(t, dead, vtid, vreg, vdirty)
                 slot = victim
             fill_done = self.bsi.fill(t, tid, flat)
             ts.insert(slot, tid, flat, t, fill_ready=fill_done)
@@ -200,9 +236,32 @@ class VRMU:
         return done
 
     # -- backend signals --------------------------------------------------------
-    def on_commit(self) -> None:
-        """Commit detection logic: pop the oldest rollback entry."""
+    def on_commit(self, tid: Optional[int] = None,
+                  op: Optional[DecodedOp] = None) -> None:
+        """Commit detection logic: pop the oldest rollback entry.
+
+        With a dead-hint policy selected, the committing op's statically
+        computed kill set (registers provably never read again before
+        redefinition — see :mod:`repro.analysis.dataflow`) marks the
+        matching resident entries dead.  Marking happens at *commit*, not
+        decode, so flushed/replayed instructions never plant speculative
+        hints; a flushed op's registers keep their normal metadata.
+        """
         self.rollback.pop_commit()
+        if not self.dead_hints or op is None or tid is None:
+            return
+        kills = getattr(op, "kill_flats", None)
+        if not kills:
+            return
+        ts = self.tagstore
+        marked = 0
+        for flat in kills:
+            slot = ts.lookup(tid, flat)
+            if slot is not None:
+                ts.policy.mark_dead(slot)
+                marked += 1
+        if marked:
+            self.stats.inc("dead_marks", marked)
 
     def on_flush(self, tid: int, flushed_insts: List[Instruction]) -> None:
         """Context switch flush: reset C bits of in-flight registers.

@@ -1,0 +1,117 @@
+"""CFG construction: leaders, edges, reachability, dominators, loops."""
+
+import dataclasses
+
+from repro.analysis.dataflow import backward_branch_spans, build_cfg
+from repro.compiler.liveness import find_loops
+from repro.isa import assemble
+
+LOOP_SRC = """
+start:
+    mov  x2, #4
+    mov  x3, #0
+loop:
+    add  x3, x3, #1
+    cmp  x3, x2
+    b.lt loop
+    halt
+"""
+
+DIAMOND_SRC = """
+start:
+    mov  x2, #1
+    cmp  x2, x0
+    b.lt else_
+    mov  x3, #1
+    b    join
+else_:
+    mov  x3, #2
+join:
+    halt
+"""
+
+DEAD_CODE_SRC = """
+start:
+    b    join
+    mov  x3, #1
+join:
+    halt
+"""
+
+
+def test_loop_blocks_and_edges():
+    cfg = build_cfg(assemble(LOOP_SRC))
+    # leaders: entry 0, branch target 2, post-branch 5
+    assert [(b.start, b.end) for b in cfg.blocks] == [(0, 2), (2, 5), (5, 6)]
+    assert cfg.blocks[0].succs == [1]
+    # conditional: fallthrough first, then the taken edge
+    assert cfg.blocks[1].succs == [2, 1]
+    assert cfg.blocks[2].succs == []          # halt: no successors
+    assert cfg.blocks[1].preds == [0, 1]
+    assert cfg.block_at == [0, 0, 1, 1, 1, 2]
+    assert not cfg.bad_targets and not cfg.falls_off_end
+
+
+def test_loop_reachability_dominators_back_edges():
+    cfg = build_cfg(assemble(LOOP_SRC))
+    assert cfg.reachable == frozenset({0, 1, 2})
+    dom = cfg.dominators()
+    assert dom[0] == frozenset({0})
+    assert dom[1] == frozenset({0, 1})
+    assert dom[2] == frozenset({0, 1, 2})
+    # the loop's backward branch: block 1 -> block 1 (self back edge)
+    assert cfg.back_edges() == [(1, 1)]
+
+
+def test_diamond_join_dominated_only_by_entry():
+    cfg = build_cfg(assemble(DIAMOND_SRC))
+    # blocks: [0,3) cond, [3,5) then, [5,6) else, [6,7) join
+    assert len(cfg.blocks) == 4
+    join = cfg.block_at[6]
+    dom = cfg.dominators()
+    # neither arm dominates the join
+    assert dom[join] == frozenset({cfg.entry_block, join})
+    assert sorted(cfg.blocks[join].preds) == [1, 2]
+    assert cfg.back_edges() == []
+
+
+def test_unreachable_block_detected():
+    cfg = build_cfg(assemble(DEAD_CODE_SRC))
+    dead = cfg.block_at[1]
+    assert dead not in cfg.reachable
+    assert cfg.block_at[0] in cfg.reachable
+    assert cfg.block_at[2] in cfg.reachable
+    # dominators only cover the reachable subgraph
+    assert dead not in cfg.dominators()
+
+
+def test_bad_branch_target_recorded_not_raised():
+    prog = assemble(LOOP_SRC)
+    bad = dataclasses.replace(prog.instructions[4], target=99)
+    prog.instructions[4] = bad
+    cfg = build_cfg(prog)
+    assert (4, 99) in cfg.bad_targets
+    # the bad edge contributes nothing; the fallthrough edge survives
+    assert cfg.blocks[cfg.block_at[4]].succs == [cfg.block_at[5]]
+
+
+def test_missing_halt_falls_off_end():
+    prog = assemble("start:\n    mov x2, #1\n    add x3, x2, x2\n")
+    cfg = build_cfg(prog)
+    assert cfg.falls_off_end == [1]
+
+
+def test_empty_program():
+    prog = assemble("start:\n")
+    cfg = build_cfg(prog)
+    assert cfg.blocks == [] and cfg.reachable == frozenset()
+    assert cfg.rpo() == [] and cfg.dominators() == {}
+
+
+def test_backward_branch_spans_match_compiler_loops():
+    for src in (LOOP_SRC, DIAMOND_SRC, DEAD_CODE_SRC):
+        prog = assemble(src)
+        spans = backward_branch_spans(prog)
+        loops = find_loops(prog)
+        assert spans == sorted((l.head, l.tail) for l in loops)
+    assert backward_branch_spans(assemble(LOOP_SRC)) == [(2, 4)]

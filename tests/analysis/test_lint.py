@@ -349,3 +349,49 @@ def test_vrc008_registry_agrees_with_the_tree():
     assert is_registered("cycles")
     assert not is_registered("cyclez")
     assert COUNTER_NAMES  # non-empty, frozen
+
+
+# -- VRC009: ad-hoc ReplacementPolicy construction ---------------------------
+def test_vrc009_direct_construction_flagged():
+    hits = L.lint_source(
+        "from repro.virec.policies import LRC, DeadFirstLRC\n"
+        "p = LRC(16)\n"
+        "q = DeadFirstLRC(capacity)\n",
+        path="src/repro/virec/vrmu.py")
+    assert ids(hits) == ["VRC009"]
+    assert len(hits) == 2
+    assert "from_spec" in hits[0].message
+
+
+def test_vrc009_attribute_leaf_flagged():
+    hits = L.lint_source(
+        "import repro.virec.policies as pol\n"
+        "p = pol.PLRU(8)\n",
+        path="src/repro/system/simulator.py")
+    assert ids(hits) == ["VRC009"]
+
+
+def test_vrc009_factory_and_unrelated_calls_ok():
+    assert L.lint_source(
+        "from repro.virec.policies import ReplacementPolicy, make_policy\n"
+        "p = make_policy('lrc', 16)\n"
+        "q = ReplacementPolicy.from_spec('dead-first', 16)\n"
+        "r = LRCsomething(16)\n",
+        path="src/repro/virec/vrmu.py") == []
+
+
+def test_vrc009_exempt_trees_and_suppression():
+    src = "p = LRC(16)\n"
+    for path in ("tests/virec/test_x.py", "benchmarks/bench_x.py",
+                 "src/repro/virec/policies.py"):
+        assert L.lint_source(src, path=path) == [], path
+    hits = L.lint_source("p = LRC(16)  # noqa: VRC009\n",
+                         path="src/repro/virec/vrmu.py")
+    assert len(hits) == 1 and hits[0].suppressed
+
+
+def test_vrc009_library_tree_is_clean():
+    """No ad-hoc policy construction anywhere in src/ (the CI gate)."""
+    findings = [f for f in L.lint_paths([str(SRC_DIR)])
+                if f.rule.id == "VRC009" and not f.suppressed]
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,164 @@
+"""The kernel verifier behind ``repro check``: findings, pressure
+tables, report rendering, and the CLI verb's exit codes."""
+
+import dataclasses
+import json
+
+from repro import workloads
+from repro.analysis.dataflow import verify_program
+from repro.cli import main
+from repro.isa import assemble
+
+CLEAN_SRC = """
+start:
+    mov  x2, #4
+    mov  x3, #0
+loop:
+    add  x3, x3, #1
+    cmp  x3, x2
+    b.lt loop
+    halt
+"""
+
+CORRUPT_SRC = """
+start:
+    add  x2, x3, x4
+    mov  x6, #7
+    halt
+dead:
+    add  x6, x6, x6
+    halt
+"""
+
+
+def test_clean_program_ok():
+    report = verify_program(assemble(CLEAN_SRC))
+    assert report.ok and not report.findings
+    assert report.n_reachable == report.n_blocks == 3
+    assert len(report.pressure) == 3
+
+
+def test_read_uninitialized_and_unreachable():
+    report = verify_program(assemble(CORRUPT_SRC))
+    kinds = sorted(f.kind for f in report.findings)
+    assert kinds == ["read-uninitialized", "read-uninitialized",
+                     "unreachable-code"]
+    assert not report.ok
+    assert len(report.errors) == 2 and len(report.warnings) == 1
+    # x3/x4 at pc 0; the unreachable block starts at pc 3
+    assert {f.pc for f in report.errors} == {0}
+    assert report.warnings[0].pc == 3
+
+
+def test_init_flats_suppress_uninitialized_reads():
+    report = verify_program(assemble(CORRUPT_SRC), init_flats={3, 4})
+    assert not report.errors and len(report.warnings) == 1
+
+
+def test_uninitialized_flags_read():
+    prog = assemble("start:\n    b.lt start\n    halt\n")
+    report = verify_program(prog)
+    assert any(f.kind == "read-uninitialized" and "flags" in f.message
+               for f in report.findings)
+
+
+def test_write_on_one_path_only_is_flagged():
+    src = """
+start:
+    mov  x2, #1
+    cmp  x2, x0
+    b.lt join
+    mov  x3, #5
+join:
+    add  x4, x3, #1
+    halt
+"""
+    report = verify_program(src_prog := assemble(src), init_flats={0})
+    assert any(f.kind == "read-uninitialized" and "x3" in f.message
+               for f in report.errors)
+    assert len(src_prog) == 6
+
+
+def test_bad_branch_target_and_fallthrough():
+    prog = assemble(CLEAN_SRC)
+    prog.instructions[4] = dataclasses.replace(prog.instructions[4],
+                                               target=77)
+    prog.instructions.pop()                   # drop the halt
+    report = verify_program(prog)
+    kinds = {f.kind for f in report.findings}
+    assert "bad-branch-target" in kinds
+    assert "fallthrough-end" in kinds
+
+
+def test_pressure_table_counts():
+    report = verify_program(assemble(CLEAN_SRC))
+    loop_row = next(p for p in report.pressure if p.start == 2)
+    assert loop_row.live_in == 2                # x2, x3
+    assert loop_row.max_live >= 2
+    assert loop_row.working_set == 2
+
+
+def test_report_round_trips_to_json():
+    report = verify_program(assemble(CORRUPT_SRC), name="corrupt")
+    d = json.loads(json.dumps(report.as_dict()))
+    assert d["name"] == "corrupt"
+    assert d["errors"] == 2 and d["warnings"] == 1
+    # pressure rows cover reachable blocks only (the dead block is skipped)
+    assert len(d["findings"]) == 3 and len(d["pressure"]) == 1
+
+
+def test_render_mentions_instruction_text():
+    prog = assemble(CORRUPT_SRC)
+    text = verify_program(prog, name="corrupt").render(program=prog)
+    assert "corrupt:" in text and "add" in text
+    assert "read-uninitialized" in text
+
+
+# -- CLI verb ----------------------------------------------------------------
+
+def test_cli_check_builtins_clean(capsys):
+    assert main(["check"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out.splitlines()[-1]
+
+
+def test_cli_check_corrupt_asm_nonzero(tmp_path, capsys):
+    path = tmp_path / "corrupt.asm"
+    path.write_text(CORRUPT_SRC)
+    assert main(["check", "--asm", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "read-uninitialized" in out
+
+
+def test_cli_check_fail_on_thresholds(tmp_path, capsys):
+    path = tmp_path / "warn_only.asm"
+    path.write_text(CORRUPT_SRC)
+    # zero-init downgrades the program to warning-only (unreachable block)
+    argv = ["check", "--asm", str(path), "--assume-zero-init"]
+    assert main(argv) == 0
+    assert main(argv + ["--fail-on", "warning"]) == 1
+    assert main(argv + ["--fail-on", "none"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_check_json_and_pressure(capsys):
+    assert main(["check", "gather", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert len(data) == 1 and data[0]["name"] == "gather"
+    assert data[0]["pressure"]
+    assert main(["check", "gather", "--pressure"]) == 0
+    assert "working-set" in capsys.readouterr().out
+
+
+def test_cli_check_unknown_workload(capsys):
+    assert main(["check", "not-a-workload"]) == 2
+    capsys.readouterr()
+
+
+def test_every_builtin_kernel_verifies_clean():
+    for name in workloads.names():
+        inst = workloads.get(name).build(n_threads=4, n_per_thread=16)
+        init = {r.flat for d in inst.init_regs for r in d}
+        report = verify_program(inst.program, init_flats=init, name=name)
+        assert report.ok and not report.warnings, \
+            f"{name}: {[f.message for f in report.findings]}"

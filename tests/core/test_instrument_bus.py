@@ -90,7 +90,8 @@ class RecordingProfile:
         self.log.append(("profile", "on_spill_window"))
 
     def on_commit_timing(self, tid, pc0, d, t_d, t_ops, t_regs, t_ex_done,
-                         data_at, t_c, icache_missed, load_missed):
+                         data_at, t_c, icache_missed, load_missed,
+                         spill_wait=0):
         self.log.append(("profile", "on_commit_timing"))
 
 

@@ -1,0 +1,61 @@
+"""Fuzz-generator hygiene against the static verifier.
+
+Post-condition of the generator: every program it emits passes
+``repro check`` with zero findings — well-formed control flow, a halt
+on every path, no unreachable code, and no read of a register the
+generator did not initialize (beyond the x0/x1 ABI).  Shrunk corpus
+reproducers are held to the structural subset only: the shrinker
+deletes instructions, so a reproducer may legitimately lean on the
+machine's zero-init reset semantics, but it must never gain a bad
+branch target or lose its halt paths.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import workloads
+from repro.analysis.dataflow import verify_program
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.generator import sample_spec
+from repro.isa.registers import NUM_ARCH_REGS
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+
+def _verify_instance(inst, name, zero_init=False):
+    init = {r.flat for d in inst.init_regs for r in d}
+    if zero_init:
+        init = set(range(NUM_ARCH_REGS))
+    return verify_program(inst.program, init_flats=init, name=name)
+
+
+@pytest.mark.parametrize("index", range(25))
+def test_generated_programs_verify_clean(index):
+    spec = sample_spec(run_seed=99, index=index)
+    inst = workloads.get("fuzz").build(n_threads=3, n_per_thread=8,
+                                       gen=spec.as_dict())
+    report = _verify_instance(inst, f"fuzz[{index}]")
+    assert report.ok and not report.warnings, \
+        "\n".join(f.message for f in report.findings)
+
+
+def test_default_fuzz_workload_verifies_clean():
+    inst = workloads.get("fuzz").build(n_threads=4, n_per_thread=16)
+    report = _verify_instance(inst, "fuzz-default")
+    assert report.ok and not report.warnings
+
+
+def test_corpus_reproducers_structurally_clean():
+    corpus = Corpus(str(CORPUS_DIR))
+    slugs = corpus.entries()
+    assert slugs, "checked-in corpus should not be empty"
+    for slug in slugs:
+        asm, meta = corpus.load(slug)
+        inst = workloads.get("fuzz").build(
+            n_threads=meta.get("n_threads", 4),
+            n_per_thread=meta.get("n_per_thread", 16),
+            gen=meta.get("spec") or {}, asm=asm)
+        report = _verify_instance(inst, slug, zero_init=True)
+        assert report.ok and not report.warnings, \
+            f"{slug}: {[f.message for f in report.findings]}"

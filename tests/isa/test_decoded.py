@@ -101,3 +101,64 @@ def test_cores_over_one_program_share_the_decode():
                         core_a.memory, core_a.threads,
                         layout=core_a.layout)
     assert core_b.dprog is core_a.dprog
+
+
+def test_annotation_survives_decode_cache():
+    """Liveness hints written by annotate() persist on the cached decode:
+    a second core asking for the same (program, line size) sees them."""
+    from repro.analysis.dataflow import annotate
+
+    prog = program()
+    d1 = DecodedProgram.of(prog, 64)
+    annotate(d1)
+    assert d1.liveness is not None
+    d2 = DecodedProgram.of(prog, 64)
+    assert d2 is d1
+    assert d2.liveness is d1.liveness
+    for op in d2.ops:
+        assert op.kill_flats is not None
+
+
+def test_annotation_does_not_leak_between_line_sizes():
+    """Each icache-line-size decode variant carries its own hint state —
+    annotating the 64B decode must not make the 32B one claim hints."""
+    from repro.analysis.dataflow import annotate
+
+    prog = program()
+    d64 = DecodedProgram.of(prog, 64)
+    d32 = DecodedProgram.of(prog, 32)
+    assert d64 is not d32
+    annotate(d64)
+    assert d32.liveness is None
+    assert all(op.kill_flats is None for op in d32.ops)
+    # annotating the other variant reuses the computation independently
+    annotate(d32)
+    assert d32.liveness is not None
+    for a, b in zip(d64.ops, d32.ops):
+        assert a.kill_flats == b.kill_flats
+        assert a.last_use_flats == b.last_use_flats
+        assert a.dead_dest_flats == b.dead_dest_flats
+
+
+def test_decoded_op_duck_types_instruction_for_vrmu():
+    """The VRMU reads .regs / .srcs / .dests / .is_mem off whatever the
+    hooks hand it; DecodedOp must mirror the Instruction exactly."""
+    prog = program()
+    dprog = DecodedProgram.of(prog, 64)
+    for pc, inst in enumerate(prog.instructions):
+        d = dprog[pc]
+        assert d.regs == inst.regs
+        assert d.srcs == inst.srcs
+        assert d.dests == inst.dests
+        assert d.is_mem == inst.is_mem
+
+
+def test_fresh_decode_has_unclaimed_hints():
+    import dataclasses
+    prog = program()
+    # a distinct Program object gets a distinct, unannotated decode
+    clone = dataclasses.replace(prog) if dataclasses.is_dataclass(prog) \
+        else None
+    d = DecodedProgram.of(clone if clone is not None else program(), 64)
+    assert d.liveness is None
+    assert all(op.kill_flats is None for op in d.ops)

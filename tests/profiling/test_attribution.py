@@ -191,3 +191,25 @@ def test_strip_result_folds_profile_to_snapshot():
     stripped = strip_result(r)
     assert isinstance(stripped.profile, dict)
     assert stripped.profile == snap
+
+
+# -- spill-held port attribution (dead-hint policy axis) ---------------------
+def _spill_writeback_cycles(policy):
+    cfg = _cfg("virec", n_threads=8, n_per_thread=32,
+               context_fraction=0.4, seed=7, profile=True, policy=policy)
+    r = run_config(cfg)
+    for attributor in r.profile.attributors:
+        assert attributor.attributed == attributor.core.commit_tail
+    return r.profile.snapshot()["causes"].get("spill_writeback", 0)
+
+
+def test_virec_attributes_spill_held_port_waits():
+    """ViReC fill waits caused by spill port occupancy land in
+    spill_writeback, not vrmu_refill (the BSI port is shared)."""
+    assert _spill_writeback_cycles("lrc") > 0
+
+
+def test_dead_elide_cuts_spill_writeback_attribution():
+    """Eliding dead writebacks frees the port: the spill_writeback slice
+    shrinks relative to plain LRC on a register-pressure-bound run."""
+    assert _spill_writeback_cycles("dead-elide") < _spill_writeback_cycles("lrc")
