@@ -61,6 +61,7 @@ import sys
 from typing import List, Optional
 
 from . import workloads
+from .core.engine import ENGINES
 from .experiments import ALL_EXPERIMENTS
 from .system import CORE_TYPES, RunConfig, run_config
 
@@ -84,6 +85,8 @@ def _base_config(args, **extra) -> RunConfig:
     :func:`_add_config_options`)."""
     if getattr(args, "sanitize", None) and "sanitize" not in extra:
         extra["sanitize"] = {"granularity": args.sanitize}
+    if getattr(args, "engine", None) and "engine" not in extra:
+        extra["engine"] = args.engine
     return RunConfig(workload=args.workload, core_type=args.core,
                      n_threads=args.threads, n_cores=args.cores,
                      n_per_thread=args.per_thread,
@@ -269,6 +272,9 @@ def _cmd_report(args) -> int:
                  else "n/a")
         print(f"  [{d['severity']:<10}] {d['name']}: {d['current']} "
               f"vs {d['baseline']} ({delta})")
+    for g in report.get("engine_gate", []):
+        print(f"  [{g['severity']:<10}] {g['name']}: "
+              f"{g['speedup']:.2f}x vs floor {g['floor']:.2f}x")
     if args.check and report["has_regression"]:
         print(f"regression beyond {args.threshold * 100:.0f}% threshold",
               file=sys.stderr)
@@ -537,7 +543,7 @@ def _cmd_fuzz(args) -> int:
         jobs=args.jobs, n_threads=args.threads,
         n_per_thread=args.per_thread,
         shrink=not args.no_shrink, shrink_budget=args.shrink_budget,
-        resume=args.resume, faults=faults)
+        resume=args.resume, faults=faults, engine=args.engine)
     if args.max_cycles:
         fcfg.max_cycles = args.max_cycles
 
@@ -584,6 +590,10 @@ def _add_config_options(p: argparse.ArgumentParser) -> None:
                    choices=["commit", "interval", "run"], metavar="GRAN",
                    help="enable the VSan shadow-state sanitizer (optional "
                         "check granularity: commit | interval | run)")
+    p.add_argument("--engine", default=None, choices=list(ENGINES),
+                   help="step engine: compiled threaded-code closures "
+                        "(default) or the interpreted reference loop; "
+                        "byte-identical results either way")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -814,6 +824,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(fault-detection acceptance mode)")
     p.add_argument("--fault-seed", type=int, default=1,
                    help="fault-campaign seed (with --flip-rate)")
+    p.add_argument("--engine", default=None, choices=list(ENGINES),
+                   help="step engine every arm runs on; the oracle "
+                        "cross-checks the reference arm on the other "
+                        "engine either way")
     p.add_argument("--no-shrink", action="store_true",
                    help="store findings unshrunk")
     p.add_argument("--shrink-budget", type=int, default=48,

@@ -53,6 +53,7 @@ from enum import Enum, auto
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import DeadlockError
+from ..isa.compiled import EngineVariant, compile_program
 from ..isa.decoded import DecodedOp, DecodedProgram
 from ..isa.instructions import MASK64, Flags, Instruction, Opcode, evaluate
 from ..isa.program import Program
@@ -60,6 +61,7 @@ from ..isa.registers import NUM_FP_REGS, NUM_INT_REGS, Reg, RegClass
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
 from ..stats.counters import Stats
+from .engine import ENGINES, convert_scoreboard
 from .instrument import InstrumentBus
 
 __all__ = ["CoreConfig", "DeadlockError", "InstrumentBus", "ThreadContext",
@@ -133,7 +135,7 @@ class TimelineCore:
                  memory: MainMemory, threads: List[ThreadContext],
                  config: Optional[CoreConfig] = None,
                  stats: Optional[Stats] = None, core_id: int = 0,
-                 layout=None) -> None:
+                 layout=None, engine: Optional[str] = None) -> None:
         #: optional :class:`~repro.core.cgmt.ContextLayout` describing the
         #: thread-context save area (unused by cores with on-chip contexts)
         self.layout = layout
@@ -178,6 +180,21 @@ class TimelineCore:
         self._has_reg_hook = (cls.decode_regs_ready
                               is not TimelineCore.decode_regs_ready)
         self._has_commit_hook = cls.on_commit is not TimelineCore.on_commit
+        #: which step engine drives this core.  Directly constructed cores
+        #: default to the interpreted reference loop (no behaviour change
+        #: for existing call sites); :func:`repro.system.simulator.run_config`
+        #: passes the RunConfig's choice (default "compiled").
+        engine = engine or "interpreted"
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (expected one of {ENGINES})")
+        self._engine = engine
+        self._ccode = None     # compiled closure table (engine "compiled")
+        #: superop chaining permission — :meth:`set_step_chaining` turns
+        #: it off for cores inside a multi-core node (the node interleaves
+        #: cores per step, so a chained step would batch one core's
+        #: shared-memory traffic ahead of its peers)
+        self._chain_steps = True
         self._recompile_step()
 
     # ----------------------------------------------------- instrument bus
@@ -192,14 +209,91 @@ class TimelineCore:
         wrappers of ``_process_instruction`` (the task-pool redispatcher)
         call through it so an attach after wrapping still takes effect, and
         the recompile never clobbers such a wrapper (it only rebinds
-        ``_process_instruction`` while it is one of the two engine bodies).
+        ``_process_instruction`` while it is one of the engine bodies).
+
+        Under the threaded-code engine the same seam additionally swaps the
+        closure *table*: an empty bus binds the specialized fast closures
+        (superop chains), any attach binds the per-op instrumented closures
+        with bus epilogues.  See :mod:`repro.core.engine` for the full
+        engine x bus selection matrix.
         """
-        impl = (self._process_instruction_fast if self.bus.empty
-                else self._process_instruction_instrumented)
+        if self._engine == "compiled":
+            variant = self._engine_variant(not self.bus.empty)
+            self._ccode = compile_program(self.dprog, variant).code
+            impl = self._process_instruction_compiled
+        else:
+            impl = self._interpreted_step_impl()
         self._step_impl = impl
         current = self.__dict__.get("_process_instruction")
         if current is None or getattr(current, "_engine_step", False):
             self._process_instruction = impl
+
+    def _interpreted_step_impl(self):
+        """The interpreted body for the current bus state (the barrel core
+        overrides this: its interpreted loop is a single inline-dispatch
+        body)."""
+        return (self._process_instruction_fast if self.bus.empty
+                else self._process_instruction_instrumented)
+
+    def _engine_variant(self, instrumented: bool) -> EngineVariant:
+        """The compile key for this core's step closures (see
+        :class:`~repro.isa.compiled.EngineVariant`)."""
+        return EngineVariant(
+            family="timeline",
+            reg_hook=self._has_reg_hook,
+            commit_hook=self._has_commit_hook,
+            miss_switch=(self.config.switch_on_miss
+                         and len(self.threads) > 1),
+            instrumented=instrumented,
+            # instrumented tables never chain, so normalize the flag there
+            # and let them share one cached table regardless of chaining
+            chained=(self._chain_steps or instrumented))
+
+    def _process_instruction_compiled(self, thread: ThreadContext) -> int:
+        """Threaded-code dispatch: one call into the closure chain."""
+        return self._ccode[thread.pc](self, thread)
+
+    @property
+    def engine(self) -> str:
+        """Which step engine drives this core ("compiled"/"interpreted")."""
+        return self._engine
+
+    def set_engine(self, engine: str) -> None:
+        """Swap the step engine, mid-run safe (the R^4-style runtime
+        reconfiguration seam): scoreboard keys are converted so in-flight
+        writer timestamps survive, then the step body is recompiled."""
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (expected one of {ENGINES})")
+        if engine == self._engine:
+            return
+        self._engine = engine
+        self._convert_engine_keys(engine)
+        self._recompile_step()
+
+    def set_step_chaining(self, enabled: bool) -> None:
+        """Allow or forbid superop chains in the compiled engine.
+
+        Multi-core nodes must turn chaining off: the node driver
+        interleaves cores one :meth:`step` at a time in local-clock
+        order, and a chained step commits a whole branch-free run —
+        batching this core's crossbar/DRAM requests ahead of its
+        peers and changing contention order versus the interpreted
+        engine.  Chains are stateless, so flipping mid-run is safe.
+        """
+        if enabled != self._chain_steps:
+            self._chain_steps = enabled
+            self._recompile_step()
+
+    def _convert_engine_keys(self, engine: str) -> None:
+        self.scoreboard = convert_scoreboard(self.scoreboard, engine)
+
+    def _halt_thread(self, thread: ThreadContext) -> None:
+        """Commit-time halt bookkeeping (shared with the compiled closures,
+        which cannot name ThreadState without an import cycle)."""
+        thread.state = ThreadState.DONE
+        self.current = None
+        self.stats.inc("threads_completed")
 
     @property
     def tracer(self):
@@ -421,12 +515,17 @@ class TimelineCore:
     def done(self) -> bool:
         return all(th.state == ThreadState.DONE for th in self.threads)
 
-    def step(self) -> bool:
-        """Process one instruction (scheduling a thread first if needed).
+    def step(self):
+        """Process one instruction — or, under the threaded-code engine,
+        one superop chain — scheduling a thread first if needed.
 
-        Returns False once every thread has completed.  The multi-processor
-        driver (Figure 11) interleaves cores by repeatedly stepping the core
-        with the smallest local clock.
+        Returns a falsy value (False) once every thread has completed,
+        otherwise the number of engine steps consumed (the interpreted
+        bodies return None, normalized to True == 1; a compiled superop
+        returns its chain length so the run-loop watchdogs count exactly
+        what the interpreted engine counts).  The multi-processor driver
+        (Figure 11) interleaves cores by repeatedly stepping the core with
+        the smallest local clock.
         """
         if self.current is None:
             if self.done:
@@ -435,8 +534,7 @@ class TimelineCore:
                 raise DeadlockError(
                     "no runnable thread", commit_tail=self.commit_tail,
                     committed=sum(th.instructions for th in self.threads))
-        self._process_instruction(self.current)
-        return True
+        return self._process_instruction(self.current) or True
 
     def run(self) -> Stats:
         """Run all threads to completion; returns the stats namespace.
@@ -451,8 +549,8 @@ class TimelineCore:
         max_instructions = config.max_instructions
         max_cycles = config.max_cycles
         committed = 0
-        while self.step():
-            committed += 1
+        while (n := self.step()):
+            committed += n       # True == 1 for the interpreted engine
             if max_instructions is not None and committed > max_instructions:
                 raise DeadlockError(
                     f"instruction budget exceeded ({committed} > "
@@ -823,3 +921,4 @@ class TimelineCore:
 # methods forward attribute reads to their underlying function)
 TimelineCore._process_instruction_fast._engine_step = True
 TimelineCore._process_instruction_instrumented._engine_step = True
+TimelineCore._process_instruction_compiled._engine_step = True

@@ -1,0 +1,74 @@
+"""Engine selection for the timeline cores.
+
+Every core can run its per-instruction step under one of two engines:
+
+``"compiled"``
+    The threaded-code engine (:mod:`repro.isa.compiled`): each DecodedOp
+    is a specialized closure chained through its basic block, dispatched
+    as ``code[thread.pc](core, thread)``.  The default under
+    :func:`repro.system.simulator.run_config`.
+
+``"interpreted"``
+    The original per-op interpreter loop
+    (``TimelineCore._process_instruction_fast`` and friends).  The golden
+    reference arm: the differential fuzz oracle and the equivalence suite
+    hold the compiled engine byte-identical to it.  The default for
+    directly constructed cores, so existing call sites see no change.
+
+Either engine runs uninstrumented or instrumented; the
+``_recompile_step`` seam picks the body on every bus attach/detach.  The
+full selection matrix (engine x bus state):
+
+====================  =============================  ==========================
+state                 compiled                       interpreted
+====================  =============================  ==========================
+bus empty             specialized closures,          ``_process_instruction_fast``
+                      superop chains
+bus non-empty         per-op closures with bus       ``_process_instruction_
+                      epilogues (no chaining)        instrumented``
+====================  =============================  ==========================
+
+Engine choice is observational-only by construction — stats digests,
+architectural state and every cycle timestamp are identical — so the
+manifest digest excludes it, like the other observation knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..isa.registers import Reg, from_flat
+
+__all__ = ["ENGINES", "DEFAULT_ENGINE", "resolve_engine",
+           "convert_scoreboard"]
+
+#: valid engine names (also the CLI / RunConfig vocabulary)
+ENGINES = ("compiled", "interpreted")
+
+#: what ``RunConfig(engine=None)`` resolves to
+DEFAULT_ENGINE = "compiled"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an engine name; ``None`` resolves to :data:`DEFAULT_ENGINE`."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (expected one of {ENGINES})")
+    return engine
+
+
+def convert_scoreboard(board: Dict, engine: str) -> Dict:
+    """Re-key a writer scoreboard for an engine switch.
+
+    The compiled engine keys scoreboards by flat register index (plain
+    ints: no ``Reg.__hash__`` calls in the hot loop); the interpreted
+    engine keys them by :class:`~repro.isa.registers.Reg`.  A mid-run
+    ``set_engine`` converts so in-flight writer timestamps survive.
+    """
+    if engine == "compiled":
+        return {(k._flat if isinstance(k, Reg) else k): v
+                for k, v in board.items()}
+    return {(from_flat(k) if isinstance(k, int) else k): v
+            for k, v in board.items()}

@@ -27,10 +27,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..isa.compiled import EngineVariant
 from ..isa.instructions import evaluate
 from ..isa.registers import Reg
 from .base import CoreConfig, ThreadContext, ThreadState, TimelineCore
 from .cgmt import ContextLayout
+from .engine import convert_scoreboard
 
 
 class FGMTCore(TimelineCore):
@@ -75,7 +77,7 @@ class FGMTCore(TimelineCore):
                 t = fr
         return t
 
-    def step(self) -> bool:
+    def step(self):
         thread = self._pick_barrel_thread()
         if thread is None:
             return False
@@ -83,8 +85,29 @@ class FGMTCore(TimelineCore):
             thread.started = True
             self._issue_ready[thread.tid] = self.thread_start_cost(
                 thread, self._issue_ready[thread.tid])
-        self._process_barrel_instruction(thread)
-        return True
+        return self._process_instruction(thread) or True
+
+    # -- engine selection seam (see repro.core.engine) -------------------
+    def _engine_variant(self, instrumented: bool) -> EngineVariant:
+        # the barrel step uses none of the timeline subclass hooks or the
+        # miss-switch path, so every FGMT core shares one variant per bus
+        # state regardless of configuration
+        return EngineVariant(family="barrel", instrumented=instrumented)
+
+    def _interpreted_step_impl(self):
+        # one inline-dispatch interpreted body covers both bus states
+        return self._process_barrel_instruction
+
+    def _convert_engine_keys(self, engine: str) -> None:
+        super()._convert_engine_keys(engine)
+        self._boards = {tid: convert_scoreboard(board, engine)
+                        for tid, board in self._boards.items()}
+
+    def _halt_barrel_thread(self, thread: ThreadContext) -> None:
+        """Barrel halt bookkeeping (shared with the compiled closures);
+        unlike the timeline engine there is no ``current`` to clear."""
+        thread.state = ThreadState.DONE
+        self.stats.inc("threads_completed")
 
     # run() is inherited: the base watchdog loop drives the overridden
     # step(), and commit_tail advances per instruction here as well, so
@@ -183,3 +206,8 @@ class FGMTCore(TimelineCore):
             # barrel cores still pay the fetch redirect for taken branches
             t_next = t_ex_done + self.config.redirect_penalty
         issue_ready[tid] = t_next
+
+
+# recompile-safety marker: the barrel interpreted body is an engine body,
+# so _recompile_step may rebind over it (but never over external wrappers)
+FGMTCore._process_barrel_instruction._engine_step = True

@@ -46,6 +46,12 @@ class FuzzConfig:
     #: optional silent-flip fault campaign injected into every arm
     #: (:class:`~repro.faults.FaultConfig` fields, scheme "none")
     faults: Optional[Dict] = None
+    #: step engine every arm runs on ("compiled" | "interpreted"; None =
+    #: the default).  Whichever is picked, the oracle's engine-divergence
+    #: check re-runs the reference arm on the *other* engine and flags
+    #: any cycle or instruction difference — see
+    #: :func:`repro.fuzz.oracle.run_oracle`.
+    engine: Optional[str] = None
 
 
 @dataclass
@@ -86,7 +92,8 @@ def fuzz_worker(task: Dict) -> Dict:
     report = run_oracle(
         task["spec"],
         n_threads=task["n_threads"], n_per_thread=task["n_per_thread"],
-        max_cycles=task["max_cycles"], faults=task.get("faults"))
+        max_cycles=task["max_cycles"], faults=task.get("faults"),
+        engine=task.get("engine"))
     return {
         "index": task["index"], "valid": report.valid,
         "invalid_reason": report.invalid_reason,
@@ -127,6 +134,7 @@ def run_fuzz(fcfg: FuzzConfig, progress=None) -> FuzzReport:
             "index": i, "spec": specs[i].as_dict(),
             "n_threads": fcfg.n_threads, "n_per_thread": fcfg.n_per_thread,
             "max_cycles": fcfg.max_cycles, "faults": fcfg.faults,
+            "engine": fcfg.engine,
         })
 
     backend = resolve_backend(fcfg.jobs)
@@ -193,7 +201,8 @@ def _store_finding(fcfg: FuzzConfig, corpus: Corpus, spec, index: int,
             return run_oracle(
                 spec.as_dict(), asm=candidate_asm,
                 n_threads=fcfg.n_threads, n_per_thread=fcfg.n_per_thread,
-                max_cycles=fcfg.max_cycles, faults=fcfg.faults).signatures
+                max_cycles=fcfg.max_cycles, faults=fcfg.faults,
+                engine=fcfg.engine).signatures
 
         result = shrink_program(kern.asm, sig, signatures_of,
                                 max_attempts=fcfg.shrink_budget)
@@ -210,6 +219,7 @@ def _store_finding(fcfg: FuzzConfig, corpus: Corpus, spec, index: int,
         "spec": spec.as_dict(), "index": index, "run_seed": fcfg.seed,
         "n_threads": fcfg.n_threads, "n_per_thread": fcfg.n_per_thread,
         "max_cycles": fcfg.max_cycles, "faults": fcfg.faults,
+        "engine": fcfg.engine,
     }
     meta.update(shrunk_meta)
     return corpus.add(sig, asm, meta)

@@ -1,0 +1,1717 @@
+"""Threaded-code compilation of :class:`~repro.isa.decoded.DecodedProgram`.
+
+The decode pass (:mod:`repro.isa.decoded`) flattens per-instruction
+*metadata*; this module flattens per-instruction *behaviour*.  Every
+``DecodedOp`` is lowered to a specialized Python closure capturing its
+operand indices, execute latency, flag/memory/branch class and — inside a
+branch-free basic block — a direct reference to the successor closure, so a
+whole block runs as one "superop" call chain (SESC's pointer-threaded
+``icode_ptr`` dispatch, in Python).  The hot loop of a compiled core is
+then ``code[thread.pc](core, thread)`` with zero branching on op class.
+
+Closure contract:
+
+* signature ``(core, thread) -> int`` — the number of engine steps
+  consumed (>= 1; a superop returns its chain length so the run-loop
+  watchdogs count exactly what the interpreted engine counts);
+* closures capture **only static program facts** (indices, latencies,
+  successor closures).  They never capture the core, a bus slot, or any
+  attribute the :class:`~repro.core.instrument.InstrumentBus` can rebind
+  (lint rule VRC010) — everything dynamic is read from ``core`` per call,
+  so one compiled table is shared by every core over the same program and
+  instrument attach/detach can never be defeated by a stale capture;
+* the cycle math replicates ``TimelineCore._process_instruction_fast`` /
+  ``_process_instruction_instrumented`` (timeline family) and
+  ``FGMTCore._process_barrel_instruction`` (barrel family) exactly; the
+  equivalence suite (tests/core/test_engine_equivalence.py) holds the two
+  engines byte-identical.  Edit them together.
+
+Compiled tables are cached on the ``DecodedProgram`` (itself cached per
+(program, icache line size)) keyed by :class:`EngineVariant`, so closures
+never leak across (program, line-size, core-variant) combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .decoded import DecodedOp, DecodedProgram
+from .instructions import (MASK64, SIGN64, AddrMode, Cond, Flags, Opcode,
+                           evaluate)
+from .registers import RegClass
+
+__all__ = ["EngineVariant", "CompiledProgram", "compile_program",
+           "MAX_CHAIN"]
+
+#: longest superop chain (bounds Python recursion depth per step)
+MAX_CHAIN = 48
+
+#: engine families a core can compile for
+FAMILIES = ("timeline", "barrel")
+
+
+@dataclass(frozen=True)
+class EngineVariant:
+    """The compile key: everything a closure's code shape depends on.
+
+    Two cores whose variants compare equal can share one compiled table;
+    anything that changes the emitted code (which hooks fire, whether bus
+    epilogues are dispatched, whether a load can context-switch) must be a
+    field here — that is the cache-keying guarantee
+    ``tests/isa/test_compiled.py`` pins down.
+    """
+
+    family: str = "timeline"       # "timeline" | "barrel"
+    reg_hook: bool = False         # decode_regs_ready overridden (VRMU)
+    commit_hook: bool = False      # on_commit overridden
+    miss_switch: bool = False      # switch_on_miss and >1 thread
+    instrumented: bool = False     # bus non-empty: dispatch epilogues
+    #: superop chaining.  Off for cores inside a multi-core node: the
+    #: node interleaves cores per step() in local-clock order, and a
+    #: chained step would batch one core's shared-memory traffic ahead
+    #: of its peers, changing crossbar/DRAM contention order vs the
+    #: interpreted engine.  Part of the key so chained and unchained
+    #: tables never collide in the compile cache.
+    chained: bool = True
+
+
+class CompiledProgram:
+    """A per-(DecodedProgram, EngineVariant) closure table."""
+
+    __slots__ = ("dprog", "variant", "code")
+
+    def __init__(self, dprog: DecodedProgram, variant: EngineVariant,
+                 code: List[Callable]) -> None:
+        self.dprog = dprog
+        self.variant = variant
+        self.code = code
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+
+def compile_program(dprog: DecodedProgram,
+                    variant: EngineVariant) -> CompiledProgram:
+    """Cached compile of ``dprog`` for ``variant``.
+
+    The cache lives on the DecodedProgram (one per (program, line-size)),
+    so the full key is (program identity, icache line size, variant) —
+    mirroring the decode-cache guarantees, including the staleness guard.
+    """
+    if variant.family not in FAMILIES:
+        raise ValueError(f"unknown engine family {variant.family!r}")
+    cache = dprog.compiled
+    cp = cache.get(variant)
+    if cp is None or len(cp.code) != len(dprog.ops):
+        cp = CompiledProgram(dprog, variant, _build_code(dprog, variant))
+        cache[variant] = cp
+    return cp
+
+
+class _Unsupported(Exception):
+    """A specialized factory can't express this op; fall back to the
+    generic (evaluate()-based) closure, which handles everything."""
+
+
+def _block_leaders(dprog: DecodedProgram) -> set:
+    """Basic-block leader pcs from the PR 8 dataflow CFG (superop
+    boundaries).  Imported lazily: analysis sits above isa in the layer
+    order."""
+    from ..analysis.dataflow.cfg import build_cfg
+    return {b.start for b in build_cfg(dprog.program).blocks}
+
+
+def _build_code(dprog: DecodedProgram,
+                variant: EngineVariant) -> List[Callable]:
+    ops = dprog.ops
+    n = len(ops)
+    if variant.family == "barrel":
+        if variant.instrumented:
+            return [_barrel_instrumented(ops, pc, variant)
+                    for pc in range(n)]
+        return [_barrel_factory(ops, pc, variant) for pc in range(n)]
+    if variant.instrumented:
+        return [_instrumented_step(ops[pc], variant) for pc in range(n)]
+    # fast timeline: chain branch-free runs inside one basic block into a
+    # superop (built in reverse pc order so the successor closure exists)
+    leaders = _block_leaders(dprog) if variant.chained else None
+    code: List[Optional[Callable]] = [None] * n
+    depth = [0] * n
+    for pc in range(n - 1, -1, -1):
+        d = ops[pc]
+        chain = None
+        npc = pc + 1
+        if (variant.chained and not d.is_branch and not d.is_halt
+                and npc < n and npc not in leaders
+                and depth[npc] < MAX_CHAIN):
+            chain = code[npc]
+            depth[pc] = depth[npc] + 1
+        code[pc] = _timeline_factory(d, variant, chain)
+    return code
+
+
+def _timeline_factory(d: DecodedOp, variant: EngineVariant,
+                      chain: Optional[Callable]) -> Callable:
+    try:
+        op = d.inst.opcode
+        if d.is_halt:
+            return _halt_fast(d, variant)
+        if d.is_branch:
+            return _branch_fast(d, variant)
+        if d.is_load:
+            return _ldr_fast(d, variant, chain)
+        if d.is_store:
+            return _str_fast(d, variant, chain)
+        if op is Opcode.CMP:
+            return _cmp_fast(d, variant, chain)
+        return _simple_fast(d, variant, chain)
+    except _Unsupported:
+        return _generic_step(d, variant, chain)
+
+
+# --------------------------------------------------------------- op lowering
+_ALU2 = {
+    Opcode.ADD: lambda a, b: (a + b) & MASK64,
+    Opcode.SUB: lambda a, b: (a - b) & MASK64,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.ORR: lambda a, b: a | b,
+    Opcode.EOR: lambda a, b: a ^ b,
+    Opcode.LSL: lambda a, b: (a << (b & 63)) & MASK64,
+    Opcode.LSR: lambda a, b: (a & MASK64) >> (b & 63),
+    Opcode.MUL: lambda a, b: (a * b) & MASK64,
+}
+
+_U64 = 1 << 64
+
+
+def _asr(a: int, b: int) -> int:
+    a &= MASK64
+    if a & SIGN64:
+        a -= _U64
+    return (a >> (b & 63)) & MASK64
+
+
+_ALU2[Opcode.ASR] = _asr
+
+_COND_TESTS = {
+    Cond.EQ: lambda f: f.z,
+    Cond.NE: lambda f: not f.z,
+    Cond.LT: lambda f: f.n != f.v,
+    Cond.LE: lambda f: f.z or (f.n != f.v),
+    Cond.GT: lambda f: (not f.z) and (f.n == f.v),
+    Cond.GE: lambda f: f.n == f.v,
+}
+
+
+def _x_index(reg) -> int:
+    if reg is None or reg.rclass is not RegClass.X:
+        raise _Unsupported
+    return reg.index
+
+
+def _d_index(reg) -> int:
+    if reg is None or reg.rclass is not RegClass.D:
+        raise _Unsupported
+    return reg.index
+
+
+def _make_compute(d: DecodedOp):
+    """Lower a register-writing ALU/FP/move op to
+    ``compute(xregs, dregs) -> value`` plus its destination.  Raises
+    :class:`_Unsupported` for anything outside the expected shapes."""
+    inst = d.inst
+    op = inst.opcode
+    if op is Opcode.NOP:
+        return None, None
+    rd = inst.rd
+    if op in _ALU2:
+        a = _x_index(inst.rn)
+        _x_index(rd)
+        f = _ALU2[op]
+        if inst.rm is not None:
+            b = _x_index(inst.rm)
+            return (lambda x, dr: f(x[a], x[b])), rd
+        if inst.imm is None:
+            raise _Unsupported
+        imm = int(inst.imm) & MASK64
+        return (lambda x, dr: f(x[a], imm)), rd
+    if op is Opcode.MADD:
+        a = _x_index(inst.rn)
+        b = _x_index(inst.rm)
+        c = _x_index(inst.ra)
+        _x_index(rd)
+        return (lambda x, dr: (x[a] * x[b] + x[c]) & MASK64), rd
+    if op is Opcode.MOV:
+        _x_index(rd)
+        if inst.rn is not None:
+            a = _x_index(inst.rn)
+            return (lambda x, dr: x[a]), rd
+        if inst.imm is None:
+            raise _Unsupported
+        imm = int(inst.imm) & MASK64
+        return (lambda x, dr: imm), rd
+    if op is Opcode.ADR:
+        _x_index(rd)
+        if inst.imm is None:
+            raise _Unsupported
+        imm = int(inst.imm) & MASK64
+        return (lambda x, dr: imm), rd
+    if op is Opcode.FMOV:
+        _d_index(rd)
+        if inst.rn is not None:
+            a = _d_index(inst.rn)
+            return (lambda x, dr: dr[a]), rd
+        if inst.imm is None:
+            raise _Unsupported
+        imm = float(inst.imm)
+        return (lambda x, dr: imm), rd
+    if op is Opcode.FADD:
+        a, b = _d_index(inst.rn), _d_index(inst.rm)
+        _d_index(rd)
+        return (lambda x, dr: dr[a] + dr[b]), rd
+    if op is Opcode.FSUB:
+        a, b = _d_index(inst.rn), _d_index(inst.rm)
+        _d_index(rd)
+        return (lambda x, dr: dr[a] - dr[b]), rd
+    if op is Opcode.FMUL:
+        a, b = _d_index(inst.rn), _d_index(inst.rm)
+        _d_index(rd)
+        return (lambda x, dr: dr[a] * dr[b]), rd
+    if op is Opcode.FMADD:
+        a, b, c = (_d_index(inst.rn), _d_index(inst.rm),
+                   _d_index(inst.ra))
+        _d_index(rd)
+        return (lambda x, dr: dr[a] * dr[b] + dr[c]), rd
+    raise _Unsupported
+
+
+def _addr_lowering(d: DecodedOp):
+    """Lower the addressing mode to ``(addr_fn(xregs), writeback_fn)``.
+
+    ``addr_fn`` returns the effective address; ``writeback_fn`` is None or
+    ``(xregs) -> new_base`` for post-index."""
+    inst = d.inst
+    rn = _x_index(inst.rn)
+    mode = inst.mode
+    if mode is AddrMode.OFF_IMM:
+        imm = int(inst.imm or 0)
+        return (lambda x: (x[rn] + imm) & MASK64), None, rn
+    if mode is AddrMode.OFF_REG:
+        rm = _x_index(inst.rm)
+        sh = inst.shift
+        return (lambda x: (x[rn] + ((x[rm] << sh) & MASK64)) & MASK64,
+                None, rn)
+    if mode is AddrMode.POST_IMM:
+        imm = int(inst.imm or 0)
+        return (lambda x: x[rn] & MASK64,
+                lambda x: (x[rn] + imm) & MASK64, rn)
+    raise _Unsupported
+
+
+# ---------------------------------------------------- timeline fast closures
+#
+# Each factory captures only static facts and emits a closure whose cycle
+# math line-for-line mirrors TimelineCore._process_instruction_fast.  The
+# shared fetch/decode/execute prologue is repeated in every body on
+# purpose: a helper call per stage would cost more than the interpreter
+# saves.
+
+def _simple_fast(d: DecodedOp, variant: EngineVariant,
+                 chain: Optional[Callable]) -> Callable:
+    compute, rd = _make_compute(d)
+    D = d
+    LINE = d.line
+    ADDR = d.addr
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    NEXT = d.pc + 1
+    REG_HOOK = variant.reg_hook
+    COMMIT_HOOK = variant.commit_hook
+    RD_IS_X = rd is not None and rd.rclass is RegClass.X
+    RD_IDX = rd.index if rd is not None else 0
+    RD_FLAT = rd._flat if rd is not None else 0
+    HAS_DEST = rd is not None
+    CHAIN = chain
+
+    def step(core, thread):
+        # fetch
+        fa = core.fetch_avail
+        t_d = core.decode_free
+        if fa > t_d:
+            t_d = fa
+        if LINE != core._last_fetch_line:
+            core._last_fetch_line = LINE
+            ic = core.icache
+            t0 = t_d - ic.config.latency
+            r = ic.access(t0 if t0 > 0 else 0, ADDR,
+                          requestor=core.core_id)
+            if not r.hit:
+                core.stats.inc("icache_miss_stalls")
+            if r.complete_at > t_d:
+                t_d = r.complete_at
+        # decode
+        sb = core.scoreboard
+        t_issue = t_d + 1
+        for f in SRC_FLATS:
+            w = sb.get(f, 0)
+            if w > t_issue:
+                t_issue = w
+        if REG_HOOK:
+            t_regs = core.decode_regs_ready(thread, D, t_d)
+            if t_regs > t_issue:
+                t_issue = t_regs
+        core.decode_free = t_issue
+        fa += 1
+        t_d1 = t_d + 1
+        core.fetch_avail = fa if fa > t_d1 else t_d1
+        # execute
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        # commit
+        t_c = core.commit_tail + 1
+        if t_ex_done > t_c:
+            t_c = t_ex_done
+        core.commit_tail = t_c
+        core.commits_since_switch += 1
+        thread.fruitless = 0
+        thread.instructions += 1
+        core.now = t_c
+        # architectural update
+        if HAS_DEST:
+            if RD_IS_X:
+                thread.xregs[RD_IDX] = compute(thread.xregs, thread.dregs)
+            else:
+                thread.dregs[RD_IDX] = compute(thread.xregs, thread.dregs)
+            sb[RD_FLAT] = t_ex_done
+        if COMMIT_HOOK:
+            core.on_commit(thread, D, t_c)
+        thread.pc = NEXT
+        if CHAIN is None:
+            return 1
+        return 1 + CHAIN(core, thread)
+
+    return step
+
+
+def _cmp_fast(d: DecodedOp, variant: EngineVariant,
+              chain: Optional[Callable]) -> Callable:
+    inst = d.inst
+    RN = _x_index(inst.rn)
+    HAS_RM = inst.rm is not None
+    RM = _x_index(inst.rm) if HAS_RM else 0
+    if not HAS_RM and inst.imm is None:
+        raise _Unsupported
+    IMM_B = 0 if HAS_RM else int(inst.imm) & MASK64
+    D = d
+    LINE = d.line
+    ADDR = d.addr
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    NEXT = d.pc + 1
+    REG_HOOK = variant.reg_hook
+    COMMIT_HOOK = variant.commit_hook
+    CHAIN = chain
+
+    def step(core, thread):
+        fa = core.fetch_avail
+        t_d = core.decode_free
+        if fa > t_d:
+            t_d = fa
+        if LINE != core._last_fetch_line:
+            core._last_fetch_line = LINE
+            ic = core.icache
+            t0 = t_d - ic.config.latency
+            r = ic.access(t0 if t0 > 0 else 0, ADDR,
+                          requestor=core.core_id)
+            if not r.hit:
+                core.stats.inc("icache_miss_stalls")
+            if r.complete_at > t_d:
+                t_d = r.complete_at
+        sb = core.scoreboard
+        t_issue = t_d + 1
+        for f in SRC_FLATS:
+            w = sb.get(f, 0)
+            if w > t_issue:
+                t_issue = w
+        if REG_HOOK:
+            t_regs = core.decode_regs_ready(thread, D, t_d)
+            if t_regs > t_issue:
+                t_issue = t_regs
+        core.decode_free = t_issue
+        fa += 1
+        t_d1 = t_d + 1
+        core.fetch_avail = fa if fa > t_d1 else t_d1
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        t_c = core.commit_tail + 1
+        if t_ex_done > t_c:
+            t_c = t_ex_done
+        core.commit_tail = t_c
+        core.commits_since_switch += 1
+        thread.fruitless = 0
+        thread.instructions += 1
+        core.now = t_c
+        # NZCV (exact evaluate() semantics, inlined)
+        x = thread.xregs
+        a = x[RN]
+        b = x[RM] if HAS_RM else IMM_B
+        diff = (a - b) & MASK64
+        sa = a - _U64 if a & SIGN64 else a
+        sbv = b - _U64 if b & SIGN64 else b
+        sd = diff - _U64 if diff & SIGN64 else diff
+        thread.flags = Flags(bool(diff & SIGN64), diff == 0, a >= b,
+                             (sa - sbv) != sd)
+        core.flags_ready = t_ex_done
+        if COMMIT_HOOK:
+            core.on_commit(thread, D, t_c)
+        thread.pc = NEXT
+        if CHAIN is None:
+            return 1
+        return 1 + CHAIN(core, thread)
+
+    return step
+
+
+def _branch_fast(d: DecodedOp, variant: EngineVariant) -> Callable:
+    inst = d.inst
+    op = inst.opcode
+    TARGET = inst.target
+    if TARGET is None:
+        raise _Unsupported
+    KIND = 0                       # 0: B, 1: BCOND, 2: CBZ/CBNZ
+    TEST = None
+    RN = 0
+    WANT_ZERO = False
+    if op is Opcode.BCOND:
+        KIND = 1
+        TEST = _COND_TESTS[inst.cond]
+    elif op in (Opcode.CBZ, Opcode.CBNZ):
+        KIND = 2
+        RN = _x_index(inst.rn)
+        WANT_ZERO = op is Opcode.CBZ
+    D = d
+    LINE = d.line
+    ADDR = d.addr
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    READS_FLAGS = d.reads_flags
+    NEXT = d.pc + 1
+    REG_HOOK = variant.reg_hook
+    COMMIT_HOOK = variant.commit_hook
+
+    def step(core, thread):
+        fa = core.fetch_avail
+        t_d = core.decode_free
+        if fa > t_d:
+            t_d = fa
+        if LINE != core._last_fetch_line:
+            core._last_fetch_line = LINE
+            ic = core.icache
+            t0 = t_d - ic.config.latency
+            r = ic.access(t0 if t0 > 0 else 0, ADDR,
+                          requestor=core.core_id)
+            if not r.hit:
+                core.stats.inc("icache_miss_stalls")
+            if r.complete_at > t_d:
+                t_d = r.complete_at
+        sb = core.scoreboard
+        t_issue = t_d + 1
+        for f in SRC_FLATS:
+            w = sb.get(f, 0)
+            if w > t_issue:
+                t_issue = w
+        if READS_FLAGS:
+            fr = core.flags_ready
+            if fr > t_issue:
+                t_issue = fr
+        if REG_HOOK:
+            t_regs = core.decode_regs_ready(thread, D, t_d)
+            if t_regs > t_issue:
+                t_issue = t_regs
+        core.decode_free = t_issue
+        fa += 1
+        t_d1 = t_d + 1
+        core.fetch_avail = fa if fa > t_d1 else t_d1
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        t_c = core.commit_tail + 1
+        if t_ex_done > t_c:
+            t_c = t_ex_done
+        core.commit_tail = t_c
+        core.commits_since_switch += 1
+        thread.fruitless = 0
+        thread.instructions += 1
+        core.now = t_c
+        if KIND == 0:
+            taken = True
+        elif KIND == 1:
+            taken = TEST(thread.flags)
+        else:
+            taken = (thread.xregs[RN] == 0) == WANT_ZERO
+        if COMMIT_HOOK:
+            core.on_commit(thread, D, t_c)
+        if taken:
+            thread.pc = TARGET
+            core.fetch_avail = t_ex_done + 1 + core.config.redirect_penalty
+            core.stats.inc("taken_branches")
+        else:
+            thread.pc = NEXT
+        return 1
+
+    return step
+
+
+def _ldr_fast(d: DecodedOp, variant: EngineVariant,
+              chain: Optional[Callable]) -> Callable:
+    addr_fn, wb_fn, rn_idx = _addr_lowering(d)
+    inst = d.inst
+    rd = inst.rd
+    if rd is None:
+        raise _Unsupported
+    RD_IS_X = rd.rclass is RegClass.X
+    RD_IDX = rd.index
+    RD_FLAT = rd._flat
+    RN_IDX = rn_idx
+    RN_FLAT = inst.rn._flat
+    D = d
+    INST = inst
+    LINE = d.line
+    ADDR = d.addr
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    NEXT = d.pc + 1
+    REG_HOOK = variant.reg_hook
+    COMMIT_HOOK = variant.commit_hook
+    MISS_SWITCH = variant.miss_switch
+    CHAIN = chain
+
+    def step(core, thread):
+        fa = core.fetch_avail
+        t_d = core.decode_free
+        if fa > t_d:
+            t_d = fa
+        if LINE != core._last_fetch_line:
+            core._last_fetch_line = LINE
+            ic = core.icache
+            t0 = t_d - ic.config.latency
+            r = ic.access(t0 if t0 > 0 else 0, ADDR,
+                          requestor=core.core_id)
+            if not r.hit:
+                core.stats.inc("icache_miss_stalls")
+            if r.complete_at > t_d:
+                t_d = r.complete_at
+        sb = core.scoreboard
+        t_issue = t_d + 1
+        for f in SRC_FLATS:
+            w = sb.get(f, 0)
+            if w > t_issue:
+                t_issue = w
+        if REG_HOOK:
+            t_regs = core.decode_regs_ready(thread, D, t_d)
+            if t_regs > t_issue:
+                t_issue = t_regs
+        core.decode_free = t_issue
+        fa += 1
+        t_d1 = t_d + 1
+        core.fetch_avail = fa if fa > t_d1 else t_d1
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        # memory
+        x = thread.xregs
+        addr = addr_fn(x)
+        t_m = core._load_slot_wait(t_ex_done)
+        t_issue_mem, r = core.dcache_request(t_m, addr, is_load_data=True)
+        data_at = r.complete_at
+        if MISS_SWITCH and r.switch_signal:
+            if core._handle_miss_switch(thread, INST, t_issue_mem, r):
+                return 1    # thread suspended; load replays on resume
+            core.stats.inc("switches_suppressed")
+        core.load_slots.append(data_at)
+        if not r.hit:
+            core.stats.inc("load_miss_stalls")
+        # commit
+        t_c = core.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
+        core.commit_tail = t_c
+        core.commits_since_switch += 1
+        thread.fruitless = 0
+        thread.instructions += 1
+        core.now = t_c
+        # architectural update (post-index writeback before the dest, so
+        # ldr xN, [xN], #imm resolves exactly as evaluate() orders it)
+        if wb_fn is not None:
+            x[RN_IDX] = wb_fn(x)
+            sb[RN_FLAT] = t_ex_done
+        v = core.memory.load(addr)
+        if RD_IS_X:
+            x[RD_IDX] = int(v) & MASK64
+        else:
+            thread.dregs[RD_IDX] = float(v)
+        sb[RD_FLAT] = data_at
+        if COMMIT_HOOK:
+            core.on_commit(thread, D, t_c)
+        thread.pc = NEXT
+        if CHAIN is None:
+            return 1
+        return 1 + CHAIN(core, thread)
+
+    return step
+
+
+def _str_fast(d: DecodedOp, variant: EngineVariant,
+              chain: Optional[Callable]) -> Callable:
+    addr_fn, wb_fn, rn_idx = _addr_lowering(d)
+    inst = d.inst
+    rd = inst.rd
+    if rd is None:
+        raise _Unsupported
+    RD_IS_X = rd.rclass is RegClass.X
+    RDS_IDX = rd.index
+    RN_IDX = rn_idx
+    RN_FLAT = inst.rn._flat
+    D = d
+    LINE = d.line
+    ADDR = d.addr
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    NEXT = d.pc + 1
+    REG_HOOK = variant.reg_hook
+    COMMIT_HOOK = variant.commit_hook
+    CHAIN = chain
+
+    def step(core, thread):
+        fa = core.fetch_avail
+        t_d = core.decode_free
+        if fa > t_d:
+            t_d = fa
+        if LINE != core._last_fetch_line:
+            core._last_fetch_line = LINE
+            ic = core.icache
+            t0 = t_d - ic.config.latency
+            r = ic.access(t0 if t0 > 0 else 0, ADDR,
+                          requestor=core.core_id)
+            if not r.hit:
+                core.stats.inc("icache_miss_stalls")
+            if r.complete_at > t_d:
+                t_d = r.complete_at
+        sb = core.scoreboard
+        t_issue = t_d + 1
+        for f in SRC_FLATS:
+            w = sb.get(f, 0)
+            if w > t_issue:
+                t_issue = w
+        if REG_HOOK:
+            t_regs = core.decode_regs_ready(thread, D, t_d)
+            if t_regs > t_issue:
+                t_issue = t_regs
+        core.decode_free = t_issue
+        fa += 1
+        t_d1 = t_d + 1
+        core.fetch_avail = fa if fa > t_d1 else t_d1
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        # memory (store value and address both read pre-writeback)
+        x = thread.xregs
+        sv = x[RDS_IDX] if RD_IS_X else thread.dregs[RDS_IDX]
+        addr = addr_fn(x)
+        data_at = core._sq_insert(t_ex_done, addr)
+        core.memory.store(addr, sv)
+        # commit
+        t_c = core.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
+        core.commit_tail = t_c
+        core.commits_since_switch += 1
+        thread.fruitless = 0
+        thread.instructions += 1
+        core.now = t_c
+        if wb_fn is not None:
+            x[RN_IDX] = wb_fn(x)
+            sb[RN_FLAT] = t_ex_done
+        if COMMIT_HOOK:
+            core.on_commit(thread, D, t_c)
+        thread.pc = NEXT
+        if CHAIN is None:
+            return 1
+        return 1 + CHAIN(core, thread)
+
+    return step
+
+
+def _halt_fast(d: DecodedOp, variant: EngineVariant) -> Callable:
+    D = d
+    LINE = d.line
+    ADDR = d.addr
+    LAT = d.ex_latency
+    REG_HOOK = variant.reg_hook
+    COMMIT_HOOK = variant.commit_hook
+
+    def step(core, thread):
+        fa = core.fetch_avail
+        t_d = core.decode_free
+        if fa > t_d:
+            t_d = fa
+        if LINE != core._last_fetch_line:
+            core._last_fetch_line = LINE
+            ic = core.icache
+            t0 = t_d - ic.config.latency
+            r = ic.access(t0 if t0 > 0 else 0, ADDR,
+                          requestor=core.core_id)
+            if not r.hit:
+                core.stats.inc("icache_miss_stalls")
+            if r.complete_at > t_d:
+                t_d = r.complete_at
+        t_issue = t_d + 1
+        if REG_HOOK:
+            t_regs = core.decode_regs_ready(thread, D, t_d)
+            if t_regs > t_issue:
+                t_issue = t_regs
+        core.decode_free = t_issue
+        fa += 1
+        t_d1 = t_d + 1
+        core.fetch_avail = fa if fa > t_d1 else t_d1
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        t_c = core.commit_tail + 1
+        if t_ex_done > t_c:
+            t_c = t_ex_done
+        core.commit_tail = t_c
+        core.commits_since_switch += 1
+        thread.fruitless = 0
+        core.now = t_c          # halt commits but is not an instruction
+        if COMMIT_HOOK:
+            core.on_commit(thread, D, t_c)
+        core._halt_thread(thread)
+        return 1
+
+    return step
+
+
+def _generic_step(d: DecodedOp, variant: EngineVariant,
+                  chain: Optional[Callable]) -> Callable:
+    """Full-fidelity fallback: evaluate()-based replica of the interpreted
+    fast body, with flat scoreboard keys.  Handles every op shape the
+    specialized factories decline."""
+    D = d
+    INST = d.inst
+    LINE = d.line
+    ADDR = d.addr
+    LAT = d.ex_latency
+    SRC_READS = d.src_reads
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    READS_FLAGS = d.reads_flags
+    IS_LOAD = d.is_load
+    IS_STORE = d.is_store
+    RD = d.rd
+    NEXT = d.pc + 1
+    REG_HOOK = variant.reg_hook
+    COMMIT_HOOK = variant.commit_hook
+    MISS_SWITCH = variant.miss_switch
+    CHAIN = chain
+    X = RegClass.X
+
+    def step(core, thread):
+        fa = core.fetch_avail
+        t_d = core.decode_free
+        if fa > t_d:
+            t_d = fa
+        if LINE != core._last_fetch_line:
+            core._last_fetch_line = LINE
+            ic = core.icache
+            t0 = t_d - ic.config.latency
+            r = ic.access(t0 if t0 > 0 else 0, ADDR,
+                          requestor=core.core_id)
+            if not r.hit:
+                core.stats.inc("icache_miss_stalls")
+            if r.complete_at > t_d:
+                t_d = r.complete_at
+        sb = core.scoreboard
+        t_issue = t_d + 1
+        for f in SRC_FLATS:
+            w = sb.get(f, 0)
+            if w > t_issue:
+                t_issue = w
+        if READS_FLAGS:
+            fr = core.flags_ready
+            if fr > t_issue:
+                t_issue = fr
+        if REG_HOOK:
+            t_regs = core.decode_regs_ready(thread, D, t_d)
+            if t_regs > t_issue:
+                t_issue = t_regs
+        core.decode_free = t_issue
+        fa += 1
+        t_d1 = t_d + 1
+        core.fetch_avail = fa if fa > t_d1 else t_d1
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+
+        xregs = thread.xregs
+        dregs = thread.dregs
+        srcvals = {}
+        for reg, is_x, idx in SRC_READS:
+            srcvals[reg] = xregs[idx] if is_x else dregs[idx]
+        result = evaluate(INST, srcvals, thread.flags, thread.pc)
+
+        data_at = t_ex_done
+        if IS_LOAD:
+            t_m = core._load_slot_wait(t_ex_done)
+            t_issue_mem, r = core.dcache_request(
+                t_m, result.addr, is_load_data=True)
+            data_at = r.complete_at
+            if MISS_SWITCH and r.switch_signal:
+                if core._handle_miss_switch(thread, INST, t_issue_mem, r):
+                    return 1
+                core.stats.inc("switches_suppressed")
+            core.load_slots.append(data_at)
+            if not r.hit:
+                core.stats.inc("load_miss_stalls")
+        elif IS_STORE:
+            data_at = core._sq_insert(t_ex_done, result.addr)
+            core.memory.store(result.addr, result.store_value)
+
+        t_c = core.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
+        core.commit_tail = t_c
+        core.commits_since_switch += 1
+        thread.fruitless = 0
+        if not result.halt:
+            thread.instructions += 1
+        core.now = t_c
+
+        writes = result.writes
+        if writes:
+            for reg, value in writes.items():
+                if reg.rclass is X:
+                    xregs[reg.index] = int(value) & MASK64
+                else:
+                    dregs[reg.index] = float(value)
+                sb[reg._flat] = t_ex_done
+        if IS_LOAD:
+            value = core.memory.load(result.addr)
+            if RD.rclass is X:
+                xregs[RD.index] = int(value) & MASK64
+            else:
+                dregs[RD.index] = float(value)
+            sb[RD._flat] = data_at
+        if result.new_flags is not None:
+            thread.flags = result.new_flags
+            core.flags_ready = t_ex_done
+        if COMMIT_HOOK:
+            core.on_commit(thread, D, t_c)
+
+        if result.halt:
+            core._halt_thread(thread)
+            return 1
+        if result.taken:
+            thread.pc = result.target
+            core.fetch_avail = t_ex_done + 1 + core.config.redirect_penalty
+            core.stats.inc("taken_branches")
+            return 1
+        thread.pc = NEXT
+        if CHAIN is None:
+            return 1
+        return 1 + CHAIN(core, thread)
+
+    return step
+
+
+def _instrumented_step(d: DecodedOp, variant: EngineVariant) -> Callable:
+    """Compiled-instrumented closure: the same per-op constants as the fast
+    factories, with the InstrumentBus dispatched from the closure epilogue
+    in the fixed faults -> telemetry -> metrics -> profile -> sanitizer ->
+    tracer order.  Bus slots are read from ``core.bus`` on every call
+    (never captured: VRC010), so attach/detach between steps takes effect
+    immediately.  No superop chaining: probe granularity stays
+    per-instruction."""
+    D = d
+    INST = d.inst
+    PC = d.pc
+    LINE = d.line
+    ADDR = d.addr
+    LAT = d.ex_latency
+    SRC_READS = d.src_reads
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    READS_FLAGS = d.reads_flags
+    IS_LOAD = d.is_load
+    IS_STORE = d.is_store
+    RD = d.rd
+    NEXT = d.pc + 1
+    TEXT = INST.text or INST.opcode.name.lower()
+    REG_HOOK = variant.reg_hook
+    COMMIT_HOOK = variant.commit_hook
+    MISS_SWITCH = variant.miss_switch
+    X = RegClass.X
+
+    def step(core, thread):
+        bus = core.bus
+        faults = bus.faults
+        telemetry = bus.telemetry
+        metrics = bus.metrics
+        profile = bus.profile
+        sanitizer = bus.sanitizer
+        tracer = bus.tracer
+        stats = core.stats
+
+        fa = core.fetch_avail
+        t_d = core.decode_free
+        if fa > t_d:
+            t_d = fa
+        icache_missed = False
+        if LINE != core._last_fetch_line:
+            core._last_fetch_line = LINE
+            ic = core.icache
+            t0 = t_d - ic.config.latency
+            r = ic.access(t0 if t0 > 0 else 0, ADDR,
+                          requestor=core.core_id)
+            if not r.hit:
+                stats.inc("icache_miss_stalls")
+                icache_missed = True
+            if r.complete_at > t_d:
+                t_d = r.complete_at
+        if faults is not None:
+            t_d = faults.on_instruction(thread, INST, t_d)
+
+        sb = core.scoreboard
+        t_ops = t_d
+        for f in SRC_FLATS:
+            w = sb.get(f, 0)
+            if w > t_ops:
+                t_ops = w
+        if READS_FLAGS and core.flags_ready > t_ops:
+            t_ops = core.flags_ready
+        t_regs = (core.decode_regs_ready(thread, D, t_d)
+                  if REG_HOOK else t_d)
+        t_issue = max(t_d + 1, t_ops, t_regs)
+        core.decode_free = t_issue
+        fa += 1
+        t_d1 = t_d + 1
+        core.fetch_avail = fa if fa > t_d1 else t_d1
+
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+
+        xregs = thread.xregs
+        dregs = thread.dregs
+        srcvals = {}
+        for reg, is_x, idx in SRC_READS:
+            srcvals[reg] = xregs[idx] if is_x else dregs[idx]
+        result = evaluate(INST, srcvals, thread.flags, thread.pc)
+
+        data_at = t_ex_done
+        load_missed = False
+        if IS_LOAD:
+            t_m = core._load_slot_wait(t_ex_done)
+            t_issue_mem, r = core.dcache_request(
+                t_m, result.addr, is_load_data=True)
+            data_at = r.complete_at
+            if MISS_SWITCH and r.switch_signal:
+                if core._handle_miss_switch(thread, INST, t_issue_mem, r):
+                    return 1
+                stats.inc("switches_suppressed")
+                if telemetry is not None:
+                    telemetry.on_stall_in_place(
+                        thread.tid, t_issue_mem, data_at,
+                        "suppressed-switch")
+            core.load_slots.append(data_at)
+            if not r.hit:
+                stats.inc("load_miss_stalls")
+                load_missed = True
+        elif IS_STORE:
+            data_at = core._sq_insert(t_ex_done, result.addr)
+            core.memory.store(result.addr, result.store_value)
+
+        t_c = core.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
+        core.commit_tail = t_c
+        core.commits_since_switch += 1
+        thread.fruitless = 0
+        if not result.halt:
+            thread.instructions += 1
+        core.now = t_c
+        if telemetry is not None:
+            telemetry.on_commit(t_c)
+        if metrics is not None:
+            metrics.on_commit(thread, D, t_c)
+        if profile is not None:
+            spill_wait = core.decode_spill_wait() if REG_HOOK else 0
+            profile.on_commit_timing(thread.tid, PC, D, t_d, t_ops, t_regs,
+                                     t_ex_done, data_at, t_c, icache_missed,
+                                     load_missed, spill_wait)
+
+        writes = result.writes
+        if writes:
+            for reg, value in writes.items():
+                if reg.rclass is X:
+                    xregs[reg.index] = int(value) & MASK64
+                else:
+                    dregs[reg.index] = float(value)
+                sb[reg._flat] = t_ex_done
+        if IS_LOAD:
+            value = core.memory.load(result.addr)
+            if RD.rclass is X:
+                xregs[RD.index] = int(value) & MASK64
+            else:
+                dregs[RD.index] = float(value)
+            sb[RD._flat] = data_at
+        if result.new_flags is not None:
+            thread.flags = result.new_flags
+            core.flags_ready = t_ex_done
+        if COMMIT_HOOK:
+            core.on_commit(thread, D, t_c)
+        if sanitizer is not None:
+            sanitizer.on_commit(thread, INST, result, t_c)
+        if tracer is not None and not result.halt:
+            tracer.record(thread.tid, thread.pc, TEXT, t_d, t_issue,
+                          t_ex_done, data_at, t_c)
+
+        if result.halt:
+            core._halt_thread(thread)
+            if telemetry is not None:
+                telemetry.on_thread_done(thread.tid, t_c)
+            return 1
+        thread.pc = result.target if result.taken else NEXT
+        if result.taken:
+            core.fetch_avail = t_ex_done + 1 + core.config.redirect_penalty
+            stats.inc("taken_branches")
+        return 1
+
+    return step
+
+
+# -------------------------------------------------------------- barrel family
+#
+# FGMT closures mirror FGMTCore._process_barrel_instruction.  No superop
+# chaining: the barrel scheduler re-picks the earliest-issue thread after
+# every instruction, so a chain would defeat the rotation.  Each closure
+# instead precomputes the *operand-ready peek* of its successor(s) — the
+# next op's source flats and flag read — so the epilogue updates
+# ``_issue_ready`` without touching the decoded program.
+
+def _barrel_peek(ops: List[DecodedOp], pc: int):
+    if pc < 0 or pc >= len(ops):
+        raise _Unsupported
+    nd = ops[pc]
+    return tuple(r._flat for r in nd.srcs), nd.reads_flags
+
+
+def _barrel_factory(ops: List[DecodedOp], pc: int,
+                    variant: EngineVariant) -> Callable:
+    d = ops[pc]
+    try:
+        op = d.inst.opcode
+        if d.is_halt:
+            return _barrel_halt(d)
+        if d.is_branch:
+            return _barrel_branch(ops, d)
+        if d.is_load:
+            return _barrel_ldr(ops, d)
+        if d.is_store:
+            return _barrel_str(ops, d)
+        if op is Opcode.CMP:
+            return _barrel_cmp(ops, d)
+        return _barrel_simple(ops, d)
+    except _Unsupported:
+        return _barrel_generic(d)
+
+
+def _barrel_simple(ops: List[DecodedOp], d: DecodedOp) -> Callable:
+    compute, rd = _make_compute(d)
+    ND_FLATS, ND_FLAGS = _barrel_peek(ops, d.pc + 1)
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    NEXT = d.pc + 1
+    RD_IS_X = rd is not None and rd.rclass is RegClass.X
+    RD_IDX = rd.index if rd is not None else 0
+    RD_FLAT = rd._flat if rd is not None else 0
+    HAS_DEST = rd is not None
+
+    def step(core, thread):
+        tid = thread.tid
+        ir = core._issue_ready
+        board = core._boards[tid]
+        t_ops = 0
+        for f in SRC_FLATS:
+            w = board.get(f, 0)
+            if w > t_ops:
+                t_ops = w
+        t_issue = core.decode_free + 1
+        if t_ops > t_issue:
+            t_issue = t_ops
+        iri = ir[tid]
+        if iri > t_issue:
+            t_issue = iri
+        core.decode_free = t_issue
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        t_c = core.commit_tail + 1
+        if t_ex_done > t_c:
+            t_c = t_ex_done
+        core.commit_tail = t_c
+        thread.instructions += 1
+        core.now = min(ir.values())
+        if HAS_DEST:
+            if RD_IS_X:
+                thread.xregs[RD_IDX] = compute(thread.xregs, thread.dregs)
+            else:
+                thread.dregs[RD_IDX] = compute(thread.xregs, thread.dregs)
+            board[RD_FLAT] = t_ex_done
+        thread.pc = NEXT
+        t_next = t_issue + 1
+        for f in ND_FLATS:
+            w = board.get(f, 0)
+            if w > t_next:
+                t_next = w
+        if ND_FLAGS:
+            fr = core._flags_ready[tid]
+            if fr > t_next:
+                t_next = fr
+        ir[tid] = t_next
+        return 1
+
+    return step
+
+
+def _barrel_cmp(ops: List[DecodedOp], d: DecodedOp) -> Callable:
+    inst = d.inst
+    RN = _x_index(inst.rn)
+    HAS_RM = inst.rm is not None
+    RM = _x_index(inst.rm) if HAS_RM else 0
+    if not HAS_RM and inst.imm is None:
+        raise _Unsupported
+    IMM_B = 0 if HAS_RM else int(inst.imm) & MASK64
+    ND_FLATS, ND_FLAGS = _barrel_peek(ops, d.pc + 1)
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    NEXT = d.pc + 1
+
+    def step(core, thread):
+        tid = thread.tid
+        ir = core._issue_ready
+        board = core._boards[tid]
+        t_ops = 0
+        for f in SRC_FLATS:
+            w = board.get(f, 0)
+            if w > t_ops:
+                t_ops = w
+        t_issue = core.decode_free + 1
+        if t_ops > t_issue:
+            t_issue = t_ops
+        iri = ir[tid]
+        if iri > t_issue:
+            t_issue = iri
+        core.decode_free = t_issue
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        t_c = core.commit_tail + 1
+        if t_ex_done > t_c:
+            t_c = t_ex_done
+        core.commit_tail = t_c
+        thread.instructions += 1
+        core.now = min(ir.values())
+        x = thread.xregs
+        a = x[RN]
+        b = x[RM] if HAS_RM else IMM_B
+        diff = (a - b) & MASK64
+        sa = a - _U64 if a & SIGN64 else a
+        sbv = b - _U64 if b & SIGN64 else b
+        sd = diff - _U64 if diff & SIGN64 else diff
+        thread.flags = Flags(bool(diff & SIGN64), diff == 0, a >= b,
+                             (sa - sbv) != sd)
+        fls = core._flags_ready
+        fls[tid] = t_ex_done
+        thread.pc = NEXT
+        t_next = t_issue + 1
+        for f in ND_FLATS:
+            w = board.get(f, 0)
+            if w > t_next:
+                t_next = w
+        if ND_FLAGS:
+            fr = fls[tid]
+            if fr > t_next:
+                t_next = fr
+        ir[tid] = t_next
+        return 1
+
+    return step
+
+
+def _barrel_branch(ops: List[DecodedOp], d: DecodedOp) -> Callable:
+    inst = d.inst
+    op = inst.opcode
+    TARGET = inst.target
+    if TARGET is None:
+        raise _Unsupported
+    KIND = 0
+    TEST = None
+    RN = 0
+    WANT_ZERO = False
+    if op is Opcode.BCOND:
+        KIND = 1
+        TEST = _COND_TESTS[inst.cond]
+    elif op in (Opcode.CBZ, Opcode.CBNZ):
+        KIND = 2
+        RN = _x_index(inst.rn)
+        WANT_ZERO = op is Opcode.CBZ
+    TGT_FLATS, TGT_FLAGS = _barrel_peek(ops, TARGET)
+    if KIND == 0:       # unconditional: the fallthrough peek is never used
+        FT_FLATS, FT_FLAGS = (), False
+    else:
+        FT_FLATS, FT_FLAGS = _barrel_peek(ops, d.pc + 1)
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    READS_FLAGS = d.reads_flags
+    NEXT = d.pc + 1
+
+    def step(core, thread):
+        tid = thread.tid
+        ir = core._issue_ready
+        board = core._boards[tid]
+        t_ops = 0
+        for f in SRC_FLATS:
+            w = board.get(f, 0)
+            if w > t_ops:
+                t_ops = w
+        if READS_FLAGS:
+            fr = core._flags_ready[tid]
+            if fr > t_ops:
+                t_ops = fr
+        t_issue = core.decode_free + 1
+        if t_ops > t_issue:
+            t_issue = t_ops
+        iri = ir[tid]
+        if iri > t_issue:
+            t_issue = iri
+        core.decode_free = t_issue
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        t_c = core.commit_tail + 1
+        if t_ex_done > t_c:
+            t_c = t_ex_done
+        core.commit_tail = t_c
+        thread.instructions += 1
+        core.now = min(ir.values())
+        if KIND == 0:
+            taken = True
+        elif KIND == 1:
+            taken = TEST(thread.flags)
+        else:
+            taken = (thread.xregs[RN] == 0) == WANT_ZERO
+        if taken:
+            thread.pc = TARGET
+            nd_flats, nd_flags = TGT_FLATS, TGT_FLAGS
+        else:
+            thread.pc = NEXT
+            nd_flats, nd_flags = FT_FLATS, FT_FLAGS
+        t_next = t_issue + 1
+        for f in nd_flats:
+            w = board.get(f, 0)
+            if w > t_next:
+                t_next = w
+        if nd_flags:
+            fr = core._flags_ready[tid]
+            if fr > t_next:
+                t_next = fr
+        if taken:
+            rp = t_ex_done + core.config.redirect_penalty
+            if rp > t_next:
+                t_next = rp
+        ir[tid] = t_next
+        return 1
+
+    return step
+
+
+def _barrel_ldr(ops: List[DecodedOp], d: DecodedOp) -> Callable:
+    addr_fn, wb_fn, rn_idx = _addr_lowering(d)
+    inst = d.inst
+    rd = inst.rd
+    if rd is None:
+        raise _Unsupported
+    RD_IS_X = rd.rclass is RegClass.X
+    RD_IDX = rd.index
+    RD_FLAT = rd._flat
+    RN_IDX = rn_idx
+    RN_FLAT = inst.rn._flat
+    ND_FLATS, ND_FLAGS = _barrel_peek(ops, d.pc + 1)
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    NEXT = d.pc + 1
+
+    def step(core, thread):
+        tid = thread.tid
+        ir = core._issue_ready
+        board = core._boards[tid]
+        t_ops = 0
+        for f in SRC_FLATS:
+            w = board.get(f, 0)
+            if w > t_ops:
+                t_ops = w
+        t_issue = core.decode_free + 1
+        if t_ops > t_issue:
+            t_issue = t_ops
+        iri = ir[tid]
+        if iri > t_issue:
+            t_issue = iri
+        core.decode_free = t_issue
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        x = thread.xregs
+        addr = addr_fn(x)
+        t_m = core._load_slot_wait(t_ex_done)
+        _, r = core.dcache_request(t_m, addr, is_load_data=True)
+        data_at = r.complete_at
+        if not r.hit:
+            core.stats.inc("load_miss_stalls")
+        t_c = core.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
+        core.commit_tail = t_c
+        thread.instructions += 1
+        core.now = min(ir.values())
+        if wb_fn is not None:
+            x[RN_IDX] = wb_fn(x)
+            board[RN_FLAT] = t_ex_done
+        v = core.memory.load(addr)
+        if RD_IS_X:
+            x[RD_IDX] = int(v) & MASK64
+        else:
+            thread.dregs[RD_IDX] = float(v)
+        board[RD_FLAT] = data_at
+        thread.pc = NEXT
+        t_next = t_issue + 1
+        for f in ND_FLATS:
+            w = board.get(f, 0)
+            if w > t_next:
+                t_next = w
+        if ND_FLAGS:
+            fr = core._flags_ready[tid]
+            if fr > t_next:
+                t_next = fr
+        ir[tid] = t_next
+        return 1
+
+    return step
+
+
+def _barrel_str(ops: List[DecodedOp], d: DecodedOp) -> Callable:
+    addr_fn, wb_fn, rn_idx = _addr_lowering(d)
+    inst = d.inst
+    rd = inst.rd
+    if rd is None:
+        raise _Unsupported
+    RD_IS_X = rd.rclass is RegClass.X
+    RDS_IDX = rd.index
+    RN_IDX = rn_idx
+    RN_FLAT = inst.rn._flat
+    ND_FLATS, ND_FLAGS = _barrel_peek(ops, d.pc + 1)
+    LAT = d.ex_latency
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    NEXT = d.pc + 1
+
+    def step(core, thread):
+        tid = thread.tid
+        ir = core._issue_ready
+        board = core._boards[tid]
+        t_ops = 0
+        for f in SRC_FLATS:
+            w = board.get(f, 0)
+            if w > t_ops:
+                t_ops = w
+        t_issue = core.decode_free + 1
+        if t_ops > t_issue:
+            t_issue = t_ops
+        iri = ir[tid]
+        if iri > t_issue:
+            t_issue = iri
+        core.decode_free = t_issue
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        x = thread.xregs
+        sv = x[RDS_IDX] if RD_IS_X else thread.dregs[RDS_IDX]
+        addr = addr_fn(x)
+        data_at = core._sq_insert(t_ex_done, addr)
+        core.memory.store(addr, sv)
+        t_c = core.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
+        core.commit_tail = t_c
+        thread.instructions += 1
+        core.now = min(ir.values())
+        if wb_fn is not None:
+            x[RN_IDX] = wb_fn(x)
+            board[RN_FLAT] = t_ex_done
+        thread.pc = NEXT
+        t_next = t_issue + 1
+        for f in ND_FLATS:
+            w = board.get(f, 0)
+            if w > t_next:
+                t_next = w
+        if ND_FLAGS:
+            fr = core._flags_ready[tid]
+            if fr > t_next:
+                t_next = fr
+        ir[tid] = t_next
+        return 1
+
+    return step
+
+
+def _barrel_halt(d: DecodedOp) -> Callable:
+    LAT = d.ex_latency
+
+    def step(core, thread):
+        tid = thread.tid
+        ir = core._issue_ready
+        t_issue = core.decode_free + 1
+        iri = ir[tid]
+        if iri > t_issue:
+            t_issue = iri
+        core.decode_free = t_issue
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        t_c = core.commit_tail + 1
+        if t_ex_done > t_c:
+            t_c = t_ex_done
+        core.commit_tail = t_c
+        core.now = min(ir.values())
+        core._halt_barrel_thread(thread)
+        return 1
+
+    return step
+
+
+def _barrel_generic(d: DecodedOp) -> Callable:
+    """evaluate()-based replica of _process_barrel_instruction (bus empty),
+    with flat board keys and the successor peek read from ``core._dops``."""
+    D = d
+    INST = d.inst
+    LAT = d.ex_latency
+    SRC_READS = d.src_reads
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    READS_FLAGS = d.reads_flags
+    IS_LOAD = d.is_load
+    IS_STORE = d.is_store
+    RD = d.rd
+    NEXT = d.pc + 1
+    X = RegClass.X
+
+    def step(core, thread):
+        tid = thread.tid
+        ir = core._issue_ready
+        board = core._boards[tid]
+        t_ops = 0
+        for f in SRC_FLATS:
+            w = board.get(f, 0)
+            if w > t_ops:
+                t_ops = w
+        if READS_FLAGS:
+            fr = core._flags_ready[tid]
+            if fr > t_ops:
+                t_ops = fr
+        t_issue = core.decode_free + 1
+        if t_ops > t_issue:
+            t_issue = t_ops
+        iri = ir[tid]
+        if iri > t_issue:
+            t_issue = iri
+        core.decode_free = t_issue
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        xregs = thread.xregs
+        dregs = thread.dregs
+        srcvals = {}
+        for reg, is_x, idx in SRC_READS:
+            srcvals[reg] = xregs[idx] if is_x else dregs[idx]
+        result = evaluate(INST, srcvals, thread.flags, thread.pc)
+        data_at = t_ex_done
+        if IS_LOAD:
+            t_m = core._load_slot_wait(t_ex_done)
+            _, r = core.dcache_request(t_m, result.addr, is_load_data=True)
+            data_at = r.complete_at
+            if not r.hit:
+                core.stats.inc("load_miss_stalls")
+        elif IS_STORE:
+            data_at = core._sq_insert(t_ex_done, result.addr)
+            core.memory.store(result.addr, result.store_value)
+        t_c = core.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
+        core.commit_tail = t_c
+        if not result.halt:
+            thread.instructions += 1
+        core.now = min(ir.values())
+        for reg, value in result.writes.items():
+            if reg.rclass is X:
+                xregs[reg.index] = int(value) & MASK64
+            else:
+                dregs[reg.index] = float(value)
+            board[reg._flat] = t_ex_done
+        if IS_LOAD:
+            value = core.memory.load(result.addr)
+            if RD.rclass is X:
+                xregs[RD.index] = int(value) & MASK64
+            else:
+                dregs[RD.index] = float(value)
+            board[RD._flat] = data_at
+        if result.new_flags is not None:
+            thread.flags = result.new_flags
+            core._flags_ready[tid] = t_ex_done
+        if result.halt:
+            core._halt_barrel_thread(thread)
+            return 1
+        thread.pc = result.target if result.taken else NEXT
+        nd = core._dops[thread.pc]
+        t_next = t_issue + 1
+        for reg in nd.srcs:
+            w = board.get(reg._flat, 0)
+            if w > t_next:
+                t_next = w
+        if nd.reads_flags:
+            fr = core._flags_ready[tid]
+            if fr > t_next:
+                t_next = fr
+        if result.taken:
+            rp = t_ex_done + core.config.redirect_penalty
+            if rp > t_next:
+                t_next = rp
+        ir[tid] = t_next
+        return 1
+
+    return step
+
+
+def _barrel_instrumented(ops: List[DecodedOp], pc: int,
+                         variant: EngineVariant) -> Callable:
+    """Compiled-instrumented barrel closure (faults -> profile ->
+    sanitizer, the barrel's probe set).  Bus slots are read per call —
+    never captured (VRC010)."""
+    d = ops[pc]
+    D = d
+    INST = d.inst
+    LAT = d.ex_latency
+    SRC_READS = d.src_reads
+    SRC_FLATS = tuple(r._flat for r in d.srcs)
+    READS_FLAGS = d.reads_flags
+    IS_LOAD = d.is_load
+    IS_STORE = d.is_store
+    RD = d.rd
+    NEXT = d.pc + 1
+    X = RegClass.X
+
+    def step(core, thread):
+        bus = core.bus
+        tid = thread.tid
+        ir = core._issue_ready
+        board = core._boards[tid]
+        faults = bus.faults
+        if faults is not None:
+            ir[tid] = faults.on_instruction(thread, INST, ir[tid])
+        t_ops = 0
+        for f in SRC_FLATS:
+            w = board.get(f, 0)
+            if w > t_ops:
+                t_ops = w
+        if READS_FLAGS:
+            fr = core._flags_ready[tid]
+            if fr > t_ops:
+                t_ops = fr
+        t_issue = core.decode_free + 1
+        if t_ops > t_issue:
+            t_issue = t_ops
+        iri = ir[tid]
+        if iri > t_issue:
+            t_issue = iri
+        core.decode_free = t_issue
+        ex = core.ex_free
+        t_ex_done = (t_issue if t_issue > ex else ex) + LAT
+        core.ex_free = t_ex_done
+        xregs = thread.xregs
+        dregs = thread.dregs
+        srcvals = {}
+        for reg, is_x, idx in SRC_READS:
+            srcvals[reg] = xregs[idx] if is_x else dregs[idx]
+        result = evaluate(INST, srcvals, thread.flags, thread.pc)
+        data_at = t_ex_done
+        load_missed = False
+        if IS_LOAD:
+            t_m = core._load_slot_wait(t_ex_done)
+            _, r = core.dcache_request(t_m, result.addr, is_load_data=True)
+            data_at = r.complete_at
+            if not r.hit:
+                core.stats.inc("load_miss_stalls")
+                load_missed = True
+        elif IS_STORE:
+            data_at = core._sq_insert(t_ex_done, result.addr)
+            core.memory.store(result.addr, result.store_value)
+        t_c = core.commit_tail + 1
+        if data_at > t_c:
+            t_c = data_at
+        core.commit_tail = t_c
+        if not result.halt:
+            thread.instructions += 1
+        core.now = min(ir.values())
+        profile = bus.profile
+        if profile is not None:
+            profile.on_barrel_commit(tid, thread.pc, D, t_issue, t_ex_done,
+                                     data_at, t_c, load_missed)
+        for reg, value in result.writes.items():
+            if reg.rclass is X:
+                xregs[reg.index] = int(value) & MASK64
+            else:
+                dregs[reg.index] = float(value)
+            board[reg._flat] = t_ex_done
+        if IS_LOAD:
+            value = core.memory.load(result.addr)
+            if RD.rclass is X:
+                xregs[RD.index] = int(value) & MASK64
+            else:
+                dregs[RD.index] = float(value)
+            board[RD._flat] = data_at
+        if result.new_flags is not None:
+            thread.flags = result.new_flags
+            core._flags_ready[tid] = t_ex_done
+        sanitizer = bus.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_commit(thread, INST, result, t_c)
+        if result.halt:
+            core._halt_barrel_thread(thread)
+            return 1
+        thread.pc = result.target if result.taken else NEXT
+        nd = core._dops[thread.pc]
+        t_next = t_issue + 1
+        for reg in nd.srcs:
+            w = board.get(reg._flat, 0)
+            if w > t_next:
+                t_next = w
+        if nd.reads_flags:
+            fr = core._flags_ready[tid]
+            if fr > t_next:
+                t_next = fr
+        if result.taken:
+            rp = t_ex_done + core.config.redirect_penalty
+            if rp > t_next:
+                t_next = rp
+        ir[tid] = t_next
+        return 1
+
+    return step

@@ -95,7 +95,7 @@ class DecodedProgram:
     the same program shares one decode.
     """
 
-    __slots__ = ("program", "line_bytes", "ops", "liveness")
+    __slots__ = ("program", "line_bytes", "ops", "liveness", "compiled")
 
     def __init__(self, program: Program, line_bytes: int = 64) -> None:
         self.program = program
@@ -106,6 +106,13 @@ class DecodedProgram:
         #: cached :class:`~repro.analysis.dataflow.LivenessResult`, filled
         #: lazily by :func:`repro.analysis.dataflow.annotate`
         self.liveness = None
+        #: threaded-code closure tables keyed by
+        #: :class:`~repro.isa.compiled.EngineVariant`; filled lazily by
+        #: :func:`repro.isa.compiled.compile_program`.  Living on the
+        #: decode (itself keyed by (program, line size)) makes the full
+        #: compile key (program, line size, variant) — closures can never
+        #: leak across combinations.
+        self.compiled = {}
 
     @classmethod
     def of(cls, program: Program, line_bytes: int = 64) -> "DecodedProgram":

@@ -36,8 +36,9 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["EXIT_REGRESSION", "build_report", "classify_delta",
-           "load_baseline", "render_html", "svg_sparkline", "write_report"]
+__all__ = ["EXIT_REGRESSION", "build_report", "check_threaded_floors",
+           "classify_delta", "load_baseline", "render_html", "svg_sparkline",
+           "write_report"]
 
 #: ``repro report --check`` exit code on a gated regression (2 = usage
 #: error, 3 = sweep failures, as elsewhere in the CLI)
@@ -46,6 +47,11 @@ EXIT_REGRESSION = 4
 #: default relative regression threshold for ``--check`` (generous: CI
 #: hosts vary; see the module docstring)
 DEFAULT_THRESHOLD = 0.5
+
+#: fallback speedup floor for ``threaded_*`` baseline entries that do not
+#: record their own ``floor`` (the compiled engine contract: at least this
+#: much faster than the interpreted hot path on the same host)
+DEFAULT_THREADED_FLOOR = 1.8
 
 SEVERITY_ORDER = ("ok", "warn", "regression")
 
@@ -134,6 +140,38 @@ def load_baseline(path: str) -> Dict[str, float]:
     return out
 
 
+def check_threaded_floors(path: str) -> List[Dict]:
+    """Grade every ``threaded_*`` entry of a ``BENCH_simspeed.json``.
+
+    The threaded-code engine bench records, per core type, the compiled
+    engine's ``speedup_vs_hotpath`` over the interpreted loop measured
+    back-to-back on the same host — a machine-independent ratio, so
+    unlike the wall-clock deltas it carries a **hard floor**: each entry's
+    own ``floor`` field, or :data:`DEFAULT_THREADED_FLOOR`.  Below the
+    floor grades ``regression`` (fails ``repro report --check``), within
+    5% above it grades ``warn``.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    results = data.get("results", data) if isinstance(data, dict) else {}
+    rows: List[Dict] = []
+    for name in sorted(results):
+        if not name.startswith("threaded_"):
+            continue
+        entry = results[name]
+        if not isinstance(entry, dict):
+            continue
+        speedup = entry.get("speedup_vs_hotpath")
+        if not isinstance(speedup, (int, float)):
+            continue
+        floor = entry.get("floor", DEFAULT_THREADED_FLOOR)
+        severity = ("regression" if speedup < floor
+                    else "warn" if speedup < floor * 1.05 else "ok")
+        rows.append({"name": name, "speedup": round(float(speedup), 3),
+                     "floor": float(floor), "severity": severity})
+    return rows
+
+
 # -- report assembly ---------------------------------------------------------
 def _load_json(path: str) -> Optional[Dict]:
     if not os.path.exists(path):
@@ -193,6 +231,7 @@ def build_report(sweep_dir: str, baseline: Optional[str] = None,
             "workers": len(state.workers),
         },
         "rows": [], "stages": [], "vrmu": [], "deltas": [],
+        "engine_gate": [],
         "attribution": None,
         "threshold": threshold,
         "has_regression": False,
@@ -270,8 +309,10 @@ def build_report(sweep_dir: str, baseline: Optional[str] = None,
             entry["name"] = f"{name} instr/s"
             entry["current"] = round(current, 1)
             report["deltas"].append(entry)
+        report["engine_gate"] = check_threaded_floors(baseline)
         report["has_regression"] = any(
-            d["severity"] == "regression" for d in report["deltas"])
+            d["severity"] == "regression"
+            for d in report["deltas"] + report["engine_gate"])
     return report
 
 
@@ -425,6 +466,23 @@ def render_html(report: Dict) -> str:
                              f"{_esc(row.get('text', ''))}</code></td>"
                              f"<td>{_fmt(row.get('cycles'))}</td></tr>")
             parts.append("</table>")
+
+    if report.get("engine_gate"):
+        parts.append(
+            "<h2>Threaded-code engine gate</h2>"
+            "<p class='meta'>compiled-engine speedup over the interpreted "
+            "hot path, measured back-to-back on one host (machine-"
+            "independent ratio; hard floor per entry)</p>"
+            "<table><tr><th class='l'>bench</th><th>speedup</th>"
+            "<th>floor</th><th class='l'>grade</th></tr>")
+        for g in report["engine_gate"]:
+            parts.append(
+                f"<tr class='sev-{g['severity']}'>"
+                f"<td class='l'>{_esc(g['name'])}</td>"
+                f"<td>{g['speedup']:.2f}x</td>"
+                f"<td>{g['floor']:.2f}x</td>"
+                f"<td class='l'>{_esc(g['severity'])}</td></tr>")
+        parts.append("</table>")
 
     if report["deltas"]:
         parts.append(

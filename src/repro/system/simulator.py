@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from .. import workloads
 from ..core.cgmt import BankedCore, SoftwareSwitchCore
+from ..core.engine import resolve_engine
 from ..errors import FunctionalCheckError, RunFailure, SimulationError
 from ..core.fgmt import FGMTCore
 from ..core.inorder import InOrderCore
@@ -75,7 +76,10 @@ def _make_core(cfg: RunConfig, instance, icache, dcache, core_id=0, stats=None):
             for th in threads:
                 th.state = ThreadState.BLOCKED
 
-    common = dict(stats=stats, core_id=core_id, layout=layout)
+    # simulator-built cores run the RunConfig's step engine (threaded-code
+    # by default); directly constructed cores stay interpreted
+    common = dict(stats=stats, core_id=core_id, layout=layout,
+                  engine=resolve_engine(cfg.engine))
     if cfg.core_type == "banked":
         return BankedCore(instance.program, icache, dcache, instance.memory,
                           threads, **common)
@@ -94,7 +98,8 @@ def _make_core(cfg: RunConfig, instance, icache, dcache, core_id=0, stats=None):
         rf = cfg.resolve_rf_size(len(instance.active_regs))
         return make_nsf_core(instance.program, icache, dcache, instance.memory,
                              threads, rf_size=rf, layout=layout,
-                             stats=stats, core_id=core_id)
+                             stats=stats, core_id=core_id,
+                             engine=resolve_engine(cfg.engine))
     if cfg.core_type == "prefetch-full":
         return FullContextPrefetchCore(instance.program, icache, dcache,
                                        instance.memory, threads, **common)
@@ -142,8 +147,14 @@ def run_config(cfg: RunConfig, check: bool = True) -> RunResult:
                               n_per_thread=cfg.n_per_thread,
                               seed=cfg.seed + core_id, **cfg.workload_kwargs)
             instances.append(inst)
-            return _make_core(cfg, inst, icache, dcache, core_id=core_id,
+            core = _make_core(cfg, inst, icache, dcache, core_id=core_id,
                               stats=stats.child(f"core{core_id}"))
+            if cfg.n_cores > 1:
+                # the node interleaves cores per step() in clock order;
+                # superop chains would batch one core's shared-memory
+                # traffic and change crossbar/DRAM contention order
+                core.set_step_chaining(False)
+            return core
 
         node = NearMemoryNode(cfg.n_cores, memsys, factory,
                               stats=stats.child("node"))
@@ -197,7 +208,12 @@ def _run_ooo(cfg: RunConfig, spec, check: bool, profiler=None) -> RunResult:
     if profiler is None:
         profiler = HostProfiler()
     # the ooo host core does not run on the timeline engine, so none of
-    # the registered subsystem plugins can be wired to it
+    # the registered subsystem plugins can be wired to it — and there is
+    # no step body to compile (None silently keeps the ooo model's own
+    # loop; only an *explicit* compiled request is an error)
+    if cfg.engine == "compiled":
+        raise ValueError("core_type 'ooo' does not support engine='compiled'"
+                         " (no timeline step to compile)")
     for p in registered_plugins():
         if p.ooo_error is not None and p.enabled(cfg):
             raise ValueError(p.ooo_error)

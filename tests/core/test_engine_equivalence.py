@@ -1,0 +1,173 @@
+"""Compiled vs interpreted engine: byte-identical by construction.
+
+The threaded-code engine (:mod:`repro.isa.compiled`) is a host-side
+execution strategy, never a model change — so for every timeline core
+type, every InstrumentBus slot combination, and a corpus of fixed-seed
+fuzz programs, a compiled run and an interpreted run of the same
+RunConfig must produce **byte-identical stats digests** (every counter,
+every cycle, every architectural result).  This suite is the contract
+behind excluding ``engine`` from config/manifest digests
+(:data:`repro.system.manifest._DIGEST_EXCLUDED_FIELDS`) and behind the
+fuzz oracle's engine-divergence arm.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.fuzz.generator import sample_spec
+from repro.system import RunConfig, run_config
+
+from ..helpers import time_limit
+
+#: every timeline core type (ooo is excluded by construction: it has no
+#: timeline step to compile, and run_config rejects engine="compiled")
+TIMELINE_CORE_TYPES = ("inorder", "banked", "swctx", "virec", "nsf",
+                      "prefetch-full", "prefetch-exact", "fgmt")
+
+#: one RunConfig field-set per InstrumentBus slot, plus all-attached.
+#: telemetry with pipeline_trace covers the tracer slot; faults uses the
+#: silent scheme so the campaign is identical work on both engines.
+SLOT_CONFIGS = {
+    "none": {},
+    "faults": {"faults": {"rf_rate": 2e-4, "scheme": "none", "seed": 3}},
+    "telemetry": {"telemetry": {"events": True, "interval": 50}},
+    "tracer": {"telemetry": {"pipeline_trace": True}},
+    "metrics": {"metrics": True},
+    "profile": {"profile": True},
+    "sanitizer": {"sanitize": True},
+    "all": {"faults": {"rf_rate": 2e-4, "scheme": "none", "seed": 3},
+            "telemetry": {"events": True, "interval": 50,
+                          "pipeline_trace": True},
+            "metrics": True, "profile": True, "sanitize": True},
+}
+
+
+def stats_digest(result) -> str:
+    """Canonical digest of everything a run observed."""
+    payload = {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "ipc": round(result.ipc, 9),
+        "rf_hit_rate": result.rf_hit_rate,
+        "correct": result.correct,
+        "stats": sorted((k, v) for k, v in result.stats.flat()),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def one_digest(cfg: RunConfig) -> str:
+    """Digest of the run — or of its failure: a fault campaign may
+    corrupt an address register into a crash, and then *the same crash*
+    (type and message) must fire on both engines."""
+    try:
+        return stats_digest(run_config(cfg))
+    except Exception as exc:
+        return f"error:{type(exc).__name__}:{exc}"
+
+
+def digests_of(cfg: RunConfig):
+    return (one_digest(cfg.with_(engine="compiled")),
+            one_digest(cfg.with_(engine="interpreted")))
+
+
+@pytest.mark.parametrize("core_type", TIMELINE_CORE_TYPES)
+def test_core_types_byte_identical(core_type):
+    nt = 1 if core_type == "inorder" else 4
+    cfg = RunConfig(workload="gather", core_type=core_type,
+                    n_threads=nt, n_per_thread=24)
+    with time_limit(120):
+        compiled, interpreted = digests_of(cfg)
+    assert compiled == interpreted
+
+
+@pytest.mark.parametrize("slot", sorted(SLOT_CONFIGS))
+@pytest.mark.parametrize("core_type", ["banked", "virec", "fgmt"])
+def test_bus_slots_byte_identical(core_type, slot):
+    cfg = RunConfig(workload="gather", core_type=core_type,
+                    n_threads=4, n_per_thread=16, **SLOT_CONFIGS[slot])
+    with time_limit(120):
+        compiled, interpreted = digests_of(cfg)
+    assert compiled == interpreted
+
+
+@pytest.mark.parametrize("index", range(50))
+def test_fuzz_programs_byte_identical(index):
+    """50 fixed-seed generated programs, core type rotated for breadth."""
+    core_type = ("banked", "virec", "fgmt", "swctx")[index % 4]
+    spec = sample_spec(1234, index).as_dict()
+    cfg = RunConfig(workload="fuzz", core_type=core_type,
+                    n_threads=4, n_per_thread=16,
+                    seed=int(spec["seed"]) & 0x7FFFFFFF,
+                    workload_kwargs={"gen": spec},
+                    max_cycles=400_000)
+    with time_limit(120):
+        compiled, interpreted = digests_of(cfg)
+    assert compiled == interpreted
+
+
+@pytest.mark.parametrize("core_type", ["banked", "virec", "fgmt"])
+def test_multicore_byte_identical(core_type):
+    """n_cores > 1: the node interleaves cores per step, so the simulator
+    disables superop chaining and the compiled engine must reproduce the
+    interpreted crossbar/DRAM contention order exactly."""
+    cfg = RunConfig(workload="spmv", core_type=core_type,
+                    n_threads=4, n_per_thread=8, n_cores=2)
+    with time_limit(120):
+        compiled, interpreted = digests_of(cfg)
+    assert compiled == interpreted
+
+
+def test_multicore_disables_chaining_single_core_keeps_it():
+    """The chaining decision is observable on the compile key."""
+    from repro.isa.compiled import EngineVariant
+    from repro.core.cgmt import BankedCore
+
+    from ..helpers import build_gather_core
+
+    core, _, _, _ = build_gather_core(BankedCore, n_threads=2, n=16,
+                                      engine="compiled")
+    assert core._engine_variant(False).chained
+    core.set_step_chaining(False)
+    assert not core._engine_variant(False).chained
+    # instrumented tables never chain, so the flag normalizes away there
+    assert core._engine_variant(True) == EngineVariant(
+        family="timeline", miss_switch=True, instrumented=True)
+    core.set_step_chaining(True)
+    core.run()
+
+
+def test_workload_coverage_byte_identical():
+    """A second workload (stride) so equivalence isn't gather-specific."""
+    for core_type in ("banked", "virec"):
+        cfg = RunConfig(workload="stride", core_type=core_type,
+                        n_threads=4, n_per_thread=16)
+        compiled, interpreted = digests_of(cfg)
+        assert compiled == interpreted
+
+
+def test_mid_run_engine_switch_converges():
+    """set_engine() mid-run converts scoreboard keys and finishes with
+    the same architectural totals as a single-engine run."""
+    from repro.core.cgmt import BankedCore
+
+    from ..helpers import build_gather_core
+
+    ref, _, _, _ = build_gather_core(BankedCore, n_threads=4, n=32,
+                                     engine="compiled")
+    ref.run()
+
+    core, _, _, _ = build_gather_core(BankedCore, n_threads=4, n=32,
+                                      engine="compiled")
+    for _ in range(40):
+        core.step()
+    core.set_engine("interpreted")
+    for _ in range(40):
+        core.step()
+    core.set_engine("compiled")
+    core.run()
+    assert core.now == ref.now
+    assert (sum(th.instructions for th in core.threads)
+            == sum(th.instructions for th in ref.threads))
