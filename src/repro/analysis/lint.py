@@ -57,6 +57,12 @@ VRC010   error     a closure factory capturing an InstrumentBus slot
                    slot goes silently stale; closures must read
                    ``core.bus.<slot>`` per call (the threaded-code
                    engine contract, see :mod:`repro.isa.compiled`)
+VRC011   error     raw ``sqlite3.connect`` outside :mod:`repro.ledger`
+                   — every ledger access must go through the
+                   ``Recorder``/``LedgerReader`` API so the WAL mode,
+                   busy timeout, schema DDL, and append-only discipline
+                   are applied on every handle; a stray connection that
+                   skips them can corrupt multiprocess sweeps
 =======  ========  =====================================================
 
 Suppression: append ``# lint: ignore[VRC00N]`` (or the conventional
@@ -137,13 +143,19 @@ RULES: Tuple[LintRule, ...] = (
              "a nested function capturing an InstrumentBus slot value "
              "goes stale when the slot rebinds; read core.bus.<slot> "
              "per call inside the closure"),
+    LintRule("VRC011", "raw-sqlite-connect", "error",
+             "sqlite3.connect outside repro.ledger bypasses the "
+             "Recorder/LedgerReader API and its WAL/busy-timeout/schema "
+             "setup; go through the ledger store"),
 )
 
 RULES_BY_ID: Dict[str, LintRule] = {r.id: r for r in RULES}
 
 #: modules allowed to read the wall clock (VRC002): any file whose path
 #: contains one of these directory names, or matches one of these stems
-_WALLCLOCK_ALLOWED_DIRS = ("telemetry", "tests", "benchmarks")
+#: (``ledger`` records host-side provenance timestamps — like telemetry,
+#: its readings never reach simulated state or digests)
+_WALLCLOCK_ALLOWED_DIRS = ("telemetry", "ledger", "tests", "benchmarks")
 #: ``spans``/``monitor`` time the *host-side fleet* (worker phases, sweep
 #: heartbeats) — like the profiler, their readings never reach simulated
 #: state or digests
@@ -194,6 +206,12 @@ def _policy_class_names() -> frozenset:
 #: a slot deliberately (e.g. to assert staleness semantics)
 _BUS_CAPTURE_ALLOWED_DIRS = ("tests", "benchmarks", "examples", "scripts",
                              "docs")
+
+#: trees allowed to call ``sqlite3.connect`` directly (VRC011): the ledger
+#: package owns the one sanctioned connection helper; tests and scripts may
+#: open throwaway databases for fixtures and inspection
+_SQLITE_ALLOWED_DIRS = ("ledger", "tests", "benchmarks", "examples",
+                        "scripts", "docs")
 
 #: InstrumentBus slot names (VRC010) — attach/detach rebinds these on a
 #: live core, so their *values* must never be closed over by long-lived
@@ -294,6 +312,7 @@ class _Visitor(ast.NodeVisitor):
         self._counter_key_exempt = self._is_counter_key_exempt(path)
         self._policy_ctor_exempt = self._is_policy_ctor_exempt(path)
         self._bus_capture_exempt = self._is_bus_capture_exempt(path)
+        self._sqlite_exempt = self._is_sqlite_exempt(path)
 
     @staticmethod
     def _is_wallclock_exempt(path: str) -> bool:
@@ -331,6 +350,11 @@ class _Visitor(ast.NodeVisitor):
         return any(part in _BUS_CAPTURE_ALLOWED_DIRS
                    for part in Path(path).parts)
 
+    @staticmethod
+    def _is_sqlite_exempt(path: str) -> bool:
+        return any(part in _SQLITE_ALLOWED_DIRS
+                   for part in Path(path).parts)
+
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
         if rule_id not in self.select:
             return
@@ -345,6 +369,7 @@ class _Visitor(ast.NodeVisitor):
         if dotted is not None:
             self._check_random(node, dotted)
             self._check_wallclock(node, dotted)
+            self._check_sqlite(node, dotted)
         self._check_print(node)
         self._check_counter_key(node)
         self._check_policy_ctor(node)
@@ -432,6 +457,17 @@ class _Visitor(ast.NodeVisitor):
             self._emit("VRC001", node,
                        "default_rng() without a seed draws OS entropy; pass "
                        "the run seed")
+
+    # -- VRC011: ledger access bypassing the Recorder/LedgerReader API -------
+    def _check_sqlite(self, node: ast.Call, dotted: str) -> None:
+        if self._sqlite_exempt:
+            return
+        base, _, attr = dotted.rpartition(".")
+        if attr == "connect" and base.split(".")[-1] == "sqlite3":
+            self._emit("VRC011", node,
+                       "raw sqlite3.connect outside repro.ledger skips the "
+                       "WAL/busy-timeout/schema setup; use the ledger "
+                       "Recorder/LedgerReader API")
 
     def _check_wallclock(self, node: ast.Call, dotted: str) -> None:
         if self._wallclock_exempt:

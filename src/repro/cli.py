@@ -11,7 +11,15 @@ Commands
     retries, and a crash-safe checkpoint journal.  ``--dir`` roots the
     sweep's observability surface (event log, heartbeats, merged
     parent+workers Chrome trace, manifest, fleet metrics); ``--live``
-    renders a refreshing progress panel while it runs.
+    renders a refreshing progress panel while it runs.  ``--ledger``
+    appends every finished run to the persistent run ledger; ``--cache``
+    additionally serves digest-keyed hits from it (byte-identical to
+    recomputation, ``ledger.hit``/``miss``/``stale`` in the metrics).
+``history [--ledger P] [--digest D] [--compare A B] [--check]``
+    Longitudinal analytics over the run ledger: per-digest trajectories
+    with host-rate sparklines, per-counter compares between two digests,
+    and trajectory-aware regression gating (current vs median of the
+    last N runs, severity-graded like ``repro report --check``).
 ``monitor DIR [--follow]``
     Re-attach a progress panel to a sweep directory (live or post-hoc).
 ``report DIR [--baseline P] [--out report.html] [--check]``
@@ -167,6 +175,18 @@ def _cmd_sweep(args) -> int:
             status = "ok"
         print(f"  [{i}/{total}] {status}", file=sys.stderr)
 
+    ledger_path = args.ledger
+    if args.cache and not ledger_path:
+        # --cache implies a ledger; root it in the sweep dir when present
+        ledger_path = (os.path.join(args.dir, "ledger.sqlite")
+                       if args.dir else "ledger.sqlite")
+    backend = cached = None
+    if args.cache:
+        from .exec import resolve_backend
+        from .ledger import CachedBackend
+        cached = CachedBackend(ledger_path, inner=resolve_backend(args.jobs))
+        backend = cached
+
     live_thread = None
     if args.live:
         import threading
@@ -179,7 +199,14 @@ def _cmd_sweep(args) -> int:
                     retries=args.retries, timeout_s=args.timeout_s,
                     max_cycles=args.max_cycles,
                     checkpoint=checkpoint, resume=args.resume,
-                    jobs=args.jobs, observe=observe, manifest=manifest)
+                    jobs=args.jobs, backend=backend, observe=observe,
+                    manifest=manifest,
+                    ledger=None if cached else ledger_path)
+    if cached is not None:
+        c = cached.counts
+        print(f"ledger cache {ledger_path}: {c['hit']} hit / "
+              f"{c['miss']} miss / {c['stale']} stale")
+        cached.close()
     if live_thread is not None:
         # the monitor thread exits on its own once it reads sweep_end
         live_thread.join(timeout=2 * args.refresh + 1.0)
@@ -245,6 +272,35 @@ def _cmd_monitor(args) -> int:
     return 0 if state.failed == 0 else 3
 
 
+def _check_baseline_file(path: str) -> Optional[str]:
+    """One-line hint when a baseline file cannot feed the perf gate.
+
+    Missing, empty, unparsable, or entry-less baselines used to traceback
+    deep inside ``load_baseline``; a broken perf gate should say what is
+    wrong with its input and exit with a usage error instead.
+    """
+    import json
+    import os
+    from .stats.report_html import load_baseline
+
+    if not os.path.exists(path):
+        return (f"baseline file {path} does not exist "
+                f"(generate one with: pytest benchmarks/"
+                f"bench_simulator_speed.py)")
+    if os.path.getsize(path) == 0:
+        return (f"baseline file {path} is empty — regenerate it with: "
+                f"pytest benchmarks/bench_simulator_speed.py")
+    try:
+        entries = load_baseline(path)
+    except (json.JSONDecodeError, OSError, AttributeError) as exc:
+        return f"baseline file {path} is not valid JSON ({exc})"
+    if not entries:
+        return (f"baseline file {path} has no usable rate entries — "
+                f"regenerate it with: pytest benchmarks/"
+                f"bench_simulator_speed.py")
+    return None
+
+
 def _cmd_report(args) -> int:
     import os
     from .stats.report_html import EXIT_REGRESSION, write_report
@@ -261,9 +317,14 @@ def _cmd_report(args) -> int:
             if os.path.exists(candidate):
                 baseline = candidate
                 break
+    if baseline is not None:
+        hint = _check_baseline_file(baseline)
+        if hint is not None:
+            print(hint, file=sys.stderr)
+            return 2
     out = args.out or os.path.join(args.dir, "report.html")
     report = write_report(args.dir, out, baseline=baseline,
-                          threshold=args.threshold)
+                          threshold=args.threshold, ledger=args.ledger)
     s = report["summary"]
     print(f"wrote {out}: {s['ok']} ok / {s['failed']} failed rows, "
           f"{len(report['deltas'])} tracked metric(s)")
@@ -279,6 +340,62 @@ def _cmd_report(args) -> int:
         print(f"regression beyond {args.threshold * 100:.0f}% threshold",
               file=sys.stderr)
         return EXIT_REGRESSION
+    return 0
+
+
+def _cmd_history(args) -> int:
+    import json
+    import os
+    from .ledger import LedgerReader, default_ledger_path
+    from .ledger.history import (check_history, compare_digests,
+                                 render_check_text, render_compare_text,
+                                 render_history_text, render_trajectory_text,
+                                 trajectory)
+    from .stats.report_html import EXIT_REGRESSION
+
+    path = args.ledger or default_ledger_path()
+    if not os.path.exists(path):
+        print(f"no run ledger at {path} — record one with: repro sweep "
+              f"--ledger {path} ... (or --cache), or point --ledger / "
+              f"$REPRO_LEDGER at an existing file", file=sys.stderr)
+        return 2
+    with LedgerReader(path) as reader:
+        if reader.count() == 0:
+            print(f"run ledger {path} has no rows yet — record runs with: "
+                  f"repro sweep --ledger {path} ...", file=sys.stderr)
+            return 2
+        if args.compare:
+            cmp = compare_digests(reader, args.compare[0], args.compare[1])
+            if args.json:
+                print(json.dumps(cmp, indent=2))
+            else:
+                print(render_compare_text(cmp))
+            return 0 if (cmp["found_a"] and cmp["found_b"]) else 2
+        if args.check:
+            chk = check_history(reader, threshold=args.threshold,
+                                window=args.window,
+                                min_runs=args.min_runs,
+                                digest=args.digest)
+            if args.json:
+                print(json.dumps(chk, indent=2))
+            else:
+                print(render_check_text(chk))
+            return EXIT_REGRESSION if chk["worst"] == "regression" else 0
+        if args.digest:
+            traj = trajectory(reader, args.digest, limit=args.limit)
+            if not traj["rows"]:
+                print(f"digest {args.digest} has no rows in {path}",
+                      file=sys.stderr)
+                return 2
+            if args.json:
+                print(json.dumps(traj, indent=2))
+            else:
+                print(render_trajectory_text(traj))
+            return 0
+        if args.json:
+            print(json.dumps(reader.digests(), indent=2))
+        else:
+            print(render_history_text(reader, limit=args.limit))
     return 0
 
 
@@ -543,7 +660,8 @@ def _cmd_fuzz(args) -> int:
         jobs=args.jobs, n_threads=args.threads,
         n_per_thread=args.per_thread,
         shrink=not args.no_shrink, shrink_budget=args.shrink_budget,
-        resume=args.resume, faults=faults, engine=args.engine)
+        resume=args.resume, faults=faults, engine=args.engine,
+        ledger=args.ledger)
     if args.max_cycles:
         fcfg.max_cycles = args.max_cycles
 
@@ -701,6 +819,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable the per-run metrics registry "
                         "(RunConfig.metrics=True) and aggregate a fleet "
                         "registry across the grid")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="append every finished run to this run-ledger "
+                        "SQLite file (see repro history)")
+    p.add_argument("--cache", action="store_true",
+                   help="serve digest-keyed hits from the run ledger "
+                        "instead of re-simulating (byte-identical results; "
+                        "implies --ledger, default DIR/ledger.sqlite)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_sweep)
 
@@ -731,7 +856,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.5, metavar="F",
                    help="relative regression threshold (default 0.5 = 50%%; "
                         "loose because CI hosts vary)")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="run ledger feeding the History section (default: "
+                        "auto-detect ledger.sqlite in DIR, then cwd)")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "history",
+        help="longitudinal run-ledger analytics: trajectories, compares, "
+             "and trajectory-aware regression gating")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="run-ledger SQLite file (default: $REPRO_LEDGER, "
+                        "then ./ledger.sqlite)")
+    p.add_argument("--digest", metavar="D",
+                   help="show one digest's full run trajectory")
+    p.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                   help="per-counter deltas between the newest rows of "
+                        "two digests")
+    p.add_argument("--check", action="store_true",
+                   help="grade every digest's newest host rate against the "
+                        "median of its last --window runs; exit non-zero "
+                        "on regression (trajectory-aware perf gate)")
+    p.add_argument("--threshold", type=float, default=0.5, metavar="F",
+                   help="relative regression threshold for --check "
+                        "(default 0.5, like repro report --check)")
+    p.add_argument("--window", type=int, default=5, metavar="N",
+                   help="median window of predecessor runs for --check "
+                        "(default 5)")
+    p.add_argument("--min-runs", type=int, default=3, metavar="N",
+                   help="skip digests with fewer rated runs than this "
+                        "(default 3)")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="cap listed digests / trajectory rows")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of text")
+    p.set_defaults(fn=_cmd_history)
 
     p = sub.add_parser(
         "check",
@@ -835,6 +994,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", metavar="DIR",
                    help="re-run every reproducer in a corpus directory "
                         "and verify its signature still fires")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="append per-arm cycle counts of every fresh "
+                        "program to this run ledger (see repro history)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_fuzz)
     return parser

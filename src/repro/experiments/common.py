@@ -93,7 +93,7 @@ def geomean(values: Sequence[float]) -> float:
 
 
 def run_many(configs: Sequence, check: bool = True, jobs: int = None,
-             backend=None) -> List:
+             backend=None, cache: str = None, ledger: str = None) -> List:
     """Run a batch of RunConfigs through the execution backend.
 
     The figure drivers build their whole config list up front and map it
@@ -101,7 +101,22 @@ def run_many(configs: Sequence, check: bool = True, jobs: int = None,
     variable) fans a figure's runs over worker processes with results in
     config order — identical to a serial run (see :mod:`repro.exec`).
     Fail-fast: any simulation error raises, as the drivers expect.
+
+    ``cache`` names a run-ledger file served through a
+    :class:`~repro.ledger.CachedBackend`: digests already recorded are
+    returned byte-identically without re-simulating, and fresh results
+    warm the ledger.  ``ledger`` records results without serving hits.
     """
     from ..system.simulator import sweep
-    return sweep(list(configs), check=check, on_error="raise", jobs=jobs,
-                 backend=backend)
+    cached = None
+    if cache is not None:
+        from ..exec import resolve_backend
+        from ..ledger import CachedBackend
+        cached = CachedBackend(cache, inner=resolve_backend(jobs, backend))
+        backend, jobs = cached, None
+    try:
+        return sweep(list(configs), check=check, on_error="raise",
+                     jobs=jobs, backend=backend, ledger=ledger)
+    finally:
+        if cached is not None:
+            cached.close()

@@ -61,10 +61,16 @@ def run(scale="quick", workloads: Sequence[str] = SUITE,
         threads: Sequence[int] = THREADS,
         include_nsf: bool = True,
         include_prefetch: bool = True,
-        jobs: Optional[int] = None) -> ExperimentResult:
-    """Reproduce Figure 9 (ViReC vs banked/NSF/prefetch speedups)."""
+        jobs: Optional[int] = None,
+        cache: Optional[str] = None) -> ExperimentResult:
+    """Reproduce Figure 9 (ViReC vs banked/NSF/prefetch speedups).
+
+    ``cache`` names a run ledger served through
+    :class:`~repro.ledger.CachedBackend` — a repeated figure run at the
+    same scale replays from the ledger instead of re-simulating.
+    """
     configs = grid(scale, workloads, threads, include_nsf, include_prefetch)
-    results = iter(run_many(configs, jobs=jobs))
+    results = iter(run_many(configs, jobs=jobs, cache=cache))
 
     rows: List[Dict] = []
     for cfg, result in zip(configs, results):

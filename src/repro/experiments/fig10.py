@@ -19,8 +19,13 @@ FRACTIONS = (0.4, 0.6, 0.8, 1.0)
 
 def run(scale="quick", workload: str = "gather",
         threads: Sequence[int] = (2, 4, 6, 8, 10),
-        jobs: Optional[int] = None) -> ExperimentResult:
-    """Reproduce Figure 10 (performance per register vs threads)."""
+        jobs: Optional[int] = None,
+        cache: Optional[str] = None) -> ExperimentResult:
+    """Reproduce Figure 10 (performance per register vs threads).
+
+    ``cache`` serves repeated runs from a run ledger (see
+    :class:`~repro.ledger.CachedBackend`) instead of re-simulating.
+    """
     n = scale_to_n(scale)
     total = n * max(threads)
     active = len(wl.get(workload).build(n_threads=2, n_per_thread=4).active_regs)
@@ -34,7 +39,7 @@ def run(scale="quick", workload: str = "gather",
             configs.append(base.with_(core_type="virec",
                                       context_fraction=frac))
     rows = []
-    for cfg, r in zip(configs, run_many(configs, jobs=jobs)):
+    for cfg, r in zip(configs, run_many(configs, jobs=jobs, cache=cache)):
         if cfg.core_type == "banked":
             regs = cfg.n_threads * 64
             rows.append({"threads": cfg.n_threads, "config": "banked",

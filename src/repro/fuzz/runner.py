@@ -15,6 +15,7 @@ order deterministic) and stored in the on-disk corpus.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -52,6 +53,11 @@ class FuzzConfig:
     #: any cycle or instruction difference — see
     #: :func:`repro.fuzz.oracle.run_oracle`.
     engine: Optional[str] = None
+    #: optional run-ledger path: every freshly fuzzed program appends one
+    #: row per oracle arm (digest ``fuzz:<program-digest>:<arm>``), so
+    #: campaign cycle counts join the ``repro history`` time axis.
+    #: Resumed programs are not re-recorded.
+    ledger: Optional[str] = None
 
 
 @dataclass
@@ -106,6 +112,19 @@ def _journal_key(seed: int, index: int) -> str:
     return f"fuzz:{seed}:{index}"
 
 
+def _arm_digest(spec_dict: Dict, arm: str, n_threads: int,
+                n_per_thread: int) -> str:
+    """Namespaced ledger digest of one (generated program, arm) pair.
+
+    Deterministic in exactly the inputs that determine the arm's cycle
+    count, so re-fuzzing the same seed extends each arm's trajectory
+    instead of forking a new one.
+    """
+    payload = json.dumps([spec_dict, arm, n_threads, n_per_thread],
+                         sort_keys=True)
+    return "fuzz:" + hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
 def run_fuzz(fcfg: FuzzConfig, progress=None) -> FuzzReport:
     """Run the campaign; returns the report (also written to disk).
 
@@ -121,6 +140,10 @@ def run_fuzz(fcfg: FuzzConfig, progress=None) -> FuzzReport:
                                "generated programs by outcome")
     found = metrics.counter("fuzz_findings_total",
                             "oracle findings by kind")
+    recorder = None
+    if fcfg.ledger:
+        from ..ledger.store import Recorder
+        recorder = Recorder(fcfg.ledger)
 
     specs = [sample_spec(fcfg.seed, i) for i in range(fcfg.budget)]
     keys = [_journal_key(fcfg.seed, i) for i in range(fcfg.budget)]
@@ -158,6 +181,17 @@ def run_fuzz(fcfg: FuzzConfig, progress=None) -> FuzzReport:
                     continue
                 journal.append({"key": keys[i], "index": i, "status": "ok",
                                 "result": out})
+                if recorder is not None and out["valid"]:
+                    for arm, counts in sorted((out.get("arms") or {})
+                                              .items()):
+                        recorder.record_row(
+                            _arm_digest(specs[i].as_dict(), arm,
+                                        fcfg.n_threads, fcfg.n_per_thread),
+                            source="fuzz", workload="fuzz", core_type=arm,
+                            cycles=counts.get("cycles"),
+                            instructions=counts.get("instructions"),
+                            counters={"bits_flipped":
+                                      counts.get("bits_flipped", 0)})
             else:
                 out = previous[keys[i]]["result"]
                 report.resumed += 1
@@ -180,6 +214,8 @@ def run_fuzz(fcfg: FuzzConfig, progress=None) -> FuzzReport:
                 progress(i + 1, fcfg.budget, out)
     finally:
         journal.close()
+        if recorder is not None:
+            recorder.close()
     report.unique_signatures = len(seen)
     report.entries = corpus.entries()
     _write_json(os.path.join(fcfg.corpus_dir, "fuzz_report.json"),

@@ -1,0 +1,173 @@
+"""CachedBackend: digest-keyed result reuse over any exec backend.
+
+A manifest digest fully determines a run's results (that is the whole
+reproducibility contract), so a digest the ledger has already recorded
+never needs to be simulated again.  ``CachedBackend`` wraps any
+:class:`~repro.exec.ExecBackend` and intercepts the two sweep worker
+functions it understands — ``grid_worker`` and ``sweep_worker`` — serving
+hits straight from the ledger and delegating only the misses to the inner
+backend, in input order, so the result list (and therefore the manifest
+digest) is byte-identical to cold recomputation.
+
+Every lookup is graded into exactly one of three counters, posted through
+the shared metrics registry when one is bound:
+
+* ``ledger.hit``   — a servable row existed; the run was not executed.
+* ``ledger.miss``  — the ledger has never seen this digest.
+* ``ledger.stale`` — the digest exists but no row is servable (different
+  engine key, older schema version, unchecked row for a ``check=True``
+  request, or an unreadable blob).  Stale is deliberately distinct from
+  miss: a burst of stales after a schema bump is expected, a burst of
+  stales on an unchanged tree is a cache-keying bug.
+
+Fresh results computed on a miss are recorded back into the same ledger
+(``source="cache"``), so the cache warms itself; hits are *not* re-recorded
+— a served row carries no new host measurement and re-appending it would
+fabricate flat segments in ``repro history`` trajectories.  Failures and
+:class:`~repro.exec.WorkerCrash` sentinels are never cached.
+
+An unrecognized worker function passes through to the inner backend
+untouched, making the wrapper safe as a drop-in ``backend=`` anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exec.backends import ExecBackend, SerialBackend
+from ..exec.workers import _append_event, grid_worker, sweep_worker
+from .store import LedgerReader, Recorder, engine_key_of
+
+__all__ = ["CachedBackend"]
+
+
+class CachedBackend(ExecBackend):
+    """Serve digest-keyed ledger hits; run only the misses on ``inner``."""
+
+    def __init__(self, path: str, inner: Optional[ExecBackend] = None,
+                 metrics=None) -> None:
+        self.path = path
+        self.inner = inner if inner is not None else SerialBackend()
+        self.metrics = metrics
+        #: lookup grades for this backend's lifetime (always maintained,
+        #: even with no metrics registry bound)
+        self.counts: Dict[str, int] = {"hit": 0, "miss": 0, "stale": 0}
+        self._reader = LedgerReader(path)
+        self._recorder = Recorder(path)
+
+    @property
+    def jobs(self) -> int:  # type: ignore[override]
+        return self.inner.jobs
+
+    def close(self) -> None:
+        self._reader.close()
+        self._recorder.close()
+
+    def bind_metrics(self, registry) -> None:
+        """Adopt a fleet registry unless one was bound at construction."""
+        if self.metrics is None:
+            self.metrics = registry
+
+    # -- lookup grading ------------------------------------------------------
+    def _count(self, grade: str) -> None:
+        self.counts[grade] += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"ledger.{grade}",
+                "cache lookup grades of CachedBackend").inc()
+
+    def _lookup(self, digest: str, cfg, check: bool):
+        """One graded lookup: the cached RunResult or None."""
+        result = self._reader.lookup_result(
+            digest, engine_key=engine_key_of(cfg), require_checked=check)
+        if result is not None:
+            self._count("hit")
+            return result
+        self._count("stale" if self._reader.has_digest(digest) else "miss")
+        return None
+
+    # -- the map interception ------------------------------------------------
+    def map(self, fn: Callable, items: Sequence) -> List:
+        items = list(items)
+        if fn is grid_worker:
+            return self._map_cached(fn, items, self._grid_probe,
+                                    self._grid_hit, self._grid_fresh)
+        if fn is sweep_worker:
+            return self._map_cached(fn, items, self._sweep_probe,
+                                    self._sweep_hit, self._sweep_fresh)
+        return self.inner.map(fn, items)
+
+    def _map_cached(self, fn, items, probe, make_hit, fresh_result) -> List:
+        """Split items into hits and misses; inner-map only the misses.
+
+        ``probe(item)`` -> (digest, cfg, check, obs); ``make_hit`` shapes
+        a cached RunResult into the worker's output tuple; ``fresh_result``
+        extracts the recordable RunResult from a fresh output (or None).
+        """
+        results: List = [None] * len(items)
+        miss_positions: List[int] = []
+        for pos, item in enumerate(items):
+            digest, cfg, check, obs = probe(item)
+            cached = self._lookup(digest, cfg, check)
+            if cached is not None:
+                if obs is not None:
+                    _append_event(obs, "row_start", item[0], cached=True)
+                    _append_event(obs, "row_ok", item[0], cached=True,
+                                  cycles=cached.cycles)
+                results[pos] = make_hit(cached, item)
+            else:
+                miss_positions.append(pos)
+        if miss_positions:
+            fresh = self.inner.map(fn, [items[p] for p in miss_positions])
+            for pos, out in zip(miss_positions, fresh):
+                results[pos] = out
+                result = fresh_result(out)
+                if result is not None:
+                    _, _, check, _ = probe(items[pos])
+                    self._recorder.record_result(result, source="cache",
+                                                 checked=check)
+        return results
+
+    # -- grid_worker shapes --------------------------------------------------
+    # task: (index, cfg, check, retries, timeout_s, max_cycles, key[, obs])
+    # out:  (result, failure, exc[, spans])
+    @staticmethod
+    def _grid_probe(item):
+        return item[6], item[1], item[2], (item[7] if len(item) > 7 else None)
+
+    @staticmethod
+    def _grid_hit(cached, item):
+        if len(item) > 7:
+            return (cached, None, None, [])
+        return (cached, None, None)
+
+    @staticmethod
+    def _grid_fresh(out):
+        if isinstance(out, tuple) and out[0] is not None and out[1] is None:
+            return out[0]
+        return None
+
+    # -- sweep_worker shapes -------------------------------------------------
+    # task: (index, cfg, check[, obs])
+    # out:  ("ok", result[, spans]) | ("err", failure, exc[, spans])
+    @staticmethod
+    def _sweep_probe(item):
+        from ..system.manifest import config_key
+        return (config_key(item[1]), item[1], item[2],
+                (item[3] if len(item) > 3 else None))
+
+    @staticmethod
+    def _sweep_hit(cached, item):
+        if len(item) > 3:
+            return ("ok", cached, [])
+        return ("ok", cached)
+
+    @staticmethod
+    def _sweep_fresh(out):
+        if isinstance(out, tuple) and out and out[0] == "ok":
+            return out[1]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CachedBackend path={self.path!r} inner={self.inner!r} "
+                f"counts={self.counts}>")

@@ -208,12 +208,23 @@ def _row_label(cfg: Dict) -> str:
     return "/".join(bits)
 
 
+def _history_section(ledger_path: str) -> List[Dict]:
+    """Per-digest host-rate trend entries from a run ledger (may be [])."""
+    from ..ledger import LedgerReader, history_series
+
+    with LedgerReader(ledger_path) as reader:
+        return history_series(reader)
+
+
 def build_report(sweep_dir: str, baseline: Optional[str] = None,
-                 threshold: float = DEFAULT_THRESHOLD) -> Dict:
+                 threshold: float = DEFAULT_THRESHOLD,
+                 ledger: Optional[str] = None) -> Dict:
     """Everything the HTML needs, as one plain dict (JSON-serializable).
 
     Pure data assembly — rendering is :func:`render_html` — so tests can
-    assert on the gate decision without parsing HTML.
+    assert on the gate decision without parsing HTML.  ``ledger`` names a
+    run-ledger file feeding the History section (default: auto-detect
+    ``ledger.sqlite`` inside the sweep directory, then cwd).
     """
     from ..system.monitor import read_state
 
@@ -231,11 +242,21 @@ def build_report(sweep_dir: str, baseline: Optional[str] = None,
             "workers": len(state.workers),
         },
         "rows": [], "stages": [], "vrmu": [], "deltas": [],
-        "engine_gate": [],
+        "engine_gate": [], "history": [],
         "attribution": None,
         "threshold": threshold,
         "has_regression": False,
     }
+
+    if ledger is None:
+        for candidate in (os.path.join(sweep_dir, "ledger.sqlite"),
+                          "ledger.sqlite"):
+            if os.path.exists(candidate):
+                ledger = candidate
+                break
+    if ledger and os.path.exists(ledger):
+        report["ledger_path"] = os.path.abspath(ledger)
+        report["history"] = _history_section(ledger)
 
     profile = _load_json(os.path.join(sweep_dir, "profile.json"))
     if profile:
@@ -484,6 +505,26 @@ def render_html(report: Dict) -> str:
                 f"<td class='l'>{_esc(g['severity'])}</td></tr>")
         parts.append("</table>")
 
+    if report.get("history"):
+        parts.append(
+            f"<h2>History</h2>"
+            f"<p class='meta'>host-rate trajectories from the run ledger "
+            f"{_esc(report.get('ledger_path', '?'))} &middot; see "
+            f"<code>repro history</code> for compares and the "
+            f"trajectory-aware <code>--check</code> gate</p>"
+            "<table><tr><th class='l'>digest</th><th class='l'>config</th>"
+            "<th>runs</th><th>last instr/s</th><th class='l'>trend</th>"
+            "<th class='l'>last seen (utc)</th></tr>")
+        for h in report["history"]:
+            parts.append(
+                f"<tr><td class='l'><code>{_esc(h['digest'])}</code></td>"
+                f"<td class='l'>{_esc(h['label'])}</td>"
+                f"<td>{_fmt(h['runs'])}</td>"
+                f"<td>{_fmt(h['last_rate'], 6)}</td>"
+                f"<td class='l'>{svg_sparkline(h['rates'])}</td>"
+                f"<td class='l'>{_esc(h.get('last_seen') or '')}</td></tr>")
+        parts.append("</table>")
+
     if report["deltas"]:
         parts.append(
             f"<h2>Baseline deltas</h2>"
@@ -510,9 +551,11 @@ def render_html(report: Dict) -> str:
 
 def write_report(sweep_dir: str, out_path: str,
                  baseline: Optional[str] = None,
-                 threshold: float = DEFAULT_THRESHOLD) -> Dict:
+                 threshold: float = DEFAULT_THRESHOLD,
+                 ledger: Optional[str] = None) -> Dict:
     """Build + render + write in one call; returns the report dict."""
-    report = build_report(sweep_dir, baseline=baseline, threshold=threshold)
+    report = build_report(sweep_dir, baseline=baseline, threshold=threshold,
+                          ledger=ledger)
     with open(out_path, "w") as f:
         f.write(render_html(report))
     return report

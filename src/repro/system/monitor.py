@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -135,19 +136,53 @@ class SweepState:
 
 
 def _read_events(path: str) -> List[Dict]:
+    """Event rows from a live JSONL log, torn-tail tolerant.
+
+    The log is appended to by concurrently running workers and read while
+    the sweep is still writing, so the reader must survive anything a
+    crash or a mid-append read can leave behind: a torn trailing line,
+    a partial JSON value that *parses* but is not an object, or foreign
+    garbage.  Malformed lines are skipped with one summary warning
+    (matching the checkpoint-journal loader's hardening) — the monitor
+    must never raise on its own event log.
+    """
     rows: List[Dict] = []
     if not os.path.exists(path):
         return rows
+    torn = 0
     with open(path) as f:
         for line in f:
             line = line.strip()
             if not line:
                 continue
             try:
-                rows.append(json.loads(line))
+                row = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn tail line mid-append
+                torn += 1  # torn tail line mid-append
+                continue
+            if not isinstance(row, dict):
+                torn += 1  # valid JSON but not an event object
+                continue
+            rows.append(row)
+    if torn:
+        warnings.warn(
+            f"event log {path}: skipped {torn} torn or malformed "
+            f"line(s)", RuntimeWarning, stacklevel=2)
     return rows
+
+
+def _as_float(value, default: float = 0.0) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _as_int(value, default: int = -1) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
 
 
 def read_state(root: str, now: Optional[float] = None) -> SweepState:
@@ -160,18 +195,18 @@ def read_state(root: str, now: Optional[float] = None) -> SweepState:
     started: Dict[int, bool] = {}
     for row in _read_events(os.path.join(root, EVENTS_NAME)):
         ev = row.get("ev")
-        state.elapsed_s = max(state.elapsed_s, float(row.get("t", 0.0)))
+        state.elapsed_s = max(state.elapsed_s, _as_float(row.get("t", 0.0)))
         state.last_event = row
         if ev == "sweep_start":
-            state.total = int(row.get("total", 0))
+            state.total = _as_int(row.get("total", 0), default=0)
         elif ev == "row_start":
-            started[int(row.get("index", -1))] = True
+            started[_as_int(row.get("index", -1))] = True
         elif ev == "row_ok":
             state.ok += 1
-            started.pop(int(row.get("index", -1)), None)
+            started.pop(_as_int(row.get("index", -1)), None)
         elif ev == "row_fail":
             state.failed += 1
-            started.pop(int(row.get("index", -1)), None)
+            started.pop(_as_int(row.get("index", -1)), None)
         elif ev == "row_resumed":
             state.resumed += 1
         elif ev == "sweep_end":

@@ -257,7 +257,7 @@ class ResultList(List[Optional[RunResult]]):
 
 def sweep(configs: List[RunConfig], check: bool = True,
           on_error: str = "raise", jobs: Optional[int] = None,
-          backend=None) -> List[RunResult]:
+          backend=None, ledger=None) -> List[RunResult]:
     """Run a list of configurations (the experiment drivers' workhorse).
 
     ``on_error="raise"`` (default) keeps the historical fail-fast contract.
@@ -270,48 +270,76 @@ def sweep(configs: List[RunConfig], check: bool = True,
     fans the configs out over N spawn workers with results returned in
     config order — parallel and serial sweeps of the same list produce
     identical result digests.
+
+    ``ledger`` (a path or open :class:`~repro.ledger.Recorder`) appends
+    every successful result to the run ledger (``source="sweep"``); when
+    ``backend`` is a :class:`~repro.ledger.CachedBackend` the argument is
+    ignored — the cache records its own misses.
     """
     if on_error not in ("raise", "isolate"):
         raise ValueError(f"on_error must be 'raise' or 'isolate', "
                          f"not {on_error!r}")
     from ..exec import SerialBackend, resolve_backend, sweep_worker
     backend = resolve_backend(jobs, backend)
-    if isinstance(backend, SerialBackend):
-        # in-process path: call run_config through this module's global so
-        # tests (and downstream embedders) that monkeypatch it still apply
-        if on_error == "raise":
-            return [run_config(c, check=check) for c in configs]
-        results = ResultList()
-        for i, cfg in enumerate(configs):
-            try:
-                results.append(run_config(cfg, check=check))
-            except SimulationError as exc:
-                results.append(None)
-                results.failures.append(RunFailure.from_exception(
-                    exc, index=i, config=asdict(cfg)))
-        return results
+    recorder = owns_recorder = None
+    if ledger is not None:
+        from ..ledger.store import open_recorder
+        recorder, owns_recorder = open_recorder(ledger, backend)
 
-    from ..exec import WorkerCrash
-    tagged = backend.map(sweep_worker,
-                         [(i, cfg, check) for i, cfg in enumerate(configs)])
-    if on_error == "raise":
-        out: List[RunResult] = []
+    def _record(result: Optional[RunResult]) -> None:
+        if recorder is not None and result is not None:
+            recorder.record_result(result, source="sweep", checked=check)
+
+    try:
+        if isinstance(backend, SerialBackend):
+            # in-process path: call run_config through this module's global
+            # so tests (and downstream embedders) that monkeypatch it apply
+            if on_error == "raise":
+                out: List[RunResult] = []
+                for c in configs:
+                    result = run_config(c, check=check)
+                    _record(result)
+                    out.append(result)
+                return out
+            results = ResultList()
+            for i, cfg in enumerate(configs):
+                try:
+                    result = run_config(cfg, check=check)
+                    _record(result)
+                    results.append(result)
+                except SimulationError as exc:
+                    results.append(None)
+                    results.failures.append(RunFailure.from_exception(
+                        exc, index=i, config=asdict(cfg)))
+            return results
+
+        from ..exec import WorkerCrash
+        tagged = backend.map(sweep_worker,
+                             [(i, cfg, check)
+                              for i, cfg in enumerate(configs)])
+        if on_error == "raise":
+            out = []
+            for i, item in enumerate(tagged):
+                if isinstance(item, WorkerCrash):
+                    raise item.to_error()
+                if item[0] == "err":
+                    raise item[2]
+                _record(item[1])
+                out.append(item[1])
+            return out
+        results = ResultList()
         for i, item in enumerate(tagged):
             if isinstance(item, WorkerCrash):
-                raise item.to_error()
-            if item[0] == "err":
-                raise item[2]
-            out.append(item[1])
-        return out
-    results = ResultList()
-    for i, item in enumerate(tagged):
-        if isinstance(item, WorkerCrash):
-            results.append(None)
-            results.failures.append(RunFailure.from_exception(
-                item.to_error(), index=i, config=asdict(configs[i])))
-        elif item[0] == "ok":
-            results.append(item[1])
-        else:
-            results.append(None)
-            results.failures.append(item[1])
-    return results
+                results.append(None)
+                results.failures.append(RunFailure.from_exception(
+                    item.to_error(), index=i, config=asdict(configs[i])))
+            elif item[0] == "ok":
+                _record(item[1])
+                results.append(item[1])
+            else:
+                results.append(None)
+                results.failures.append(item[1])
+        return results
+    finally:
+        if owns_recorder and recorder is not None:
+            recorder.close()

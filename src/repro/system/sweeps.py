@@ -254,7 +254,7 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
              checkpoint: Optional[str] = None,
              resume: bool = False, jobs: Optional[int] = None,
              backend=None, observe=None, manifest=None,
-             metrics=None) -> GridRows:
+             metrics=None, ledger=None) -> GridRows:
     """Simulate every config; returns flat result rows (config + metrics).
 
     ``progress`` is an optional callable invoked as ``progress(i, total,
@@ -293,6 +293,15 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
     status, per-stage host wall-clock, and every worker-shipped per-run
     metrics snapshot (created automatically when ``observe`` is set);
     it is exposed as ``rows.metrics``.
+
+    ``ledger`` (a path or an open :class:`~repro.ledger.Recorder`) appends
+    every freshly simulated successful row to the run ledger
+    (``source="grid"``); resumed rows are not re-recorded (they carry no
+    new measurement).  When ``backend`` is a
+    :class:`~repro.ledger.CachedBackend` the argument is ignored — the
+    cache records its own misses — and the fleet metrics registry (when
+    one exists) is bound to the cache so ``ledger.hit``/``ledger.miss``/
+    ``ledger.stale`` land in the sweep's metrics snapshot.
     """
     if on_error not in ("raise", "isolate"):
         raise ValueError(f"on_error must be 'raise' or 'isolate', "
@@ -316,6 +325,15 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
     rows.metrics = metrics
     rows.observability = obs
     keys = [config_key(cfg) for cfg in configs]
+    recorder = None
+    owns_recorder = False
+    if ledger is not None:
+        from ..ledger.store import open_recorder
+        recorder, owns_recorder = open_recorder(ledger, backend)
+    if metrics is not None and hasattr(backend, "bind_metrics"):
+        # a CachedBackend adopts the fleet registry so its hit/miss/stale
+        # counters land in the sweep's metrics snapshot
+        backend.bind_metrics(metrics)
 
     def _is_resumed(i: int) -> bool:
         done = previous.get(keys[i])
@@ -432,6 +450,9 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
                 rows.append(row)
                 if manifest is not None:
                     manifest.add(result)
+                if recorder is not None:
+                    recorder.record_result(result, source="grid",
+                                           checked=check)
                 _fold_fleet(result=result, status="ok")
                 if journal is not None:
                     journal.append({"key": key, "index": i, "status": "ok",
@@ -453,6 +474,8 @@ def run_grid(configs: Iterable[RunConfig], check: bool = True,
     finally:
         if journal is not None:
             journal.close()
+        if owns_recorder and recorder is not None:
+            recorder.close()
         if obs is not None:
             obs.append_event("sweep_end", ok=len(rows) - rows.resumed,
                              failed=len(rows.failures),

@@ -481,3 +481,54 @@ def test_vrc010_library_tree_is_clean():
     findings = [f for f in L.lint_paths([str(SRC_DIR)])
                 if f.rule.id == "VRC010" and not f.suppressed]
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# -- VRC011: raw sqlite3.connect outside the ledger package ------------------
+def test_vrc011_raw_connect_flagged():
+    hits = L.lint_source(
+        "import sqlite3\n"
+        "conn = sqlite3.connect('results.db')\n",
+        path="src/repro/system/sweeps.py")
+    assert ids(hits) == ["VRC011"]
+    assert hits[0].rule.severity == "error"
+    assert "Recorder/LedgerReader" in hits[0].message
+
+
+def test_vrc011_aliased_module_flagged():
+    hits = L.lint_source(
+        "import sqlite3 as sql3\n"
+        "conn = sql3.sqlite3.connect('x.db')\n",
+        path="src/repro/core/base.py")
+    # only the dotted leaf module matters: <...>.sqlite3.connect is flagged
+    assert ids(hits) == ["VRC011"]
+
+
+def test_vrc011_other_connects_ok():
+    assert L.lint_source(
+        "conn = server.connect('host')\n"
+        "c = sqlite3.Connection('x.db')\n",
+        path="src/repro/core/base.py") == []
+
+
+def test_vrc011_ledger_package_exempt():
+    src = "import sqlite3\nconn = sqlite3.connect(path)\n"
+    for path in ("src/repro/ledger/store.py",
+                 "tests/ledger/test_store.py",
+                 "benchmarks/bench_x.py",
+                 "scripts/inspect_db.py"):
+        assert L.lint_source(src, path=path) == [], path
+
+
+def test_vrc011_suppressible():
+    hits = L.lint_source(
+        "conn = sqlite3.connect(p)  # noqa: VRC011\n",
+        path="src/repro/system/sweeps.py")
+    assert len(hits) == 1 and hits[0].suppressed
+
+
+def test_vrc011_library_tree_is_clean():
+    """All ledger access in src/ goes through the Recorder/LedgerReader
+    API (the CI gate)."""
+    findings = [f for f in L.lint_paths([str(SRC_DIR)])
+                if f.rule.id == "VRC011" and not f.suppressed]
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -75,8 +75,41 @@ def test_torn_tail_line_is_skipped(tmp_path):
                          {"ev": "row_ok", "t": 0.4, "index": 0}])
     with open(os.path.join(root, "sweep_events.jsonl"), "a") as f:
         f.write('{"ev": "row_ok", "ind')  # a write torn mid-append
-    state = read_state(root)
+    with pytest.warns(RuntimeWarning, match="torn or malformed"):
+        state = read_state(root)
     assert state.ok == 1  # the torn line neither counts nor raises
+
+
+def test_torn_and_malformed_lines_warn_but_never_raise(tmp_path):
+    """A live log read mid-append: torn tails, non-object JSON rows, and
+    garbled field values must all be tolerated — one summary warning, no
+    exception, and the well-formed rows still count."""
+    root = str(tmp_path)
+    _write_events(root, [{"ev": "sweep_start", "t": 0.0, "total": 3},
+                         {"ev": "row_ok", "t": 0.4, "index": 0}])
+    with open(os.path.join(root, "sweep_events.jsonl"), "a") as f:
+        f.write("[1, 2, 3]\n")                 # valid JSON, not an object
+        f.write('"row_ok"\n')                  # ditto
+        # a dict row with garbage where numbers belong must not raise
+        f.write(json.dumps({"ev": "row_ok", "t": "soon",
+                            "index": None}) + "\n")
+        f.write('{"ev": "row_ok", "ind')       # torn tail, no newline
+    with pytest.warns(RuntimeWarning, match="skipped 3 torn or malformed"):
+        state = read_state(root)
+    assert state.total == 3
+    assert state.ok == 2           # the garbled-value row still counts
+    assert not state.finished
+
+
+def test_clean_log_does_not_warn(tmp_path):
+    root = str(tmp_path)
+    _write_events(root, [{"ev": "sweep_start", "t": 0.0, "total": 1},
+                         {"ev": "row_ok", "t": 0.2, "index": 0}])
+    import warnings as _warnings
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        state = read_state(root)
+    assert state.ok == 1
 
 
 def test_heartbeat_ages(tmp_path):

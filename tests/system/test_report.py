@@ -217,3 +217,33 @@ def test_cli_report_check_exit_codes(tmp_path, capsys):
 
 def test_cli_report_missing_dir():
     assert cli_main(["report", "/nonexistent/sweep-dir"]) == 2
+
+
+def test_cli_report_baseline_hints(tmp_path, capsys):
+    """A missing/empty/unusable baseline is a one-line hint + exit 2
+    (usage), never a traceback and never a silent pass of --check."""
+    root = _make_sweep_dir(tmp_path, instr_per_s=2000.0)
+
+    rc = cli_main(["report", str(root), "--baseline",
+                   str(tmp_path / "nope.json"), "--check"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "does not exist" in err and "bench_simulator_speed" in err
+
+    empty = tmp_path / "empty.json"
+    empty.write_text("")
+    assert cli_main(["report", str(root), "--baseline", str(empty),
+                     "--check"]) == 2
+    assert "is empty" in capsys.readouterr().err
+
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("{not json")
+    assert cli_main(["report", str(root), "--baseline", str(garbled),
+                     "--check"]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+    norates = tmp_path / "norates.json"
+    norates.write_text(json.dumps({"results": {}}))
+    assert cli_main(["report", str(root), "--baseline", str(norates),
+                     "--check"]) == 2
+    assert "no usable rate entries" in capsys.readouterr().err
